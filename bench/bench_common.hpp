@@ -1,0 +1,59 @@
+// Shared helpers for the Table 1 benchmark binaries.
+//
+// Every bench prints paper-style tables: a sweep of clique sizes with the
+// measured round counts, followed by a log-log exponent fit compared with
+// the paper's asymptotic bound. Round counts come from the simulator's
+// exact schedule accounting (see src/clique/), never from formulas.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/fit.hpp"
+#include "util/table.hpp"
+
+namespace cca::bench {
+
+struct Series {
+  std::string name;
+  std::vector<double> n;
+  std::vector<double> rounds;
+
+  void add(double n_value, double rounds_value) {
+    n.push_back(n_value);
+    rounds.push_back(rounds_value);
+  }
+};
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Print a fitted exponent line: "name: rounds ~ a * n^c (R^2) vs paper n^p".
+inline void print_fit(const Series& s, const std::string& paper_bound) {
+  if (s.n.size() < 2) return;
+  const auto f = fit_power_law(s.n, s.rounds);
+  std::printf("%-28s measured rounds ~ %.2f * n^%.3f  (R^2 = %.3f)   paper: %s\n",
+              s.name.c_str(), f.coefficient, f.exponent, f.r_squared,
+              paper_bound.c_str());
+}
+
+/// Print several series against a shared n column.
+inline void print_series_table(const std::vector<Series>& series) {
+  if (series.empty() || series[0].n.empty()) return;
+  std::vector<std::string> headers{"n"};
+  for (const auto& s : series) headers.push_back(s.name + " rounds");
+  Table t(headers);
+  for (std::size_t i = 0; i < series[0].n.size(); ++i) {
+    std::vector<std::string> row{fmt_int(static_cast<long long>(series[0].n[i]))};
+    for (const auto& s : series)
+      row.push_back(i < s.rounds.size()
+                        ? fmt_int(static_cast<long long>(s.rounds[i]))
+                        : "-");
+    t.add_row(std::move(row));
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+}
+
+}  // namespace cca::bench

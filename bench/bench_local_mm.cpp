@@ -1,0 +1,89 @@
+// google-benchmark microbenchmarks for the LOCAL matrix kernels that run
+// inside each simulated node: schoolbook vs Strassen vs the bilinear-
+// algorithm interpreter, plus the capped-polynomial ring used by Lemma 18.
+//
+// Local computation is free in the congested clique model; these benches
+// exist because the simulator's wall-clock is dominated by node-local
+// kernels and the ablation informs the cutoff choices.
+#include <benchmark/benchmark.h>
+
+#include "matrix/bilinear.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/poly.hpp"
+#include "matrix/semiring.hpp"
+#include "matrix/strassen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cca;
+
+Matrix<std::int64_t> random_matrix(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<std::int64_t> m(n, n, 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m(i, j) = rng.next_in(-100, 100);
+  return m;
+}
+
+void BM_Schoolbook(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const IntRing ring;
+  const auto a = random_matrix(n, 1);
+  const auto b = random_matrix(n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(multiply(ring, a, b));
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Schoolbook)->RangeMultiplier(2)->Range(32, 256)->Complexity();
+
+void BM_Strassen(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const IntRing ring;
+  const auto a = random_matrix(n, 1);
+  const auto b = random_matrix(n, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(strassen_multiply(ring, a, b, 64));
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Strassen)->RangeMultiplier(2)->Range(32, 256)->Complexity();
+
+void BM_MinPlusProduct(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const MinPlusSemiring sr;
+  Rng rng(3);
+  Matrix<std::int64_t> a(n, n, MinPlusSemiring::kInf);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (rng.chance(3, 4)) a(i, j) = rng.next_in(0, 100);
+  for (auto _ : state) benchmark::DoNotOptimize(multiply(sr, a, a));
+}
+BENCHMARK(BM_MinPlusProduct)->RangeMultiplier(2)->Range(32, 128);
+
+void BM_BilinearInterpreter(benchmark::State& state) {
+  // apply_bilinear on a tensor power: the Step 2/6 workload shape.
+  const int depth = static_cast<int>(state.range(0));
+  const auto alg = tensor_power(strassen_algorithm(), depth);
+  const IntRing ring;
+  const auto a = random_matrix(alg.d, 4);
+  const auto b = random_matrix(alg.d, 5);
+  for (auto _ : state) benchmark::DoNotOptimize(apply_bilinear(ring, alg, a, b));
+}
+BENCHMARK(BM_BilinearInterpreter)->DenseRange(1, 4);
+
+void BM_PolyProduct(benchmark::State& state) {
+  // Lemma 18 entries: cap = 2M+1 polynomial convolutions.
+  const int cap = static_cast<int>(state.range(0));
+  const PolyRing ring{cap};
+  Rng rng(6);
+  Matrix<CappedPoly> a(16, 16, ring.zero());
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j)
+      a(i, j) = CappedPoly::monomial(cap, static_cast<int>(rng.next_below(
+                                              static_cast<std::uint64_t>(cap))));
+  for (auto _ : state) benchmark::DoNotOptimize(multiply(ring, a, a));
+}
+BENCHMARK(BM_PolyProduct)->RangeMultiplier(2)->Range(4, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

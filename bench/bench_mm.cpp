@@ -1,0 +1,125 @@
+// Table 1, rows "matrix multiplication (semiring)" and "(ring)":
+// measured rounds for the Section 2.1 and 2.2 algorithms against the naive
+// baseline, with fitted exponents.
+//
+// Paper bounds: semiring O(n^{1/3}); ring O(n^{1-2/omega}) — with the
+// implemented Strassen tensor (sigma = log2 7) the target exponent is
+// 1 - 2/sigma ~ 0.288. The fast series uses the matched-depth family
+// (m(d) ~ n); a fixed-depth series is also shown to make the depth
+// granularity visible (the paper's +epsilon in Theorem 1).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "clique/network.hpp"
+#include "core/mm.hpp"
+#include "matrix/codec.hpp"
+#include "matrix/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cca;
+using namespace cca::core;
+using cca::bench::Series;
+
+Matrix<std::int64_t> random_matrix(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<std::int64_t> m(n, n, 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m(i, j) = rng.next_in(0, 1000);
+  return m;
+}
+
+clique::TrafficStats run_semiring(int n) {
+  clique::Network net(n);
+  const IntRing ring;
+  const I64Codec codec;
+  const auto a = random_matrix(n, 1);
+  const auto b = random_matrix(n, 2);
+  (void)mm_semiring_3d(net, ring, codec, a, b);
+  return net.stats();
+}
+
+clique::TrafficStats run_fast(int n, int depth) {
+  const auto plan = plan_fast_mm(n, depth);
+  clique::Network net(plan.clique_n);
+  const IntRing ring;
+  const I64Codec codec;
+  const auto alg = tensor_power(strassen_algorithm(), depth);
+  const auto a = pad_matrix(random_matrix(n, 1), plan.clique_n, std::int64_t{0});
+  const auto b = pad_matrix(random_matrix(n, 2), plan.clique_n, std::int64_t{0});
+  (void)mm_fast_bilinear(net, ring, codec, alg, a, b);
+  return net.stats();
+}
+
+std::int64_t run_naive(int n) {
+  clique::Network net(n);
+  const IntRing ring;
+  const auto a = random_matrix(n, 1);
+  const auto b = random_matrix(n, 2);
+  (void)mm_naive_broadcast(net, ring, 1, a, b);
+  return net.stats().rounds;
+}
+
+}  // namespace
+
+int main() {
+  cca::bench::print_header(
+      "Table 1: matrix multiplication round complexity (semiring / ring / naive)");
+
+  // Two metrics per series: the measured rounds of the executable Koenig
+  // schedule, and the schedule-independent lower bound (what an exactly
+  // optimal Lenzen router would pay). The bound isolates the algorithm's
+  // bandwidth exponent from router constants.
+  Series semi{"semiring 3D", {}, {}};
+  Series semi_bound{"semiring 3D (bound)", {}, {}};
+  Series naive{"naive broadcast", {}, {}};
+  for (const int n : {27, 64, 125, 216, 343, 512}) {
+    const auto s = run_semiring(n);
+    semi.add(n, static_cast<double>(s.rounds));
+    semi_bound.add(n, static_cast<double>(s.bound_rounds));
+    naive.add(n, static_cast<double>(run_naive(n)));
+  }
+  cca::bench::print_series_table({semi, semi_bound, naive});
+  cca::bench::print_fit(semi, "O(n^{1/3})");
+  cca::bench::print_fit(semi_bound, "O(n^{1/3}) (6 n^{1/3} exactly)");
+  cca::bench::print_fit(naive, "O(n)");
+
+  std::printf(
+      "\nFast bilinear (Section 2.2), matched-depth family (m(d) ~ n):\n");
+  Series fast{"fast (Strassen^k)", {}, {}};
+  Series fast_bound{"fast (bound)", {}, {}};
+  const struct {
+    int n;
+    int depth;
+  } family[] = {{7, 1}, {49, 2}, {343, 3}};
+  for (const auto& f : family) {
+    const auto plan = plan_fast_mm(f.n, f.depth);
+    const auto s = run_fast(f.n, f.depth);
+    std::printf("  n=%4d  depth=%d  padded clique N=%4d  rounds=%lld  "
+                "(lower bound %lld)\n",
+                f.n, f.depth, plan.clique_n,
+                static_cast<long long>(s.rounds),
+                static_cast<long long>(s.bound_rounds));
+    fast.add(plan.clique_n, static_cast<double>(s.rounds));
+    fast_bound.add(plan.clique_n, static_cast<double>(s.bound_rounds));
+  }
+  cca::bench::print_fit(fast,
+                        "O(n^{1-2/sigma}) = O(n^0.288) for sigma = log2 7 "
+                        "(paper: O(n^0.158) with omega < 2.373)");
+  cca::bench::print_fit(fast_bound, "same, schedule-independent bound");
+
+  std::printf("\nFixed-depth series (depth 2), showing the linear-in-N tail "
+              "between depth jumps:\n");
+  Series fixed{"fast depth=2", {}, {}};
+  for (const int n : {64, 144, 256, 400, 576}) {
+    fixed.add(n, static_cast<double>(run_fast(n, 2).rounds));
+  }
+  cca::bench::print_series_table({fixed});
+  cca::bench::print_fit(fixed, "O(n) at fixed depth (epsilon-tail of Thm 1)");
+
+  std::printf("\nNote: absolute crossover fast-vs-semiring requires n beyond "
+              "laptop simulation for sigma=2.807; the reproduced claim is "
+              "the exponent ordering 0.288 < 0.333 < 1 (see EXPERIMENTS.md).\n");
+  return 0;
+}

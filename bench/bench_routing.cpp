@@ -1,0 +1,78 @@
+// Routing substrate benchmark: the executable counterparts of Lenzen's
+// O(1) routing theorem [46] and Dolev et al.'s oblivious routing
+// [24, Lemma 1], which every algorithm in this repository builds on.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "clique/routing.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cca;
+using namespace cca::clique;
+
+/// Balanced Lenzen instance: every node sends `load` words to every other.
+std::vector<Demand> balanced(int n, std::int64_t load_per_pair) {
+  std::vector<Demand> out;
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d)
+      if (s != d) out.push_back({s, d, load_per_pair});
+  return out;
+}
+
+/// Skewed instance: node 0 floods half the clique.
+std::vector<Demand> skewed(int n, std::int64_t words) {
+  std::vector<Demand> out;
+  for (int d = 1; d <= n / 2; ++d) out.push_back({0, d, words});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  cca::bench::print_header(
+      "Lenzen-balanced instances (n words in/out per node): rounds must be "
+      "O(1) in n");
+  std::printf("%-8s %-10s %-10s %-10s %-10s\n", "n", "direct", "hash",
+              "random", "koenig");
+  Rng rng(42);
+  for (const int n : {16, 32, 64, 128, 256}) {
+    const auto d = balanced(n, 1);
+    std::printf("%-8d %-10lld %-10lld %-10lld %-10lld\n", n,
+                static_cast<long long>(rounds_direct(n, d)),
+                static_cast<long long>(rounds_hash_relay(n, d)),
+                static_cast<long long>(rounds_random_relay(n, d, rng)),
+                static_cast<long long>(rounds_koenig_relay(n, d)));
+  }
+
+  cca::bench::print_header(
+      "Load sweep at n = 64 (k words per ordered pair): relays scale with "
+      "k, direct with k too (already balanced)");
+  std::printf("%-8s %-10s %-10s %-10s\n", "k", "direct", "hash", "koenig");
+  for (const std::int64_t k : {1, 2, 4, 8, 16}) {
+    const auto d = balanced(64, k);
+    std::printf("%-8lld %-10lld %-10lld %-10lld\n", static_cast<long long>(k),
+                static_cast<long long>(rounds_direct(64, d)),
+                static_cast<long long>(rounds_hash_relay(64, d)),
+                static_cast<long long>(rounds_koenig_relay(64, d)));
+  }
+
+  cca::bench::print_header(
+      "Skewed instances (node 0 sends n words to each of n/2 receivers): "
+      "relays beat direct by ~n/2");
+  std::printf("%-8s %-10s %-10s %-10s %-12s\n", "n", "direct", "hash",
+              "koenig", "lower bound");
+  for (const int n : {32, 64, 128, 256}) {
+    const auto d = skewed(n, n);
+    const auto lower = static_cast<long long>(n) * (n / 2) / n;
+    std::printf("%-8d %-10lld %-10lld %-10lld %-12lld\n", n,
+                static_cast<long long>(rounds_direct(n, d)),
+                static_cast<long long>(rounds_hash_relay(n, d)),
+                static_cast<long long>(rounds_koenig_relay(n, d)), lower);
+  }
+  std::printf("\nkoenig = Euler-split edge colouring (constructive Koenig "
+              "decomposition): deterministic, within a small constant of the "
+              "per-node lower bound on every instance.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Scenario: routing tables for a weighted wide-area network.
+//
+// A synthetic ISP-like topology (ring backbone + regional stars + shortcut
+// links, latency weights) is solved with the paper's APSP algorithms:
+// exact distances AND next-hop routing tables via witnessed min-plus
+// squaring (Corollary 6 + Section 3.4), then the (1+o(1))-approximation
+// (Theorem 9) to show the cheap near-optimal alternative.
+#include <cstdio>
+
+#include "core/apsp.hpp"
+#include "graph/graph.hpp"
+#include "matrix/semiring.hpp"
+#include "util/rng.hpp"
+
+using namespace cca;
+using namespace cca::core;
+
+namespace {
+
+Graph isp_topology(int regions, int per_region, std::uint64_t seed) {
+  Rng rng(seed);
+  const int n = regions * per_region;
+  auto g = Graph::undirected(n);
+  // Backbone ring over the region gateways (node r*per_region).
+  for (int r = 0; r < regions; ++r)
+    g.add_edge(r * per_region, ((r + 1) % regions) * per_region,
+               10 + rng.next_in(0, 5));
+  // Regional stars: cheap local links.
+  for (int r = 0; r < regions; ++r)
+    for (int i = 1; i < per_region; ++i)
+      g.add_edge(r * per_region, r * per_region + i, 1 + rng.next_in(0, 2));
+  // A few long-haul shortcuts.
+  for (int s = 0; s < regions; ++s) {
+    const int u = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const int v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u != v) g.add_edge(u, v, 20 + rng.next_in(0, 20));
+  }
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  const int regions = 8;
+  const int per_region = 8;
+  const auto g = isp_topology(regions, per_region, 99);
+  const int n = g.n();
+  std::printf("ISP topology: %d routers, %lld links\n\n", n,
+              static_cast<long long>(g.num_edges()));
+
+  // Exact distances + routing tables (Corollary 6).
+  const auto exact = apsp_semiring(g);
+  std::printf("exact APSP + routing tables: %lld rounds\n",
+              static_cast<long long>(exact.traffic.rounds));
+
+  // Show a route: from the last leaf to the far gateway.
+  const int src = n - 1;
+  const int dst = per_region;  // gateway of region 1
+  std::printf("route %d -> %d (latency %lld): %d", src, dst,
+              static_cast<long long>(exact.dist(src, dst)), src);
+  for (int hop = src; hop != dst;) {
+    hop = exact.next_hop(hop, dst);
+    std::printf(" -> %d", hop);
+    if (hop < 0) break;
+  }
+  std::printf("\n\n");
+
+  // Approximate distances (Theorem 9): far fewer words for big weights.
+  const auto approx = apsp_approx(g, /*delta=*/0.25);
+  double worst = 1.0;
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v)
+      if (exact.dist(u, v) > 0 && exact.dist(u, v) < MinPlusSemiring::kInf)
+        worst = std::max(worst, static_cast<double>(approx.dist(u, v)) /
+                                    static_cast<double>(exact.dist(u, v)));
+  std::printf("(1+o(1))-approx APSP: %lld rounds, worst stretch %.3f\n",
+              static_cast<long long>(approx.traffic.rounds), worst);
+
+  // Network diameter from the exact distances.
+  std::int64_t diam = 0;
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v)
+      if (exact.dist(u, v) < MinPlusSemiring::kInf)
+        diam = std::max(diam, exact.dist(u, v));
+  std::printf("weighted diameter   : %lld\n", static_cast<long long>(diam));
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "clique/broadcast.hpp"
+
+namespace cca::clique {
+
+std::int64_t broadcast_mm_rounds(int n) {
+  BroadcastNetwork net(n);
+  // Every node announces its 2n input words (row of S and row of T); the
+  // content is irrelevant to the cost, so stage placeholders.
+  for (int v = 0; v < n; ++v)
+    for (int j = 0; j < 2 * n; ++j)
+      net.broadcast(v, static_cast<std::uint64_t>(j));
+  net.deliver();
+  return net.rounds();
+}
+
+}  // namespace cca::clique

@@ -1,0 +1,75 @@
+// The BROADCAST congested clique (paper Section 4, Corollary 24).
+//
+// A restricted variant of the model: in each round every node sends the
+// SAME O(log n)-bit message to all other nodes. The paper (via Holzer and
+// Pinsker [38]) notes that matrix multiplication and APSP require
+// Omega~(n) rounds here — unlike the unicast clique where Theorem 1 gives
+// O(n^{1/3}) / O(n^{1-2/omega}). This simulator variant exists so the gap
+// can be measured: the best broadcast-clique strategy for matrix problems
+// is "everyone announces its input row", costing Theta(n) rounds
+// (bench_broadcast compares the two models directly).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace cca::clique {
+
+class BroadcastNetwork {
+ public:
+  explicit BroadcastNetwork(int n)
+      : n_(n),
+        queue_(static_cast<std::size_t>(n)),
+        inbox_(static_cast<std::size_t>(n)) {
+    CCA_EXPECTS(n >= 1);
+  }
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+
+  /// Stage one word that node v will broadcast to everyone.
+  void broadcast(int v, std::uint64_t word) {
+    CCA_EXPECTS(v >= 0 && v < n_);
+    queue_[static_cast<std::size_t>(v)].push_back(word);
+  }
+
+  /// Deliver all staged broadcasts. Node v's k_v words occupy k_v rounds of
+  /// its single (shared) outgoing channel; channels run in parallel, so the
+  /// superstep costs max_v k_v rounds.
+  void deliver() {
+    std::int64_t need = 0;
+    for (int v = 0; v < n_; ++v)
+      need = std::max(need, static_cast<std::int64_t>(
+                                queue_[static_cast<std::size_t>(v)].size()));
+    if (n_ > 1) rounds_ += need;
+    for (int v = 0; v < n_; ++v) {
+      inbox_[static_cast<std::size_t>(v)] =
+          std::move(queue_[static_cast<std::size_t>(v)]);
+      queue_[static_cast<std::size_t>(v)].clear();
+    }
+  }
+
+  /// Words node `from` broadcast in the most recent superstep (every node
+  /// heard them).
+  [[nodiscard]] const std::vector<std::uint64_t>& heard_from(int from) const {
+    CCA_EXPECTS(from >= 0 && from < n_);
+    return inbox_[static_cast<std::size_t>(from)];
+  }
+
+  [[nodiscard]] std::int64_t rounds() const noexcept { return rounds_; }
+
+ private:
+  int n_;
+  std::int64_t rounds_ = 0;
+  std::vector<std::vector<std::uint64_t>> queue_;
+  std::vector<std::vector<std::uint64_t>> inbox_;
+};
+
+/// Matrix multiplication in the broadcast clique: node v announces its rows
+/// of both inputs (2n words); everyone then computes locally. Theta(n)
+/// rounds — and Corollary 24 says no broadcast-clique algorithm can do
+/// asymptotically better (up to polylog factors).
+[[nodiscard]] std::int64_t broadcast_mm_rounds(int n);
+
+}  // namespace cca::clique

@@ -1,0 +1,149 @@
+// The congested clique network model.
+//
+// n nodes communicate in synchronous rounds; in each round every ordered pair
+// of nodes may exchange one O(log n)-bit message. We fix the message unit as
+// one 64-bit machine word (sufficient for values of absolute value poly(n));
+// larger entries are encoded as multiple words, which reproduces the paper's
+// "factor b / log n" overhead for b-bit entries (Section 1.1).
+//
+// Algorithms are written in bulk-synchronous supersteps: every node stages an
+// outbox of words computed from its own local state, then `deliver()` moves
+// all staged words to the receivers' inboxes and charges the EXACT number of
+// clique rounds that a concrete delivery discipline needs (see routing.hpp).
+// Round counts are produced by evaluating the discipline's schedule, never by
+// plugging n into an asymptotic formula.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cca::clique {
+
+using Word = std::uint64_t;
+using NodeId = int;
+
+/// Delivery disciplines. See routing.hpp for the schedules.
+enum class Router {
+  /// Every word travels on its (src,dst) link; rounds = max link load.
+  Direct,
+  /// Two-phase relay with deterministic hashed spreading of each (src,dst)
+  /// block over intermediates; O(1) rounds for Lenzen-balanced instances.
+  HashRelay,
+  /// Two-phase relay with a random starting intermediate per block
+  /// (Valiant-style); randomized counterpart of HashRelay.
+  RandomRelay,
+  /// Two-phase relay scheduled by Euler-split edge colouring of the demand
+  /// multigraph (a constructive Koenig/Birkhoff decomposition). Deterministic
+  /// and near-optimal for arbitrary instances; this is the executable
+  /// counterpart of the routing guarantees of Lenzen [46] and
+  /// Dolev et al. [24, Lemma 1].
+  KoenigRelay,
+};
+
+/// Cumulative communication statistics for a Network.
+struct TrafficStats {
+  std::int64_t rounds = 0;          ///< total clique rounds charged
+  /// Schedule-independent lower bound: per superstep every node must push
+  /// its staged words through n-1 ports and ingest its received words the
+  /// same way, so no routing discipline can beat
+  /// max_v ceil(max(out_v, in_v) / (n-1)). Summed over supersteps (explicit
+  /// protocol charges count at face value). `rounds / bound_rounds` is the
+  /// router's constant-factor overhead.
+  std::int64_t bound_rounds = 0;
+  std::int64_t supersteps = 0;      ///< delivery operations performed
+  std::int64_t total_words = 0;     ///< words moved across the network
+  std::int64_t max_node_send = 0;   ///< max words staged by one node, one superstep
+  std::int64_t max_node_recv = 0;   ///< max words received by one node, one superstep
+
+  friend TrafficStats operator-(const TrafficStats& a, const TrafficStats& b) {
+    return TrafficStats{a.rounds - b.rounds,
+                        a.bound_rounds - b.bound_rounds,
+                        a.supersteps - b.supersteps,
+                        a.total_words - b.total_words,
+                        a.max_node_send,
+                        a.max_node_recv};
+  }
+
+  /// Accumulate another run's statistics (used by multi-phase algorithms
+  /// that run several networks).
+  TrafficStats& operator+=(const TrafficStats& o) {
+    rounds += o.rounds;
+    bound_rounds += o.bound_rounds;
+    supersteps += o.supersteps;
+    total_words += o.total_words;
+    if (o.max_node_send > max_node_send) max_node_send = o.max_node_send;
+    if (o.max_node_recv > max_node_recv) max_node_recv = o.max_node_recv;
+    return *this;
+  }
+};
+
+/// A congested clique of n nodes with exact round accounting.
+class Network {
+ public:
+  /// Create a clique of n >= 1 nodes. `seed` feeds the RandomRelay router.
+  explicit Network(int n, Router default_router = Router::KoenigRelay,
+                   std::uint64_t seed = 0x5eed);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+
+  /// Stage a single word from src to dst for the current superstep.
+  /// Self-sends (src == dst) are legal and free: they bypass the network.
+  void send(NodeId src, NodeId dst, Word w);
+
+  /// Stage a block of words from src to dst (kept in order).
+  void send_words(NodeId src, NodeId dst, std::span<const Word> ws);
+
+  /// Deliver every staged word using the default router; charges rounds.
+  void deliver();
+
+  /// Deliver using an explicit router.
+  void deliver(Router router);
+
+  /// Words received by dst from src in the most recent superstep, FIFO.
+  [[nodiscard]] const std::vector<Word>& inbox(NodeId dst, NodeId src) const;
+
+  /// Move the inbox out (avoids copies for large blocks).
+  [[nodiscard]] std::vector<Word> take_inbox(NodeId dst, NodeId src);
+
+  /// Charge rounds for a protocol the caller scheduled manually.
+  void charge_rounds(std::int64_t rounds);
+
+  [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
+
+  /// Reset statistics (topology and staged state must be empty).
+  void reset_stats() noexcept { stats_ = TrafficStats{}; }
+
+ private:
+  void check_node(NodeId v) const;
+
+  int n_;
+  Router default_router_;
+  Rng rng_;
+  // outbox_[src][dst] and inbox_[dst][src]: word queues for one superstep.
+  std::vector<std::vector<std::vector<Word>>> outbox_;
+  std::vector<std::vector<std::vector<Word>>> inbox_;
+  TrafficStats stats_;
+};
+
+/// Measures the rounds consumed by a scoped region of an algorithm.
+class RoundMeter {
+ public:
+  explicit RoundMeter(const Network& net) noexcept
+      : net_(&net), start_(net.stats()) {}
+
+  [[nodiscard]] std::int64_t rounds() const noexcept {
+    return net_->stats().rounds - start_.rounds;
+  }
+  [[nodiscard]] TrafficStats delta() const noexcept {
+    return net_->stats() - start_;
+  }
+
+ private:
+  const Network* net_;
+  TrafficStats start_;
+};
+
+}  // namespace cca::clique

@@ -1,0 +1,68 @@
+#include "clique/primitives.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace cca::clique {
+
+std::vector<Word> broadcast_all(Network& net, std::vector<Word> values) {
+  CCA_EXPECTS(static_cast<int>(values.size()) == net.n());
+  if (net.n() > 1) net.charge_rounds(1);
+  return values;
+}
+
+void broadcast_from(Network& net, NodeId src, std::int64_t num_words) {
+  CCA_EXPECTS(src >= 0 && src < net.n());
+  CCA_EXPECTS(num_words >= 0);
+  if (net.n() == 1 || num_words == 0) return;
+  if (num_words == 1) {
+    net.charge_rounds(1);
+    return;
+  }
+  const std::int64_t share = ceil_div(num_words, net.n() - 1);
+  net.charge_rounds(2 * share);
+}
+
+std::vector<Word> disseminate(Network& net,
+                              const std::vector<std::vector<Word>>& per_node) {
+  const int n = net.n();
+  CCA_EXPECTS(static_cast<int>(per_node.size()) == n);
+
+  std::vector<Word> all;
+  for (const auto& list : per_node)
+    all.insert(all.end(), list.begin(), list.end());
+  if (n == 1) return all;
+
+  // (1) Announce counts so every node can compute all global offsets.
+  {
+    std::vector<Word> counts(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v)
+      counts[static_cast<std::size_t>(v)] = per_node[static_cast<std::size_t>(v)].size();
+    (void)broadcast_all(net, std::move(counts));
+  }
+
+  // (2) Balance: word with global index g is routed to holder g mod n.
+  std::int64_t offset = 0;
+  for (int v = 0; v < n; ++v) {
+    const auto& list = per_node[static_cast<std::size_t>(v)];
+    for (std::size_t j = 0; j < list.size(); ++j) {
+      const auto holder =
+          static_cast<NodeId>((offset + static_cast<std::int64_t>(j)) %
+                              static_cast<std::int64_t>(n));
+      net.send(v, holder, list[j]);
+    }
+    offset += static_cast<std::int64_t>(list.size());
+  }
+  net.deliver();
+
+  // (3) Every holder rebroadcasts its share: link (holder, u) carries the
+  // share size, so the cost is the maximum share.
+  const std::int64_t total = offset;
+  const std::int64_t max_share = ceil_div(total, n);
+  net.charge_rounds(max_share);
+  return all;
+}
+
+}  // namespace cca::clique

@@ -1,0 +1,43 @@
+// Common congested clique communication primitives with exact round charges.
+//
+// The primitives return the information that every node learns; the calling
+// algorithm then uses it in each node's local computation. Costs are those of
+// the explicit schedules documented at each function (all are standard
+// two-phase broadcast/dissemination patterns; Dolev et al. [24] use the same
+// building blocks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/network.hpp"
+
+namespace cca::clique {
+
+/// Every node announces one word; afterwards every node knows all n words.
+/// Schedule: node v sends its word to each other node directly; every link
+/// carries exactly one word, so the cost is 1 round (0 when n == 1).
+[[nodiscard]] std::vector<Word> broadcast_all(Network& net,
+                                              std::vector<Word> values);
+
+/// Node src makes `words` known to every node.
+/// Schedule: src scatters the words round-robin over the other n-1 nodes
+/// (ceil(k/(n-1)) rounds, each link carries at most that many words), then
+/// every helper sends each word it holds to all nodes (again at most
+/// ceil(k/(n-1)) words per link). Cost: 0 if k == 0, 1 if k == 1, otherwise
+/// 2 * ceil(k/(n-1)) rounds.
+void broadcast_from(Network& net, NodeId src, std::int64_t num_words);
+
+/// Every node v contributes a list of words; afterwards every node knows the
+/// concatenation (ordered by contributor id). Used to "learn the whole
+/// graph" when it is sparse (girth algorithm, Theorem 15).
+///
+/// Schedule: (1) every node announces its count — 1 round; (2) words are
+/// relayed to balance holders (word with global index g goes to node g mod n)
+/// — measured relay cost, about 2*ceil(W/n) rounds for W total words;
+/// (3) every holder sends each of its at most ceil(W/n) words to all nodes —
+/// max-share rounds. All charges are exact for these schedules.
+[[nodiscard]] std::vector<Word> disseminate(
+    Network& net, const std::vector<std::vector<Word>>& per_node);
+
+}  // namespace cca::clique

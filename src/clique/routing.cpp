@@ -1,0 +1,305 @@
+#include "clique/routing.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace cca::clique {
+
+namespace {
+
+/// Apply `count` words starting at cyclic offset `start` to a difference
+/// array over [0, n): every intermediate in the cyclic range gets one word
+/// per lap. Full laps contribute uniformly.
+void add_cyclic_range(std::vector<std::int64_t>& diff, int n,
+                      std::int64_t start, std::int64_t count,
+                      std::int64_t& uniform) {
+  CCA_EXPECTS(count >= 0 && start >= 0 && start < n);
+  uniform += count / n;
+  const auto rem = static_cast<int>(count % n);
+  if (rem == 0) return;
+  const int end = static_cast<int>(start) + rem;
+  if (end <= n) {
+    diff[static_cast<std::size_t>(start)] += 1;
+    if (end < n) diff[static_cast<std::size_t>(end)] -= 1;
+  } else {
+    diff[static_cast<std::size_t>(start)] += 1;  // [start, n)
+    diff[0] += 1;                                // [0, end - n)
+    diff[static_cast<std::size_t>(end - n)] -= 1;
+  }
+}
+
+/// Max value of a cyclic difference array plus its uniform offset.
+std::int64_t max_of_diff(const std::vector<std::int64_t>& diff,
+                         std::int64_t uniform) {
+  std::int64_t run = 0;
+  std::int64_t best = 0;
+  for (const auto d : diff) {
+    run += d;
+    best = std::max(best, run);
+  }
+  return best + uniform;
+}
+
+/// Relay rounds when block (src,dst) begins at intermediate offset(src,dst):
+/// phase A = max over (src, mid) links, phase B = max over (mid, dst) links.
+template <typename OffsetFn>
+std::int64_t relay_rounds(int n, const std::vector<Demand>& demands,
+                          OffsetFn&& offset) {
+  // Phase A: group by source.
+  std::vector<std::vector<const Demand*>> by_src(static_cast<std::size_t>(n));
+  std::vector<std::vector<const Demand*>> by_dst(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> start(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const auto& d = demands[i];
+    CCA_EXPECTS(d.src >= 0 && d.src < n && d.dst >= 0 && d.dst < n);
+    CCA_EXPECTS(d.words >= 0);
+    if (d.words == 0) continue;
+    start[i] = offset(d);
+    by_src[static_cast<std::size_t>(d.src)].push_back(&d);
+    by_dst[static_cast<std::size_t>(d.dst)].push_back(&d);
+  }
+
+  auto max_side = [&](const std::vector<std::vector<const Demand*>>& groups) {
+    std::int64_t best = 0;
+    std::vector<std::int64_t> diff(static_cast<std::size_t>(n));
+    for (const auto& group : groups) {
+      if (group.empty()) continue;
+      std::fill(diff.begin(), diff.end(), 0);
+      std::int64_t uniform = 0;
+      for (const Demand* d : group)
+        add_cyclic_range(diff, n, start[static_cast<std::size_t>(d - demands.data())],
+                         d->words, uniform);
+      best = std::max(best, max_of_diff(diff, uniform));
+    }
+    return best;
+  };
+
+  const std::int64_t phase_a = max_side(by_src);
+  const std::int64_t phase_b = max_side(by_dst);
+  return phase_a + phase_b;
+}
+
+// ---------------------------------------------------------------------------
+// Euler-split edge colouring (constructive Koenig decomposition).
+// ---------------------------------------------------------------------------
+
+struct Edge {
+  int src;
+  int dst;
+  std::int64_t count;
+};
+
+std::int64_t max_degree(int n, const std::vector<Edge>& edges) {
+  std::vector<std::int64_t> row(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> col(static_cast<std::size_t>(n));
+  for (const auto& e : edges) {
+    row[static_cast<std::size_t>(e.src)] += e.count;
+    col[static_cast<std::size_t>(e.dst)] += e.count;
+  }
+  std::int64_t best = 0;
+  for (int v = 0; v < n; ++v)
+    best = std::max({best, row[static_cast<std::size_t>(v)],
+                     col[static_cast<std::size_t>(v)]});
+  return best;
+}
+
+/// Split the demand multigraph into two halves whose row/column sums are as
+/// equal as possible: even multiplicities are halved arithmetically, odd
+/// leftovers form a simple bipartite graph whose edges are 2-coloured by
+/// alternating along maximal trails (starting at odd-degree vertices first,
+/// so every vertex's degree splits with deviation at most one).
+void euler_split(int n, const std::vector<Edge>& edges, std::vector<Edge>& lo,
+                 std::vector<Edge>& hi) {
+  lo.clear();
+  hi.clear();
+  struct OddEdge {
+    int src;
+    int dst;
+    bool used = false;
+  };
+  std::vector<OddEdge> odd;
+  for (const auto& e : edges) {
+    const std::int64_t half = e.count / 2;
+    if (half > 0) {
+      lo.push_back({e.src, e.dst, half});
+      hi.push_back({e.src, e.dst, half});
+    }
+    if (e.count % 2 == 1) odd.push_back({e.src, e.dst, false});
+  }
+  if (odd.empty()) return;
+
+  // Adjacency over 2n vertices: sources are [0,n), destinations [n,2n).
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(2 * n));
+  for (std::size_t i = 0; i < odd.size(); ++i) {
+    adj[static_cast<std::size_t>(odd[i].src)].push_back(static_cast<int>(i));
+    adj[static_cast<std::size_t>(n + odd[i].dst)].push_back(
+        static_cast<int>(i));
+  }
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(2 * n));
+
+  auto walk = [&](int v0) {
+    // Maximal trail from v0, alternating edges between lo and hi.
+    int v = v0;
+    bool to_lo = true;
+    for (;;) {
+      auto& cu = cursor[static_cast<std::size_t>(v)];
+      const auto& edges_at = adj[static_cast<std::size_t>(v)];
+      while (cu < edges_at.size() &&
+             odd[static_cast<std::size_t>(edges_at[cu])].used)
+        ++cu;
+      if (cu >= edges_at.size()) return;
+      const auto id = static_cast<std::size_t>(edges_at[cu]);
+      odd[id].used = true;
+      (to_lo ? lo : hi).push_back({odd[id].src, odd[id].dst, 1});
+      to_lo = !to_lo;
+      const int s = odd[id].src;
+      const int d = n + odd[id].dst;
+      v = (v == s) ? d : s;
+    }
+  };
+
+  // Start trails at odd-degree vertices so trail endpoints pair them up.
+  for (int v = 0; v < 2 * n; ++v)
+    if (adj[static_cast<std::size_t>(v)].size() % 2 == 1) walk(v);
+  for (int v = 0; v < 2 * n; ++v) walk(v);
+}
+
+/// Recursively colour the demand multigraph. Colour classes are produced in
+/// leaf (DFS) order; consecutive classes share split ancestry and hence have
+/// near-disjoint edge sets, so contiguous BLOCKS of classes are assigned to
+/// the same intermediate: class t of C goes through node floor(t*n/C). This
+/// needs the total class count up front, so the recursion runs twice: a
+/// counting pass and an assignment pass (both deterministic).
+class KoenigColouring {
+ public:
+  KoenigColouring(int n, std::vector<std::int64_t>& load_a,
+                  std::vector<std::int64_t>& load_b)
+      : n_(n), load_a_(load_a), load_b_(load_b) {}
+
+  void colour(const std::vector<Edge>& edges) {
+    total_colours_ = 0;
+    counting_ = true;
+    walk(edges, 0);
+    if (total_colours_ == 0) return;
+    counting_ = false;
+    next_colour_ = 0;
+    walk(edges, 0);
+  }
+
+ private:
+  void walk(std::vector<Edge> edges, int depth) {
+    if (edges.empty()) return;
+    const std::int64_t deg = max_degree(n_, edges);
+    if (deg <= 1) {
+      assign_class(edges);
+      return;
+    }
+    if (depth > 64) {
+      // Termination backstop; never expected (the split strictly shrinks
+      // the max degree), but keeps the router total even if it regresses.
+      for (const auto& e : edges)
+        for (std::int64_t i = 0; i < e.count; ++i)
+          assign_class({{e.src, e.dst, 1}});
+      return;
+    }
+    std::vector<Edge> lo;
+    std::vector<Edge> hi;
+    euler_split(n_, edges, lo, hi);
+    edges.clear();
+    edges.shrink_to_fit();
+    walk(std::move(lo), depth + 1);
+    walk(std::move(hi), depth + 1);
+  }
+
+  void assign_class(const std::vector<Edge>& matching) {
+    if (counting_) {
+      ++total_colours_;
+      return;
+    }
+    const auto t = next_colour_++;
+    const int mid = static_cast<int>(t * n_ / total_colours_);
+    for (const auto& e : matching) {
+      CCA_ASSERT(e.count == 1);
+      load_a_[static_cast<std::size_t>(e.src) * static_cast<std::size_t>(n_) +
+              static_cast<std::size_t>(mid)] += 1;
+      load_b_[static_cast<std::size_t>(mid) * static_cast<std::size_t>(n_) +
+              static_cast<std::size_t>(e.dst)] += 1;
+    }
+  }
+
+  int n_;
+  bool counting_ = true;
+  std::int64_t total_colours_ = 0;
+  std::int64_t next_colour_ = 0;
+  std::vector<std::int64_t>& load_a_;
+  std::vector<std::int64_t>& load_b_;
+};
+
+}  // namespace
+
+std::int64_t rounds_direct(int n, const std::vector<Demand>& demands) {
+  CCA_EXPECTS(n >= 1);
+  // Aggregate per ordered link; a demand list may mention a link repeatedly.
+  std::int64_t best = 0;
+  std::vector<std::int64_t> acc;
+  std::vector<std::vector<const Demand*>> by_src(static_cast<std::size_t>(n));
+  for (const auto& d : demands) {
+    CCA_EXPECTS(d.src >= 0 && d.src < n && d.dst >= 0 && d.dst < n);
+    by_src[static_cast<std::size_t>(d.src)].push_back(&d);
+  }
+  acc.assign(static_cast<std::size_t>(n), 0);
+  for (const auto& group : by_src) {
+    for (const Demand* d : group) acc[static_cast<std::size_t>(d->dst)] += d->words;
+    for (const Demand* d : group) {
+      best = std::max(best, acc[static_cast<std::size_t>(d->dst)]);
+      acc[static_cast<std::size_t>(d->dst)] = 0;
+    }
+  }
+  return best;
+}
+
+std::int64_t rounds_hash_relay(int n, const std::vector<Demand>& demands) {
+  CCA_EXPECTS(n >= 1);
+  return relay_rounds(n, demands, [n](const Demand& d) {
+    const auto key = static_cast<std::uint64_t>(d.src) * 0x1000003ULL +
+                     static_cast<std::uint64_t>(d.dst);
+    return static_cast<std::int64_t>(splitmix64(key) %
+                                     static_cast<std::uint64_t>(n));
+  });
+}
+
+std::int64_t rounds_random_relay(int n, const std::vector<Demand>& demands,
+                                 Rng& rng) {
+  CCA_EXPECTS(n >= 1);
+  return relay_rounds(n, demands, [n, &rng](const Demand&) {
+    return static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+  });
+}
+
+std::int64_t rounds_koenig_relay(int n, const std::vector<Demand>& demands) {
+  CCA_EXPECTS(n >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(demands.size());
+  for (const auto& d : demands) {
+    CCA_EXPECTS(d.src >= 0 && d.src < n && d.dst >= 0 && d.dst < n);
+    CCA_EXPECTS(d.words >= 0);
+    if (d.words > 0) edges.push_back({d.src, d.dst, d.words});
+  }
+  if (edges.empty()) return 0;
+
+  const auto nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  std::vector<std::int64_t> load_a(nn);
+  std::vector<std::int64_t> load_b(nn);
+  KoenigColouring colouring(n, load_a, load_b);
+  colouring.colour(edges);
+
+  const auto max_a = *std::max_element(load_a.begin(), load_a.end());
+  const auto max_b = *std::max_element(load_b.begin(), load_b.end());
+  return max_a + max_b;
+}
+
+}  // namespace cca::clique

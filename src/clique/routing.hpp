@@ -1,0 +1,56 @@
+// Routing schedules for one congested clique superstep.
+//
+// A superstep's traffic is summarised by its demand list: for every ordered
+// pair (src, dst) the number of words src has staged for dst. Each discipline
+// below produces the exact number of rounds its concrete schedule needs:
+//
+//  * direct           — word stays on its own link; rounds = max link load.
+//  * two-phase relay  — every word travels src -> intermediate -> dst, one
+//    word per link per round in each phase; rounds = (max phase-A link load)
+//    + (max phase-B link load). The disciplines differ only in how words are
+//    assigned to intermediates:
+//      - hash:   block (src,dst) starts at a deterministic hashed offset and
+//                wraps round-robin (oblivious, O(1) for balanced loads);
+//      - random: like hash with a random start (Valiant-style);
+//      - koenig: Euler-split edge colouring of the demand multigraph; colour
+//                class t uses intermediate t mod n. This is a constructive
+//                Koenig decomposition and yields near-optimal deterministic
+//                schedules for arbitrary demands — the executable counterpart
+//                of Lenzen's routing theorem [46] and of the oblivious routing
+//                of Dolev et al. [24, Lemma 1].
+//
+// These functions are exposed separately from Network so that tests can probe
+// the schedules directly and the routing benchmark can compare disciplines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cca::clique {
+
+/// One entry of a superstep demand list.
+struct Demand {
+  int src = 0;
+  int dst = 0;
+  std::int64_t words = 0;
+};
+
+/// Rounds for direct delivery: max over ordered links of the word count.
+[[nodiscard]] std::int64_t rounds_direct(int n,
+                                         const std::vector<Demand>& demands);
+
+/// Rounds for the two-phase relay with hashed block offsets.
+[[nodiscard]] std::int64_t rounds_hash_relay(
+    int n, const std::vector<Demand>& demands);
+
+/// Rounds for the two-phase relay with random block offsets.
+[[nodiscard]] std::int64_t rounds_random_relay(
+    int n, const std::vector<Demand>& demands, Rng& rng);
+
+/// Rounds for the Euler-split (Koenig) relay schedule.
+[[nodiscard]] std::int64_t rounds_koenig_relay(
+    int n, const std::vector<Demand>& demands);
+
+}  // namespace cca::clique

@@ -1,0 +1,337 @@
+#include "core/apsp.hpp"
+
+#include <algorithm>
+
+#include "clique/primitives.hpp"
+#include "core/distance_product.hpp"
+#include "core/mm.hpp"
+#include "matrix/semiring.hpp"
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace cca::core {
+
+namespace {
+
+constexpr std::int64_t kInf = MinPlusSemiring::kInf;
+
+/// Squarings needed so that paths of up to n-1 edges are covered.
+int squaring_iterations(int n) {
+  int iters = 0;
+  std::int64_t hops = 1;
+  while (hops < n - 1) {
+    hops *= 2;
+    ++iters;
+  }
+  return iters;
+}
+
+/// One broadcast round teaches every node the global maximum finite entry
+/// (each node contributes its row maximum).
+std::int64_t broadcast_max_finite(clique::Network& net,
+                                  const Matrix<std::int64_t>& d, int n) {
+  std::vector<clique::Word> words(static_cast<std::size_t>(net.n()), 0);
+  for (int u = 0; u < n; ++u) {
+    std::int64_t row_max = 0;
+    for (int v = 0; v < d.cols(); ++v)
+      if (d(u, v) < kInf) row_max = std::max(row_max, d(u, v));
+    words[static_cast<std::size_t>(u)] = static_cast<clique::Word>(row_max);
+  }
+  const auto all = clique::broadcast_all(net, std::move(words));
+  std::int64_t best = 0;
+  for (const auto w : all)
+    best = std::max(best, static_cast<std::int64_t>(w));
+  return best;
+}
+
+ApspOutcome make_trivial(const Graph& g) {
+  ApspOutcome out;
+  const int n = g.n();
+  out.dist = Matrix<std::int64_t>(n, n, kInf);
+  out.next_hop = Matrix<int>(n, n, -1);
+  for (int v = 0; v < n; ++v) out.dist(v, v) = 0;
+  return out;
+}
+
+}  // namespace
+
+ApspOutcome apsp_semiring(const Graph& g) {
+  const int n = g.n();
+  if (n <= 1) return make_trivial(g);
+
+  const int big = semiring_clique_size(n);
+  clique::Network net(big);
+
+  auto d = pad_matrix(g.weight_matrix(), big, kInf);
+  Matrix<int> next(n, n, -1);
+  for (int u = 0; u < n; ++u)
+    for (const auto& [v, w] : g.out_arcs(u)) {
+      (void)w;
+      next(u, v) = v;
+    }
+
+  const int iters = squaring_iterations(n);
+  for (int it = 0; it < iters; ++it) {
+    auto [d2, q] = dp_semiring_witness(net, d, d);
+    for (int u = 0; u < n; ++u)
+      for (int v = 0; v < n; ++v) {
+        if (d2(u, v) >= d(u, v)) continue;
+        const int w = q(u, v);
+        CCA_ASSERT(w >= 0 && w < n && w != u);
+        // The witness w splits the improved path; its first hop is already
+        // known at node u (routing-table invariant of Section 3.3).
+        next(u, v) = next(u, w);
+      }
+    d = std::move(d2);
+  }
+
+  ApspOutcome out;
+  out.dist = d.block(0, 0, n, n);
+  out.next_hop = std::move(next);
+  for (int v = 0; v < n; ++v) CCA_ENSURES(out.dist(v, v) >= 0);
+  out.traffic = net.stats();
+  return out;
+}
+
+ApspOutcome apsp_seidel(const Graph& g, MmKind kind, int depth) {
+  CCA_EXPECTS(!g.is_directed());
+  const int n = g.n();
+  if (n <= 1) return make_trivial(g);
+
+  const IntMmEngine engine(kind, n, depth);
+  const int big = engine.clique_n();
+  clique::Network net(big);
+
+  // Recursive Seidel over 0/1 adjacency matrices (padded nodes isolated).
+  // Distances use kInf for disconnected pairs; squared-graph stabilisation
+  // replaces the paper's connectivity assumption.
+  auto seidel = [&](auto&& self, const Matrix<std::int64_t>& a,
+                    int depth_guard) -> Matrix<std::int64_t> {
+    CCA_EXPECTS(depth_guard < 2 * ilog2(std::max(2, n)) + 4);
+
+    // Adjacency of G^2: A2 = A*A over Z, then boolean OR with A (local).
+    auto a2 = engine.multiply(net, a, a);
+    Matrix<std::int64_t> c(big, big, 0);
+    bool stable = true;
+    for (int i = 0; i < big; ++i)
+      for (int j = 0; j < big; ++j) {
+        c(i, j) = (i != j && (a(i, j) != 0 || a2(i, j) != 0)) ? 1 : 0;
+        if (c(i, j) != a(i, j)) stable = false;
+      }
+    // Stability flags are OR-combined in one broadcast round.
+    net.charge_rounds(1);
+
+    if (stable) {
+      Matrix<std::int64_t> d(big, big, kInf);
+      for (int i = 0; i < big; ++i)
+        for (int j = 0; j < big; ++j) {
+          if (i == j)
+            d(i, j) = 0;
+          else if (a(i, j) != 0)
+            d(i, j) = 1;
+        }
+      return d;
+    }
+
+    const auto d2 = self(self, c, depth_guard + 1);
+
+    // Lemma 17: S = D2 * A over the integers (infinite entries of D2 are
+    // replaced by 0, which is sound: they pair only with A[k,v] = 0 for v
+    // in the same component as u).
+    Matrix<std::int64_t> d2z(big, big, 0);
+    for (int i = 0; i < big; ++i)
+      for (int j = 0; j < big; ++j)
+        if (d2(i, j) < kInf) d2z(i, j) = d2(i, j);
+    const auto s = engine.multiply(net, d2z, a);
+
+    // One broadcast round teaches every node all degrees of this level.
+    net.charge_rounds(1);
+    std::vector<std::int64_t> deg(static_cast<std::size_t>(big), 0);
+    for (int v = 0; v < big; ++v) {
+      std::int64_t dv = 0;
+      for (int u = 0; u < big; ++u) dv += a(u, v);
+      deg[static_cast<std::size_t>(v)] = dv;
+    }
+
+    Matrix<std::int64_t> d(big, big, kInf);
+    for (int u = 0; u < big; ++u)
+      for (int v = 0; v < big; ++v) {
+        if (u == v) {
+          d(u, v) = 0;
+          continue;
+        }
+        if (d2(u, v) >= kInf) continue;  // different components
+        const auto duv2 = d2(u, v);
+        d(u, v) = (s(u, v) >= duv2 * deg[static_cast<std::size_t>(v)])
+                      ? 2 * duv2
+                      : 2 * duv2 - 1;
+      }
+    return d;
+  };
+
+  const auto a = pad_matrix(g.adjacency(), big, std::int64_t{0});
+  const auto dist = seidel(seidel, a, 0);
+
+  ApspOutcome out;
+  out.dist = dist.block(0, 0, n, n);
+  out.traffic = net.stats();
+  return out;
+}
+
+namespace {
+
+/// Lemma 19 core: iterated bounded squaring on an existing clique.
+Matrix<std::int64_t> bounded_squaring(clique::Network& net,
+                                      const BilinearAlgorithm& alg,
+                                      Matrix<std::int64_t> d, int n,
+                                      std::int64_t m_bound) {
+  auto clamp = [&](Matrix<std::int64_t>& x) {
+    for (int i = 0; i < x.rows(); ++i)
+      for (int j = 0; j < x.cols(); ++j)
+        if (x(i, j) > m_bound) x(i, j) = kInf;
+  };
+  clamp(d);
+  const int iters = squaring_iterations(n);
+  for (int it = 0; it < iters; ++it) {
+    d = dp_ring_embedded(net, alg, d, d, m_bound);
+    clamp(d);
+  }
+  return d;
+}
+
+}  // namespace
+
+ApspOutcome apsp_bounded(const Graph& g, std::int64_t m_bound, int depth) {
+  CCA_EXPECTS(m_bound >= 0);
+  const int n = g.n();
+  if (n <= 1) return make_trivial(g);
+  for (int u = 0; u < n; ++u)
+    for (const auto& [v, w] : g.out_arcs(u)) {
+      (void)v;
+      CCA_EXPECTS(w >= 0);
+    }
+
+  const FastPlan plan =
+      depth >= 0 ? plan_fast_mm(n, depth) : plan_fast_mm_auto(n);
+  const auto alg = tensor_power(strassen_algorithm(), plan.depth);
+  clique::Network net(plan.clique_n);
+
+  const auto w0 = pad_matrix(g.weight_matrix(), plan.clique_n, kInf);
+  const auto d = bounded_squaring(net, alg, w0, n, m_bound);
+
+  ApspOutcome out;
+  out.dist = d.block(0, 0, n, n);
+  out.traffic = net.stats();
+  return out;
+}
+
+ApspOutcome apsp_small_diameter(const Graph& g, int depth) {
+  const int n = g.n();
+  if (n <= 1) return make_trivial(g);
+  for (int u = 0; u < n; ++u)
+    for (const auto& [v, w] : g.out_arcs(u)) {
+      (void)v;
+      CCA_EXPECTS(w >= 1);  // Corollary 8: positive integer weights
+    }
+
+  const FastPlan plan =
+      depth >= 0 ? plan_fast_mm(n, depth) : plan_fast_mm_auto(n);
+  const auto alg = tensor_power(strassen_algorithm(), plan.depth);
+  const int big = plan.clique_n;
+  clique::Network net(big);
+
+  // (1) Reachability closure by Boolean squaring (entries clamped to 0/1).
+  const IntRing ring;
+  const I64Codec codec;
+  Matrix<std::int64_t> reach = pad_matrix(g.adjacency(), big, std::int64_t{0});
+  for (int v = 0; v < big; ++v) reach(v, v) = 1;
+  for (int it = 0; it < squaring_iterations(n) + 1; ++it) {
+    auto r2 = mm_fast_bilinear(net, ring, codec, alg, reach, reach);
+    for (int i = 0; i < big; ++i)
+      for (int j = 0; j < big; ++j) reach(i, j) = r2(i, j) != 0 ? 1 : 0;
+  }
+
+  // (2)+(3) Guess U, compute distances up to U, check completeness (one
+  // flag broadcast per guess), and double until every reachable pair is
+  // covered.
+  const auto w0 = pad_matrix(g.weight_matrix(), big, kInf);
+  std::int64_t u_guess = 1;
+  for (;;) {
+    const auto d = bounded_squaring(net, alg, w0, n, u_guess);
+    bool complete = true;
+    for (int a = 0; a < n && complete; ++a)
+      for (int b = 0; b < n; ++b)
+        if (reach(a, b) != 0 && d(a, b) >= kInf) {
+          complete = false;
+          break;
+        }
+    net.charge_rounds(1);  // completeness flags
+    if (complete) {
+      ApspOutcome out;
+      out.dist = d.block(0, 0, n, n);
+      out.traffic = net.stats();
+      return out;
+    }
+    u_guess *= 2;
+    CCA_ASSERT(u_guess <= static_cast<std::int64_t>(n) * (std::int64_t{1} << 40));
+  }
+}
+
+ApspOutcome apsp_approx(const Graph& g, double delta, int depth) {
+  CCA_EXPECTS(delta > 0);
+  const int n = g.n();
+  if (n <= 1) return make_trivial(g);
+  for (int u = 0; u < n; ++u)
+    for (const auto& [v, w] : g.out_arcs(u)) {
+      (void)v;
+      CCA_EXPECTS(w >= 0);
+    }
+
+  const FastPlan plan =
+      depth >= 0 ? plan_fast_mm(n, depth) : plan_fast_mm_auto(n);
+  const auto alg = tensor_power(strassen_algorithm(), plan.depth);
+  clique::Network net(plan.clique_n);
+
+  auto d = pad_matrix(g.weight_matrix(), plan.clique_n, kInf);
+  const int iters = squaring_iterations(n);
+  for (int it = 0; it < iters; ++it) {
+    const auto m_cur = broadcast_max_finite(net, d, n);
+    d = dp_approx(net, alg, d, d, m_cur, delta);
+  }
+
+  ApspOutcome out;
+  out.dist = d.block(0, 0, n, n);
+  out.traffic = net.stats();
+  return out;
+}
+
+Matrix<int> routing_table_from_distances(const Graph& g,
+                                         const Matrix<std::int64_t>& dist,
+                                         clique::TrafficStats* traffic) {
+  const int n = g.n();
+  CCA_EXPECTS(dist.rows() == n && dist.cols() == n);
+  Matrix<int> next(n, n, -1);
+  if (n <= 1) return next;
+
+  const int big = semiring_clique_size(n);
+  clique::Network net(big);
+
+  // W with an infinite diagonal: the witness of min_w W(u,w) + D(w,v) is
+  // then a genuine outgoing arc, i.e. a valid first hop.
+  auto w = pad_matrix(g.weight_matrix(), big, kInf);
+  for (int v = 0; v < n; ++v) w(v, v) = kInf;
+  const auto d = pad_matrix(dist, big, kInf);
+
+  const auto [prod, wit] = dp_semiring_witness(net, w, d);
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v) {
+      if (u == v || dist(u, v) >= kInf) continue;
+      // A true distance matrix satisfies prod == dist off the diagonal.
+      CCA_ASSERT(prod(u, v) == dist(u, v));
+      next(u, v) = wit(u, v);
+    }
+  if (traffic != nullptr) *traffic = net.stats();
+  return next;
+}
+
+}  // namespace cca::core

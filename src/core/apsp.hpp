@@ -1,0 +1,74 @@
+// All-pairs shortest paths on the congested clique (paper Section 3.3).
+//
+//  * apsp_semiring       — Corollary 6: iterated min-plus squaring with the
+//                          3D semiring algorithm; O(n^{1/3} log n) rounds.
+//                          Produces distances AND routing tables (next hops)
+//                          through the witness-carrying semiring product.
+//  * apsp_seidel         — Corollary 7: exact unweighted undirected APSP by
+//                          Seidel's recursion over fast Boolean/integer
+//                          products; O~(n^rho) rounds.
+//  * apsp_bounded        — Lemma 19: distances up to M via the Lemma 18
+//                          ring embedding; O(M n^rho log n) rounds.
+//  * apsp_small_diameter — Corollary 8: doubling search over the weighted
+//                          diameter U; O~(U n^rho) rounds.
+//  * apsp_approx         — Theorem 9: (1+o(1))-approximate weighted APSP
+//                          through the Lemma 20 approximate products.
+//
+// All variants return distances indexed by the original graph's nodes;
+// padding to admissible clique sizes is internal. Unreachable pairs hold
+// MinPlusSemiring::kInf.
+#pragma once
+
+#include <cstdint>
+
+#include "clique/network.hpp"
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace cca::core {
+
+struct ApspOutcome {
+  Matrix<std::int64_t> dist;
+  /// next_hop(u,v) = first node after u on a shortest u->v path; -1 when
+  /// v is unreachable or u == v. Only filled by variants documented to
+  /// build routing tables (empty matrix otherwise).
+  Matrix<int> next_hop;
+  clique::TrafficStats traffic;
+};
+
+/// Corollary 6: exact APSP for directed graphs with integer weights
+/// (negative weights allowed when no negative cycle exists). Builds routing
+/// tables. O(n^{1/3} log n) rounds.
+[[nodiscard]] ApspOutcome apsp_semiring(const Graph& g);
+
+/// Corollary 7: exact APSP for unweighted undirected graphs via Seidel's
+/// algorithm; distances only. O~(n^rho) rounds.
+[[nodiscard]] ApspOutcome apsp_seidel(const Graph& g,
+                                      MmKind kind = MmKind::Fast,
+                                      int depth = -1);
+
+/// Lemma 19: distances up to `m_bound` (larger distances become inf) for
+/// non-negative integer weights. O(M n^rho log n) rounds.
+[[nodiscard]] ApspOutcome apsp_bounded(const Graph& g, std::int64_t m_bound,
+                                       int depth = -1);
+
+/// Corollary 8: exact APSP for positive integer weights by doubling the
+/// distance bound until every reachable pair is covered.
+[[nodiscard]] ApspOutcome apsp_small_diameter(const Graph& g, int depth = -1);
+
+/// Theorem 9: (1+o(1))-approximate APSP for non-negative integer weights;
+/// the returned distances satisfy d <= dist <= (1+delta)^ceil(log2 n) d.
+[[nodiscard]] ApspOutcome apsp_approx(const Graph& g, double delta,
+                                      int depth = -1);
+
+/// Build a next-hop routing table for ANY exact distance matrix (produced
+/// by any of the APSP variants): ONE witnessed distance product W * D
+/// yields, for every pair, a neighbour w of u with W(u,w) + D(w,v) =
+/// D(u,v) — an optimal first hop. This is how Section 3.3 attaches routing
+/// tables to the fast (witness-less) products via Section 3.4 witnesses.
+/// `traffic` (optional) receives the rounds consumed.
+[[nodiscard]] Matrix<int> routing_table_from_distances(
+    const Graph& g, const Matrix<std::int64_t>& dist,
+    clique::TrafficStats* traffic = nullptr);
+
+}  // namespace cca::core

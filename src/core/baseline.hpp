@@ -1,0 +1,41 @@
+// Prior-work baselines from Table 1 of the paper.
+//
+//  * detect_k_cycle_dolev — the combinatorial subgraph-detection scheme of
+//    Dolev, Lenzen and Peled [24]: partition V into q ~ n^{1/k} groups; a
+//    dedicated node per k-tuple of groups learns every edge inside the
+//    union of its groups (O(k^2 n^{2-2/k}) words per node, hence
+//    O(k^2 n^{1-2/k}) rounds) and searches locally. Deterministic and exact.
+//    This is the O~(n^{1-2/k}) row of Table 1 (k = 4 gives the prior
+//    4-cycle bound O~(n^{1/2})).
+//
+//  * apsp_naive_learn — every node learns the entire weighted graph through
+//    the dissemination primitive (O(m/n) rounds, Theta(n) on dense graphs)
+//    and solves APSP locally. The trivial upper bound the algebraic
+//    algorithms are measured against.
+//
+// The Table 1 "prior work" triangle/4-cycle COUNTING bound (Dolev et al.'s
+// O(n^{1/3}) partition algorithm) coincides with the semiring 3D engine:
+// run count_*_cc with MmKind::Semiring3D.
+#pragma once
+
+#include <cstdint>
+
+#include "clique/network.hpp"
+#include "core/apsp.hpp"
+#include "graph/graph.hpp"
+
+namespace cca::core {
+
+struct BaselineDetectOutcome {
+  bool found = false;
+  clique::TrafficStats traffic;
+};
+
+/// Dolev et al. k-cycle detection (exact, deterministic).
+[[nodiscard]] BaselineDetectOutcome detect_k_cycle_dolev(const Graph& g,
+                                                         int k);
+
+/// Naive APSP: learn the whole graph, solve locally.
+[[nodiscard]] ApspOutcome apsp_naive_learn(const Graph& g);
+
+}  // namespace cca::core

@@ -1,0 +1,51 @@
+// k-cycle detection by colour-coding (paper Lemma 11 and Theorem 3).
+//
+// Given a colouring c : V -> [k], a COLOURFUL k-cycle (every colour used
+// exactly once) is found with O(3^k) distributed matrix products through the
+// recursion
+//
+//   C^(X) = OR over Y subset X, |Y| = ceil(|X|/2) of  C^(Y) A C^(X\Y),
+//
+// evaluated over the integers with clamping (an entry is nonzero iff the
+// Boolean value is 1). A k-cycle exists iff C^([k])[u,v] = 1 for some arc
+// (v,u). Random colourings make any fixed k-cycle colourful with
+// probability >= e^{-k}, so e^k ln n trials find an existing cycle with
+// high probability (Theorem 3); detection never reports false positives.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/network.hpp"
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace cca::core {
+
+struct DetectOutcome {
+  bool found = false;
+  int trials = 0;                ///< colourings attempted
+  clique::TrafficStats traffic;  ///< rounds and words consumed
+};
+
+/// Lemma 11: detect a colourful k-cycle under the given colouring
+/// (colour[v] in [0, k) for real nodes). Runs on the caller's clique with
+/// `a` the padded adjacency matrix of g. Deterministic.
+[[nodiscard]] bool detect_colourful_cycle(clique::Network& net,
+                                          const IntMmEngine& engine,
+                                          const Matrix<std::int64_t>& a,
+                                          const Graph& g,
+                                          const std::vector<int>& colour,
+                                          int k);
+
+/// Theorem 3: randomized k-cycle detection. Tries up to `max_trials`
+/// colourings (default -1 = ceil(e^k ln n), the paper's bound) and stops at
+/// the first hit. One-sided error: `found` is always sound; a false "not
+/// found" happens with probability n^{-Omega(1)} at the default trial count.
+[[nodiscard]] DetectOutcome detect_k_cycle_cc(const Graph& g, int k,
+                                              std::uint64_t seed,
+                                              int max_trials = -1,
+                                              MmKind kind = MmKind::Fast,
+                                              int depth = -1);
+
+}  // namespace cca::core

@@ -1,0 +1,153 @@
+#include "core/counting.hpp"
+
+#include "clique/primitives.hpp"
+#include "util/contracts.hpp"
+
+namespace cca::core {
+
+namespace {
+
+/// Transpose the real n x n corner of a row-distributed matrix: node v sends
+/// entry (v, u) to node u. O(n) words per node, so O(1) rounds by relay.
+Matrix<std::int64_t> transpose_distributed(clique::Network& net, int n,
+                                           const Matrix<std::int64_t>& m) {
+  Matrix<std::int64_t> out(n, n, 0);
+  if (net.n() == 1) {
+    out(0, 0) = m(0, 0);
+    return out;
+  }
+  for (int v = 0; v < n; ++v)
+    for (int u = 0; u < n; ++u)
+      net.send(v, u, static_cast<clique::Word>(m(v, u)));
+  net.deliver();
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v) {
+      const auto& in = net.inbox(u, v);
+      CCA_ASSERT(in.size() == 1);
+      out(u, v) = static_cast<std::int64_t>(in[0]);
+    }
+  return out;
+}
+
+/// Sum one word per node known at all nodes after a broadcast round.
+std::int64_t broadcast_and_sum(clique::Network& net,
+                               const std::vector<std::int64_t>& per_node) {
+  std::vector<clique::Word> words(per_node.size());
+  for (std::size_t i = 0; i < per_node.size(); ++i)
+    words[i] = static_cast<clique::Word>(per_node[i]);
+  const auto all = clique::broadcast_all(net, std::move(words));
+  std::int64_t sum = 0;
+  for (const auto w : all) sum += static_cast<std::int64_t>(w);
+  return sum;
+}
+
+}  // namespace
+
+CountOutcome count_triangles_cc(const Graph& g, MmKind kind, int depth) {
+  const int n = g.n();
+  const IntMmEngine engine(kind, n, depth);
+  const int big = engine.clique_n();
+  clique::Network net(big);
+
+  const auto a = pad_matrix(g.adjacency(), big, std::int64_t{0});
+  const auto a2 = engine.multiply(net, a, a);
+
+  // tr(A^3) = sum_{u,v} A^2[u,v] A[v,u]; undirected graphs have A symmetric
+  // so A[v,u] is already node u's local data, digraphs need a transpose.
+  Matrix<std::int64_t> at(n, n, 0);
+  if (g.is_directed()) {
+    at = transpose_distributed(net, big, a).block(0, 0, n, n);
+  } else {
+    at = g.adjacency();
+  }
+  std::vector<std::int64_t> partial(static_cast<std::size_t>(big), 0);
+  for (int u = 0; u < n; ++u) {
+    std::int64_t acc = 0;
+    for (int v = 0; v < n; ++v) acc += a2(u, v) * at(u, v);
+    partial[static_cast<std::size_t>(u)] = acc;
+  }
+  const auto tr = broadcast_and_sum(net, partial);
+  const std::int64_t divisor = g.is_directed() ? 3 : 6;
+  CCA_ASSERT(tr % divisor == 0);
+  return {tr / divisor, net.stats()};
+}
+
+CountOutcome count_4cycles_cc(const Graph& g, MmKind kind, int depth) {
+  const int n = g.n();
+  const IntMmEngine engine(kind, n, depth);
+  const int big = engine.clique_n();
+  clique::Network net(big);
+
+  const auto a = pad_matrix(g.adjacency(), big, std::int64_t{0});
+  const auto a2 = engine.multiply(net, a, a);
+
+  // tr(A^4) = sum_{u,v} A^2[u,v] A^2[v,u]: one transpose superstep of the
+  // real corner of A^2 (padded rows/columns of A^2 are zero).
+  const auto a2t = transpose_distributed(net, big, a2).block(0, 0, n, n);
+
+  std::vector<std::int64_t> partial(static_cast<std::size_t>(big), 0);
+  for (int u = 0; u < n; ++u) {
+    std::int64_t acc = 0;
+    for (int v = 0; v < n; ++v) acc += a2(u, v) * a2t(u, v);
+    partial[static_cast<std::size_t>(u)] = acc;
+  }
+  const auto tr = broadcast_and_sum(net, partial);
+
+  // Correction term: deg(v) for undirected graphs, the number of 2-cycles
+  // delta(v) for digraphs — both local knowledge; one broadcast to sum.
+  std::vector<std::int64_t> corr(static_cast<std::size_t>(big), 0);
+  for (int v = 0; v < n; ++v) {
+    std::int64_t dv = 0;
+    if (g.is_directed()) {
+      for (const auto& [u, w] : g.out_arcs(v)) {
+        (void)w;
+        if (g.has_arc(u, v)) ++dv;
+      }
+    } else {
+      dv = g.out_degree(v);
+    }
+    corr[static_cast<std::size_t>(v)] = 2 * dv * dv - dv;
+  }
+  const auto corr_sum = broadcast_and_sum(net, corr);
+
+  const std::int64_t divisor = g.is_directed() ? 4 : 8;
+  CCA_ASSERT((tr - corr_sum) % divisor == 0);
+  return {(tr - corr_sum) / divisor, net.stats()};
+}
+
+CountOutcome count_5cycles_cc(const Graph& g, MmKind kind, int depth) {
+  CCA_EXPECTS(!g.is_directed());
+  const int n = g.n();
+  const IntMmEngine engine(kind, n, depth);
+  const int big = engine.clique_n();
+  clique::Network net(big);
+
+  const auto a = pad_matrix(g.adjacency(), big, std::int64_t{0});
+  const auto a2 = engine.multiply(net, a, a);
+  const auto a3 = engine.multiply(net, a2, a);
+
+  // For symmetric A, A^3 is symmetric, so tr(A^5) = sum_{u,v} A^2[u,v]
+  // A^3[v,u] = sum_{u,v} A^2[u,v] A^3[u,v] needs no transpose: node u owns
+  // row u of both factors. The correction terms use (A^3)_uu and deg(u),
+  // both local to node u.
+  std::vector<std::int64_t> tr5_part(static_cast<std::size_t>(big), 0);
+  std::vector<std::int64_t> tr3_part(static_cast<std::size_t>(big), 0);
+  std::vector<std::int64_t> corr_part(static_cast<std::size_t>(big), 0);
+  for (int u = 0; u < n; ++u) {
+    std::int64_t acc = 0;
+    for (int v = 0; v < n; ++v) acc += a2(u, v) * a3(u, v);
+    tr5_part[static_cast<std::size_t>(u)] = acc;
+    tr3_part[static_cast<std::size_t>(u)] = a3(u, u);
+    const std::int64_t d = g.out_degree(u);
+    corr_part[static_cast<std::size_t>(u)] = (d - 2) * a3(u, u);
+  }
+  const auto tr5 = broadcast_and_sum(net, tr5_part);
+  const auto tr3 = broadcast_and_sum(net, tr3_part);
+  const auto corr = broadcast_and_sum(net, corr_part);
+
+  const auto numerator = tr5 - 5 * tr3 - 5 * corr;
+  CCA_ASSERT(numerator % 10 == 0);
+  return {numerator / 10, net.stats()};
+}
+
+}  // namespace cca::core

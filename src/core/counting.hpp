@@ -1,0 +1,54 @@
+// Triangle and 4-cycle counting on the congested clique (Corollary 2).
+//
+// Both counts come from trace formulas on powers of the adjacency matrix
+// (Itai–Rodeh for triangles, Alon–Yuster–Zwick for 4-cycles):
+//
+//   undirected: #C3 = tr(A^3)/6,  #C4 = (tr(A^4) - sum_v(2 deg^2 - deg))/8
+//   directed:   #C3 = tr(A^3)/3,  #C4 = (tr(A^4) - sum_v(2 delta^2 - delta))/4
+//
+// where delta(v) counts the 2-cycles through v. One distributed matrix
+// product computes A^2; tr(A^3) = sum_{uv} A^2[u,v] A[v,u] and
+// tr(A^4) = sum_{uv} A^2[u,v] A^2[v,u] then need only a transpose superstep
+// (O(1) rounds) and a partial-sum broadcast — so the total cost is one
+// product: O(n^rho) rounds with the fast engine.
+#pragma once
+
+#include <cstdint>
+
+#include "clique/network.hpp"
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace cca::core {
+
+struct CountOutcome {
+  std::int64_t count = 0;
+  clique::TrafficStats traffic;  ///< rounds and word counts consumed
+};
+
+/// Number of triangles (3-cliques / directed 3-cycles) of g, computed on a
+/// padded clique with the chosen engine. `depth` forces the Strassen tensor
+/// power for MmKind::Fast (-1 = auto).
+[[nodiscard]] CountOutcome count_triangles_cc(const Graph& g,
+                                              MmKind kind = MmKind::Fast,
+                                              int depth = -1);
+
+/// Number of simple 4-cycles (directed 4-cycles for digraphs).
+[[nodiscard]] CountOutcome count_4cycles_cc(const Graph& g,
+                                            MmKind kind = MmKind::Fast,
+                                            int depth = -1);
+
+/// Number of simple 5-cycles in an UNDIRECTED graph. The paper notes that
+/// the Alon–Yuster–Zwick trace formulas extend to k in {5,6,7}; this is
+/// the k = 5 instance:
+///
+///   #C5 = ( tr(A^5) - 5 tr(A^3) - 5 sum_v (deg(v)-2) (A^3)_vv ) / 10.
+///
+/// Two distributed products (A^2, then A^3 = A^2 A); tr(A^5) =
+/// sum_{u,v} A^2[u,v] A^3[u,v] is local per row for symmetric A, and the
+/// diagonal/degree terms are local — so the cost stays O(n^rho).
+[[nodiscard]] CountOutcome count_5cycles_cc(const Graph& g,
+                                            MmKind kind = MmKind::Fast,
+                                            int depth = -1);
+
+}  // namespace cca::core

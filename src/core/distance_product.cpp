@@ -1,0 +1,193 @@
+#include "core/distance_product.hpp"
+
+#include <cmath>
+
+#include "core/mm.hpp"
+#include "matrix/codec.hpp"
+#include "matrix/poly.hpp"
+#include "util/contracts.hpp"
+
+namespace cca::core {
+
+namespace {
+
+constexpr std::int64_t kInf = MinPlusSemiring::kInf;
+
+/// Min-plus value carrying the summation index that attained it. The pair
+/// (distance, witness) ordered lexicographically is a bona fide semiring:
+/// add = lexicographic min, mul = (d1 + d2, left witness). The left witness
+/// is the column index of the S-side entry, planted at lift time.
+struct WDist {
+  std::int64_t d = kInf;
+  std::int64_t w = -1;
+  friend bool operator==(const WDist&, const WDist&) = default;
+};
+
+struct WitnessMinPlus {
+  using Value = WDist;
+  [[nodiscard]] Value zero() const noexcept { return {kInf, -1}; }
+  [[nodiscard]] Value one() const noexcept { return {0, -1}; }
+  [[nodiscard]] Value add(const Value& a, const Value& b) const noexcept {
+    if (a.d != b.d) return a.d < b.d ? a : b;
+    return a.w <= b.w ? a : b;
+  }
+  [[nodiscard]] Value mul(const Value& a, const Value& b) const noexcept {
+    if (a.d >= kInf || b.d >= kInf) return {kInf, -1};
+    return {a.d + b.d, a.w};
+  }
+};
+
+struct WDistCodec {
+  using Value = WDist;
+  [[nodiscard]] std::size_t words_for(std::size_t entries) const noexcept {
+    return 2 * entries;
+  }
+  void encode_block(const std::vector<Value>& vals,
+                    std::vector<clique::Word>& out) const {
+    for (const auto& v : vals) {
+      out.push_back(static_cast<clique::Word>(v.d));
+      out.push_back(static_cast<clique::Word>(v.w));
+    }
+  }
+  [[nodiscard]] std::vector<Value> decode_block(const clique::Word* words,
+                                                std::size_t count) const {
+    std::vector<Value> out(count);
+    for (std::size_t i = 0; i < count; ++i)
+      out[i] = {static_cast<std::int64_t>(words[2 * i]),
+                static_cast<std::int64_t>(words[2 * i + 1])};
+    return out;
+  }
+};
+
+}  // namespace
+
+Matrix<std::int64_t> dp_semiring(clique::Network& net,
+                                 const Matrix<std::int64_t>& s,
+                                 const Matrix<std::int64_t>& t) {
+  const MinPlusSemiring sr;
+  const I64Codec codec;
+  return mm_semiring_3d(net, sr, codec, s, t);
+}
+
+WitnessedProduct dp_semiring_witness(clique::Network& net,
+                                     const Matrix<std::int64_t>& s,
+                                     const Matrix<std::int64_t>& t) {
+  const int n = s.rows();
+  CCA_EXPECTS(s.cols() == n && t.rows() == n && t.cols() == n);
+  // Lift: S entries carry their column index as witness, T entries none.
+  Matrix<WDist> ws(n, n), wt(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      ws(i, j) = {s(i, j), j};
+      wt(i, j) = {t(i, j), -1};
+    }
+  const WitnessMinPlus sr;
+  const WDistCodec codec;
+  const auto prod = mm_semiring_3d(net, sr, codec, ws, wt);
+
+  WitnessedProduct out{Matrix<std::int64_t>(n, n, kInf), Matrix<int>(n, n, -1)};
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      out.dist(i, j) = prod(i, j).d >= kInf ? kInf : prod(i, j).d;
+      out.witness(i, j) =
+          prod(i, j).d >= kInf ? -1 : static_cast<int>(prod(i, j).w);
+    }
+  return out;
+}
+
+Matrix<std::int64_t> dp_ring_embedded(clique::Network& net,
+                                      const BilinearAlgorithm& alg,
+                                      const Matrix<std::int64_t>& s,
+                                      const Matrix<std::int64_t>& t,
+                                      std::int64_t m_bound) {
+  CCA_EXPECTS(m_bound >= 0);
+  const int n = s.rows();
+  CCA_EXPECTS(s.cols() == n && t.rows() == n && t.cols() == n);
+  const int cap = static_cast<int>(2 * m_bound + 1);
+  const PolyRing ring{cap};
+  const PolyCodec codec{cap};
+
+  // Entry w in {0..M} becomes X^w; everything else becomes 0 (= infinity).
+  auto embed = [&](const Matrix<std::int64_t>& src) {
+    Matrix<CappedPoly> out(n, n, ring.zero());
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) {
+        const auto v = src(i, j);
+        if (v >= 0 && v <= m_bound) out(i, j) = CappedPoly::monomial(cap, static_cast<int>(v));
+      }
+    return out;
+  };
+
+  const auto prod = mm_fast_bilinear(net, ring, codec, alg, embed(s), embed(t));
+
+  Matrix<std::int64_t> out(n, n, kInf);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      const int deg = prod(i, j).min_degree();
+      if (deg >= 0) out(i, j) = deg;
+    }
+  return out;
+}
+
+Matrix<std::int64_t> dp_approx(clique::Network& net,
+                               const BilinearAlgorithm& alg,
+                               const Matrix<std::int64_t>& s,
+                               const Matrix<std::int64_t>& t,
+                               std::int64_t m_bound, double delta) {
+  CCA_EXPECTS(delta > 0);
+  CCA_EXPECTS(m_bound >= 0);
+  const int n = s.rows();
+  CCA_EXPECTS(s.cols() == n && t.rows() == n && t.cols() == n);
+
+  // Scaled entries are bounded by ceil(2(1+delta)/delta) (Lemma 20).
+  const auto scaled_bound =
+      static_cast<std::int64_t>(std::ceil(2.0 * (1.0 + delta) / delta));
+
+  // ceil(v / base^i) with monotone adjustment against floating error:
+  // returns the least q with q * base^i >= v under the same double rounding
+  // used everywhere else, so the Lemma 20 inequalities hold as evaluated.
+  auto scale_up = [](std::int64_t v, double p) {
+    auto q = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(v) / p));
+    while (q > 0 && static_cast<double>(q - 1) * p >= static_cast<double>(v))
+      --q;
+    while (static_cast<double>(q) * p < static_cast<double>(v)) ++q;
+    return q;
+  };
+
+  const int levels =
+      m_bound <= 1
+          ? 1
+          : static_cast<int>(std::ceil(std::log(static_cast<double>(m_bound)) /
+                                       std::log1p(delta))) +
+                1;
+
+  Matrix<std::int64_t> best(n, n, kInf);
+  for (int i = 0; i < levels; ++i) {
+    const double p = std::pow(1.0 + delta, i);
+    const double admit = 2.0 * std::pow(1.0 + delta, i + 1) / delta;
+    auto build = [&](const Matrix<std::int64_t>& src) {
+      Matrix<std::int64_t> out(n, n, kInf);
+      for (int a = 0; a < n; ++a)
+        for (int b = 0; b < n; ++b) {
+          const auto v = src(a, b);
+          if (v >= kInf || static_cast<double>(v) > admit) continue;
+          out(a, b) = scale_up(v, p);
+          CCA_ASSERT(out(a, b) <= scaled_bound);
+        }
+      return out;
+    };
+    const auto pi =
+        dp_ring_embedded(net, alg, build(s), build(t), scaled_bound);
+    for (int a = 0; a < n; ++a)
+      for (int b = 0; b < n; ++b) {
+        if (pi(a, b) >= kInf) continue;
+        const auto unscaled = static_cast<std::int64_t>(
+            std::floor(static_cast<double>(pi(a, b)) * p));
+        if (unscaled < best(a, b)) best(a, b) = unscaled;
+      }
+  }
+  return best;
+}
+
+}  // namespace cca::core

@@ -1,0 +1,63 @@
+// Distance (min-plus / tropical) products on the congested clique
+// (paper Section 3.3).
+//
+//  * dp_semiring          — exact product via the 3D semiring algorithm.
+//  * dp_semiring_witness  — same, also returning a witness matrix Q with
+//                           P[u,v] = S[u,Q[u,v]] + T[Q[u,v],v] (the "easily
+//                           modified to produce witnesses" of Section 3.3).
+//  * dp_ring_embedded     — Lemma 18: embeds the product into the ring
+//                           Z[X]/X^{2M+1} and runs the FAST multiplication;
+//                           O(M n^rho) rounds.
+//  * dp_approx            — Lemma 20: a (1+delta)-approximate product from
+//                           O(log_{1+delta} M) scaled exact products with
+//                           O(1/delta)-bounded entries.
+//
+// Distances use MinPlusSemiring::kInf as infinity throughout.
+#pragma once
+
+#include <cstdint>
+
+#include "clique/network.hpp"
+#include "matrix/bilinear.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/semiring.hpp"
+
+namespace cca::core {
+
+/// Exact distance product P = S * T (min-plus) in O(n^{1/3}) rounds.
+/// Requires net.n() == dimension of S, T and a perfect cube.
+[[nodiscard]] Matrix<std::int64_t> dp_semiring(clique::Network& net,
+                                               const Matrix<std::int64_t>& s,
+                                               const Matrix<std::int64_t>& t);
+
+struct WitnessedProduct {
+  Matrix<std::int64_t> dist;
+  /// witness(u,v) = k with dist(u,v) = S(u,k) + T(k,v); -1 if dist is inf.
+  Matrix<int> witness;
+};
+
+/// Exact distance product with witnesses (entries cost two words).
+[[nodiscard]] WitnessedProduct dp_semiring_witness(
+    clique::Network& net, const Matrix<std::int64_t>& s,
+    const Matrix<std::int64_t>& t);
+
+/// Lemma 18: distance product of matrices with entries in {0,...,M} u {inf}
+/// via the polynomial-ring embedding and the fast bilinear multiplication.
+/// Entries greater than M (other than inf) are treated as inf.
+/// Requires an admissible net for `alg` (see mm_fast_bilinear).
+[[nodiscard]] Matrix<std::int64_t> dp_ring_embedded(
+    clique::Network& net, const BilinearAlgorithm& alg,
+    const Matrix<std::int64_t>& s, const Matrix<std::int64_t>& t,
+    std::int64_t m_bound);
+
+/// Lemma 20: matrix P~ with P <= P~ <= (1+delta) P entrywise, where
+/// P = S * T, for entries in {0,...,M} u {inf}. Uses
+/// O(log_{1+delta} M) calls to dp_ring_embedded with entry bound O(1/delta).
+[[nodiscard]] Matrix<std::int64_t> dp_approx(clique::Network& net,
+                                             const BilinearAlgorithm& alg,
+                                             const Matrix<std::int64_t>& s,
+                                             const Matrix<std::int64_t>& t,
+                                             std::int64_t m_bound,
+                                             double delta);
+
+}  // namespace cca::core

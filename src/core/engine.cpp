@@ -1,0 +1,53 @@
+#include "core/engine.hpp"
+
+namespace cca::core {
+
+IntMmEngine::IntMmEngine(MmKind kind, int n, int depth) : kind_(kind) {
+  CCA_EXPECTS(n >= 1);
+  switch (kind_) {
+    case MmKind::Fast: {
+      const FastPlan plan =
+          depth >= 0 ? plan_fast_mm(n, depth) : plan_fast_mm_auto(n);
+      clique_n_ = plan.clique_n;
+      alg_ = tensor_power(strassen_algorithm(), plan.depth);
+      break;
+    }
+    case MmKind::Semiring3D:
+      clique_n_ = semiring_clique_size(n);
+      break;
+    case MmKind::Naive:
+      clique_n_ = n;
+      break;
+  }
+}
+
+double IntMmEngine::rho() const noexcept {
+  switch (kind_) {
+    case MmKind::Fast:
+      return 1.0 - 2.0 / alg_.sigma();
+    case MmKind::Semiring3D:
+      return 1.0 / 3.0;
+    case MmKind::Naive:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+Matrix<std::int64_t> IntMmEngine::multiply(clique::Network& net,
+                                           const Matrix<std::int64_t>& a,
+                                           const Matrix<std::int64_t>& b) const {
+  CCA_EXPECTS(net.n() == clique_n_);
+  const IntRing ring;
+  const I64Codec codec;
+  switch (kind_) {
+    case MmKind::Fast:
+      return mm_fast_bilinear(net, ring, codec, alg_, a, b);
+    case MmKind::Semiring3D:
+      return mm_semiring_3d(net, ring, codec, a, b);
+    case MmKind::Naive:
+      return mm_naive_broadcast(net, ring, 1, a, b);
+  }
+  return {};
+}
+
+}  // namespace cca::core

@@ -1,0 +1,48 @@
+// Dispatcher over the three matrix-multiplication engines of Table 1:
+// fast bilinear (Section 2.2), semiring 3D (Section 2.1), and the naive
+// full-broadcast baseline. The graph applications (cycles, girth, APSP) are
+// written against this interface so each can be benchmarked with either the
+// paper's algorithm or the prior-work/baseline engine.
+#pragma once
+
+#include "clique/network.hpp"
+#include "core/mm.hpp"
+#include "matrix/bilinear.hpp"
+#include "matrix/codec.hpp"
+#include "matrix/matrix.hpp"
+
+namespace cca::core {
+
+enum class MmKind {
+  Fast,         ///< Section 2.2 with a Strassen tensor power (O(n^{0.288}))
+  Semiring3D,   ///< Section 2.1 (O(n^{1/3}))
+  Naive,        ///< everyone learns everything (O(n))
+};
+
+/// Engine for integer (ring) products of n x n matrices on a clique.
+/// Construction fixes the padded clique size; `multiply` then runs products
+/// of that padded dimension.
+class IntMmEngine {
+ public:
+  /// `n` is the problem dimension; `depth` forces the Strassen tensor power
+  /// for MmKind::Fast (-1 = automatic, the paper's "fix d so m(d) = n").
+  IntMmEngine(MmKind kind, int n, int depth = -1);
+
+  [[nodiscard]] MmKind kind() const noexcept { return kind_; }
+  /// Admissible clique (and padded matrix) dimension.
+  [[nodiscard]] int clique_n() const noexcept { return clique_n_; }
+  /// The engine's round exponent sigma-derived rho (for girth's threshold).
+  [[nodiscard]] double rho() const noexcept;
+
+  /// Product of clique_n() x clique_n() integer matrices.
+  [[nodiscard]] Matrix<std::int64_t> multiply(
+      clique::Network& net, const Matrix<std::int64_t>& a,
+      const Matrix<std::int64_t>& b) const;
+
+ private:
+  MmKind kind_;
+  int clique_n_;
+  BilinearAlgorithm alg_;  // only used by MmKind::Fast
+};
+
+}  // namespace cca::core

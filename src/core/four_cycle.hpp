@@ -1,0 +1,52 @@
+// Constant-round 4-cycle detection (paper Theorem 4, with the Lemma 12
+// tile partition).
+//
+// The algorithm never multiplies matrices. Phase 1 checks the total 2-walk
+// count |P(x,*,*)| = sum_{y in N(x)} deg(y) at every x; if some x has at
+// least 2n-1 walks a 4-cycle must exist (pigeonhole over endpoints z). If
+// not, sum_y deg(y)^2 < 2n^2, so the disjoint-tile partition A(y) x B(y) of
+// Lemma 12 exists; the 2-walk set P(*,y,*) is split into chunks of <= 8
+// neighbours, scattered over the tile rows, forwarded tile-row -> tile-
+// column (at most one tile per ordered link, hence <= 8 words per link),
+// and finally every x gathers its own P(x,*,*) (< 2n-1 words) to look for a
+// repeated endpoint z. Every superstep moves O(n) words per node, so the
+// whole run is O(1) rounds — independent of n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/network.hpp"
+#include "graph/graph.hpp"
+
+namespace cca::core {
+
+/// One tile of the Lemma 12 partition: rows [row0, row0+size) x columns
+/// [col0, col0+size) of the k x k square, owned by node y.
+struct Tile {
+  int y = -1;
+  int row0 = 0;
+  int col0 = 0;
+  int size = 0;
+};
+
+/// Deterministic Lemma 12 tiling: given all degrees (public after one
+/// broadcast round), allocate disjoint tiles with size(y) >= deg(y)/8 inside
+/// the k x k square, k = largest power of two <= n. Requires
+/// sum_y deg(y)^2 < 2 n^2 and n >= 8 (the caller's phase 1 establishes the
+/// former). Nodes with degree 0 receive no tile. Every node computes the
+/// same tiling locally.
+[[nodiscard]] std::vector<Tile> lemma12_tiling(
+    const std::vector<std::int64_t>& degrees, int n);
+
+struct FourCycleOutcome {
+  bool found = false;
+  clique::TrafficStats traffic;
+};
+
+/// Theorem 4: detect whether the (undirected) graph contains a 4-cycle in
+/// O(1) rounds. Deterministic and exact. Graphs with fewer than 32 nodes
+/// fall back to learning the whole graph (also O(1) rounds at that size).
+[[nodiscard]] FourCycleOutcome detect_4cycle_const(const Graph& g);
+
+}  // namespace cca::core

@@ -1,0 +1,46 @@
+// Girth computation on the congested clique (paper Theorem 15 for
+// undirected graphs, Corollary 16 for directed graphs).
+//
+// Undirected: the Moore-bound trade-off (Lemma 14) says a graph with girth
+// g has at most n^{1 + 1/floor((g-1)/2)} + n edges. So either the graph is
+// sparse enough for every node to learn it outright (O(m/n) = O(n^rho)
+// rounds via dissemination) or its girth is at most l = ceil(2 + 2/rho) and
+// short-cycle detection finds it: k = 3 by exact triangle counting, k = 4 by
+// the exact O(1)-round detector of Theorem 4, k >= 5 by colour-coding
+// (one-sided Monte Carlo; a missed detection can only overestimate, and the
+// final fallback learns the graph).
+//
+// Directed: iterated Boolean squaring B^(2i) = B^(i) B^(i) OR A finds the
+// smallest power with a nonzero diagonal, then binary search pins the exact
+// girth (Itai–Rodeh; O(log n) products).
+#pragma once
+
+#include <cstdint>
+
+#include "clique/network.hpp"
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace cca::core {
+
+struct GirthOutcome {
+  /// Girth, or MinPlusSemiring::kInf when the graph is acyclic.
+  std::int64_t girth = 0;
+  bool used_sparse_path = false;  ///< undirected only: learned the graph
+  clique::TrafficStats traffic;
+};
+
+/// Theorem 15. `trial_factor` scales the colour-coding trial counts used
+/// for k >= 5 (the default suffices with high probability for test sizes).
+[[nodiscard]] GirthOutcome girth_undirected_cc(const Graph& g,
+                                               std::uint64_t seed,
+                                               MmKind kind = MmKind::Fast,
+                                               int depth = -1,
+                                               int trial_factor = 1);
+
+/// Corollary 16.
+[[nodiscard]] GirthOutcome girth_directed_cc(const Graph& g,
+                                             MmKind kind = MmKind::Fast,
+                                             int depth = -1);
+
+}  // namespace cca::core

@@ -1,0 +1,49 @@
+#include "core/mm.hpp"
+
+namespace cca::core {
+
+int semiring_clique_size(int n) {
+  CCA_EXPECTS(n >= 1);
+  return static_cast<int>(next_cube(n));
+}
+
+FastPlan plan_fast_mm(int n, int depth, int base_d, int base_m) {
+  CCA_EXPECTS(n >= 1 && depth >= 0 && base_d >= 1 && base_m >= 1);
+  FastPlan plan;
+  plan.depth = depth;
+  plan.d = static_cast<int>(ipow(base_d, depth));
+  plan.m = static_cast<int>(ipow(base_m, depth));
+  // clique_n must be a perfect square with d | sqrt(clique_n), at least n
+  // (to fit the matrix) and at least m (one node per block product).
+  const std::int64_t lower = std::max<std::int64_t>(n, plan.m);
+  plan.clique_n =
+      static_cast<int>(next_square_with_root_multiple(lower, plan.d));
+  return plan;
+}
+
+FastPlan plan_fast_mm_auto(int n, int base_d, int base_m) {
+  CCA_EXPECTS(n >= 1);
+  // Largest depth whose product count fits within n nodes ("fix d so that
+  // m(d) = n"); deeper tensor powers would leave block products unhosted.
+  int depth = 0;
+  std::int64_t products = 1;
+  while (products * base_m <= n) {
+    products *= base_m;
+    ++depth;
+  }
+  // Among depths <= depth, prefer the least per-node round cost. Step 3/5
+  // move ~2(N + m) * bs^2 words through each node with bs^2 = N/d^2, i.e.
+  // about (N + m)/d^2 rounds; this also accounts for padding inflation of N.
+  FastPlan best = plan_fast_mm(n, 0, base_d, base_m);
+  auto cost = [](const FastPlan& p) {
+    return (static_cast<double>(p.clique_n) + p.m) /
+           (static_cast<double>(p.d) * p.d);
+  };
+  for (int k = 1; k <= depth; ++k) {
+    const FastPlan p = plan_fast_mm(n, k, base_d, base_m);
+    if (cost(p) < cost(best)) best = p;
+  }
+  return best;
+}
+
+}  // namespace cca::core

@@ -1,0 +1,475 @@
+// Distributed matrix multiplication on the congested clique — the paper's
+// core contribution (Section 2, Theorem 1).
+//
+//  * mm_semiring_3d   — Section 2.1: the "3D" algorithm; O(n^{1/3}) rounds
+//                       over any semiring.
+//  * mm_fast_bilinear — Section 2.2 / Lemma 10: turns ANY bilinear algorithm
+//                       with m(d) = O(d^sigma) multiplications into an
+//                       O(n^{1-2/sigma}) round clique algorithm over a ring.
+//  * mm_naive_broadcast — the trivial O(n)-round baseline (everyone learns
+//                       both matrices).
+//
+// Input/output distribution follows the paper: node v holds row v of both
+// inputs and ends with row v of the product. The orchestrated simulation
+// stages node v's messages exclusively from data node v legitimately holds
+// at that point of the algorithm (its input rows, then whatever it received
+// in earlier supersteps).
+//
+// All functions require net.n() == matrix dimension and an "admissible" n
+// (perfect cube for the 3D algorithm; square with d | sqrt(n) and m <= n for
+// the bilinear scheme). pad_matrix / semiring_clique_size / plan_fast_mm
+// below embed an arbitrary instance into the next admissible size, which is
+// how the paper's "assume n^{1/3} is an integer for convenience" is
+// discharged.
+#pragma once
+
+#include <vector>
+
+#include "clique/network.hpp"
+#include "matrix/bilinear.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/semiring.hpp"
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace cca::core {
+
+namespace detail {
+
+/// Decode a `count`-entry block from a word vector. `prior_entries` is the
+/// total entry count of the blocks encoded before it in the same message;
+/// every call site sends at most two blocks per message, so
+/// codec.words_for(prior_entries) is exactly the word offset.
+template <typename Codec>
+auto decode_entries(const Codec& codec, const std::vector<clique::Word>& in,
+                    std::size_t prior_entries, std::size_t count) {
+  const auto offset = codec.words_for(prior_entries);
+  CCA_EXPECTS(offset + codec.words_for(count) <= in.size());
+  return codec.decode_block(in.data() + offset, count);
+}
+
+}  // namespace detail
+
+/// Section 2.1 — semiring matrix multiplication in O(n^{1/3}) rounds.
+///
+/// Requires net.n() == s.rows() == s.cols() == t.rows() == t.cols() and
+/// net.n() a perfect cube. Returns the full product (row v of which is the
+/// output of node v).
+///
+/// Note: the paper's Step 1 says node v sends T[v, w3**] to the nodes
+/// w in *v2*; for the received pieces to assemble T[v2**, v3**] (rows with
+/// FIRST digit v2, as Step 2 requires) the recipients must be w in *v1*.
+/// We implement the *v1* version; the totals (2 n^{4/3} words per node) are
+/// unchanged.
+template <Semiring S, typename Codec>
+[[nodiscard]] Matrix<typename S::Value> mm_semiring_3d(
+    clique::Network& net, const S& sr, const Codec& codec,
+    const Matrix<typename S::Value>& s, const Matrix<typename S::Value>& t) {
+  using V = typename S::Value;
+  const int n = net.n();
+  CCA_EXPECTS(s.rows() == n && s.cols() == n);
+  CCA_EXPECTS(t.rows() == n && t.cols() == n);
+  CCA_EXPECTS(is_perfect_cube(n));
+  if (n == 1) {
+    Matrix<V> out(1, 1, sr.zero());
+    out(0, 0) = sr.mul(s(0, 0), t(0, 0));
+    return out;
+  }
+  const int c = static_cast<int>(icbrt(n));
+  const int c2 = c * c;
+  auto d1 = [c2](int v) { return v / c2; };
+  auto d2 = [c, c2](int v) { return (v / c) % c; };
+  auto d3 = [c](int v) { return v % c; };
+
+  // Step 1: node v scatters pieces of its rows S[v,*] and T[v,*].
+  {
+    std::vector<clique::Word> buf;
+    std::vector<V> tmp;
+    for (int v = 0; v < n; ++v) {
+      // S[v, u2**] to each u in v1** (same first digit as v).
+      for (int tail = 0; tail < c2; ++tail) {
+        const int u = d1(v) * c2 + tail;
+        tmp.clear();
+        for (int j = d2(u) * c2; j < (d2(u) + 1) * c2; ++j)
+          tmp.push_back(s(v, j));
+        buf.clear();
+        codec.encode_block(tmp, buf);
+        net.send_words(v, u, buf);
+      }
+      // T[v, w3**] to each w in *v1* (second digit equals v's first digit).
+      for (int w1 = 0; w1 < c; ++w1)
+        for (int w3 = 0; w3 < c; ++w3) {
+          const int w = w1 * c2 + d1(v) * c + w3;
+          tmp.clear();
+          for (int j = d3(w) * c2; j < (d3(w) + 1) * c2; ++j)
+            tmp.push_back(t(v, j));
+          buf.clear();
+          codec.encode_block(tmp, buf);
+          net.send_words(v, w, buf);
+        }
+    }
+  }
+  net.deliver();
+
+  // Each node v now assembles S[v1**, v2**] and T[v2**, v3**] and multiplies
+  // them locally (Step 2).
+  std::vector<Matrix<V>> prod(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    Matrix<V> sb(c2, c2, sr.zero());
+    Matrix<V> tb(c2, c2, sr.zero());
+    for (int tail = 0; tail < c2; ++tail) {
+      const int u = d1(v) * c2 + tail;  // sender of S[u, v2**]
+      const auto su = detail::decode_entries(
+          codec, net.inbox(v, u), 0, static_cast<std::size_t>(c2));
+      for (int j = 0; j < c2; ++j) sb(tail, j) = su[static_cast<std::size_t>(j)];
+    }
+    for (int tail = 0; tail < c2; ++tail) {
+      const int w = d2(v) * c2 + tail;  // sender of T[w, v3**]
+      // v received its S piece and/or T piece from w in one inbox; the S
+      // piece (if any) comes first — compute its length to skip it.
+      std::size_t at = 0;
+      if (d1(w) == d1(v)) at = static_cast<std::size_t>(c2);  // w also sent S
+      const auto tw = detail::decode_entries(codec, net.inbox(v, w), at,
+                                             static_cast<std::size_t>(c2));
+      for (int j = 0; j < c2; ++j) tb(tail, j) = tw[static_cast<std::size_t>(j)];
+    }
+    prod[static_cast<std::size_t>(v)] = multiply(sr, sb, tb);
+  }
+
+  // Step 3: node v sends P^(v2)[u, v3**] to each u in v1**.
+  {
+    std::vector<clique::Word> buf;
+    std::vector<V> tmp;
+    for (int v = 0; v < n; ++v) {
+      const auto& pv = prod[static_cast<std::size_t>(v)];
+      for (int tail = 0; tail < c2; ++tail) {
+        const int u = d1(v) * c2 + tail;
+        tmp.clear();
+        for (int j = 0; j < c2; ++j) tmp.push_back(pv(tail, j));
+        buf.clear();
+        codec.encode_block(tmp, buf);
+        net.send_words(v, u, buf);
+      }
+    }
+  }
+  net.deliver();
+
+  // Step 4: node v sums the received pieces into row v of the product.
+  Matrix<V> out(n, n, sr.zero());
+  for (int v = 0; v < n; ++v) {
+    for (int tail = 0; tail < c2; ++tail) {
+      const int u = d1(v) * c2 + tail;  // sent P^(u2)[v, u3**]
+      const auto piece = detail::decode_entries(codec, net.inbox(v, u), 0,
+                                                static_cast<std::size_t>(c2));
+      const int col0 = d3(u) * c2;
+      for (int j = 0; j < c2; ++j)
+        out(v, col0 + j) =
+            sr.add(out(v, col0 + j), piece[static_cast<std::size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+/// Parameters of one fast multiplication instance (Section 2.2).
+struct FastPlan {
+  int depth = 0;      ///< tensor-power exponent k of the base algorithm
+  int d = 1;          ///< block grid dimension (base_d^k)
+  int m = 1;          ///< number of block products (base_m^k)
+  int clique_n = 1;   ///< admissible clique/matrix size (square, d | sqrt)
+};
+
+/// Smallest admissible instance for matrices of size n with a forced depth:
+/// clique_n is a perfect square, d = base_d^depth divides sqrt(clique_n),
+/// and m = base_m^depth <= clique_n.
+[[nodiscard]] FastPlan plan_fast_mm(int n, int depth, int base_d = 2,
+                                    int base_m = 7);
+
+/// Auto-select the largest depth whose m fits below n (the paper's
+/// "fix d so that m(d) = n"), then pad.
+[[nodiscard]] FastPlan plan_fast_mm_auto(int n, int base_d = 2,
+                                         int base_m = 7);
+
+/// Section 2.2 / Lemma 10 — fast bilinear matrix multiplication.
+///
+/// `alg` must be a bilinear algorithm for d x d matrices with m products,
+/// with d | sqrt(net.n()) and m <= net.n(); tensor_power(strassen, k)
+/// satisfies this for admissible sizes from plan_fast_mm. Runs in
+/// O(n^{1 - 2/sigma}) rounds where m = d^sigma.
+template <Ring R, typename Codec>
+[[nodiscard]] Matrix<typename R::Value> mm_fast_bilinear(
+    clique::Network& net, const R& ring, const Codec& codec,
+    const BilinearAlgorithm& alg, const Matrix<typename R::Value>& s,
+    const Matrix<typename R::Value>& t) {
+  using V = typename R::Value;
+  const int n = net.n();
+  CCA_EXPECTS(s.rows() == n && s.cols() == n);
+  CCA_EXPECTS(t.rows() == n && t.cols() == n);
+  CCA_EXPECTS(is_perfect_square(n));
+  const int sq = static_cast<int>(isqrt(n));
+  const int d = alg.d;
+  const int m = alg.m;
+  CCA_EXPECTS(d >= 1 && sq % d == 0);
+  CCA_EXPECTS(m <= n);
+  const int bs = sq / d;        // fine block size (n^{1/2} / d)
+  const int big = n / d;        // coarse block size (rows per first digit)
+  if (n == 1) {
+    Matrix<V> out(1, 1, ring.zero());
+    out(0, 0) = ring.mul(s(0, 0), t(0, 0));
+    return out;
+  }
+
+  // Node digits (v1, v2, v3) in radices (d, sq, sq/d) and labels (x1, x2).
+  auto label_of = [sq](int x1, int x2) { return x1 * sq + x2; };
+
+  // Columns with second digit x2, in increasing order: for i in [d], the
+  // range [i*big + x2*bs, i*big + (x2+1)*bs).
+  auto for_each_col_x2 = [&](int x2, auto&& fn) {
+    for (int i = 0; i < d; ++i)
+      for (int off = 0; off < bs; ++off) fn(i * big + x2 * bs + off);
+  };
+
+  // Step 1: node v sends S[v, *x2*] and T[v, *x2*] to label (v2, x2),
+  // as two blocks (S piece, then T piece).
+  {
+    std::vector<clique::Word> buf;
+    std::vector<V> tmp;
+    for (int v = 0; v < n; ++v) {
+      const int v2 = (v / bs) % sq;
+      for (int x2 = 0; x2 < sq; ++x2) {
+        const int u = label_of(v2, x2);
+        buf.clear();
+        tmp.clear();
+        for_each_col_x2(x2, [&](int j) { tmp.push_back(s(v, j)); });
+        codec.encode_block(tmp, buf);
+        tmp.clear();
+        for_each_col_x2(x2, [&](int j) { tmp.push_back(t(v, j)); });
+        codec.encode_block(tmp, buf);
+        net.send_words(v, u, buf);
+      }
+    }
+  }
+  net.deliver();
+
+  // Node u = (x1,x2) assembles the sq x sq local views S[*x1*, *x2*] and
+  // T[*x1*, *x2*]: local row index of sender v is v1*bs + v3, local column
+  // index of global column j = i*big + x2*bs + off is i*bs + off.
+  std::vector<Matrix<V>> sloc(static_cast<std::size_t>(n));
+  std::vector<Matrix<V>> tloc(static_cast<std::size_t>(n));
+  for (int x1 = 0; x1 < sq; ++x1)
+    for (int x2 = 0; x2 < sq; ++x2) {
+      const int u = label_of(x1, x2);
+      Matrix<V> sl(sq, sq, ring.zero());
+      Matrix<V> tl(sq, sq, ring.zero());
+      for (int v1 = 0; v1 < d; ++v1)
+        for (int v3 = 0; v3 < bs; ++v3) {
+          const int v = v1 * big + x1 * bs + v3;  // sender with v2 == x1
+          const int lrow = v1 * bs + v3;
+          const auto s_piece = detail::decode_entries(
+              codec, net.inbox(u, v), 0, static_cast<std::size_t>(sq));
+          const auto t_piece = detail::decode_entries(
+              codec, net.inbox(u, v), static_cast<std::size_t>(sq),
+              static_cast<std::size_t>(sq));
+          for (int lj = 0; lj < sq; ++lj) {
+            sl(lrow, lj) = s_piece[static_cast<std::size_t>(lj)];
+            tl(lrow, lj) = t_piece[static_cast<std::size_t>(lj)];
+          }
+        }
+      sloc[static_cast<std::size_t>(u)] = std::move(sl);
+      tloc[static_cast<std::size_t>(u)] = std::move(tl);
+    }
+
+  // Step 2 (local): linear combinations S^(w)[x1*, x2*], T^(w)[x1*, x2*].
+  // Step 3: send both to node w, for every w in [m].
+  auto axpy = [&](Matrix<V>& acc, std::int64_t coeff, const Matrix<V>& src,
+                  int r0, int c0) {
+    for (int i = 0; i < bs; ++i)
+      for (int j = 0; j < bs; ++j) {
+        if (coeff >= 0)
+          for (std::int64_t rep = 0; rep < coeff; ++rep)
+            acc(i, j) = ring.add(acc(i, j), src(r0 + i, c0 + j));
+        else
+          for (std::int64_t rep = 0; rep < -coeff; ++rep)
+            acc(i, j) = ring.sub(acc(i, j), src(r0 + i, c0 + j));
+      }
+  };
+  {
+    std::vector<clique::Word> buf;
+    std::vector<V> tmp;
+    for (int u = 0; u < n; ++u) {
+      const auto& sl = sloc[static_cast<std::size_t>(u)];
+      const auto& tl = tloc[static_cast<std::size_t>(u)];
+      for (int w = 0; w < m; ++w) {
+        Matrix<V> shat(bs, bs, ring.zero());
+        Matrix<V> that(bs, bs, ring.zero());
+        for (const auto& cfc : alg.alpha[static_cast<std::size_t>(w)])
+          axpy(shat, cfc.coeff, sl, (cfc.index / d) * bs,
+               (cfc.index % d) * bs);
+        for (const auto& cfc : alg.beta[static_cast<std::size_t>(w)])
+          axpy(that, cfc.coeff, tl, (cfc.index / d) * bs,
+               (cfc.index % d) * bs);
+        buf.clear();
+        tmp.clear();
+        for (int i = 0; i < bs; ++i)
+          for (int j = 0; j < bs; ++j) tmp.push_back(shat(i, j));
+        codec.encode_block(tmp, buf);
+        tmp.clear();
+        for (int i = 0; i < bs; ++i)
+          for (int j = 0; j < bs; ++j) tmp.push_back(that(i, j));
+        codec.encode_block(tmp, buf);
+        net.send_words(u, w, buf);
+      }
+    }
+  }
+  net.deliver();
+
+  // Step 4 (local at product nodes): assemble S^(w), T^(w) and multiply.
+  std::vector<Matrix<V>> phat(static_cast<std::size_t>(m));
+  for (int w = 0; w < m; ++w) {
+    Matrix<V> sw(big, big, ring.zero());
+    Matrix<V> tw(big, big, ring.zero());
+    for (int x1 = 0; x1 < sq; ++x1)
+      for (int x2 = 0; x2 < sq; ++x2) {
+        const int u = label_of(x1, x2);
+        const auto s_piece = detail::decode_entries(
+            codec, net.inbox(w, u), 0, static_cast<std::size_t>(bs * bs));
+        const auto t_piece = detail::decode_entries(
+            codec, net.inbox(w, u), static_cast<std::size_t>(bs * bs),
+            static_cast<std::size_t>(bs * bs));
+        for (int i = 0; i < bs; ++i)
+          for (int j = 0; j < bs; ++j) {
+            sw(x1 * bs + i, x2 * bs + j) =
+                s_piece[static_cast<std::size_t>(i * bs + j)];
+            tw(x1 * bs + i, x2 * bs + j) =
+                t_piece[static_cast<std::size_t>(i * bs + j)];
+          }
+      }
+    phat[static_cast<std::size_t>(w)] = multiply(ring, sw, tw);
+  }
+
+  // Step 5: node w returns P^(w)[x1*, x2*] to label (x1, x2).
+  {
+    std::vector<clique::Word> buf;
+    std::vector<V> tmp;
+    for (int w = 0; w < m; ++w) {
+      const auto& pw = phat[static_cast<std::size_t>(w)];
+      for (int x1 = 0; x1 < sq; ++x1)
+        for (int x2 = 0; x2 < sq; ++x2) {
+          tmp.clear();
+          for (int i = 0; i < bs; ++i)
+            for (int j = 0; j < bs; ++j)
+              tmp.push_back(pw(x1 * bs + i, x2 * bs + j));
+          buf.clear();
+          codec.encode_block(tmp, buf);
+          net.send_words(w, label_of(x1, x2), buf);
+        }
+    }
+  }
+  net.deliver();
+
+  // Step 6 (local): P[ix1*, jx2*] = sum_w lambda_ijw P^(w)[x1*, x2*],
+  // assembled into the sq x sq local view P[*x1*, *x2*].
+  std::vector<Matrix<V>> ploc(static_cast<std::size_t>(n));
+  for (int x1 = 0; x1 < sq; ++x1)
+    for (int x2 = 0; x2 < sq; ++x2) {
+      const int u = label_of(x1, x2);
+      std::vector<Matrix<V>> pieces;
+      pieces.reserve(static_cast<std::size_t>(m));
+      for (int w = 0; w < m; ++w)
+        pieces.push_back(Matrix<V>(bs, bs, ring.zero()));
+      for (int w = 0; w < m; ++w) {
+        const auto entries = detail::decode_entries(
+            codec, net.inbox(u, w), 0, static_cast<std::size_t>(bs * bs));
+        auto& piece = pieces[static_cast<std::size_t>(w)];
+        for (int i = 0; i < bs; ++i)
+          for (int j = 0; j < bs; ++j)
+            piece(i, j) = entries[static_cast<std::size_t>(i * bs + j)];
+      }
+      Matrix<V> pl(sq, sq, ring.zero());
+      for (int i = 0; i < d; ++i)
+        for (int j = 0; j < d; ++j)
+          for (const auto& cfc :
+               alg.lambda[static_cast<std::size_t>(i * d + j)]) {
+            const auto& piece = pieces[static_cast<std::size_t>(cfc.index)];
+            for (int a = 0; a < bs; ++a)
+              for (int b = 0; b < bs; ++b) {
+                auto& cell = pl(i * bs + a, j * bs + b);
+                if (cfc.coeff >= 0)
+                  for (std::int64_t rep = 0; rep < cfc.coeff; ++rep)
+                    cell = ring.add(cell, piece(a, b));
+                else
+                  for (std::int64_t rep = 0; rep < -cfc.coeff; ++rep)
+                    cell = ring.sub(cell, piece(a, b));
+              }
+          }
+      ploc[static_cast<std::size_t>(u)] = std::move(pl);
+    }
+
+  // Step 7: node (x1, x2) sends P[r, *x2*] to r for each r in *x1*.
+  {
+    std::vector<clique::Word> buf;
+    std::vector<V> tmp;
+    for (int x1 = 0; x1 < sq; ++x1)
+      for (int x2 = 0; x2 < sq; ++x2) {
+        const int u = label_of(x1, x2);
+        const auto& pl = ploc[static_cast<std::size_t>(u)];
+        for (int r1 = 0; r1 < d; ++r1)
+          for (int r3 = 0; r3 < bs; ++r3) {
+            const int r = r1 * big + x1 * bs + r3;
+            tmp.clear();
+            for (int lj = 0; lj < sq; ++lj)
+              tmp.push_back(pl(r1 * bs + r3, lj));
+            buf.clear();
+            codec.encode_block(tmp, buf);
+            net.send_words(u, r, buf);
+          }
+      }
+  }
+  net.deliver();
+
+  Matrix<V> out(n, n, ring.zero());
+  for (int r = 0; r < n; ++r) {
+    const int r2 = (r / bs) % sq;
+    for (int x2 = 0; x2 < sq; ++x2) {
+      const int u = label_of(r2, x2);
+      const auto entries = detail::decode_entries(
+          codec, net.inbox(r, u), 0, static_cast<std::size_t>(sq));
+      int lj = 0;
+      for_each_col_x2(x2, [&](int j) {
+        out(r, j) = entries[static_cast<std::size_t>(lj)];
+        ++lj;
+      });
+    }
+  }
+  return out;
+}
+
+/// The trivial baseline: every node broadcasts its rows of both inputs so
+/// everyone knows the full matrices, then computes its own output row
+/// locally. Exactly 2n words per ordered link, hence 2n rounds (direct
+/// schedule); the payload is charged but not materialised.
+template <Semiring S>
+[[nodiscard]] Matrix<typename S::Value> mm_naive_broadcast(
+    clique::Network& net, const S& sr, int words_per_entry,
+    const Matrix<typename S::Value>& s, const Matrix<typename S::Value>& t) {
+  const int n = net.n();
+  CCA_EXPECTS(s.rows() == n && s.cols() == n);
+  CCA_EXPECTS(t.rows() == n && t.cols() == n);
+  CCA_EXPECTS(words_per_entry >= 1);
+  if (n > 1)
+    net.charge_rounds(2 * static_cast<std::int64_t>(n) * words_per_entry);
+  return multiply(sr, s, t);
+}
+
+/// Pad a square matrix to dimension `to`, filling new cells with `fill`
+/// (use the semiring zero so padded rows/columns stay inert).
+template <typename V>
+[[nodiscard]] Matrix<V> pad_matrix(const Matrix<V>& m, int to, V fill) {
+  CCA_EXPECTS(to >= m.rows() && m.rows() == m.cols());
+  return m.resized(to, to, std::move(fill));
+}
+
+/// Admissible clique size for the 3D algorithm: the next perfect cube.
+[[nodiscard]] int semiring_clique_size(int n);
+
+}  // namespace cca::core

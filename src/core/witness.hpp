@@ -1,0 +1,61 @@
+// Witness detection for distance products (paper Section 3.4, Lemma 21).
+//
+// A witness matrix Q for P = S * T (min-plus) satisfies
+// P[u,v] = S[u,Q[u,v]] + T[Q[u,v],v]. The semiring product produces
+// witnesses directly (dp_semiring_witness); the fast products do not, so the
+// paper adapts the centralized machinery of Seidel / Alon–Naor / Zwick:
+//
+//  1. unique witnesses — O(log n) products of index-masked copies recover
+//     the witness bit by bit wherever it is unique;
+//  2. the general case — randomized column sampling reduces every pair to
+//     the unique case with constant probability per trial, using
+//     O(log^3 n) products overall.
+//
+// Everything here is generic over a distance-product oracle so it runs on
+// top of either dp_semiring or dp_ring_embedded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "clique/network.hpp"
+#include "matrix/matrix.hpp"
+
+namespace cca::core {
+
+/// A distance-product oracle: multiplies two n x n min-plus matrices on the
+/// caller's clique, charging its rounds there.
+using DpOracle = std::function<Matrix<std::int64_t>(
+    const Matrix<std::int64_t>&, const Matrix<std::int64_t>&)>;
+
+/// Candidate witnesses recovered bit-by-bit from index-masked products;
+/// correct wherever the witness is unique (Section 3.4, "Finding unique
+/// witnesses"). Uses ceil(log2 n) oracle calls. Entries without a finite
+/// product value are -1; other entries are candidates requiring
+/// verification.
+[[nodiscard]] Matrix<int> unique_witness_candidates(
+    const Matrix<std::int64_t>& s, const Matrix<std::int64_t>& t,
+    const Matrix<std::int64_t>& p, const DpOracle& oracle);
+
+/// O(1)-round distributed verification: returns ok(u,v) = 1 iff q(u,v) is a
+/// valid witness for p(u,v). Node u ships (q, S[u,q], P[u,v]) to v, which
+/// checks against its column of T (obtained by a one-superstep transpose)
+/// and replies one bit; every node sends/receives O(n) words.
+[[nodiscard]] Matrix<std::uint8_t> verify_witnesses(
+    clique::Network& net, const Matrix<std::int64_t>& s,
+    const Matrix<std::int64_t>& t, const Matrix<std::int64_t>& p,
+    const Matrix<int>& q);
+
+/// Full randomized witness detection (Lemma 21): returns Q with valid
+/// witnesses for every finite entry of p, with high probability (failed
+/// entries stay -1; the caller may re-run with a new seed). `trial_factor`
+/// is the constant c in the paper's m = ceil(c log n) trials per level.
+[[nodiscard]] Matrix<int> dp_witnesses(clique::Network& net,
+                                       const Matrix<std::int64_t>& s,
+                                       const Matrix<std::int64_t>& t,
+                                       const Matrix<std::int64_t>& p,
+                                       const DpOracle& oracle,
+                                       std::uint64_t seed,
+                                       int trial_factor = 3);
+
+}  // namespace cca::core

@@ -1,0 +1,129 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace cca {
+
+Graph gnp_random_graph(int n, double p, std::uint64_t seed, bool directed) {
+  CCA_EXPECTS(p >= 0.0 && p <= 1.0);
+  Rng rng(seed);
+  auto g = directed ? Graph::directed(n) : Graph::undirected(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = directed ? 0 : u + 1; v < n; ++v) {
+      if (u == v) continue;
+      if (rng.next_double() < p) g.add_edge(u, v);
+    }
+  return g;
+}
+
+Graph random_weighted_graph(int n, double p, std::int64_t min_w,
+                            std::int64_t max_w, std::uint64_t seed,
+                            bool directed) {
+  CCA_EXPECTS(p >= 0.0 && p <= 1.0);
+  CCA_EXPECTS(min_w <= max_w);
+  Rng rng(seed);
+  auto g = directed ? Graph::directed(n) : Graph::undirected(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = directed ? 0 : u + 1; v < n; ++v) {
+      if (u == v) continue;
+      if (rng.next_double() < p) g.add_edge(u, v, rng.next_in(min_w, max_w));
+    }
+  return g;
+}
+
+Graph random_weighted_dag(int n, double p, std::int64_t min_w,
+                          std::int64_t max_w, std::uint64_t seed) {
+  CCA_EXPECTS(p >= 0.0 && p <= 1.0);
+  CCA_EXPECTS(min_w <= max_w);
+  Rng rng(seed);
+  auto g = Graph::directed(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (rng.next_double() < p) g.add_edge(u, v, rng.next_in(min_w, max_w));
+  return g;
+}
+
+Graph cycle_graph(int n, bool directed) {
+  CCA_EXPECTS(n >= (directed ? 2 : 3));
+  auto g = directed ? Graph::directed(n) : Graph::undirected(n);
+  for (int v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+Graph path_graph(int n, bool directed) {
+  auto g = directed ? Graph::directed(n) : Graph::undirected(n);
+  for (int v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph complete_graph(int n) {
+  auto g = Graph::undirected(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph complete_bipartite(int a, int b) {
+  auto g = Graph::undirected(a + b);
+  for (int u = 0; u < a; ++u)
+    for (int v = 0; v < b; ++v) g.add_edge(u, a + v);
+  return g;
+}
+
+Graph petersen_graph() {
+  auto g = Graph::undirected(10);
+  // Outer 5-cycle, inner pentagram, spokes.
+  for (int v = 0; v < 5; ++v) {
+    g.add_edge(v, (v + 1) % 5);
+    g.add_edge(5 + v, 5 + (v + 2) % 5);
+    g.add_edge(v, 5 + v);
+  }
+  return g;
+}
+
+Graph grid_graph(int a, int b) {
+  CCA_EXPECTS(a >= 1 && b >= 1);
+  auto g = Graph::undirected(a * b);
+  auto id = [b](int i, int j) { return i * b + j; };
+  for (int i = 0; i < a; ++i)
+    for (int j = 0; j < b; ++j) {
+      if (i + 1 < a) g.add_edge(id(i, j), id(i + 1, j));
+      if (j + 1 < b) g.add_edge(id(i, j), id(i, j + 1));
+    }
+  return g;
+}
+
+Graph planted_cycle_graph(int n, int k, double noise_p, std::uint64_t seed,
+                          bool directed) {
+  CCA_EXPECTS(k >= (directed ? 2 : 3) && k <= n);
+  Rng rng(seed);
+  auto g = gnp_random_graph(n, noise_p, rng.next(), directed);
+  std::vector<int> nodes(static_cast<std::size_t>(n));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  rng.shuffle(nodes);
+  for (int i = 0; i < k; ++i)
+    g.add_edge(nodes[static_cast<std::size_t>(i)],
+               nodes[static_cast<std::size_t>((i + 1) % k)]);
+  return g;
+}
+
+Graph random_bipartite_graph(int half, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  auto g = Graph::undirected(2 * half);
+  for (int u = 0; u < half; ++u)
+    for (int v = 0; v < half; ++v)
+      if (rng.next_double() < p) g.add_edge(u, half + v);
+  return g;
+}
+
+Graph binary_tree(int n) {
+  auto g = Graph::undirected(n);
+  for (int v = 1; v < n; ++v) g.add_edge(v, (v - 1) / 2);
+  return g;
+}
+
+}  // namespace cca

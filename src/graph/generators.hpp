@@ -1,0 +1,68 @@
+// Graph generators for tests, examples, and benchmarks.
+//
+// All generators are deterministic functions of their seed. Several produce
+// graphs with a known structural property (exact girth, planted k-cycle) so
+// that the distributed algorithms can be validated without trusting any
+// reference implementation.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace cca {
+
+/// Erdos–Renyi G(n, p); `directed` picks arcs independently per ordered pair.
+[[nodiscard]] Graph gnp_random_graph(int n, double p, std::uint64_t seed,
+                                     bool directed = false);
+
+/// G(n, p) with independent uniform integer weights in [min_w, max_w].
+[[nodiscard]] Graph random_weighted_graph(int n, double p,
+                                          std::int64_t min_w,
+                                          std::int64_t max_w,
+                                          std::uint64_t seed,
+                                          bool directed = false);
+
+/// Random DAG (arcs only from lower to higher index) with weights in
+/// [min_w, max_w]; min_w may be negative — a DAG has no cycles, so shortest
+/// paths remain well defined (used to exercise Corollary 6's negative
+/// weights).
+[[nodiscard]] Graph random_weighted_dag(int n, double p, std::int64_t min_w,
+                                        std::int64_t max_w,
+                                        std::uint64_t seed);
+
+/// Simple cycle 0-1-...-(n-1)-0; directed variant orients it one way.
+[[nodiscard]] Graph cycle_graph(int n, bool directed = false);
+
+/// Simple path 0-1-...-(n-1).
+[[nodiscard]] Graph path_graph(int n, bool directed = false);
+
+/// Complete graph K_n (girth 3 for n >= 3).
+[[nodiscard]] Graph complete_graph(int n);
+
+/// Complete bipartite graph K_{a,b} (girth 4 when a, b >= 2).
+[[nodiscard]] Graph complete_bipartite(int a, int b);
+
+/// The Petersen graph (n = 10, girth 5).
+[[nodiscard]] Graph petersen_graph();
+
+/// a x b grid graph (girth 4 when a, b >= 2).
+[[nodiscard]] Graph grid_graph(int a, int b);
+
+/// Random graph with a planted k-cycle on randomly chosen nodes, plus
+/// G(n, p) noise edges. The planted cycle guarantees a k-cycle exists; it
+/// does NOT guarantee k is the girth (tests use reference algorithms or
+/// p = 0 for exact claims).
+[[nodiscard]] Graph planted_cycle_graph(int n, int k, double noise_p,
+                                        std::uint64_t seed,
+                                        bool directed = false);
+
+/// Bipartite double cover of a random graph — bipartite, so it has no odd
+/// cycles; useful as a negative instance for triangle/5-cycle detection.
+[[nodiscard]] Graph random_bipartite_graph(int half, double p,
+                                           std::uint64_t seed);
+
+/// Balanced binary tree on n nodes (acyclic: girth = infinity).
+[[nodiscard]] Graph binary_tree(int n);
+
+}  // namespace cca

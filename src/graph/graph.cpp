@@ -1,0 +1,87 @@
+#include "graph/graph.hpp"
+
+#include "util/contracts.hpp"
+
+namespace cca {
+
+Graph::Graph(int n, bool directed)
+    : n_(n),
+      directed_(directed),
+      out_(static_cast<std::size_t>(n)),
+      in_(static_cast<std::size_t>(n)),
+      weight_(n, n, kAbsent) {
+  CCA_EXPECTS(n >= 0);
+}
+
+void Graph::add_edge(int u, int v, std::int64_t weight) {
+  CCA_EXPECTS(u >= 0 && u < n_ && v >= 0 && v < n_);
+  CCA_EXPECTS(u != v);
+  CCA_EXPECTS(weight != kAbsent);
+  auto insert_arc = [this](int a, int b, std::int64_t w) {
+    if (weight_(a, b) == kAbsent) {
+      out_[static_cast<std::size_t>(a)].emplace_back(b, w);
+      in_[static_cast<std::size_t>(b)].emplace_back(a, w);
+    } else {
+      for (auto& [nbr, wt] : out_[static_cast<std::size_t>(a)])
+        if (nbr == b) wt = w;
+      for (auto& [nbr, wt] : in_[static_cast<std::size_t>(b)])
+        if (nbr == a) wt = w;
+    }
+    weight_(a, b) = w;
+  };
+  const bool fresh = weight_(u, v) == kAbsent;
+  insert_arc(u, v, weight);
+  if (!directed_) insert_arc(v, u, weight);
+  if (fresh) ++m_;
+}
+
+bool Graph::has_arc(int u, int v) const {
+  CCA_EXPECTS(u >= 0 && u < n_ && v >= 0 && v < n_);
+  return weight_(u, v) != kAbsent;
+}
+
+std::int64_t Graph::arc_weight(int u, int v) const {
+  CCA_EXPECTS(has_arc(u, v));
+  return weight_(u, v);
+}
+
+const std::vector<std::pair<int, std::int64_t>>& Graph::out_arcs(int u) const {
+  CCA_EXPECTS(u >= 0 && u < n_);
+  return out_[static_cast<std::size_t>(u)];
+}
+
+const std::vector<std::pair<int, std::int64_t>>& Graph::in_arcs(int u) const {
+  CCA_EXPECTS(u >= 0 && u < n_);
+  return in_[static_cast<std::size_t>(u)];
+}
+
+int Graph::out_degree(int u) const {
+  return static_cast<int>(out_arcs(u).size());
+}
+
+int Graph::in_degree(int u) const { return static_cast<int>(in_arcs(u).size()); }
+
+Matrix<std::int64_t> Graph::adjacency() const {
+  Matrix<std::int64_t> a(n_, n_, 0);
+  for (int u = 0; u < n_; ++u)
+    for (const auto& [v, w] : out_arcs(u)) a(u, v) = 1;
+  return a;
+}
+
+Matrix<std::uint8_t> Graph::adjacency_bool() const {
+  Matrix<std::uint8_t> a(n_, n_, 0);
+  for (int u = 0; u < n_; ++u)
+    for (const auto& [v, w] : out_arcs(u)) a(u, v) = 1;
+  return a;
+}
+
+Matrix<std::int64_t> Graph::weight_matrix() const {
+  Matrix<std::int64_t> w(n_, n_, MinPlusSemiring::kInf);
+  for (int u = 0; u < n_; ++u) {
+    w(u, u) = 0;
+    for (const auto& [v, wt] : out_arcs(u)) w(u, v) = wt;
+  }
+  return w;
+}
+
+}  // namespace cca

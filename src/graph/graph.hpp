@@ -1,0 +1,73 @@
+// Graph type shared by the distributed algorithms, the generators, and the
+// centralized reference implementations.
+//
+// In the congested clique the input graph G and the communication topology
+// share the node set: node v initially knows exactly its own incident edges
+// (its row of the adjacency/weight matrix). The distributed algorithms in
+// src/core/ respect that: everything node v stages on the network in the
+// first superstep derives from row v only.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "matrix/matrix.hpp"
+#include "matrix/semiring.hpp"
+
+namespace cca {
+
+class Graph {
+ public:
+  /// Simple undirected graph on n nodes (edges stored as two arcs).
+  [[nodiscard]] static Graph undirected(int n) { return Graph(n, false); }
+  /// Simple directed graph on n nodes (no self-loops).
+  [[nodiscard]] static Graph directed(int n) { return Graph(n, true); }
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] bool is_directed() const noexcept { return directed_; }
+
+  /// Insert (or re-weight) an edge. Undirected graphs add both arcs.
+  /// Self-loops are rejected (the paper's graphs are loopless).
+  void add_edge(int u, int v, std::int64_t weight = 1);
+
+  [[nodiscard]] bool has_arc(int u, int v) const;
+  /// Weight of an existing arc; requires has_arc(u, v).
+  [[nodiscard]] std::int64_t arc_weight(int u, int v) const;
+
+  /// Out-neighbours (sorted by insertion; use sort_arcs() for sorted order).
+  [[nodiscard]] const std::vector<std::pair<int, std::int64_t>>& out_arcs(
+      int u) const;
+  /// In-neighbours with weights.
+  [[nodiscard]] const std::vector<std::pair<int, std::int64_t>>& in_arcs(
+      int u) const;
+
+  [[nodiscard]] int out_degree(int u) const;
+  [[nodiscard]] int in_degree(int u) const;
+  /// Number of edges: arcs for directed graphs, edges for undirected.
+  [[nodiscard]] std::int64_t num_edges() const noexcept { return m_; }
+
+  /// 0/1 adjacency matrix over the integers (undirected graphs symmetric).
+  [[nodiscard]] Matrix<std::int64_t> adjacency() const;
+  /// 0/1 adjacency matrix as bytes (Boolean semiring value type).
+  [[nodiscard]] Matrix<std::uint8_t> adjacency_bool() const;
+  /// Weight matrix over min-plus: 0 on the diagonal, arc weight on arcs,
+  /// MinPlusSemiring::kInf elsewhere (the matrix W of Section 3.3).
+  [[nodiscard]] Matrix<std::int64_t> weight_matrix() const;
+
+ private:
+  Graph(int n, bool directed);
+
+  int n_;
+  bool directed_;
+  std::int64_t m_ = 0;
+  std::vector<std::vector<std::pair<int, std::int64_t>>> out_;
+  std::vector<std::vector<std::pair<int, std::int64_t>>> in_;
+  // Arc existence/weight lookup table; kAbsent marks non-arcs.
+  static constexpr std::int64_t kAbsent =
+      std::numeric_limits<std::int64_t>::min();
+  Matrix<std::int64_t> weight_;
+};
+
+}  // namespace cca

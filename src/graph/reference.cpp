@@ -1,0 +1,250 @@
+#include "graph/reference.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "matrix/semiring.hpp"
+#include "util/contracts.hpp"
+
+namespace cca {
+
+namespace {
+constexpr std::int64_t kInf = MinPlusSemiring::kInf;
+}  // namespace
+
+Matrix<std::int64_t> ref_apsp(const Graph& g) {
+  const int n = g.n();
+  Matrix<std::int64_t> d = g.weight_matrix();
+  for (int k = 0; k < n; ++k)
+    for (int i = 0; i < n; ++i) {
+      const auto dik = d(i, k);
+      if (dik >= kInf) continue;
+      for (int j = 0; j < n; ++j) {
+        const auto dkj = d(k, j);
+        if (dkj >= kInf) continue;
+        if (dik + dkj < d(i, j)) d(i, j) = dik + dkj;
+      }
+    }
+  for (int v = 0; v < n; ++v) CCA_ENSURES(d(v, v) >= 0);  // no negative cycle
+  return d;
+}
+
+Matrix<std::int64_t> ref_bfs_apsp(const Graph& g) {
+  const int n = g.n();
+  Matrix<std::int64_t> d(n, n, kInf);
+  std::deque<int> queue;
+  for (int s = 0; s < n; ++s) {
+    d(s, s) = 0;
+    queue.clear();
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (const auto& [v, w] : g.out_arcs(u)) {
+        (void)w;
+        if (d(s, v) >= kInf) {
+          d(s, v) = d(s, u) + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return d;
+}
+
+std::int64_t ref_count_triangles(const Graph& g) {
+  const int n = g.n();
+  std::int64_t count = 0;
+  if (!g.is_directed()) {
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v) {
+        if (!g.has_arc(u, v)) continue;
+        for (int w = v + 1; w < n; ++w)
+          if (g.has_arc(v, w) && g.has_arc(w, u)) ++count;
+      }
+  } else {
+    // Directed 3-cycles; representative = rotation starting at the minimum.
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v) {
+        if (!g.has_arc(u, v)) continue;
+        for (int w = u + 1; w < n; ++w) {
+          if (w == v) continue;
+          if (g.has_arc(v, w) && g.has_arc(w, u)) ++count;
+        }
+      }
+  }
+  return count;
+}
+
+std::int64_t ref_count_4cycles(const Graph& g) {
+  const int n = g.n();
+  std::int64_t count = 0;
+  if (!g.is_directed()) {
+    // Each 4-cycle is determined by its two opposite pairs; summing
+    // C(codegree, 2) over unordered pairs counts every cycle twice.
+    for (int u = 0; u < n; ++u)
+      for (int w = u + 1; w < n; ++w) {
+        std::int64_t codeg = 0;
+        for (const auto& [x, wt] : g.out_arcs(u)) {
+          (void)wt;
+          if (x != w && g.has_arc(x, w)) ++codeg;
+        }
+        count += codeg * (codeg - 1) / 2;
+      }
+    CCA_ASSERT(count % 2 == 0);
+    return count / 2;
+  }
+  // Directed: enumerate with the minimum node first; each directed 4-cycle
+  // has exactly one such representation.
+  for (int a = 0; a < n; ++a)
+    for (const auto& [b, w1] : g.out_arcs(a)) {
+      (void)w1;
+      if (b <= a) continue;
+      for (const auto& [c, w2] : g.out_arcs(b)) {
+        (void)w2;
+        if (c <= a || c == b) continue;
+        for (const auto& [d, w3] : g.out_arcs(c)) {
+          (void)w3;
+          if (d <= a || d == b || d == c) continue;
+          if (g.has_arc(d, a)) ++count;
+        }
+      }
+    }
+  return count;
+}
+
+namespace {
+
+bool dfs_k_cycle(const Graph& g, int start, int current, int remaining,
+                 std::vector<char>& on_path) {
+  if (remaining == 0) return g.has_arc(current, start);
+  for (const auto& [next, w] : g.out_arcs(current)) {
+    (void)w;
+    // Fix `start` as the minimum node of the cycle to prune the search.
+    if (next <= start || on_path[static_cast<std::size_t>(next)]) continue;
+    on_path[static_cast<std::size_t>(next)] = 1;
+    if (dfs_k_cycle(g, start, next, remaining - 1, on_path)) return true;
+    on_path[static_cast<std::size_t>(next)] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ref_has_k_cycle(const Graph& g, int k) {
+  CCA_EXPECTS(k >= (g.is_directed() ? 2 : 3));
+  if (k > g.n()) return false;
+  std::vector<char> on_path(static_cast<std::size_t>(g.n()), 0);
+  for (int s = 0; s < g.n(); ++s) {
+    on_path[static_cast<std::size_t>(s)] = 1;
+    if (dfs_k_cycle(g, s, s, k - 1, on_path)) return true;
+    on_path[static_cast<std::size_t>(s)] = 0;
+  }
+  return false;
+}
+
+std::int64_t ref_count_5cycles(const Graph& g) {
+  CCA_EXPECTS(!g.is_directed());
+  const int n = g.n();
+  std::int64_t count = 0;
+  // Enumerate 5-paths a-b-c-d-e with a the minimum and b < e to fix one
+  // representative per cycle (5 rotations x 2 reflections collapse to the
+  // min-rooted, direction-normalised tuple).
+  for (int a = 0; a < n; ++a)
+    for (const auto& [b, w1] : g.out_arcs(a)) {
+      (void)w1;
+      if (b <= a) continue;
+      for (const auto& [c, w2] : g.out_arcs(b)) {
+        (void)w2;
+        if (c <= a || c == b) continue;
+        for (const auto& [d, w3] : g.out_arcs(c)) {
+          (void)w3;
+          if (d <= a || d == b || d == c) continue;
+          for (const auto& [e, w4] : g.out_arcs(d)) {
+            (void)w4;
+            if (e <= b || e == c || e == d) continue;  // e > b fixes direction
+            if (g.has_arc(e, a)) ++count;
+          }
+        }
+      }
+    }
+  return count;
+}
+
+std::int64_t ref_girth(const Graph& g) {
+  const int n = g.n();
+  std::int64_t best = kInf;
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(n));
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::deque<int> queue;
+
+  if (!g.is_directed()) {
+    // BFS from every root; a non-tree edge (u,v) closes a walk of length
+    // dist[u] + dist[v] + 1 which contains a cycle no longer than that, and
+    // for a root on a shortest cycle the bound is attained.
+    for (int r = 0; r < n; ++r) {
+      std::fill(dist.begin(), dist.end(), kInf);
+      std::fill(parent.begin(), parent.end(), -1);
+      dist[static_cast<std::size_t>(r)] = 0;
+      queue.clear();
+      queue.push_back(r);
+      while (!queue.empty()) {
+        const int u = queue.front();
+        queue.pop_front();
+        if (2 * dist[static_cast<std::size_t>(u)] >= best) break;  // prune
+        for (const auto& [v, w] : g.out_arcs(u)) {
+          (void)w;
+          if (dist[static_cast<std::size_t>(v)] >= kInf) {
+            dist[static_cast<std::size_t>(v)] =
+                dist[static_cast<std::size_t>(u)] + 1;
+            parent[static_cast<std::size_t>(v)] = u;
+            queue.push_back(v);
+          } else if (parent[static_cast<std::size_t>(u)] != v &&
+                     parent[static_cast<std::size_t>(v)] != u) {
+            best = std::min(best, dist[static_cast<std::size_t>(u)] +
+                                      dist[static_cast<std::size_t>(v)] + 1);
+          }
+        }
+      }
+    }
+    return best;
+  }
+
+  // Directed: girth = min over arcs (u -> v) of dist(v, u) + 1.
+  for (int s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[static_cast<std::size_t>(s)] = 0;
+    queue.clear();
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (const auto& [v, w] : g.out_arcs(u)) {
+        (void)w;
+        if (dist[static_cast<std::size_t>(v)] >= kInf) {
+          dist[static_cast<std::size_t>(v)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    for (const auto& [u, w] : g.in_arcs(s)) {
+      (void)w;
+      if (dist[static_cast<std::size_t>(u)] < kInf)
+        best = std::min(best, dist[static_cast<std::size_t>(u)] + 1);
+    }
+  }
+  return best;
+}
+
+std::int64_t ref_weighted_diameter(const Graph& g) {
+  const auto d = ref_apsp(g);
+  std::int64_t best = 0;
+  for (int u = 0; u < g.n(); ++u)
+    for (int v = 0; v < g.n(); ++v)
+      if (d(u, v) < kInf) best = std::max(best, d(u, v));
+  return best;
+}
+
+}  // namespace cca

@@ -1,0 +1,50 @@
+// Centralized (single-machine) reference algorithms.
+//
+// Every distributed algorithm in src/core/ is validated against these
+// classical implementations. They are deliberately written with different
+// techniques than the distributed versions (e.g. Floyd–Warshall vs iterated
+// squaring, codegree counting vs trace formulas) so that agreement is
+// meaningful evidence of correctness.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "matrix/matrix.hpp"
+
+namespace cca {
+
+/// All-pairs shortest path distances by Floyd–Warshall.
+/// Unreachable pairs hold MinPlusSemiring::kInf. Negative arc weights are
+/// allowed as long as the graph has no negative cycle (checked; violations
+/// abort). Diagonal entries are 0.
+[[nodiscard]] Matrix<std::int64_t> ref_apsp(const Graph& g);
+
+/// Unweighted all-pairs distances by n breadth-first searches.
+[[nodiscard]] Matrix<std::int64_t> ref_bfs_apsp(const Graph& g);
+
+/// Number of triangles: 3-cliques for undirected graphs, directed 3-cycles
+/// for directed graphs.
+[[nodiscard]] std::int64_t ref_count_triangles(const Graph& g);
+
+/// Number of (simple) 4-cycles. Undirected graphs use codegree counting;
+/// directed graphs use bounded enumeration.
+[[nodiscard]] std::int64_t ref_count_4cycles(const Graph& g);
+
+/// Existence of a simple k-cycle (directed cycle for directed graphs).
+/// Exponential-time DFS enumeration; intended for test-sized graphs.
+[[nodiscard]] bool ref_has_k_cycle(const Graph& g, int k);
+
+/// Number of simple 5-cycles of an undirected graph, by path enumeration
+/// with a minimum-vertex representative; intended for test-sized graphs.
+[[nodiscard]] std::int64_t ref_count_5cycles(const Graph& g);
+
+/// Girth: length of the shortest cycle (shortest directed cycle for directed
+/// graphs); MinPlusSemiring::kInf if the graph is acyclic.
+[[nodiscard]] std::int64_t ref_girth(const Graph& g);
+
+/// Largest finite shortest-path distance over reachable pairs (the weighted
+/// diameter restricted to reachable pairs; 0 for an edgeless graph).
+[[nodiscard]] std::int64_t ref_weighted_diameter(const Graph& g);
+
+}  // namespace cca

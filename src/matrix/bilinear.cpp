@@ -1,0 +1,158 @@
+#include "matrix/bilinear.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace cca {
+
+double BilinearAlgorithm::sigma() const {
+  CCA_EXPECTS(d >= 1 && m >= 1);
+  if (d == 1) return 3.0;  // conventional; a 1x1 product is a single scalar mul
+  return std::log(static_cast<double>(m)) / std::log(static_cast<double>(d));
+}
+
+BilinearAlgorithm schoolbook_algorithm(int d) {
+  CCA_EXPECTS(d >= 1);
+  BilinearAlgorithm alg;
+  alg.d = d;
+  alg.m = d * d * d;
+  alg.alpha.resize(static_cast<std::size_t>(alg.m));
+  alg.beta.resize(static_cast<std::size_t>(alg.m));
+  alg.lambda.resize(static_cast<std::size_t>(d * d));
+  int w = 0;
+  for (int i = 0; i < d; ++i)
+    for (int k = 0; k < d; ++k)
+      for (int j = 0; j < d; ++j) {
+        alg.alpha[static_cast<std::size_t>(w)] = {{i * d + k, 1}};
+        alg.beta[static_cast<std::size_t>(w)] = {{k * d + j, 1}};
+        alg.lambda[static_cast<std::size_t>(i * d + j)].push_back({w, 1});
+        ++w;
+      }
+  return alg;
+}
+
+BilinearAlgorithm strassen_algorithm() {
+  // Index convention for 2x2: 0 = (1,1), 1 = (1,2), 2 = (2,1), 3 = (2,2).
+  BilinearAlgorithm alg;
+  alg.d = 2;
+  alg.m = 7;
+  alg.alpha = {
+      {{0, 1}, {3, 1}},   // p1 = (a11 + a22)(b11 + b22)
+      {{2, 1}, {3, 1}},   // p2 = (a21 + a22) b11
+      {{0, 1}},           // p3 = a11 (b12 - b22)
+      {{3, 1}},           // p4 = a22 (b21 - b11)
+      {{0, 1}, {1, 1}},   // p5 = (a11 + a12) b22
+      {{2, 1}, {0, -1}},  // p6 = (a21 - a11)(b11 + b12)
+      {{1, 1}, {3, -1}},  // p7 = (a12 - a22)(b21 + b22)
+  };
+  alg.beta = {
+      {{0, 1}, {3, 1}},  {{0, 1}},          {{1, 1}, {3, -1}},
+      {{2, 1}, {0, -1}}, {{3, 1}},          {{0, 1}, {1, 1}},
+      {{2, 1}, {3, 1}},
+  };
+  alg.lambda = {
+      {{0, 1}, {3, 1}, {4, -1}, {6, 1}},  // c11 = p1 + p4 - p5 + p7
+      {{2, 1}, {4, 1}},                   // c12 = p3 + p5
+      {{1, 1}, {3, 1}},                   // c21 = p2 + p4
+      {{0, 1}, {1, -1}, {2, 1}, {5, 1}},  // c22 = p1 - p2 + p3 + p6
+  };
+  return alg;
+}
+
+BilinearAlgorithm tensor(const BilinearAlgorithm& a,
+                         const BilinearAlgorithm& b) {
+  BilinearAlgorithm out;
+  out.d = a.d * b.d;
+  out.m = a.m * b.m;
+  out.alpha.resize(static_cast<std::size_t>(out.m));
+  out.beta.resize(static_cast<std::size_t>(out.m));
+  out.lambda.resize(static_cast<std::size_t>(out.d) *
+                    static_cast<std::size_t>(out.d));
+
+  // Entry (i,j) of the composed d1*d2 matrix corresponds to the pair of
+  // entries (i1,j1) in the outer algorithm and (i2,j2) in the inner one,
+  // with i = i1*d2 + i2 and j = j1*d2 + j2.
+  auto compose_entry = [&](int outer_index, int inner_index) {
+    const int i1 = outer_index / a.d;
+    const int j1 = outer_index % a.d;
+    const int i2 = inner_index / b.d;
+    const int j2 = inner_index % b.d;
+    return (i1 * b.d + i2) * out.d + (j1 * b.d + j2);
+  };
+
+  for (int w1 = 0; w1 < a.m; ++w1)
+    for (int w2 = 0; w2 < b.m; ++w2) {
+      const auto w = static_cast<std::size_t>(w1 * b.m + w2);
+      for (const auto& ca : a.alpha[static_cast<std::size_t>(w1)])
+        for (const auto& cb : b.alpha[static_cast<std::size_t>(w2)])
+          out.alpha[w].push_back(
+              {compose_entry(ca.index, cb.index), ca.coeff * cb.coeff});
+      for (const auto& ca : a.beta[static_cast<std::size_t>(w1)])
+        for (const auto& cb : b.beta[static_cast<std::size_t>(w2)])
+          out.beta[w].push_back(
+              {compose_entry(ca.index, cb.index), ca.coeff * cb.coeff});
+    }
+
+  for (int e1 = 0; e1 < a.d * a.d; ++e1)
+    for (int e2 = 0; e2 < b.d * b.d; ++e2) {
+      auto& row = out.lambda[static_cast<std::size_t>(compose_entry(e1, e2))];
+      for (const auto& ca : a.lambda[static_cast<std::size_t>(e1)])
+        for (const auto& cb : b.lambda[static_cast<std::size_t>(e2)])
+          row.push_back({ca.index * b.m + cb.index, ca.coeff * cb.coeff});
+    }
+  return out;
+}
+
+BilinearAlgorithm tensor_power(const BilinearAlgorithm& a, int k) {
+  CCA_EXPECTS(k >= 0);
+  BilinearAlgorithm out;
+  out.d = 1;
+  out.m = 1;
+  out.alpha = {{{0, 1}}};
+  out.beta = {{{0, 1}}};
+  out.lambda = {{{0, 1}}};
+  for (int i = 0; i < k; ++i) out = tensor(out, a);
+  return out;
+}
+
+bool verify_bilinear(const BilinearAlgorithm& alg) {
+  const int d = alg.d;
+  // Dense tensors of the coefficient families for O(1) lookup.
+  const auto dd = static_cast<std::size_t>(d) * static_cast<std::size_t>(d);
+  const auto md = static_cast<std::size_t>(alg.m);
+  std::vector<std::int64_t> a(md * dd), b(md * dd), l(dd * md);
+  for (int w = 0; w < alg.m; ++w) {
+    for (const auto& c : alg.alpha[static_cast<std::size_t>(w)])
+      a[static_cast<std::size_t>(w) * dd + static_cast<std::size_t>(c.index)] +=
+          c.coeff;
+    for (const auto& c : alg.beta[static_cast<std::size_t>(w)])
+      b[static_cast<std::size_t>(w) * dd + static_cast<std::size_t>(c.index)] +=
+          c.coeff;
+  }
+  for (std::size_t e = 0; e < dd; ++e)
+    for (const auto& c : alg.lambda[e])
+      l[e * md + static_cast<std::size_t>(c.index)] += c.coeff;
+
+  // Brent equations: sum_w alpha_w[a1,a2] beta_w[b1,b2] lambda[(i,j)][w]
+  // must equal [a2==b1][i==a1][j==b2].
+  for (int a1 = 0; a1 < d; ++a1)
+    for (int a2 = 0; a2 < d; ++a2)
+      for (int b1 = 0; b1 < d; ++b1)
+        for (int b2 = 0; b2 < d; ++b2)
+          for (int i = 0; i < d; ++i)
+            for (int j = 0; j < d; ++j) {
+              std::int64_t sum = 0;
+              const auto ea = static_cast<std::size_t>(a1 * d + a2);
+              const auto eb = static_cast<std::size_t>(b1 * d + b2);
+              const auto el = static_cast<std::size_t>(i * d + j);
+              for (std::size_t w = 0; w < md; ++w)
+                sum += a[w * dd + ea] * b[w * dd + eb] * l[el * md + w];
+              const std::int64_t want =
+                  (a2 == b1 && i == a1 && j == b2) ? 1 : 0;
+              if (sum != want) return false;
+            }
+  return true;
+}
+
+}  // namespace cca

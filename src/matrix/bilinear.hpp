@@ -1,0 +1,118 @@
+// Bilinear matrix multiplication algorithms as data (paper Section 2.2).
+//
+// A bilinear algorithm for d x d matrices with m scalar multiplications is a
+// triple of coefficient families (alpha, beta, lambda):
+//
+//   S^(w) = sum_{ij} alpha_ijw S_ij,   T^(w) = sum_{ij} beta_ijw T_ij,
+//   P^(w) = S^(w) * T^(w),             P_ij  = sum_w lambda_ijw P^(w).
+//
+// Lemma 10 of the paper turns ANY such algorithm into a congested clique
+// matrix multiplication running in O(n^{1-2/sigma}) rounds where m(d) =
+// O(d^sigma). We represent the coefficients sparsely, provide Strassen's
+// <2,2,2;7> algorithm and the trivial <d,d,d;d^3> algorithm as instances,
+// and build larger instances by tensor powering — exactly the family the
+// paper's Lemma 10 requires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/matrix.hpp"
+#include "matrix/semiring.hpp"
+
+namespace cca {
+
+/// One sparse coefficient: `entry` indexes a d*d matrix entry (i*d + j) for
+/// alpha/beta, or a product index w for lambda rows.
+struct SparseCoeff {
+  int index = 0;
+  std::int64_t coeff = 0;
+};
+
+/// A bilinear algorithm <d,d,d;m>. Coefficients are stored sparsely:
+/// alpha[w], beta[w] list the input entries combined into the w-th product;
+/// lambda[i*d+j] lists the products combined into output entry (i,j).
+struct BilinearAlgorithm {
+  int d = 1;
+  int m = 1;
+  std::vector<std::vector<SparseCoeff>> alpha;   ///< size m
+  std::vector<std::vector<SparseCoeff>> beta;    ///< size m
+  std::vector<std::vector<SparseCoeff>> lambda;  ///< size d*d
+
+  /// sigma such that m == d^sigma (the algorithm's exponent).
+  [[nodiscard]] double sigma() const;
+};
+
+/// The trivial schoolbook algorithm <d,d,d;d^3>.
+[[nodiscard]] BilinearAlgorithm schoolbook_algorithm(int d);
+
+/// Strassen's algorithm <2,2,2;7>.
+[[nodiscard]] BilinearAlgorithm strassen_algorithm();
+
+/// Tensor (Kronecker) product of two bilinear algorithms:
+/// <d1 d2, d1 d2, d1 d2; m1 m2>.
+[[nodiscard]] BilinearAlgorithm tensor(const BilinearAlgorithm& a,
+                                       const BilinearAlgorithm& b);
+
+/// k-fold tensor power (k >= 0; k == 0 gives the trivial <1,1,1;1>).
+[[nodiscard]] BilinearAlgorithm tensor_power(const BilinearAlgorithm& a,
+                                             int k);
+
+/// Apply the algorithm once (no recursion) to d x d matrices over a ring.
+/// This is the sequential reference for both the tests and the distributed
+/// implementation of Section 2.2.
+template <Ring R>
+[[nodiscard]] Matrix<typename R::Value> apply_bilinear(
+    const R& r, const BilinearAlgorithm& alg,
+    const Matrix<typename R::Value>& s, const Matrix<typename R::Value>& t) {
+  CCA_EXPECTS(s.rows() == alg.d && s.cols() == alg.d);
+  CCA_EXPECTS(t.rows() == alg.d && t.cols() == alg.d);
+  using V = typename R::Value;
+
+  auto combine = [&](const std::vector<SparseCoeff>& coeffs,
+                     const Matrix<V>& mat) {
+    V acc = r.zero();
+    for (const auto& c : coeffs) {
+      const int i = c.index / alg.d;
+      const int j = c.index % alg.d;
+      V term = mat(i, j);
+      if (c.coeff >= 0)
+        for (std::int64_t rep = 0; rep < c.coeff; ++rep) acc = r.add(acc, term);
+      else
+        for (std::int64_t rep = 0; rep < -c.coeff; ++rep)
+          acc = r.sub(acc, term);
+    }
+    return acc;
+  };
+
+  std::vector<V> products(static_cast<std::size_t>(alg.m), r.zero());
+  for (int w = 0; w < alg.m; ++w)
+    products[static_cast<std::size_t>(w)] =
+        r.mul(combine(alg.alpha[static_cast<std::size_t>(w)], s),
+              combine(alg.beta[static_cast<std::size_t>(w)], t));
+
+  Matrix<V> p(alg.d, alg.d, r.zero());
+  for (int i = 0; i < alg.d; ++i)
+    for (int j = 0; j < alg.d; ++j) {
+      V acc = r.zero();
+      for (const auto& c :
+           alg.lambda[static_cast<std::size_t>(i * alg.d + j)]) {
+        const V term = products[static_cast<std::size_t>(c.index)];
+        if (c.coeff >= 0)
+          for (std::int64_t rep = 0; rep < c.coeff; ++rep)
+            acc = r.add(acc, term);
+        else
+          for (std::int64_t rep = 0; rep < -c.coeff; ++rep)
+            acc = r.sub(acc, term);
+      }
+      p(i, j) = acc;
+    }
+  return p;
+}
+
+/// Exhaustive symbolic verification that `alg` computes matrix products:
+/// checks sum_w alpha_w[ab] beta_w[cd] lambda[ij][w] == [b==c][i==a][j==d]
+/// for all entry combinations. O(d^6 m) — use on small d only.
+[[nodiscard]] bool verify_bilinear(const BilinearAlgorithm& alg);
+
+}  // namespace cca

@@ -1,0 +1,124 @@
+// Entry <-> machine-word codecs for network transmission.
+//
+// The congested clique charges one round per word per link; a matrix entry
+// that needs b bits costs ceil(b/64) words. These codecs define that cost
+// for each entry type and perform the (de)serialisation. The polynomial
+// codec's width equals the polynomial cap, which is how the O(M) factor of
+// Lemma 18 enters the measured round counts; the packed Boolean codec fits
+// 64 entries in a word, which is how the "/ log n" factors in Table 1's
+// prior-work rows arise.
+//
+// Codecs encode BLOCKS: the distributed algorithms move contiguous
+// submatrix pieces, and a block codec may use fewer words than
+// entries x words-per-entry (bit packing). `words_for(count)` must be the
+// exact encoded size of a `count`-entry block.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "matrix/poly.hpp"
+#include "util/contracts.hpp"
+
+namespace cca {
+
+using EncodedWord = std::uint64_t;
+
+/// 64-bit signed integers: one word per entry (covers poly(n)-bounded
+/// values, min-plus distances with the infinity sentinel, and counts).
+struct I64Codec {
+  using Value = std::int64_t;
+  [[nodiscard]] std::size_t words_for(std::size_t entries) const noexcept {
+    return entries;
+  }
+  void encode_block(const std::vector<Value>& vals,
+                    std::vector<EncodedWord>& out) const {
+    for (const auto v : vals) out.push_back(std::bit_cast<EncodedWord>(v));
+  }
+  [[nodiscard]] std::vector<Value> decode_block(const EncodedWord* words,
+                                                std::size_t count) const {
+    std::vector<Value> out(count);
+    for (std::size_t i = 0; i < count; ++i)
+      out[i] = std::bit_cast<Value>(words[i]);
+    return out;
+  }
+};
+
+/// Byte-valued entries (Boolean semiring), one word per entry — the
+/// unpacked default matching the paper's headline bounds.
+struct ByteCodec {
+  using Value = std::uint8_t;
+  [[nodiscard]] std::size_t words_for(std::size_t entries) const noexcept {
+    return entries;
+  }
+  void encode_block(const std::vector<Value>& vals,
+                    std::vector<EncodedWord>& out) const {
+    for (const auto v : vals) out.push_back(v);
+  }
+  [[nodiscard]] std::vector<Value> decode_block(const EncodedWord* words,
+                                                std::size_t count) const {
+    std::vector<Value> out(count);
+    for (std::size_t i = 0; i < count; ++i)
+      out[i] = static_cast<Value>(words[i]);
+    return out;
+  }
+};
+
+/// Bit-packed Booleans: 64 entries per word. Using this codec with the
+/// Boolean-semiring products reproduces the O(log n)-factor savings the
+/// prior-work rows of Table 1 exploit (Dolev et al.'s O(n^{1/3}/log n)).
+struct PackedBoolCodec {
+  using Value = std::uint8_t;
+  [[nodiscard]] std::size_t words_for(std::size_t entries) const noexcept {
+    return (entries + 63) / 64;
+  }
+  void encode_block(const std::vector<Value>& vals,
+                    std::vector<EncodedWord>& out) const {
+    const std::size_t base = out.size();
+    out.resize(base + words_for(vals.size()), 0);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+      if (vals[i] != 0) out[base + i / 64] |= EncodedWord{1} << (i % 64);
+  }
+  [[nodiscard]] std::vector<Value> decode_block(const EncodedWord* words,
+                                                std::size_t count) const {
+    std::vector<Value> out(count);
+    for (std::size_t i = 0; i < count; ++i)
+      out[i] = static_cast<Value>((words[i / 64] >> (i % 64)) & 1);
+    return out;
+  }
+};
+
+/// Capped polynomials: `cap` words per entry (one per coefficient).
+struct PolyCodec {
+  using Value = CappedPoly;
+  int cap = 1;
+
+  [[nodiscard]] std::size_t words_for(std::size_t entries) const noexcept {
+    return entries * static_cast<std::size_t>(cap);
+  }
+  void encode_block(const std::vector<Value>& vals,
+                    std::vector<EncodedWord>& out) const {
+    for (const auto& v : vals) {
+      CCA_EXPECTS(v.cap() == cap);
+      for (int d = 0; d < cap; ++d)
+        out.push_back(std::bit_cast<EncodedWord>(v.coeff(d)));
+    }
+  }
+  [[nodiscard]] std::vector<Value> decode_block(const EncodedWord* words,
+                                                std::size_t count) const {
+    std::vector<Value> out;
+    out.reserve(count);
+    for (std::size_t e = 0; e < count; ++e) {
+      CappedPoly p(cap);
+      for (int d = 0; d < cap; ++d)
+        p.coeff(d) = std::bit_cast<std::int64_t>(
+            words[e * static_cast<std::size_t>(cap) +
+                  static_cast<std::size_t>(d)]);
+      out.push_back(std::move(p));
+    }
+    return out;
+  }
+};
+
+}  // namespace cca

@@ -1,0 +1,102 @@
+// Dense row-major matrix container used throughout the library.
+//
+// Deliberately minimal: the interesting algebra lives in semiring.hpp and
+// ops.hpp; this type only owns storage and provides block (submatrix)
+// access, which the distributed algorithms use to carve the partitioning
+// schemes of Sections 2.1 and 2.2 of the paper.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace cca {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix with every entry set to `init`.
+  Matrix(int rows, int cols, T init = T{})
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              std::move(init)) {
+    CCA_EXPECTS(rows >= 0 && cols >= 0);
+  }
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+
+  [[nodiscard]] T& operator()(int i, int j) {
+    CCA_EXPECTS(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(j)];
+  }
+  [[nodiscard]] const T& operator()(int i, int j) const {
+    CCA_EXPECTS(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(j)];
+  }
+
+  /// Raw row access for tight inner loops.
+  [[nodiscard]] T* row(int i) {
+    CCA_EXPECTS(i >= 0 && i < rows_);
+    return data_.data() +
+           static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_);
+  }
+  [[nodiscard]] const T* row(int i) const {
+    CCA_EXPECTS(i >= 0 && i < rows_);
+    return data_.data() +
+           static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_);
+  }
+
+  /// Copy of the block with top-left corner (r0, c0) and size h x w.
+  [[nodiscard]] Matrix block(int r0, int c0, int h, int w) const {
+    CCA_EXPECTS(r0 >= 0 && c0 >= 0 && h >= 0 && w >= 0);
+    CCA_EXPECTS(r0 + h <= rows_ && c0 + w <= cols_);
+    Matrix out(h, w);
+    for (int i = 0; i < h; ++i)
+      for (int j = 0; j < w; ++j) out(i, j) = (*this)(r0 + i, c0 + j);
+    return out;
+  }
+
+  /// Write `src` into this matrix with top-left corner (r0, c0).
+  void paste(int r0, int c0, const Matrix& src) {
+    CCA_EXPECTS(r0 >= 0 && c0 >= 0);
+    CCA_EXPECTS(r0 + src.rows() <= rows_ && c0 + src.cols() <= cols_);
+    for (int i = 0; i < src.rows(); ++i)
+      for (int j = 0; j < src.cols(); ++j)
+        (*this)(r0 + i, c0 + j) = src(i, j);
+  }
+
+  /// Enlarged/cropped copy; new cells (if any) take value `fill`.
+  [[nodiscard]] Matrix resized(int rows, int cols, T fill) const {
+    Matrix out(rows, cols, std::move(fill));
+    const int h = rows < rows_ ? rows : rows_;
+    const int w = cols < cols_ ? cols : cols_;
+    for (int i = 0; i < h; ++i)
+      for (int j = 0; j < w; ++j) out(i, j) = (*this)(i, j);
+    return out;
+  }
+
+  [[nodiscard]] Matrix transposed() const {
+    Matrix out(cols_, rows_);
+    for (int i = 0; i < rows_; ++i)
+      for (int j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    return out;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace cca

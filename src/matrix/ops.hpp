@@ -1,0 +1,80 @@
+// Local (single-node) matrix operations, generic over the semiring.
+//
+// These are the kernels executed inside each node's free local computation
+// in the distributed algorithms, and the ground truth the distributed
+// results are tested against.
+#pragma once
+
+#include "matrix/matrix.hpp"
+#include "matrix/semiring.hpp"
+
+namespace cca {
+
+/// Identity matrix of the semiring.
+template <Semiring S>
+[[nodiscard]] Matrix<typename S::Value> identity(const S& s, int n) {
+  Matrix<typename S::Value> out(n, n, s.zero());
+  for (int i = 0; i < n; ++i) out(i, i) = s.one();
+  return out;
+}
+
+/// Entrywise sum.
+template <Semiring S>
+[[nodiscard]] Matrix<typename S::Value> add(const S& s,
+                                            const Matrix<typename S::Value>& a,
+                                            const Matrix<typename S::Value>& b) {
+  CCA_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix<typename S::Value> out(a.rows(), a.cols(), s.zero());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < a.cols(); ++j) out(i, j) = s.add(a(i, j), b(i, j));
+  return out;
+}
+
+/// Schoolbook product with i-k-j loop order (cache friendly for row-major).
+template <Semiring S>
+[[nodiscard]] Matrix<typename S::Value> multiply(
+    const S& s, const Matrix<typename S::Value>& a,
+    const Matrix<typename S::Value>& b) {
+  CCA_EXPECTS(a.cols() == b.rows());
+  Matrix<typename S::Value> out(a.rows(), b.cols(), s.zero());
+  for (int i = 0; i < a.rows(); ++i) {
+    auto* out_row = out.row(i);
+    const auto* a_row = a.row(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const auto aik = a_row[k];
+      if (aik == s.zero()) continue;  // harmless skip; big win on sparse inputs
+      const auto* b_row = b.row(k);
+      for (int j = 0; j < b.cols(); ++j)
+        out_row[j] = s.add(out_row[j], s.mul(aik, b_row[j]));
+    }
+  }
+  return out;
+}
+
+/// Matrix power by repeated squaring; exp >= 0 (exp == 0 gives identity).
+template <Semiring S>
+[[nodiscard]] Matrix<typename S::Value> power(const S& s,
+                                              Matrix<typename S::Value> base,
+                                              long long exp) {
+  CCA_EXPECTS(base.rows() == base.cols());
+  CCA_EXPECTS(exp >= 0);
+  auto result = identity(s, base.rows());
+  while (exp > 0) {
+    if (exp & 1) result = multiply(s, result, base);
+    exp >>= 1;
+    if (exp > 0) base = multiply(s, base, base);
+  }
+  return result;
+}
+
+/// Trace (sum of diagonal entries under the semiring's addition).
+template <Semiring S>
+[[nodiscard]] typename S::Value trace(const S& s,
+                                      const Matrix<typename S::Value>& a) {
+  CCA_EXPECTS(a.rows() == a.cols());
+  auto t = s.zero();
+  for (int i = 0; i < a.rows(); ++i) t = s.add(t, a(i, i));
+  return t;
+}
+
+}  // namespace cca

@@ -1,0 +1,96 @@
+// Capped (truncated) integer polynomials: the ring Z[X] / X^cap.
+//
+// Lemma 18 of the paper embeds the min-plus (distance) product into a ring
+// product by mapping entry w to X^w; products of n x n matrices then have
+// entries of degree < cap = 2M + 1 with coefficients of absolute value
+// poly(n), and the distance is recovered as the lowest degree with a
+// non-zero coefficient. Transmitting one entry costs `cap` machine words,
+// which is exactly the paper's O(M) bandwidth factor in Lemma 18.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace cca {
+
+class CappedPoly {
+ public:
+  /// The zero polynomial with `cap` tracked coefficients (degrees 0..cap-1).
+  CappedPoly() = default;  // cap 0; usable only as a placeholder
+  explicit CappedPoly(int cap) : coeff_(static_cast<std::size_t>(cap)) {
+    CCA_EXPECTS(cap >= 0);
+  }
+
+  /// coeff * X^degree (degrees >= cap are truncated away).
+  static CappedPoly monomial(int cap, int degree, std::int64_t coeff = 1) {
+    CCA_EXPECTS(degree >= 0);
+    CappedPoly p(cap);
+    if (degree < cap) p.coeff_[static_cast<std::size_t>(degree)] = coeff;
+    return p;
+  }
+
+  [[nodiscard]] int cap() const noexcept {
+    return static_cast<int>(coeff_.size());
+  }
+  [[nodiscard]] std::int64_t coeff(int degree) const {
+    CCA_EXPECTS(degree >= 0 && degree < cap());
+    return coeff_[static_cast<std::size_t>(degree)];
+  }
+  [[nodiscard]] std::int64_t& coeff(int degree) {
+    CCA_EXPECTS(degree >= 0 && degree < cap());
+    return coeff_[static_cast<std::size_t>(degree)];
+  }
+
+  /// Lowest degree with a non-zero coefficient, or -1 if zero.
+  [[nodiscard]] int min_degree() const noexcept {
+    for (int d = 0; d < cap(); ++d)
+      if (coeff_[static_cast<std::size_t>(d)] != 0) return d;
+    return -1;
+  }
+
+  friend bool operator==(const CappedPoly& a, const CappedPoly& b) {
+    return a.coeff_ == b.coeff_;
+  }
+
+ private:
+  std::vector<std::int64_t> coeff_;
+};
+
+/// The ring Z[X]/X^cap. All values flowing through it must share `cap`.
+struct PolyRing {
+  using Value = CappedPoly;
+  int cap = 1;
+
+  [[nodiscard]] Value zero() const { return CappedPoly(cap); }
+  [[nodiscard]] Value one() const { return CappedPoly::monomial(cap, 0); }
+
+  [[nodiscard]] Value add(const Value& a, const Value& b) const {
+    CCA_EXPECTS(a.cap() == cap && b.cap() == cap);
+    Value out(cap);
+    for (int d = 0; d < cap; ++d) out.coeff(d) = a.coeff(d) + b.coeff(d);
+    return out;
+  }
+  [[nodiscard]] Value sub(const Value& a, const Value& b) const {
+    CCA_EXPECTS(a.cap() == cap && b.cap() == cap);
+    Value out(cap);
+    for (int d = 0; d < cap; ++d) out.coeff(d) = a.coeff(d) - b.coeff(d);
+    return out;
+  }
+  [[nodiscard]] Value mul(const Value& a, const Value& b) const {
+    CCA_EXPECTS(a.cap() == cap && b.cap() == cap);
+    Value out(cap);
+    for (int i = 0; i < cap; ++i) {
+      const auto ai = a.coeff(i);
+      if (ai == 0) continue;
+      for (int j = 0; i + j < cap; ++j) {
+        const auto bj = b.coeff(j);
+        if (bj != 0) out.coeff(i + j) += ai * bj;
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace cca

@@ -1,0 +1,80 @@
+// Semiring and ring structures for matrix algebra.
+//
+// The paper's algorithms are generic over the algebra: the 3D algorithm of
+// Section 2.1 works over any semiring (Theorem 1 part 1) and the bilinear
+// scheme of Section 2.2 needs a ring (Lemma 10). The applications use
+//   * the integer ring          — cycle counting (Corollary 2), Seidel,
+//   * the Boolean semiring      — reachability, colour-coding, girth,
+//   * the min-plus semiring     — distance products / APSP (Section 3.3),
+//   * capped polynomial rings   — the Lemma 18 embedding (see poly.hpp).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+namespace cca {
+
+template <typename S>
+concept Semiring = requires(const S s, typename S::Value a, typename S::Value b) {
+  typename S::Value;
+  { s.zero() } -> std::same_as<typename S::Value>;
+  { s.one() } -> std::same_as<typename S::Value>;
+  { s.add(a, b) } -> std::same_as<typename S::Value>;
+  { s.mul(a, b) } -> std::same_as<typename S::Value>;
+};
+
+template <typename S>
+concept Ring = Semiring<S> && requires(const S s, typename S::Value a,
+                                       typename S::Value b) {
+  { s.sub(a, b) } -> std::same_as<typename S::Value>;
+};
+
+/// The ring (Z, +, *) on 64-bit integers.
+struct IntRing {
+  using Value = std::int64_t;
+  [[nodiscard]] Value zero() const noexcept { return 0; }
+  [[nodiscard]] Value one() const noexcept { return 1; }
+  [[nodiscard]] Value add(Value a, Value b) const noexcept { return a + b; }
+  [[nodiscard]] Value sub(Value a, Value b) const noexcept { return a - b; }
+  [[nodiscard]] Value mul(Value a, Value b) const noexcept { return a * b; }
+};
+
+/// The Boolean semiring ({0,1}, or, and). Value is a byte, not bool, to keep
+/// Matrix<Value> free of vector<bool> proxy issues.
+struct BoolSemiring {
+  using Value = std::uint8_t;
+  [[nodiscard]] Value zero() const noexcept { return 0; }
+  [[nodiscard]] Value one() const noexcept { return 1; }
+  [[nodiscard]] Value add(Value a, Value b) const noexcept {
+    return static_cast<Value>(a | b);
+  }
+  [[nodiscard]] Value mul(Value a, Value b) const noexcept {
+    return static_cast<Value>(a & b);
+  }
+};
+
+/// The min-plus (tropical) semiring on 64-bit integers with +infinity.
+/// "zero" is +infinity (identity of min), "one" is 0 (identity of +).
+struct MinPlusSemiring {
+  using Value = std::int64_t;
+  /// Sentinel infinity; small enough that inf + inf does not overflow.
+  static constexpr Value kInf = std::numeric_limits<Value>::max() / 4;
+
+  [[nodiscard]] Value zero() const noexcept { return kInf; }
+  [[nodiscard]] Value one() const noexcept { return 0; }
+  [[nodiscard]] Value add(Value a, Value b) const noexcept {
+    return a < b ? a : b;
+  }
+  [[nodiscard]] Value mul(Value a, Value b) const noexcept {
+    if (a >= kInf || b >= kInf) return kInf;
+    return a + b;
+  }
+  [[nodiscard]] static bool is_inf(Value a) noexcept { return a >= kInf; }
+};
+
+static_assert(Ring<IntRing>);
+static_assert(Semiring<BoolSemiring>);
+static_assert(Semiring<MinPlusSemiring>);
+
+}  // namespace cca

@@ -1,0 +1,87 @@
+// Sequential Strassen multiplication over an arbitrary ring.
+//
+// Two roles in this repository: (a) a verified fast local kernel and the
+// subject of the bench_local_mm microbenchmark, and (b) an independent
+// reference implementation against which the bilinear-algorithm machinery
+// (bilinear.hpp) and the distributed fast multiplication (Section 2.2) are
+// cross-checked.
+#pragma once
+
+#include "matrix/matrix.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/semiring.hpp"
+#include "util/math.hpp"
+
+namespace cca {
+
+namespace detail {
+
+template <Ring R>
+Matrix<typename R::Value> strassen_pow2(const R& r,
+                                        const Matrix<typename R::Value>& a,
+                                        const Matrix<typename R::Value>& b,
+                                        int cutoff) {
+  const int n = a.rows();
+  if (n <= cutoff) return multiply(r, a, b);
+  const int h = n / 2;
+
+  auto quad = [&](const Matrix<typename R::Value>& m, int qi, int qj) {
+    return m.block(qi * h, qj * h, h, h);
+  };
+  auto sub = [&](const Matrix<typename R::Value>& x,
+                 const Matrix<typename R::Value>& y) {
+    Matrix<typename R::Value> out(h, h, r.zero());
+    for (int i = 0; i < h; ++i)
+      for (int j = 0; j < h; ++j) out(i, j) = r.sub(x(i, j), y(i, j));
+    return out;
+  };
+
+  const auto a11 = quad(a, 0, 0), a12 = quad(a, 0, 1);
+  const auto a21 = quad(a, 1, 0), a22 = quad(a, 1, 1);
+  const auto b11 = quad(b, 0, 0), b12 = quad(b, 0, 1);
+  const auto b21 = quad(b, 1, 0), b22 = quad(b, 1, 1);
+
+  const auto p1 = strassen_pow2(r, add(r, a11, a22), add(r, b11, b22), cutoff);
+  const auto p2 = strassen_pow2(r, add(r, a21, a22), b11, cutoff);
+  const auto p3 = strassen_pow2(r, a11, sub(b12, b22), cutoff);
+  const auto p4 = strassen_pow2(r, a22, sub(b21, b11), cutoff);
+  const auto p5 = strassen_pow2(r, add(r, a11, a12), b22, cutoff);
+  const auto p6 = strassen_pow2(r, sub(a21, a11), add(r, b11, b12), cutoff);
+  const auto p7 = strassen_pow2(r, sub(a12, a22), add(r, b21, b22), cutoff);
+
+  Matrix<typename R::Value> out(n, n, r.zero());
+  for (int i = 0; i < h; ++i)
+    for (int j = 0; j < h; ++j) {
+      // c11 = p1 + p4 - p5 + p7, c12 = p3 + p5,
+      // c21 = p2 + p4,           c22 = p1 - p2 + p3 + p6.
+      out(i, j) = r.add(r.sub(r.add(p1(i, j), p4(i, j)), p5(i, j)), p7(i, j));
+      out(i, j + h) = r.add(p3(i, j), p5(i, j));
+      out(i + h, j) = r.add(p2(i, j), p4(i, j));
+      out(i + h, j + h) =
+          r.add(r.add(r.sub(p1(i, j), p2(i, j)), p3(i, j)), p6(i, j));
+    }
+  return out;
+}
+
+}  // namespace detail
+
+/// Strassen product of square matrices over ring `r`. Inputs of any size are
+/// zero-padded to the next power of two; `cutoff` switches to schoolbook.
+template <Ring R>
+[[nodiscard]] Matrix<typename R::Value> strassen_multiply(
+    const R& r, const Matrix<typename R::Value>& a,
+    const Matrix<typename R::Value>& b, int cutoff = 64) {
+  CCA_EXPECTS(a.rows() == a.cols() && b.rows() == b.cols());
+  CCA_EXPECTS(a.rows() == b.rows());
+  CCA_EXPECTS(cutoff >= 1);
+  const int n = a.rows();
+  if (n == 0) return {};
+  const int p = static_cast<int>(ceil_pow2(n));
+  if (p == n)
+    return detail::strassen_pow2(r, a, b, cutoff);
+  const auto pa = a.resized(p, p, r.zero());
+  const auto pb = b.resized(p, p, r.zero());
+  return detail::strassen_pow2(r, pa, pb, cutoff).block(0, 0, n, n);
+}
+
+}  // namespace cca

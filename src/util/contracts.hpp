@@ -1,0 +1,36 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// Violations indicate programmer error, never user input error; they abort
+// with a diagnostic. Contracts stay enabled in all build types: the library
+// is a research artifact where silent corruption of round accounting would
+// invalidate results.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cca::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace cca::detail
+
+#define CCA_EXPECTS(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::cca::detail::contract_failure("precondition", #expr,         \
+                                            __FILE__, __LINE__))
+
+#define CCA_ENSURES(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::cca::detail::contract_failure("postcondition", #expr,        \
+                                            __FILE__, __LINE__))
+
+#define CCA_ASSERT(expr)                                                   \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::cca::detail::contract_failure("invariant", #expr,            \
+                                            __FILE__, __LINE__))

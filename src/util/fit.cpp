@@ -1,0 +1,52 @@
+#include "util/fit.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace cca {
+
+PowerFit fit_power_law(const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
+  CCA_EXPECTS(xs.size() == ys.size());
+  CCA_EXPECTS(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    CCA_EXPECTS(xs[i] > 0 && ys[i] > 0);
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+
+  const double denom = n * sxx - sx * sx;
+  PowerFit fit;
+  if (denom == 0) {
+    // All x identical; exponent is undefined, report a flat fit.
+    fit.exponent = 0.0;
+    fit.coefficient = std::exp(sy / n);
+    fit.r_squared = 1.0;
+    return fit;
+  }
+  const double slope = (n * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / n;
+  fit.exponent = slope;
+  fit.coefficient = std::exp(intercept);
+
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = intercept + slope * std::log(xs[i]);
+    const double resid = std::log(ys[i]) - pred;
+    ss_res += resid * resid;
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace cca

@@ -1,0 +1,24 @@
+// Log–log least-squares exponent fitting.
+//
+// The benchmark harness reproduces Table 1 of the paper by measuring round
+// counts over a sweep of clique sizes n and fitting rounds ≈ a · n^c; the
+// fitted c is compared against the paper's asymptotic exponent.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cca {
+
+struct PowerFit {
+  double exponent = 0.0;     ///< c in rounds ≈ a * n^c
+  double coefficient = 0.0;  ///< a
+  double r_squared = 0.0;    ///< goodness of fit in log–log space
+};
+
+/// Fit y ≈ a * x^c by least squares on (log x, log y).
+/// Requires xs.size() == ys.size() >= 2 and all values strictly positive.
+PowerFit fit_power_law(const std::vector<double>& xs,
+                       const std::vector<double>& ys);
+
+}  // namespace cca

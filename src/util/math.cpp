@@ -1,0 +1,122 @@
+#include "util/math.hpp"
+
+#include "util/contracts.hpp"
+
+namespace cca {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  CCA_EXPECTS(a >= 0 && b > 0);
+  return (a + b - 1) / b;
+}
+
+std::int64_t isqrt(std::int64_t x) noexcept {
+  CCA_EXPECTS(x >= 0);
+  if (x < 2) return x;
+  // Newton iteration from a double estimate, then correct.
+  auto r = static_cast<std::int64_t>(__builtin_sqrt(static_cast<double>(x)));
+  while (r > 0 && r * r > x) --r;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+std::int64_t icbrt(std::int64_t x) noexcept {
+  CCA_EXPECTS(x >= 0);
+  if (x < 2) return x;
+  auto r = static_cast<std::int64_t>(
+      __builtin_cbrt(static_cast<double>(x)));
+  while (r > 0 && r * r * r > x) --r;
+  while ((r + 1) * (r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+bool is_perfect_square(std::int64_t x) noexcept {
+  if (x < 0) return false;
+  const std::int64_t r = isqrt(x);
+  return r * r == x;
+}
+
+bool is_perfect_cube(std::int64_t x) noexcept {
+  if (x < 0) return false;
+  const std::int64_t r = icbrt(x);
+  return r * r * r == x;
+}
+
+std::int64_t ipow(std::int64_t base, int exp) noexcept {
+  CCA_EXPECTS(exp >= 0);
+  std::int64_t result = 1;
+  for (int i = 0; i < exp; ++i) result *= base;
+  return result;
+}
+
+std::int64_t next_cube(std::int64_t x) noexcept {
+  CCA_EXPECTS(x >= 0);
+  std::int64_t r = icbrt(x);
+  if (r * r * r < x) ++r;
+  return r * r * r;
+}
+
+std::int64_t next_square(std::int64_t x) noexcept {
+  CCA_EXPECTS(x >= 0);
+  std::int64_t r = isqrt(x);
+  if (r * r < x) ++r;
+  return r * r;
+}
+
+std::int64_t next_square_with_root_multiple(std::int64_t x,
+                                            std::int64_t d) noexcept {
+  CCA_EXPECTS(x >= 0 && d >= 1);
+  std::int64_t r = isqrt(x);
+  if (r * r < x) ++r;
+  r = ceil_div(r, d) * d;
+  return r * r;
+}
+
+std::int64_t floor_pow2(std::int64_t x) noexcept {
+  CCA_EXPECTS(x >= 1);
+  std::int64_t p = 1;
+  while (p * 2 <= x) p *= 2;
+  return p;
+}
+
+std::int64_t ceil_pow2(std::int64_t x) noexcept {
+  CCA_EXPECTS(x >= 1);
+  std::int64_t p = 1;
+  while (p < x) p *= 2;
+  return p;
+}
+
+int ilog2(std::int64_t x) noexcept {
+  CCA_EXPECTS(x >= 1);
+  int k = 0;
+  while ((std::int64_t{1} << (k + 1)) <= x) ++k;
+  return k;
+}
+
+std::vector<std::int64_t> mixed_radix(
+    std::int64_t v, const std::vector<std::int64_t>& radices) {
+  std::int64_t prod = 1;
+  for (const auto r : radices) {
+    CCA_EXPECTS(r >= 1);
+    prod *= r;
+  }
+  CCA_EXPECTS(v >= 0 && v < prod);
+  std::vector<std::int64_t> digits(radices.size());
+  for (std::size_t i = radices.size(); i-- > 0;) {
+    digits[i] = v % radices[i];
+    v /= radices[i];
+  }
+  return digits;
+}
+
+std::int64_t from_mixed_radix(const std::vector<std::int64_t>& digits,
+                              const std::vector<std::int64_t>& radices) {
+  CCA_EXPECTS(digits.size() == radices.size());
+  std::int64_t v = 0;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    CCA_EXPECTS(digits[i] >= 0 && digits[i] < radices[i]);
+    v = v * radices[i] + digits[i];
+  }
+  return v;
+}
+
+}  // namespace cca

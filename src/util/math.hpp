@@ -1,0 +1,60 @@
+// Small integer-arithmetic helpers shared by the partitioning schemes of the
+// distributed matrix multiplication algorithms (Sections 2.1 and 2.2 of the
+// paper): exact roots, ceiling division, admissible clique sizes, and
+// mixed-radix node labels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cca {
+
+/// Ceiling of a/b for non-negative integers. Requires b > 0.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept;
+
+/// Floor of the square root.
+std::int64_t isqrt(std::int64_t x) noexcept;
+
+/// Floor of the cube root.
+std::int64_t icbrt(std::int64_t x) noexcept;
+
+/// True iff x == k^2 for some integer k.
+bool is_perfect_square(std::int64_t x) noexcept;
+
+/// True iff x == k^3 for some integer k.
+bool is_perfect_cube(std::int64_t x) noexcept;
+
+/// Integer power base^exp (no overflow checking; callers use small values).
+std::int64_t ipow(std::int64_t base, int exp) noexcept;
+
+/// Smallest perfect cube >= x. Requires x >= 0.
+std::int64_t next_cube(std::int64_t x) noexcept;
+
+/// Smallest perfect square >= x. Requires x >= 0.
+std::int64_t next_square(std::int64_t x) noexcept;
+
+/// Smallest m >= x such that m is a perfect square and d divides sqrt(m).
+/// Requires x >= 0, d >= 1.
+std::int64_t next_square_with_root_multiple(std::int64_t x,
+                                            std::int64_t d) noexcept;
+
+/// Round x down to the largest power of two <= x. Requires x >= 1.
+std::int64_t floor_pow2(std::int64_t x) noexcept;
+
+/// Round x up to the smallest power of two >= x. Requires x >= 1.
+std::int64_t ceil_pow2(std::int64_t x) noexcept;
+
+/// Floor of log2(x). Requires x >= 1.
+int ilog2(std::int64_t x) noexcept;
+
+/// Decompose v in a mixed-radix system with the given digit bounds,
+/// most-significant digit first: v = d0*(r1*r2*...) + d1*(r2*...) + ... .
+/// Requires 0 <= v < product(radices).
+std::vector<std::int64_t> mixed_radix(std::int64_t v,
+                                      const std::vector<std::int64_t>& radices);
+
+/// Inverse of mixed_radix.
+std::int64_t from_mixed_radix(const std::vector<std::int64_t>& digits,
+                              const std::vector<std::int64_t>& radices);
+
+}  // namespace cca

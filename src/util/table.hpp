@@ -1,0 +1,33 @@
+// Minimal ASCII table renderer used by the benchmark binaries to print
+// paper-style result tables (rows of Table 1, parameter sweeps).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cca {
+
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns, header underline, and `| |` separators.
+  std::string to_string() const;
+
+  /// Number of data rows currently held.
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers for table cells.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_int(long long v);
+
+}  // namespace cca

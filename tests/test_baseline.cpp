@@ -1,0 +1,88 @@
+// Tests for the prior-work baselines: Dolev et al. subgraph detection and
+// the naive learn-everything APSP.
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "core/counting.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference.hpp"
+
+namespace cca::core {
+namespace {
+
+struct DolevCase {
+  int n;
+  int k;
+  double p;
+  std::uint64_t seed;
+};
+
+class DolevSweep : public ::testing::TestWithParam<DolevCase> {};
+
+TEST_P(DolevSweep, AgreesWithReference) {
+  const auto c = GetParam();
+  const auto g = gnp_random_graph(c.n, c.p, c.seed);
+  EXPECT_EQ(detect_k_cycle_dolev(g, c.k).found, ref_has_k_cycle(g, c.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DolevSweep,
+    ::testing::Values(DolevCase{16, 3, 0.15, 1}, DolevCase{16, 4, 0.15, 2},
+                      DolevCase{32, 3, 0.08, 3}, DolevCase{32, 4, 0.08, 4},
+                      DolevCase{32, 5, 0.08, 5}, DolevCase{64, 3, 0.04, 6},
+                      DolevCase{64, 4, 0.05, 7}, DolevCase{64, 5, 0.05, 8}));
+
+TEST(Dolev, PlantedCyclesFound) {
+  for (const int k : {3, 4, 5, 6}) {
+    const auto g =
+        planted_cycle_graph(40, k, 0.0, 100 + static_cast<std::uint64_t>(k));
+    EXPECT_TRUE(detect_k_cycle_dolev(g, k).found) << k;
+  }
+}
+
+TEST(Dolev, NegativesOnStructuredGraphs) {
+  EXPECT_FALSE(detect_k_cycle_dolev(binary_tree(30), 3).found);
+  EXPECT_FALSE(detect_k_cycle_dolev(binary_tree(30), 4).found);
+  EXPECT_FALSE(detect_k_cycle_dolev(petersen_graph(), 3).found);
+  EXPECT_FALSE(detect_k_cycle_dolev(petersen_graph(), 4).found);
+  EXPECT_TRUE(detect_k_cycle_dolev(petersen_graph(), 5).found);
+  EXPECT_FALSE(detect_k_cycle_dolev(random_bipartite_graph(12, 0.4, 5), 3).found);
+}
+
+TEST(Dolev, DirectedCycles) {
+  const auto ring = cycle_graph(12, /*directed=*/true);
+  EXPECT_TRUE(detect_k_cycle_dolev(ring, 12).found);
+  EXPECT_FALSE(detect_k_cycle_dolev(ring, 3).found);
+}
+
+TEST(Dolev, KLargerThanN) {
+  EXPECT_FALSE(detect_k_cycle_dolev(complete_graph(4), 5).found);
+}
+
+TEST(ApspNaive, MatchesReference) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto g = random_weighted_graph(20, 0.25, 1, 30, seed);
+    EXPECT_EQ(apsp_naive_learn(g).dist, ref_apsp(g));
+  }
+  const auto dg = random_weighted_graph(16, 0.3, 1, 9, 4, /*directed=*/true);
+  EXPECT_EQ(apsp_naive_learn(dg).dist, ref_apsp(dg));
+}
+
+TEST(ApspNaive, RoundsScaleWithEdges) {
+  // Learning m weighted edges costs ~6m/n rounds; dense graphs pay ~Theta(n).
+  const auto sparse = gnp_random_graph(64, 0.05, 5);
+  const auto dense = gnp_random_graph(64, 0.6, 6);
+  const auto r_sparse = apsp_naive_learn(sparse);
+  const auto r_dense = apsp_naive_learn(dense);
+  EXPECT_GT(r_dense.traffic.rounds, 4 * r_sparse.traffic.rounds);
+}
+
+TEST(Baselines, SemiringEngineIsTheDolevCountingBaseline) {
+  // Table 1's prior-work counting bound: the 3D partition algorithm.
+  const auto g = gnp_random_graph(27, 0.2, 9);
+  const auto prior = count_triangles_cc(g, MmKind::Semiring3D);
+  EXPECT_EQ(prior.count, ref_count_triangles(g));
+}
+
+}  // namespace
+}  // namespace cca::core

@@ -1,0 +1,111 @@
+// Tests for the bilinear-algorithm machinery (paper Section 2.2 /
+// Lemma 10): Brent-equation verification, tensor powers, and the sequential
+// reference application.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "matrix/bilinear.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/poly.hpp"
+#include "matrix/semiring.hpp"
+#include "util/rng.hpp"
+
+namespace cca {
+namespace {
+
+Matrix<std::int64_t> random_matrix(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<std::int64_t> m(n, n, 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m(i, j) = rng.next_in(-9, 9);
+  return m;
+}
+
+TEST(Bilinear, StrassenSatisfiesBrentEquations) {
+  EXPECT_TRUE(verify_bilinear(strassen_algorithm()));
+}
+
+TEST(Bilinear, SchoolbookSatisfiesBrentEquations) {
+  EXPECT_TRUE(verify_bilinear(schoolbook_algorithm(1)));
+  EXPECT_TRUE(verify_bilinear(schoolbook_algorithm(2)));
+  EXPECT_TRUE(verify_bilinear(schoolbook_algorithm(3)));
+}
+
+TEST(Bilinear, BrokenAlgorithmFailsVerification) {
+  auto alg = strassen_algorithm();
+  alg.lambda[0][0].coeff = -alg.lambda[0][0].coeff;
+  EXPECT_FALSE(verify_bilinear(alg));
+}
+
+TEST(Bilinear, TensorSquareOfStrassenVerifies) {
+  const auto alg = tensor_power(strassen_algorithm(), 2);
+  EXPECT_EQ(alg.d, 4);
+  EXPECT_EQ(alg.m, 49);
+  EXPECT_TRUE(verify_bilinear(alg));
+}
+
+TEST(Bilinear, MixedTensorVerifies) {
+  const auto alg = tensor(strassen_algorithm(), schoolbook_algorithm(2));
+  EXPECT_EQ(alg.d, 4);
+  EXPECT_EQ(alg.m, 7 * 8);
+  EXPECT_TRUE(verify_bilinear(alg));
+}
+
+TEST(Bilinear, SigmaExponents) {
+  EXPECT_NEAR(strassen_algorithm().sigma(), std::log2(7.0), 1e-12);
+  EXPECT_NEAR(schoolbook_algorithm(3).sigma(), 3.0, 1e-12);
+  const auto deep = tensor_power(strassen_algorithm(), 3);
+  EXPECT_NEAR(deep.sigma(), std::log2(7.0), 1e-12);  // preserved by powers
+}
+
+class ApplyBilinearDepths : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApplyBilinearDepths, MatchesSchoolbookProduct) {
+  const int depth = GetParam();
+  const auto alg = tensor_power(strassen_algorithm(), depth);
+  const IntRing ring;
+  const auto a = random_matrix(alg.d, 31 + static_cast<std::uint64_t>(depth));
+  const auto b = random_matrix(alg.d, 41 + static_cast<std::uint64_t>(depth));
+  EXPECT_EQ(apply_bilinear(ring, alg, a, b), multiply(ring, a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ApplyBilinearDepths,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Bilinear, ApplyOverPolynomialRing) {
+  // The bilinear scheme must work over ANY ring — exercise Z[X]/X^4.
+  const PolyRing ring{4};
+  const auto alg = strassen_algorithm();
+  Matrix<CappedPoly> a(2, 2, ring.zero());
+  Matrix<CappedPoly> b(2, 2, ring.zero());
+  Rng rng(5);
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) {
+      a(i, j) = CappedPoly::monomial(4, static_cast<int>(rng.next_below(4)));
+      b(i, j) = CappedPoly::monomial(4, static_cast<int>(rng.next_below(4)));
+    }
+  EXPECT_EQ(apply_bilinear(ring, alg, a, b), multiply(ring, a, b));
+}
+
+TEST(Bilinear, TensorPowerSparsityStaysManageable) {
+  // Strassen has 12 alpha/beta/lambda nonzeros; powers multiply them.
+  const auto alg = tensor_power(strassen_algorithm(), 3);
+  std::size_t alpha_nnz = 0;
+  for (const auto& row : alg.alpha) alpha_nnz += row.size();
+  EXPECT_EQ(alpha_nnz, 12u * 12u * 12u);
+}
+
+TEST(Bilinear, CoefficientsAreUnit) {
+  // Tensor powers of Strassen keep coefficients in {-1, +1}, which the
+  // distributed Step 2/6 loops rely on for cheap scalar action.
+  const auto alg = tensor_power(strassen_algorithm(), 2);
+  for (const auto& row : alg.alpha)
+    for (const auto& c : row) EXPECT_EQ(std::abs(c.coeff), 1);
+  for (const auto& row : alg.lambda)
+    for (const auto& c : row) EXPECT_EQ(std::abs(c.coeff), 1);
+}
+
+}  // namespace
+}  // namespace cca

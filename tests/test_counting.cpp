@@ -1,0 +1,112 @@
+// Tests for distributed triangle / 4-cycle counting (Corollary 2) against
+// the centralized references, across engines and orientations.
+#include <gtest/gtest.h>
+
+#include "core/counting.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference.hpp"
+
+namespace cca::core {
+namespace {
+
+struct CountCase {
+  int n;
+  double p;
+  bool directed;
+  std::uint64_t seed;
+};
+
+class CountingSweep : public ::testing::TestWithParam<CountCase> {};
+
+TEST_P(CountingSweep, TrianglesMatchReference) {
+  const auto c = GetParam();
+  const auto g = gnp_random_graph(c.n, c.p, c.seed, c.directed);
+  const auto got = count_triangles_cc(g);
+  EXPECT_EQ(got.count, ref_count_triangles(g));
+}
+
+TEST_P(CountingSweep, FourCyclesMatchReference) {
+  const auto c = GetParam();
+  const auto g = gnp_random_graph(c.n, c.p, c.seed, c.directed);
+  const auto got = count_4cycles_cc(g);
+  EXPECT_EQ(got.count, ref_count_4cycles(g));
+}
+
+TEST_P(CountingSweep, AllEnginesAgree) {
+  const auto c = GetParam();
+  const auto g = gnp_random_graph(c.n, c.p, c.seed, c.directed);
+  const auto fast = count_triangles_cc(g, MmKind::Fast);
+  const auto semi = count_triangles_cc(g, MmKind::Semiring3D);
+  const auto naive = count_triangles_cc(g, MmKind::Naive);
+  EXPECT_EQ(fast.count, semi.count);
+  EXPECT_EQ(semi.count, naive.count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, CountingSweep,
+    ::testing::Values(CountCase{12, 0.3, false, 1}, CountCase{20, 0.2, false, 2},
+                      CountCase{20, 0.5, false, 3}, CountCase{33, 0.15, false, 4},
+                      CountCase{12, 0.3, true, 5}, CountCase{20, 0.25, true, 6},
+                      CountCase{27, 0.4, true, 7}));
+
+TEST(Counting, StructuredGraphCounts) {
+  EXPECT_EQ(count_triangles_cc(complete_graph(6)).count, 20);
+  EXPECT_EQ(count_triangles_cc(petersen_graph()).count, 0);
+  EXPECT_EQ(count_4cycles_cc(complete_bipartite(3, 3)).count, 9);
+  EXPECT_EQ(count_4cycles_cc(cycle_graph(4)).count, 1);
+  EXPECT_EQ(count_4cycles_cc(cycle_graph(5)).count, 0);
+  EXPECT_EQ(count_triangles_cc(binary_tree(12)).count, 0);
+}
+
+TEST(Counting, DirectedTwoCyclesAreNotTriangles) {
+  auto g = Graph::directed(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  EXPECT_EQ(count_triangles_cc(g).count, 0);
+  EXPECT_EQ(count_4cycles_cc(g).count, 0);
+}
+
+TEST(Counting, DirectedFourCycleOrientationMatters) {
+  auto g = Graph::directed(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  EXPECT_EQ(count_4cycles_cc(g).count, 1);
+  // Reversing one arc destroys the directed cycle.
+  auto h = Graph::directed(4);
+  h.add_edge(0, 1);
+  h.add_edge(1, 2);
+  h.add_edge(2, 3);
+  h.add_edge(0, 3);
+  EXPECT_EQ(count_4cycles_cc(h).count, 0);
+}
+
+TEST(Counting, EmptyAndTinyGraphs) {
+  EXPECT_EQ(count_triangles_cc(Graph::undirected(1)).count, 0);
+  EXPECT_EQ(count_triangles_cc(Graph::undirected(3)).count, 0);
+  EXPECT_EQ(count_4cycles_cc(Graph::undirected(2)).count, 0);
+  EXPECT_EQ(count_triangles_cc(cycle_graph(3)).count, 1);
+}
+
+TEST(Counting, RoundsBeatNaiveAtModerateSize) {
+  const auto g = gnp_random_graph(125, 0.1, 9);
+  const auto fast = count_triangles_cc(g, MmKind::Fast);
+  const auto semi = count_triangles_cc(g, MmKind::Semiring3D);
+  const auto naive = count_triangles_cc(g, MmKind::Naive);
+  EXPECT_EQ(fast.count, naive.count);
+  EXPECT_LT(semi.traffic.rounds, naive.traffic.rounds);
+}
+
+TEST(Counting, DenseGraphCountsStayExact) {
+  // Counts near the combinatorial maximum stress the integer paths.
+  const auto g = complete_graph(24);
+  EXPECT_EQ(count_triangles_cc(g).count, 24LL * 23 * 22 / 6);
+  const auto c4 = count_4cycles_cc(g);
+  EXPECT_EQ(c4.count, 3 * (24LL * 23 * 22 * 21) / 24);  // 3 C(n,4)
+}
+
+}  // namespace
+}  // namespace cca::core

@@ -1,0 +1,118 @@
+// Tests for distributed girth computation (Theorem 15 / Corollary 16).
+#include <gtest/gtest.h>
+
+#include "core/girth.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference.hpp"
+#include "matrix/semiring.hpp"
+
+namespace cca::core {
+namespace {
+
+constexpr std::int64_t kInf = MinPlusSemiring::kInf;
+
+TEST(GirthUndirected, StructuredGraphs) {
+  EXPECT_EQ(girth_undirected_cc(cycle_graph(9), 1).girth, 9);
+  EXPECT_EQ(girth_undirected_cc(petersen_graph(), 2).girth, 5);
+  EXPECT_EQ(girth_undirected_cc(complete_graph(8), 3).girth, 3);
+  EXPECT_EQ(girth_undirected_cc(complete_bipartite(4, 4), 4).girth, 4);
+  EXPECT_EQ(girth_undirected_cc(grid_graph(5, 5), 5).girth, 4);
+}
+
+TEST(GirthUndirected, AcyclicGraphsReportInfinity) {
+  EXPECT_EQ(girth_undirected_cc(binary_tree(20), 1).girth, kInf);
+  EXPECT_EQ(girth_undirected_cc(path_graph(12), 2).girth, kInf);
+  EXPECT_EQ(girth_undirected_cc(Graph::undirected(5), 3).girth, kInf);
+}
+
+class GirthRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GirthRandomSweep, MatchesReference) {
+  const auto seed = GetParam();
+  const auto g = gnp_random_graph(40, 0.08, seed);
+  const auto want = ref_girth(g);
+  const auto got = girth_undirected_cc(g, seed * 3 + 1);
+  EXPECT_EQ(got.girth, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GirthRandomSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(GirthUndirected, DenseGraphTakesDetectionPath) {
+  // Dense: more than n^{1+1/floor(l/2)} + n edges forces the cycle
+  // detection path; complete graphs have girth 3 found by exact counting.
+  const auto g = complete_graph(64);
+  const auto r = girth_undirected_cc(g, 7);
+  EXPECT_EQ(r.girth, 3);
+  EXPECT_FALSE(r.used_sparse_path);
+}
+
+TEST(GirthUndirected, SparseGraphLearnsCheaply) {
+  const auto g = cycle_graph(128);
+  const auto r = girth_undirected_cc(g, 8);
+  EXPECT_EQ(r.girth, 128);
+  EXPECT_TRUE(r.used_sparse_path);
+  EXPECT_LE(r.traffic.rounds, 30);  // ~3m/n + constants at m = n
+}
+
+TEST(GirthUndirected, DenseGirthFourViaTheoremFourPath) {
+  // Dense bipartite: girth 4, found by the exact O(1) detector after the
+  // triangle count returns zero.
+  const auto g = complete_bipartite(32, 32);
+  const auto r = girth_undirected_cc(g, 9);
+  EXPECT_EQ(r.girth, 4);
+  EXPECT_FALSE(r.used_sparse_path);
+}
+
+TEST(GirthDirected, StructuredGraphs) {
+  EXPECT_EQ(girth_directed_cc(cycle_graph(8, true)).girth, 8);
+  EXPECT_EQ(girth_directed_cc(cycle_graph(2, true)).girth, 2);
+  auto g = Graph::directed(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);  // 3-cycle
+  g.add_edge(3, 4);
+  EXPECT_EQ(girth_directed_cc(g).girth, 3);
+}
+
+TEST(GirthDirected, AcyclicReportsInfinity) {
+  EXPECT_EQ(girth_directed_cc(random_weighted_dag(16, 0.3, 1, 5, 3)).girth,
+            kInf);
+  EXPECT_EQ(girth_directed_cc(path_graph(10, true)).girth, kInf);
+}
+
+class DirectedGirthSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DirectedGirthSweep, MatchesReference) {
+  const auto seed = GetParam();
+  const auto g = gnp_random_graph(30, 0.07, seed, /*directed=*/true);
+  EXPECT_EQ(girth_directed_cc(g).girth, ref_girth(g)) << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectedGirthSweep,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
+TEST(GirthDirected, LongCycleNeedsFullDoubling) {
+  // A single long directed cycle exercises doubling + binary search depth.
+  const auto g = cycle_graph(23, true);
+  const auto r = girth_directed_cc(g);
+  EXPECT_EQ(r.girth, 23);
+}
+
+TEST(GirthDirected, TwoCycleFoundImmediately) {
+  auto g = gnp_random_graph(24, 0.05, 21, /*directed=*/true);
+  g.add_edge(3, 7);
+  g.add_edge(7, 3);
+  EXPECT_EQ(girth_directed_cc(g).girth, 2);
+}
+
+TEST(GirthDirected, SemiringEngineAgrees) {
+  const auto g = gnp_random_graph(25, 0.1, 31, /*directed=*/true);
+  const auto fast = girth_directed_cc(g, MmKind::Fast);
+  const auto semi = girth_directed_cc(g, MmKind::Semiring3D);
+  EXPECT_EQ(fast.girth, semi.girth);
+  EXPECT_EQ(fast.girth, ref_girth(g));
+}
+
+}  // namespace
+}  // namespace cca::core

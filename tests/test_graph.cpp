@@ -1,0 +1,223 @@
+// Tests for the graph substrate: container semantics, generators with known
+// structure, and cross-checks among the independent reference algorithms.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/reference.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/semiring.hpp"
+
+namespace cca {
+namespace {
+
+constexpr std::int64_t kInf = MinPlusSemiring::kInf;
+
+TEST(GraphContainer, UndirectedEdgesAreSymmetric) {
+  auto g = Graph::undirected(4);
+  g.add_edge(0, 2, 5);
+  EXPECT_TRUE(g.has_arc(0, 2));
+  EXPECT_TRUE(g.has_arc(2, 0));
+  EXPECT_EQ(g.arc_weight(2, 0), 5);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.out_degree(0), 1);
+}
+
+TEST(GraphContainer, DirectedArcsAreOneWay) {
+  auto g = Graph::directed(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+  EXPECT_EQ(g.in_degree(1), 1);
+  EXPECT_EQ(g.out_degree(1), 0);
+}
+
+TEST(GraphContainer, ReWeightingDoesNotDuplicate) {
+  auto g = Graph::undirected(3);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 1, 9);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.arc_weight(0, 1), 9);
+  EXPECT_EQ(g.out_degree(0), 1);
+}
+
+TEST(GraphContainer, MatricesReflectStructure) {
+  auto g = Graph::directed(3);
+  g.add_edge(0, 1, 7);
+  const auto a = g.adjacency();
+  EXPECT_EQ(a(0, 1), 1);
+  EXPECT_EQ(a(1, 0), 0);
+  const auto w = g.weight_matrix();
+  EXPECT_EQ(w(0, 1), 7);
+  EXPECT_EQ(w(1, 1), 0);
+  EXPECT_EQ(w(2, 0), kInf);
+}
+
+TEST(Generators, GnpDeterministicAndSimple) {
+  const auto g1 = gnp_random_graph(30, 0.3, 11);
+  const auto g2 = gnp_random_graph(30, 0.3, 11);
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  for (int v = 0; v < 30; ++v) EXPECT_FALSE(g1.has_arc(v, v));
+}
+
+TEST(Generators, GnpDensityRoughlyMatchesP) {
+  const auto g = gnp_random_graph(100, 0.25, 5);
+  const double expected = 0.25 * 100 * 99 / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.2);
+}
+
+TEST(Generators, StructuredGirths) {
+  EXPECT_EQ(ref_girth(cycle_graph(7)), 7);
+  EXPECT_EQ(ref_girth(complete_graph(5)), 3);
+  EXPECT_EQ(ref_girth(complete_bipartite(3, 4)), 4);
+  EXPECT_EQ(ref_girth(petersen_graph()), 5);
+  EXPECT_EQ(ref_girth(grid_graph(3, 4)), 4);
+  EXPECT_EQ(ref_girth(binary_tree(15)), kInf);
+  EXPECT_EQ(ref_girth(path_graph(6)), kInf);
+  EXPECT_EQ(ref_girth(cycle_graph(9, /*directed=*/true)), 9);
+}
+
+TEST(Generators, PlantedCycleContainsKCycle) {
+  for (const int k : {3, 4, 5, 6}) {
+    const auto g = planted_cycle_graph(24, k, 0.0, 77 + static_cast<std::uint64_t>(k));
+    EXPECT_TRUE(ref_has_k_cycle(g, k)) << "k=" << k;
+  }
+}
+
+TEST(Generators, BipartiteHasNoOddCycles) {
+  const auto g = random_bipartite_graph(12, 0.4, 3);
+  EXPECT_FALSE(ref_has_k_cycle(g, 3));
+  EXPECT_FALSE(ref_has_k_cycle(g, 5));
+}
+
+TEST(Generators, DagIsAcyclic) {
+  const auto g = random_weighted_dag(20, 0.3, -5, 10, 9);
+  EXPECT_EQ(ref_girth(g), kInf);
+}
+
+// ---------------------------------------------------------------------------
+// Reference algorithm cross-checks (independent methods must agree).
+// ---------------------------------------------------------------------------
+
+TEST(References, ApspMatchesBfsOnUnweighted) {
+  const auto g = gnp_random_graph(24, 0.15, 21);
+  EXPECT_EQ(ref_apsp(g), ref_bfs_apsp(g));
+}
+
+TEST(References, ApspHandlesNegativeWeightsOnDag) {
+  const auto g = random_weighted_dag(12, 0.4, -4, 9, 31);
+  const auto d = ref_apsp(g);
+  for (int v = 0; v < 12; ++v) EXPECT_EQ(d(v, v), 0);
+  // Distances can be negative but must respect the triangle inequality.
+  for (int a = 0; a < 12; ++a)
+    for (int b = 0; b < 12; ++b)
+      for (int c = 0; c < 12; ++c)
+        if (d(a, b) < kInf && d(b, c) < kInf)
+          EXPECT_LE(d(a, c), d(a, b) + d(b, c));
+}
+
+TEST(References, TriangleCountMatchesTraceFormula) {
+  // Independent check of Corollary 2's undirected formula tr(A^3)/6.
+  const IntRing ring;
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto g = gnp_random_graph(20, 0.3, seed);
+    const auto a = g.adjacency();
+    const auto a3 = multiply(ring, multiply(ring, a, a), a);
+    EXPECT_EQ(ref_count_triangles(g), trace(ring, a3) / 6) << seed;
+  }
+}
+
+TEST(References, DirectedTriangleCountMatchesTraceFormula) {
+  const IntRing ring;
+  for (const std::uint64_t seed : {4u, 5u}) {
+    const auto g = gnp_random_graph(18, 0.25, seed, /*directed=*/true);
+    const auto a = g.adjacency();
+    const auto a3 = multiply(ring, multiply(ring, a, a), a);
+    EXPECT_EQ(ref_count_triangles(g), trace(ring, a3) / 3) << seed;
+  }
+}
+
+TEST(References, FourCycleCountMatchesTraceFormula) {
+  // Undirected: #C4 = (tr(A^4) - sum(2 deg^2 - deg)) / 8.
+  const IntRing ring;
+  for (const std::uint64_t seed : {6u, 7u}) {
+    const auto g = gnp_random_graph(16, 0.35, seed);
+    const auto a = g.adjacency();
+    const auto a2 = multiply(ring, a, a);
+    const auto tr = trace(ring, multiply(ring, a2, a2));
+    std::int64_t corr = 0;
+    for (int v = 0; v < 16; ++v) {
+      const std::int64_t d = g.out_degree(v);
+      corr += 2 * d * d - d;
+    }
+    EXPECT_EQ(ref_count_4cycles(g), (tr - corr) / 8) << seed;
+  }
+}
+
+TEST(References, DirectedFourCycleCountMatchesTraceFormula) {
+  const IntRing ring;
+  for (const std::uint64_t seed : {8u, 9u}) {
+    const auto g = gnp_random_graph(14, 0.3, seed, /*directed=*/true);
+    const auto a = g.adjacency();
+    const auto a2 = multiply(ring, a, a);
+    const auto tr = trace(ring, multiply(ring, a2, a2));
+    std::int64_t corr = 0;
+    for (int v = 0; v < 14; ++v) {
+      std::int64_t delta = 0;
+      for (const auto& [u, w] : g.out_arcs(v)) {
+        (void)w;
+        if (g.has_arc(u, v)) ++delta;
+      }
+      corr += 2 * delta * delta - delta;
+    }
+    EXPECT_EQ(ref_count_4cycles(g), (tr - corr) / 4) << seed;
+  }
+}
+
+TEST(References, KnownCountsOnStructuredGraphs) {
+  EXPECT_EQ(ref_count_triangles(complete_graph(5)), 10);   // C(5,3)
+  EXPECT_EQ(ref_count_4cycles(complete_graph(5)), 15);     // 3 C(5,4)
+  EXPECT_EQ(ref_count_4cycles(complete_bipartite(3, 3)), 9);
+  EXPECT_EQ(ref_count_triangles(petersen_graph()), 0);
+  EXPECT_EQ(ref_count_4cycles(petersen_graph()), 0);
+  EXPECT_EQ(ref_count_4cycles(cycle_graph(4)), 1);
+  // Directed 4-cycle both ways around a 2-coloured square.
+  auto dir = Graph::directed(4);
+  dir.add_edge(0, 1);
+  dir.add_edge(1, 2);
+  dir.add_edge(2, 3);
+  dir.add_edge(3, 0);
+  EXPECT_EQ(ref_count_4cycles(dir), 1);
+  EXPECT_EQ(ref_count_triangles(cycle_graph(3, true)), 1);
+}
+
+TEST(References, HasKCycleAgreesWithGirth) {
+  for (const std::uint64_t seed : {10u, 11u, 12u}) {
+    const auto g = gnp_random_graph(16, 0.12, seed);
+    const auto girth = ref_girth(g);
+    if (girth < kInf) {
+      EXPECT_TRUE(ref_has_k_cycle(g, static_cast<int>(girth)));
+      for (int k = 3; k < girth; ++k) EXPECT_FALSE(ref_has_k_cycle(g, k));
+    } else {
+      for (int k = 3; k <= 6; ++k) EXPECT_FALSE(ref_has_k_cycle(g, k));
+    }
+  }
+}
+
+TEST(References, DirectedGirthSmallCases) {
+  auto two = Graph::directed(4);
+  two.add_edge(0, 1);
+  two.add_edge(1, 0);
+  EXPECT_EQ(ref_girth(two), 2);
+  EXPECT_EQ(ref_girth(cycle_graph(5, true)), 5);
+}
+
+TEST(References, WeightedDiameter) {
+  auto g = Graph::undirected(3);
+  g.add_edge(0, 1, 4);
+  g.add_edge(1, 2, 5);
+  EXPECT_EQ(ref_weighted_diameter(g), 9);
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,246 @@
+// Unit tests for the matrix algebra substrate: containers, semirings,
+// Strassen, capped polynomials, codecs.
+#include <gtest/gtest.h>
+
+#include "matrix/codec.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/poly.hpp"
+#include "matrix/semiring.hpp"
+#include "matrix/strassen.hpp"
+#include "util/rng.hpp"
+
+namespace cca {
+namespace {
+
+Matrix<std::int64_t> random_matrix(int r, int c, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<std::int64_t> m(r, c, 0);
+  for (int i = 0; i < r; ++i)
+    for (int j = 0; j < c; ++j) m(i, j) = rng.next_in(-100, 100);
+  return m;
+}
+
+TEST(MatrixContainer, BlockAndPasteRoundTrip) {
+  const auto m = random_matrix(6, 8, 1);
+  const auto b = m.block(1, 2, 3, 4);
+  EXPECT_EQ(b.rows(), 3);
+  EXPECT_EQ(b.cols(), 4);
+  EXPECT_EQ(b(0, 0), m(1, 2));
+  Matrix<std::int64_t> copy(6, 8, 0);
+  copy.paste(1, 2, b);
+  EXPECT_EQ(copy(2, 3), m(2, 3));
+  EXPECT_EQ(copy(0, 0), 0);
+}
+
+TEST(MatrixContainer, ResizedPadsAndCrops) {
+  const auto m = random_matrix(3, 3, 2);
+  const auto grown = m.resized(5, 5, -1);
+  EXPECT_EQ(grown(4, 4), -1);
+  EXPECT_EQ(grown(2, 2), m(2, 2));
+  const auto cropped = grown.resized(2, 2, 0);
+  EXPECT_EQ(cropped(1, 1), m(1, 1));
+}
+
+TEST(MatrixContainer, TransposeInvolution) {
+  const auto m = random_matrix(4, 7, 3);
+  EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(Ops, IdentityIsMultiplicativeUnit) {
+  const IntRing ring;
+  const auto m = random_matrix(9, 9, 4);
+  const auto id = identity(ring, 9);
+  EXPECT_EQ(multiply(ring, m, id), m);
+  EXPECT_EQ(multiply(ring, id, m), m);
+}
+
+TEST(Ops, MultiplyMatchesManualSmallCase) {
+  const IntRing ring;
+  Matrix<std::int64_t> a(2, 2, 0), b(2, 2, 0);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const auto p = multiply(ring, a, b);
+  EXPECT_EQ(p(0, 0), 19);
+  EXPECT_EQ(p(0, 1), 22);
+  EXPECT_EQ(p(1, 0), 43);
+  EXPECT_EQ(p(1, 1), 50);
+}
+
+TEST(Ops, MinPlusProductIsShortestTwoHop) {
+  const MinPlusSemiring sr;
+  const auto inf = MinPlusSemiring::kInf;
+  Matrix<std::int64_t> w(3, 3, inf);
+  for (int i = 0; i < 3; ++i) w(i, i) = 0;
+  w(0, 1) = 2;
+  w(1, 2) = 3;
+  const auto w2 = multiply(sr, w, w);
+  EXPECT_EQ(w2(0, 2), 5);
+  EXPECT_EQ(w2(2, 0), inf);
+}
+
+TEST(Ops, PowerBySquaring) {
+  const IntRing ring;
+  const auto m = random_matrix(5, 5, 6);
+  auto manual = identity(ring, 5);
+  for (int i = 0; i < 5; ++i) manual = multiply(ring, manual, m);
+  EXPECT_EQ(power(ring, m, 5), manual);
+  EXPECT_EQ(power(ring, m, 0), identity(ring, 5));
+}
+
+TEST(Ops, TraceSumsDiagonal) {
+  const IntRing ring;
+  Matrix<std::int64_t> m(3, 3, 9);
+  m(0, 0) = 1; m(1, 1) = 2; m(2, 2) = 3;
+  EXPECT_EQ(trace(ring, m), 6);
+}
+
+TEST(Semirings, MinPlusLaws) {
+  const MinPlusSemiring s;
+  const auto inf = MinPlusSemiring::kInf;
+  EXPECT_EQ(s.add(5, inf), 5);
+  EXPECT_EQ(s.mul(5, inf), inf);
+  EXPECT_EQ(s.mul(inf, inf), inf);
+  EXPECT_EQ(s.add(s.zero(), 7), 7);
+  EXPECT_EQ(s.mul(s.one(), 7), 7);
+  EXPECT_TRUE(MinPlusSemiring::is_inf(inf));
+  EXPECT_FALSE(MinPlusSemiring::is_inf(0));
+}
+
+TEST(Semirings, BooleanLaws) {
+  const BoolSemiring s;
+  EXPECT_EQ(s.add(0, 1), 1);
+  EXPECT_EQ(s.mul(1, 1), 1);
+  EXPECT_EQ(s.mul(1, 0), 0);
+  EXPECT_EQ(s.zero(), 0);
+  EXPECT_EQ(s.one(), 1);
+}
+
+class StrassenSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrassenSizes, MatchesSchoolbook) {
+  const int n = GetParam();
+  const IntRing ring;
+  const auto a = random_matrix(n, n, 10 + static_cast<std::uint64_t>(n));
+  const auto b = random_matrix(n, n, 20 + static_cast<std::uint64_t>(n));
+  EXPECT_EQ(strassen_multiply(ring, a, b, 4), multiply(ring, a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StrassenSizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16, 31, 64, 100));
+
+TEST(Strassen, CutoffDoesNotChangeResult) {
+  const IntRing ring;
+  const auto a = random_matrix(33, 33, 77);
+  const auto b = random_matrix(33, 33, 78);
+  EXPECT_EQ(strassen_multiply(ring, a, b, 1),
+            strassen_multiply(ring, a, b, 64));
+}
+
+TEST(Poly, MonomialAndMinDegree) {
+  const auto p = CappedPoly::monomial(5, 3);
+  EXPECT_EQ(p.min_degree(), 3);
+  EXPECT_EQ(p.coeff(3), 1);
+  EXPECT_EQ(CappedPoly(5).min_degree(), -1);
+  // Degrees at or above the cap truncate to zero.
+  EXPECT_EQ(CappedPoly::monomial(5, 7).min_degree(), -1);
+}
+
+TEST(Poly, RingLaws) {
+  const PolyRing r{6};
+  const auto x2 = CappedPoly::monomial(6, 2);
+  const auto x3 = CappedPoly::monomial(6, 3);
+  EXPECT_EQ(r.mul(x2, x3), CappedPoly::monomial(6, 5));
+  EXPECT_EQ(r.mul(x3, x3), CappedPoly(6));  // degree 6 truncated
+  EXPECT_EQ(r.add(x2, r.sub(r.zero(), x2)), r.zero());
+  EXPECT_EQ(r.mul(r.one(), x3), x3);
+}
+
+TEST(Poly, ConvolutionCoefficients) {
+  const PolyRing r{4};
+  // (1 + x)(1 + x) = 1 + 2x + x^2.
+  CappedPoly p(4);
+  p.coeff(0) = 1;
+  p.coeff(1) = 1;
+  const auto q = r.mul(p, p);
+  EXPECT_EQ(q.coeff(0), 1);
+  EXPECT_EQ(q.coeff(1), 2);
+  EXPECT_EQ(q.coeff(2), 1);
+  EXPECT_EQ(q.coeff(3), 0);
+}
+
+TEST(Poly, MinPlusEmbeddingHomomorphism) {
+  // X^a * X^b = X^{a+b}: the Lemma 18 embedding turns min-plus mul into
+  // polynomial multiplication.
+  const PolyRing r{11};
+  const auto pa = CappedPoly::monomial(11, 4);
+  const auto pb = CappedPoly::monomial(11, 5);
+  EXPECT_EQ(r.mul(pa, pb).min_degree(), 9);
+  // Addition of candidates = min via lowest surviving degree.
+  const auto sum = r.add(pa, pb);
+  EXPECT_EQ(sum.min_degree(), 4);
+}
+
+TEST(Codecs, I64RoundTrip) {
+  const I64Codec c;
+  const std::vector<std::int64_t> vals{0, -5, MinPlusSemiring::kInf,
+                                       std::int64_t{1} << 60};
+  std::vector<EncodedWord> buf;
+  c.encode_block(vals, buf);
+  EXPECT_EQ(buf.size(), c.words_for(vals.size()));
+  EXPECT_EQ(c.decode_block(buf.data(), vals.size()), vals);
+}
+
+TEST(Codecs, ByteRoundTrip) {
+  const ByteCodec c;
+  const std::vector<std::uint8_t> vals{1, 0, 1, 1};
+  std::vector<EncodedWord> buf;
+  c.encode_block(vals, buf);
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(c.decode_block(buf.data(), vals.size()), vals);
+}
+
+TEST(Codecs, PackedBoolRoundTripAndWidth) {
+  const PackedBoolCodec c;
+  // 64 entries fit one word, 65 need two — the "/ log n" packing.
+  EXPECT_EQ(c.words_for(64), 1u);
+  EXPECT_EQ(c.words_for(65), 2u);
+  EXPECT_EQ(c.words_for(0), 0u);
+  Rng rng(3);
+  std::vector<std::uint8_t> vals(130);
+  for (auto& v : vals) v = rng.chance(1, 2) ? 1 : 0;
+  std::vector<EncodedWord> buf;
+  c.encode_block(vals, buf);
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(c.decode_block(buf.data(), vals.size()), vals);
+}
+
+TEST(Codecs, PackedBoolAppendsAfterExistingWords) {
+  const PackedBoolCodec c;
+  std::vector<EncodedWord> buf{0xdeadbeef};
+  c.encode_block({1, 0, 1}, buf);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0xdeadbeefu);
+  EXPECT_EQ(c.decode_block(buf.data() + 1, 3),
+            (std::vector<std::uint8_t>{1, 0, 1}));
+}
+
+TEST(Codecs, PolyRoundTripAndWidth) {
+  const PolyCodec c{7};
+  EXPECT_EQ(c.words_for(1), 7u);
+  EXPECT_EQ(c.words_for(3), 21u);
+  CappedPoly p(7);
+  p.coeff(0) = -3;
+  p.coeff(6) = 12345;
+  CappedPoly q(7);
+  q.coeff(2) = 9;
+  std::vector<EncodedWord> buf;
+  c.encode_block({p, q}, buf);
+  ASSERT_EQ(buf.size(), 14u);
+  const auto back = c.decode_block(buf.data(), 2);
+  EXPECT_EQ(back[0], p);
+  EXPECT_EQ(back[1], q);
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,298 @@
+// Integration tests: distributed matrix multiplication (Sections 2.1/2.2)
+// against local reference products, across semirings, sizes, and engines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clique/network.hpp"
+#include "core/engine.hpp"
+#include "core/mm.hpp"
+#include "matrix/codec.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/semiring.hpp"
+#include "matrix/strassen.hpp"
+#include "util/rng.hpp"
+
+namespace cca::core {
+namespace {
+
+Matrix<std::int64_t> random_int_matrix(int n, std::uint64_t seed,
+                                       std::int64_t lo = -9,
+                                       std::int64_t hi = 9) {
+  Rng rng(seed);
+  Matrix<std::int64_t> m(n, n, 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m(i, j) = rng.next_in(lo, hi);
+  return m;
+}
+
+Matrix<std::int64_t> random_minplus_matrix(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<std::int64_t> m(n, n, MinPlusSemiring::kInf);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (rng.chance(3, 4)) m(i, j) = rng.next_in(0, 50);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Semiring 3D algorithm (Section 2.1).
+// ---------------------------------------------------------------------------
+
+class Semiring3dSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(Semiring3dSizes, MatchesLocalIntegerProduct) {
+  const int n = GetParam();
+  clique::Network net(n);
+  const IntRing ring;
+  const I64Codec codec;
+  const auto a = random_int_matrix(n, 100 + static_cast<std::uint64_t>(n));
+  const auto b = random_int_matrix(n, 200 + static_cast<std::uint64_t>(n));
+  const auto got = mm_semiring_3d(net, ring, codec, a, b);
+  EXPECT_EQ(got, multiply(ring, a, b));
+}
+
+TEST_P(Semiring3dSizes, MatchesLocalMinPlusProduct) {
+  const int n = GetParam();
+  clique::Network net(n);
+  const MinPlusSemiring sr;
+  const I64Codec codec;
+  const auto a = random_minplus_matrix(n, 300 + static_cast<std::uint64_t>(n));
+  const auto b = random_minplus_matrix(n, 400 + static_cast<std::uint64_t>(n));
+  const auto got = mm_semiring_3d(net, sr, codec, a, b);
+  EXPECT_EQ(got, multiply(sr, a, b));
+}
+
+TEST_P(Semiring3dSizes, MatchesLocalBooleanProduct) {
+  const int n = GetParam();
+  clique::Network net(n);
+  const BoolSemiring sr;
+  const ByteCodec codec;
+  Rng rng(500 + static_cast<std::uint64_t>(n));
+  Matrix<std::uint8_t> a(n, n, 0);
+  Matrix<std::uint8_t> b(n, n, 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      a(i, j) = rng.chance(1, 3) ? 1 : 0;
+      b(i, j) = rng.chance(1, 3) ? 1 : 0;
+    }
+  const auto got = mm_semiring_3d(net, sr, codec, a, b);
+  EXPECT_EQ(got, multiply(sr, a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(PerfectCubes, Semiring3dSizes,
+                         ::testing::Values(1, 8, 27, 64, 125, 216));
+
+TEST(Semiring3d, RoundsGrowSubLinearly) {
+  // Normalized rounds/n must decline as n grows (the schedule is
+  // ~6 n^{1/3} with the Koenig relay) and stay far below the naive 2n.
+  double prev_norm = 1e9;
+  for (const int n : {27, 64, 125, 216}) {
+    clique::Network net(n);
+    const IntRing ring;
+    const I64Codec codec;
+    const auto a = random_int_matrix(n, 7);
+    const auto b = random_int_matrix(n, 8);
+    (void)mm_semiring_3d(net, ring, codec, a, b);
+    const auto rounds = net.stats().rounds;
+    EXPECT_LT(rounds, 2 * n);  // beats the naive broadcast algorithm
+    const double norm = static_cast<double>(rounds) / n;
+    EXPECT_LT(norm, prev_norm);
+    prev_norm = norm;
+  }
+}
+
+TEST(Semiring3d, ObliviousIdenticalRoundsAcrossInputs) {
+  // The communication pattern must not depend on matrix values.
+  const int n = 64;
+  const IntRing ring;
+  const I64Codec codec;
+  std::int64_t rounds1 = 0;
+  std::int64_t rounds2 = 0;
+  {
+    clique::Network net(n);
+    (void)mm_semiring_3d(net, ring, codec, random_int_matrix(n, 1),
+                         random_int_matrix(n, 2));
+    rounds1 = net.stats().rounds;
+  }
+  {
+    clique::Network net(n);
+    (void)mm_semiring_3d(net, ring, codec, Matrix<std::int64_t>(n, n, 0),
+                         Matrix<std::int64_t>(n, n, 0));
+    rounds2 = net.stats().rounds;
+  }
+  EXPECT_EQ(rounds1, rounds2);
+}
+
+// ---------------------------------------------------------------------------
+// Fast bilinear algorithm (Section 2.2).
+// ---------------------------------------------------------------------------
+
+struct FastCase {
+  int n;      // problem size (pre-padding)
+  int depth;  // Strassen tensor power
+};
+
+class FastMmCases : public ::testing::TestWithParam<FastCase> {};
+
+TEST_P(FastMmCases, MatchesLocalProductAfterPadding) {
+  const auto [n, depth] = GetParam();
+  const auto plan = plan_fast_mm(n, depth);
+  ASSERT_GE(plan.clique_n, n);
+  ASSERT_EQ(plan.m, static_cast<int>(ipow(7, depth)));
+  clique::Network net(plan.clique_n);
+  const IntRing ring;
+  const I64Codec codec;
+  const auto alg = tensor_power(strassen_algorithm(), depth);
+  const auto a0 = random_int_matrix(n, 42 + static_cast<std::uint64_t>(n));
+  const auto b0 = random_int_matrix(n, 43 + static_cast<std::uint64_t>(n));
+  const auto a = pad_matrix(a0, plan.clique_n, std::int64_t{0});
+  const auto b = pad_matrix(b0, plan.clique_n, std::int64_t{0});
+  const auto got = mm_fast_bilinear(net, ring, codec, alg, a, b);
+  const auto want = multiply(ring, a, b);
+  EXPECT_EQ(got, want);
+  // The real corner matches the unpadded product.
+  EXPECT_EQ(got.block(0, 0, n, n), multiply(ring, a0, b0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDepths, FastMmCases,
+    ::testing::Values(FastCase{4, 0}, FastCase{9, 0}, FastCase{16, 1},
+                      FastCase{25, 1}, FastCase{49, 1}, FastCase{36, 1},
+                      FastCase{64, 2}, FastCase{49, 2}, FastCase{100, 2},
+                      FastCase{121, 2}));
+
+TEST(FastMm, WorksWithSchoolbookBilinearAlgorithm) {
+  // Lemma 10 holds for ANY bilinear algorithm; check with <2,2,2;8>.
+  const int n = 16;
+  const auto alg = tensor_power(schoolbook_algorithm(2), 1);
+  ASSERT_EQ(alg.m, 8);
+  clique::Network net(n);
+  const IntRing ring;
+  const I64Codec codec;
+  const auto a = random_int_matrix(n, 77);
+  const auto b = random_int_matrix(n, 78);
+  EXPECT_EQ(mm_fast_bilinear(net, ring, codec, alg, a, b),
+            multiply(ring, a, b));
+}
+
+TEST(FastMm, TrivialAlgorithmDepthZero) {
+  // depth 0 = the <1,1,1;1> algorithm: one "block product" of the whole
+  // matrix hosted at node 0 — degenerate but legal.
+  const int n = 9;
+  const auto alg = tensor_power(strassen_algorithm(), 0);
+  clique::Network net(n);
+  const IntRing ring;
+  const I64Codec codec;
+  const auto a = random_int_matrix(n, 5);
+  const auto b = random_int_matrix(n, 6);
+  EXPECT_EQ(mm_fast_bilinear(net, ring, codec, alg, a, b),
+            multiply(ring, a, b));
+}
+
+TEST(FastMm, ObliviousIdenticalRoundsAcrossInputs) {
+  const auto plan = plan_fast_mm(49, 1);
+  const IntRing ring;
+  const I64Codec codec;
+  const auto alg = tensor_power(strassen_algorithm(), 1);
+  std::int64_t r1 = 0;
+  std::int64_t r2 = 0;
+  {
+    clique::Network net(plan.clique_n);
+    (void)mm_fast_bilinear(
+        net, ring, codec, alg,
+        pad_matrix(random_int_matrix(49, 1), plan.clique_n, std::int64_t{0}),
+        pad_matrix(random_int_matrix(49, 2), plan.clique_n, std::int64_t{0}));
+    r1 = net.stats().rounds;
+  }
+  {
+    clique::Network net(plan.clique_n);
+    const Matrix<std::int64_t> z(plan.clique_n, plan.clique_n, 0);
+    (void)mm_fast_bilinear(net, ring, codec, alg, z, z);
+    r2 = net.stats().rounds;
+  }
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(FastMm, SublinearScalingAlongMatchedDepthFamily) {
+  // Theorem 1's shape claim for the implemented sigma = log2 7: along the
+  // family where the tensor depth grows with n (m(d) ~ n), normalized
+  // rounds/n must decline sharply, and every size must beat the naive 2n.
+  // (The ABSOLUTE crossover against the 3D algorithm needs n beyond
+  // laptop-scale simulation for Strassen's sigma; the exponent ordering is
+  // the reproducible claim — see EXPERIMENTS.md.)
+  const IntRing ring;
+  const I64Codec codec;
+  double prev_norm = 1e9;
+  const struct {
+    int n;
+    int depth;
+  } cases[] = {{49, 2}, {576, 3}};
+  for (const auto& c : cases) {
+    const auto plan = plan_fast_mm(c.n, c.depth);
+    clique::Network net(plan.clique_n);
+    const auto alg = tensor_power(strassen_algorithm(), c.depth);
+    const auto a = pad_matrix(random_int_matrix(c.n, 11, 0, 3), plan.clique_n,
+                              std::int64_t{0});
+    (void)mm_fast_bilinear(net, ring, codec, alg, a, a);
+    const auto rounds = net.stats().rounds;
+    EXPECT_LT(rounds, 2 * plan.clique_n);
+    const double norm = static_cast<double>(rounds) / plan.clique_n;
+    EXPECT_LT(norm, prev_norm);
+    prev_norm = norm;
+  }
+}
+
+TEST(FastMm, EngineRhoOrderingMatchesTable1) {
+  // rho(fast) < rho(semiring) < rho(naive): the Table 1 ordering.
+  const IntMmEngine fast(MmKind::Fast, 512, 3);
+  const IntMmEngine semi(MmKind::Semiring3D, 512);
+  const IntMmEngine naive(MmKind::Naive, 512);
+  EXPECT_NEAR(fast.rho(), 1.0 - 2.0 / (std::log(7.0) / std::log(2.0)), 1e-9);
+  EXPECT_LT(fast.rho(), semi.rho());
+  EXPECT_LT(semi.rho(), naive.rho());
+}
+
+// ---------------------------------------------------------------------------
+// Naive baseline and planning helpers.
+// ---------------------------------------------------------------------------
+
+TEST(NaiveMm, CorrectAndChargesTwoNRounds) {
+  const int n = 32;
+  clique::Network net(n);
+  const IntRing ring;
+  const auto a = random_int_matrix(n, 9);
+  const auto b = random_int_matrix(n, 10);
+  EXPECT_EQ(mm_naive_broadcast(net, ring, 1, a, b), multiply(ring, a, b));
+  EXPECT_EQ(net.stats().rounds, 2 * n);
+}
+
+TEST(Plans, SemiringCliqueSizeIsNextCube) {
+  EXPECT_EQ(semiring_clique_size(1), 1);
+  EXPECT_EQ(semiring_clique_size(8), 8);
+  EXPECT_EQ(semiring_clique_size(9), 27);
+  EXPECT_EQ(semiring_clique_size(100), 125);
+  EXPECT_EQ(semiring_clique_size(126), 216);
+}
+
+TEST(Plans, FastPlanRespectsConstraints) {
+  for (const int n : {1, 5, 10, 50, 100, 343, 500, 1000})
+    for (int depth = 0; depth <= 3; ++depth) {
+      const auto p = plan_fast_mm(n, depth);
+      EXPECT_GE(p.clique_n, n);
+      EXPECT_GE(p.clique_n, p.m);
+      EXPECT_TRUE(is_perfect_square(p.clique_n));
+      EXPECT_EQ(isqrt(p.clique_n) % p.d, 0);
+    }
+}
+
+TEST(Plans, AutoPlanPicksFittingDepth) {
+  for (const int n : {1, 6, 7, 48, 49, 342, 343, 2400}) {
+    const auto p = plan_fast_mm_auto(n);
+    EXPECT_LE(p.m, std::max(p.clique_n, 1));
+    EXPECT_GE(p.clique_n, n);
+  }
+}
+
+}  // namespace
+}  // namespace cca::core

@@ -1,0 +1,247 @@
+// Tests for the congested clique network model and its routing schedules.
+#include <gtest/gtest.h>
+
+#include "clique/network.hpp"
+#include "clique/primitives.hpp"
+#include "clique/routing.hpp"
+#include "util/rng.hpp"
+
+namespace cca::clique {
+namespace {
+
+TEST(Network, DeliversWordsInOrder) {
+  Network net(4);
+  net.send(0, 1, 10);
+  net.send(0, 1, 11);
+  net.send(2, 1, 99);
+  net.deliver();
+  EXPECT_EQ(net.inbox(1, 0), (std::vector<Word>{10, 11}));
+  EXPECT_EQ(net.inbox(1, 2), (std::vector<Word>{99}));
+  EXPECT_TRUE(net.inbox(1, 3).empty());
+}
+
+TEST(Network, SelfSendsAreFree) {
+  Network net(3);
+  net.send(1, 1, 7);
+  net.deliver();
+  EXPECT_EQ(net.stats().rounds, 0);
+  EXPECT_EQ(net.inbox(1, 1), (std::vector<Word>{7}));
+}
+
+TEST(Network, SingleWordCostsOneRoundEverywhere) {
+  for (const auto r : {Router::Direct, Router::HashRelay, Router::RandomRelay,
+                       Router::KoenigRelay}) {
+    Network net(8, r);
+    net.send(0, 5, 1);
+    net.deliver();
+    // Relays pay at most 2 (scatter + forward); direct pays exactly 1.
+    EXPECT_GE(net.stats().rounds, 1);
+    EXPECT_LE(net.stats().rounds, 2);
+  }
+}
+
+TEST(Network, InboxClearedBetweenSupersteps) {
+  Network net(3);
+  net.send(0, 1, 5);
+  net.deliver();
+  net.send(2, 1, 6);
+  net.deliver();
+  EXPECT_TRUE(net.inbox(1, 0).empty());
+  EXPECT_EQ(net.inbox(1, 2), (std::vector<Word>{6}));
+}
+
+TEST(Network, StatsAccumulate) {
+  Network net(4);
+  net.send(0, 1, 1);
+  net.deliver();
+  const auto r1 = net.stats().rounds;
+  net.send(0, 1, 1);
+  net.deliver();
+  EXPECT_GT(net.stats().rounds, r1 - 1);
+  EXPECT_EQ(net.stats().supersteps, 2);
+  EXPECT_EQ(net.stats().total_words, 2);
+}
+
+TEST(Network, ChargeRoundsAddsToStats) {
+  Network net(2);
+  net.charge_rounds(5);
+  EXPECT_EQ(net.stats().rounds, 5);
+}
+
+TEST(Network, TakeInboxMovesWords) {
+  Network net(2);
+  net.send(0, 1, 3);
+  net.deliver();
+  auto words = net.take_inbox(1, 0);
+  EXPECT_EQ(words, (std::vector<Word>{3}));
+  EXPECT_TRUE(net.inbox(1, 0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Schedule round counts.
+// ---------------------------------------------------------------------------
+
+TEST(Schedules, DirectIsMaxLinkLoad) {
+  const int n = 6;
+  std::vector<Demand> demands{{0, 1, 10}, {0, 2, 3}, {4, 1, 7}};
+  EXPECT_EQ(rounds_direct(n, demands), 10);
+}
+
+TEST(Schedules, DirectAggregatesRepeatedLinks) {
+  std::vector<Demand> demands{{0, 1, 4}, {0, 1, 5}};
+  EXPECT_EQ(rounds_direct(4, demands), 9);
+}
+
+TEST(Schedules, EmptyDemandsCostNothing) {
+  std::vector<Demand> none;
+  Rng rng(1);
+  EXPECT_EQ(rounds_direct(5, none), 0);
+  EXPECT_EQ(rounds_hash_relay(5, none), 0);
+  EXPECT_EQ(rounds_random_relay(5, none, rng), 0);
+  EXPECT_EQ(rounds_koenig_relay(5, none), 0);
+}
+
+TEST(Schedules, RelayBeatsDirectOnSingleHeavyLink) {
+  // One node ships n words to one receiver: direct needs n rounds, a relay
+  // spreads over intermediates and needs ~2 + slack.
+  const int n = 64;
+  std::vector<Demand> demands{{0, 1, 64}};
+  EXPECT_EQ(rounds_direct(n, demands), 64);
+  EXPECT_LE(rounds_hash_relay(n, demands), 6);
+  EXPECT_LE(rounds_koenig_relay(n, demands), 6);
+}
+
+TEST(Schedules, LenzenBalancedInstanceIsConstantRounds) {
+  // Every node sends exactly n words spread over all receivers and receives
+  // n words: the Lenzen routing regime. The Koenig relay is the executable
+  // counterpart of the deterministic O(1) guarantee; the hashed/random
+  // relays pay a small collision factor (Theta(log n / log log n) in the
+  // worst case) but stay near-constant.
+  const int n = 32;
+  std::vector<Demand> demands;
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d)
+      if (s != d) demands.push_back({s, d, 1});
+  EXPECT_LE(rounds_koenig_relay(n, demands), 6);
+  EXPECT_LE(rounds_hash_relay(n, demands), 16);
+  Rng rng(3);
+  EXPECT_LE(rounds_random_relay(n, demands, rng), 16);
+}
+
+TEST(Schedules, KoenigStaysConstantAsNGrows) {
+  // The Lenzen O(1) bound must be flat in n for the balanced instance.
+  for (const int n : {16, 32, 64, 128}) {
+    std::vector<Demand> demands;
+    for (int s = 0; s < n; ++s)
+      for (int d = 0; d < n; ++d)
+        if (s != d) demands.push_back({s, d, 1});
+    EXPECT_LE(rounds_koenig_relay(n, demands), 6) << n;
+  }
+}
+
+TEST(Schedules, KoenigNearOptimalOnSkewedInstance) {
+  // Adversarial skew: node 0 sends n words to each of n/2 receivers.
+  // Lower bound: out-degree load = n*n/2 words over n links = n/2 rounds.
+  const int n = 32;
+  std::vector<Demand> demands;
+  for (int d = 1; d <= n / 2; ++d) demands.push_back({0, d, n});
+  const auto lower = static_cast<std::int64_t>(n) * (n / 2) / n;
+  const auto koenig = rounds_koenig_relay(n, demands);
+  EXPECT_GE(koenig, lower);
+  EXPECT_LE(koenig, 3 * lower + 4);
+}
+
+TEST(Schedules, KoenigWithinConstantOfLowerBoundRandomInstances) {
+  Rng rng(99);
+  const int n = 24;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Demand> demands;
+    std::vector<std::int64_t> out(n, 0), in(n, 0);
+    for (int i = 0; i < 100; ++i) {
+      const int s = static_cast<int>(rng.next_below(n));
+      int d = static_cast<int>(rng.next_below(n));
+      if (s == d) d = (d + 1) % n;
+      const auto words = rng.next_in(1, 40);
+      demands.push_back({s, d, words});
+      out[static_cast<std::size_t>(s)] += words;
+      in[static_cast<std::size_t>(d)] += words;
+    }
+    std::int64_t lower = 0;
+    for (int v = 0; v < n; ++v)
+      lower = std::max({lower, (out[static_cast<std::size_t>(v)] + n - 1) / n,
+                        (in[static_cast<std::size_t>(v)] + n - 1) / n});
+    const auto koenig = rounds_koenig_relay(n, demands);
+    EXPECT_GE(koenig, lower);
+    EXPECT_LE(koenig, 6 * lower + 8) << "trial " << trial;
+  }
+}
+
+TEST(Schedules, HashRelayDeterministic) {
+  std::vector<Demand> demands{{0, 1, 17}, {2, 3, 9}, {1, 0, 30}};
+  EXPECT_EQ(rounds_hash_relay(16, demands), rounds_hash_relay(16, demands));
+}
+
+// ---------------------------------------------------------------------------
+// Primitives.
+// ---------------------------------------------------------------------------
+
+TEST(Primitives, BroadcastAllCostsOneRound) {
+  Network net(8);
+  std::vector<Word> vals(8, 3);
+  const auto got = broadcast_all(net, vals);
+  EXPECT_EQ(got, vals);
+  EXPECT_EQ(net.stats().rounds, 1);
+}
+
+TEST(Primitives, BroadcastAllSingletonFree) {
+  Network net(1);
+  (void)broadcast_all(net, {42});
+  EXPECT_EQ(net.stats().rounds, 0);
+}
+
+TEST(Primitives, BroadcastFromCosts) {
+  {
+    Network net(10);
+    broadcast_from(net, 0, 0);
+    EXPECT_EQ(net.stats().rounds, 0);
+  }
+  {
+    Network net(10);
+    broadcast_from(net, 0, 1);
+    EXPECT_EQ(net.stats().rounds, 1);
+  }
+  {
+    Network net(10);
+    broadcast_from(net, 0, 9);  // ceil(9/9) = 1 per phase
+    EXPECT_EQ(net.stats().rounds, 2);
+  }
+  {
+    Network net(10);
+    broadcast_from(net, 0, 90);  // ceil(90/9) = 10 per phase
+    EXPECT_EQ(net.stats().rounds, 20);
+  }
+}
+
+TEST(Primitives, DisseminateReturnsUnionInOrder) {
+  Network net(4);
+  std::vector<std::vector<Word>> lists{{1, 2}, {}, {3}, {4, 5, 6}};
+  const auto all = disseminate(net, lists);
+  EXPECT_EQ(all, (std::vector<Word>{1, 2, 3, 4, 5, 6}));
+  EXPECT_GE(net.stats().rounds, 2);  // at least counts + shares
+}
+
+TEST(Primitives, DisseminateScalesWithTotalOverN) {
+  // W total words cost about 3W/n + O(1) rounds.
+  const int n = 32;
+  Network net(n);
+  std::vector<std::vector<Word>> lists(n);
+  const int per = 64;
+  for (auto& l : lists) l.assign(per, 7);
+  (void)disseminate(net, lists);
+  const std::int64_t w = static_cast<std::int64_t>(n) * per;
+  EXPECT_LE(net.stats().rounds, 4 * w / n + 10);
+  EXPECT_GE(net.stats().rounds, w / n);
+}
+
+}  // namespace
+}  // namespace cca::clique

@@ -1,0 +1,202 @@
+// Unit tests for the util substrate: RNG, integer math, fitting, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/fit.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace cca {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(21);
+  Rng child = parent.split();
+  EXPECT_NE(parent.next(), child.next());
+}
+
+class RootsSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(RootsSweep, IsqrtExact) {
+  const auto x = GetParam();
+  const auto r = isqrt(x);
+  EXPECT_LE(r * r, x);
+  EXPECT_GT((r + 1) * (r + 1), x);
+}
+
+TEST_P(RootsSweep, IcbrtExact) {
+  const auto x = GetParam();
+  const auto r = icbrt(x);
+  EXPECT_LE(r * r * r, x);
+  EXPECT_GT((r + 1) * (r + 1) * (r + 1), x);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, RootsSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 7, 8, 9, 26, 27, 28,
+                                           63, 64, 65, 99, 1000, 12166, 12167,
+                                           12168, 1000000, 999999999999LL));
+
+TEST(Math, PerfectPredicates) {
+  EXPECT_TRUE(is_perfect_square(0));
+  EXPECT_TRUE(is_perfect_square(49));
+  EXPECT_FALSE(is_perfect_square(50));
+  EXPECT_TRUE(is_perfect_cube(27));
+  EXPECT_FALSE(is_perfect_cube(28));
+  EXPECT_FALSE(is_perfect_square(-4));
+}
+
+TEST(Math, NextCubeAndSquare) {
+  EXPECT_EQ(next_cube(0), 0);
+  EXPECT_EQ(next_cube(1), 1);
+  EXPECT_EQ(next_cube(2), 8);
+  EXPECT_EQ(next_cube(27), 27);
+  EXPECT_EQ(next_cube(28), 64);
+  EXPECT_EQ(next_square(17), 25);
+  EXPECT_EQ(next_square(25), 25);
+}
+
+TEST(Math, NextSquareWithRootMultiple) {
+  EXPECT_EQ(next_square_with_root_multiple(49, 2), 64);   // sqrt 8
+  EXPECT_EQ(next_square_with_root_multiple(64, 8), 64);   // sqrt 8
+  EXPECT_EQ(next_square_with_root_multiple(65, 8), 256);  // sqrt 16
+  EXPECT_EQ(next_square_with_root_multiple(1, 1), 1);
+}
+
+TEST(Math, Pow2Helpers) {
+  EXPECT_EQ(floor_pow2(1), 1);
+  EXPECT_EQ(floor_pow2(7), 4);
+  EXPECT_EQ(floor_pow2(8), 8);
+  EXPECT_EQ(ceil_pow2(5), 8);
+  EXPECT_EQ(ceil_pow2(8), 8);
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(7), 2);
+  EXPECT_EQ(ilog2(8), 3);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(3, 3), 1);
+  EXPECT_EQ(ceil_div(4, 3), 2);
+}
+
+TEST(Math, MixedRadixRoundTrip) {
+  const std::vector<std::int64_t> radices{4, 5, 3};
+  for (std::int64_t v = 0; v < 60; ++v) {
+    const auto digits = mixed_radix(v, radices);
+    ASSERT_EQ(digits.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_GE(digits[i], 0);
+      EXPECT_LT(digits[i], radices[i]);
+    }
+    EXPECT_EQ(from_mixed_radix(digits, radices), v);
+  }
+}
+
+TEST(Fit, RecoversExactPowerLaw) {
+  std::vector<double> xs, ys;
+  for (const double x : {8.0, 27.0, 64.0, 125.0, 343.0}) {
+    xs.push_back(x);
+    ys.push_back(2.5 * std::pow(x, 0.33));
+  }
+  const auto f = fit_power_law(xs, ys);
+  EXPECT_NEAR(f.exponent, 0.33, 1e-9);
+  EXPECT_NEAR(f.coefficient, 2.5, 1e-9);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-9);
+}
+
+TEST(Fit, NoisyDataStillClose) {
+  std::vector<double> xs, ys;
+  double wiggle = 0.9;
+  for (const double x : {10.0, 100.0, 1000.0, 10000.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 0.5) * wiggle);
+    wiggle = 2.0 - wiggle;  // alternate 0.9 / 1.1
+  }
+  const auto f = fit_power_law(xs, ys);
+  EXPECT_NEAR(f.exponent, 0.5, 0.05);
+}
+
+TEST(Fit, ConstantSeriesHasZeroExponent) {
+  const auto f = fit_power_law({2, 4, 8, 16}, {5, 5, 5, 5});
+  EXPECT_NEAR(f.exponent, 0.0, 1e-12);
+  EXPECT_NEAR(f.coefficient, 5.0, 1e-9);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_int(-42), "-42");
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,152 @@
+// Tests for the Section 3.4 witness machinery: unique-witness recovery,
+// O(1)-round verification, and the randomized general case (Lemma 21).
+#include <gtest/gtest.h>
+
+#include "clique/network.hpp"
+#include "core/distance_product.hpp"
+#include "core/witness.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/semiring.hpp"
+#include "util/rng.hpp"
+
+namespace cca::core {
+namespace {
+
+constexpr std::int64_t kInf = MinPlusSemiring::kInf;
+
+/// Oracle backed by the exact semiring product on the given clique.
+DpOracle semiring_oracle(clique::Network& net) {
+  return [&net](const Matrix<std::int64_t>& s, const Matrix<std::int64_t>& t) {
+    return dp_semiring(net, s, t);
+  };
+}
+
+Matrix<std::int64_t> random_bounded(int n, std::int64_t max_v,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<std::int64_t> m(n, n, kInf);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (!rng.chance(1, 4)) m(i, j) = rng.next_in(0, max_v);
+  return m;
+}
+
+TEST(UniqueWitness, RecoversUniqueWitnessesExactly) {
+  // Construct an instance where every pair has a unique witness: distinct
+  // powers of two as entries make every sum distinct.
+  const int n = 8;
+  Matrix<std::int64_t> s(n, n, kInf), t(n, n, kInf);
+  for (int u = 0; u < n; ++u)
+    for (int k = 0; k < n; ++k) {
+      s(u, k) = (u + 1) * 100 + k * 10;
+      t(k, u) = k;  // the witness minimising s(u,k)+t(k,v) is unique (k=0)
+    }
+  clique::Network net(n);
+  const MinPlusSemiring sr;
+  const auto p = multiply(sr, s, t);
+  const auto q = unique_witness_candidates(s, t, p, semiring_oracle(net));
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v) {
+      ASSERT_GE(q(u, v), 0);
+      EXPECT_EQ(s(u, q(u, v)) + t(q(u, v), v), p(u, v));
+    }
+}
+
+TEST(VerifyWitnesses, AcceptsValidRejectsInvalid) {
+  const int n = 8;
+  const auto s = random_bounded(n, 50, 1);
+  const auto t = random_bounded(n, 50, 2);
+  const MinPlusSemiring sr;
+  const auto p = multiply(sr, s, t);
+
+  // Build a genuinely valid witness matrix by brute force.
+  Matrix<int> good(n, n, -1);
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v)
+      for (int k = 0; k < n; ++k)
+        if (s(u, k) < kInf && t(k, v) < kInf && s(u, k) + t(k, v) == p(u, v)) {
+          good(u, v) = k;
+          break;
+        }
+
+  clique::Network net(n);
+  const auto ok = verify_witnesses(net, s, t, p, good);
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v)
+      EXPECT_EQ(ok(u, v) != 0, good(u, v) >= 0) << u << "," << v;
+
+  // Corrupt some entries: verification must reject exactly those.
+  auto bad = good;
+  int corrupted = 0;
+  for (int u = 0; u < n && corrupted < 5; ++u)
+    for (int v = 0; v < n && corrupted < 5; ++v) {
+      if (bad(u, v) < 0) continue;
+      const int other = (bad(u, v) + 1) % n;
+      const bool still_valid = s(u, other) < kInf && t(other, v) < kInf &&
+                               s(u, other) + t(other, v) == p(u, v);
+      if (still_valid) continue;
+      bad(u, v) = other;
+      ++corrupted;
+    }
+  const auto ok2 = verify_witnesses(net, s, t, p, bad);
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v)
+      if (bad(u, v) != good(u, v)) EXPECT_EQ(ok2(u, v), 0);
+}
+
+TEST(VerifyWitnesses, CostsConstantRounds) {
+  const int n = 32;
+  const auto s = random_bounded(n, 20, 3);
+  const auto t = random_bounded(n, 20, 4);
+  const MinPlusSemiring sr;
+  const auto p = multiply(sr, s, t);
+  Matrix<int> q(n, n, 0);
+  clique::Network net(n);
+  (void)verify_witnesses(net, s, t, p, q);
+  EXPECT_LE(net.stats().rounds, 12);  // three relayed supersteps of O(n)/node
+}
+
+class GeneralWitnessSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneralWitnessSweep, FindsValidWitnessesForAllFinitePairs) {
+  const auto seed = GetParam();
+  const int n = 8;
+  const auto s = random_bounded(n, 30, seed);
+  const auto t = random_bounded(n, 30, seed + 1000);
+  const MinPlusSemiring sr;
+  const auto p = multiply(sr, s, t);
+
+  clique::Network net(n);
+  const auto w = dp_witnesses(net, s, t, p, semiring_oracle(net), seed, 4);
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v) {
+      if (p(u, v) >= kInf) {
+        EXPECT_EQ(w(u, v), -1);
+        continue;
+      }
+      ASSERT_GE(w(u, v), 0) << "missing witness at " << u << "," << v;
+      EXPECT_EQ(s(u, w(u, v)) + t(w(u, v), v), p(u, v));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralWitnessSweep,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(GeneralWitness, HandlesManyEqualWitnesses) {
+  // All-zero matrices: every k is a witness for every pair — the unique
+  // path fails, sampling must still succeed.
+  const int n = 8;
+  Matrix<std::int64_t> z(n, n, 0);
+  const MinPlusSemiring sr;
+  const auto p = multiply(sr, z, z);
+  clique::Network net(n);
+  const auto w = dp_witnesses(net, z, z, p, semiring_oracle(net), 5, 4);
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v) {
+      ASSERT_GE(w(u, v), 0);
+      EXPECT_EQ(z(u, w(u, v)) + z(w(u, v), v), p(u, v));
+    }
+}
+
+}  // namespace
+}  // namespace cca::core

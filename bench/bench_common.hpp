@@ -6,6 +6,8 @@
 // exact schedule accounting (see src/clique/), never from formulas.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,6 +16,68 @@
 #include "util/table.hpp"
 
 namespace cca::bench {
+
+/// Monotonic nanosecond timestamp for wall-clock measurements.
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Machine-readable perf record, opt-in via `--json` on any bench binary.
+/// Collected rows are written to BENCH_<name>.json in the working directory
+/// so the perf trajectory across PRs can be diffed and plotted.
+class JsonReport {
+ public:
+  JsonReport(const std::string& name, int argc, char** argv) : name_(name) {
+    for (int i = 1; i < argc; ++i)
+      if (std::string(argv[i]) == "--json") enabled_ = true;
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Record one measured configuration: the clique (padded) size, the exact
+  /// simulated rounds, and the measured wall-clock per operation.
+  void add(const std::string& label, long long clique_n, long long rounds,
+           std::int64_t wall_ns_per_op) {
+    rows_.push_back({label, clique_n, rounds, wall_ns_per_op});
+  }
+
+  /// Write BENCH_<name>.json (no-op unless --json was passed).
+  void write() const {
+    if (!enabled_) return;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const auto& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"label\": \"%s\", \"clique_n\": %lld, "
+                   "\"rounds\": %lld, \"wall_ns_per_op\": %lld}%s\n",
+                   r.label.c_str(), r.clique_n, r.rounds,
+                   static_cast<long long>(r.wall_ns_per_op),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    long long clique_n;
+    long long rounds;
+    std::int64_t wall_ns_per_op;
+  };
+  std::string name_;
+  bool enabled_ = false;
+  std::vector<Row> rows_;
+};
 
 struct Series {
   std::string name;

@@ -63,7 +63,8 @@ std::int64_t run_naive(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cca::bench::JsonReport json("mm", argc, argv);
   cca::bench::print_header(
       "Table 1: matrix multiplication round complexity (semiring / ring / naive)");
 
@@ -75,7 +76,10 @@ int main() {
   Series semi_bound{"semiring 3D (bound)", {}, {}};
   Series naive{"naive broadcast", {}, {}};
   for (const int n : {27, 64, 125, 216, 343, 512}) {
+    const auto t0 = cca::bench::now_ns();
     const auto s = run_semiring(n);
+    const auto t1 = cca::bench::now_ns();
+    json.add("semiring_3d", n, s.rounds, t1 - t0);
     semi.add(n, static_cast<double>(s.rounds));
     semi_bound.add(n, static_cast<double>(s.bound_rounds));
     naive.add(n, static_cast<double>(run_naive(n)));
@@ -95,7 +99,10 @@ int main() {
   } family[] = {{7, 1}, {49, 2}, {343, 3}};
   for (const auto& f : family) {
     const auto plan = plan_fast_mm(f.n, f.depth);
+    const auto t0 = cca::bench::now_ns();
     const auto s = run_fast(f.n, f.depth);
+    const auto t1 = cca::bench::now_ns();
+    json.add("fast_bilinear", plan.clique_n, s.rounds, t1 - t0);
     std::printf("  n=%4d  depth=%d  padded clique N=%4d  rounds=%lld  "
                 "(lower bound %lld)\n",
                 f.n, f.depth, plan.clique_n,
@@ -121,5 +128,6 @@ int main() {
   std::printf("\nNote: absolute crossover fast-vs-semiring requires n beyond "
               "laptop simulation for sigma=2.807; the reproduced claim is "
               "the exponent ordering 0.288 < 0.333 < 1 (see EXPERIMENTS.md).\n");
+  json.write();
   return 0;
 }

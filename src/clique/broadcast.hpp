@@ -44,8 +44,10 @@ class BroadcastNetwork {
                                 queue_[static_cast<std::size_t>(v)].size()));
     if (n_ > 1) rounds_ += need;
     for (int v = 0; v < n_; ++v) {
-      inbox_[static_cast<std::size_t>(v)] =
-          std::move(queue_[static_cast<std::size_t>(v)]);
+      // Swap instead of move: the previous superstep's inbox buffer becomes
+      // the next queue, so steady-state delivery allocates nothing.
+      inbox_[static_cast<std::size_t>(v)].swap(
+          queue_[static_cast<std::size_t>(v)]);
       queue_[static_cast<std::size_t>(v)].clear();
     }
   }

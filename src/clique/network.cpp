@@ -1,6 +1,7 @@
 #include "clique/network.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "clique/routing.hpp"
 #include "util/contracts.hpp"
@@ -11,11 +12,13 @@ Network::Network(int n, Router default_router, std::uint64_t seed)
     : n_(n),
       default_router_(default_router),
       rng_(seed),
-      outbox_(static_cast<std::size_t>(n)),
-      inbox_(static_cast<std::size_t>(n)) {
+      out_data_(static_cast<std::size_t>(n)),
+      out_segs_(static_cast<std::size_t>(n)),
+      in_off_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0),
+      in_len_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0),
+      pair_words_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                  0) {
   CCA_EXPECTS(n >= 1);
-  for (auto& row : outbox_) row.resize(static_cast<std::size_t>(n));
-  for (auto& row : inbox_) row.resize(static_cast<std::size_t>(n));
 }
 
 void Network::check_node(NodeId v) const { CCA_EXPECTS(v >= 0 && v < n_); }
@@ -23,22 +26,43 @@ void Network::check_node(NodeId v) const { CCA_EXPECTS(v >= 0 && v < n_); }
 void Network::send(NodeId src, NodeId dst, Word w) {
   check_node(src);
   check_node(dst);
-  outbox_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)]
-      .push_back(w);
+  const auto s = static_cast<std::size_t>(src);
+  out_data_[s].push_back(w);
+  auto& segs = out_segs_[s];
+  if (!segs.empty() && segs.back().dst == dst)
+    ++segs.back().len;
+  else
+    segs.push_back({dst, 1});
 }
 
 void Network::send_words(NodeId src, NodeId dst, std::span<const Word> ws) {
   check_node(src);
   check_node(dst);
-  auto& box =
-      outbox_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
-  box.insert(box.end(), ws.begin(), ws.end());
+  if (ws.empty()) return;
+  const auto s = static_cast<std::size_t>(src);
+  auto& data = out_data_[s];
+  data.insert(data.end(), ws.begin(), ws.end());
+  auto& segs = out_segs_[s];
+  if (!segs.empty() && segs.back().dst == dst)
+    segs.back().len += ws.size();
+  else
+    segs.push_back({dst, ws.size()});
 }
 
 void Network::deliver() { deliver(default_router_); }
 
 void Network::deliver(Router router) {
-  // Collect the demand list (self-sends are local and free).
+  // Pass 1: per-pair word counts from the staged segments.
+  std::fill(pair_words_.begin(), pair_words_.end(), 0);
+  for (int src = 0; src < n_; ++src) {
+    const auto base = static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(n_);
+    for (const auto& seg : out_segs_[static_cast<std::size_t>(src)])
+      pair_words_[base + static_cast<std::size_t>(seg.dst)] += seg.len;
+  }
+
+  // Demand list and per-node volumes (self-sends are local and free). The
+  // (src asc, dst asc) order matches the routing schedules' expectations.
   std::vector<Demand> demands;
   std::int64_t total = 0;
   std::int64_t max_send = 0;
@@ -46,17 +70,17 @@ void Network::deliver(Router router) {
   std::vector<std::int64_t> sent_by(static_cast<std::size_t>(n_));
   for (int src = 0; src < n_; ++src) {
     std::int64_t sent = 0;
+    const auto base = static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(n_);
     for (int dst = 0; dst < n_; ++dst) {
-      const auto& box = outbox_[static_cast<std::size_t>(src)]
-                               [static_cast<std::size_t>(dst)];
-      if (box.empty()) continue;
-      const auto words = static_cast<std::int64_t>(box.size());
-      if (src != dst) {
-        demands.push_back({src, dst, words});
-        sent += words;
-        recv[static_cast<std::size_t>(dst)] += words;
-        total += words;
-      }
+      const auto words =
+          static_cast<std::int64_t>(pair_words_[base +
+                                                static_cast<std::size_t>(dst)]);
+      if (words == 0 || src == dst) continue;
+      demands.push_back({src, dst, words});
+      sent += words;
+      recv[static_cast<std::size_t>(dst)] += words;
+      total += words;
     }
     sent_by[static_cast<std::size_t>(src)] = sent;
     max_send = std::max(max_send, sent);
@@ -78,17 +102,38 @@ void Network::deliver(Router router) {
       break;
   }
 
-  // Move payloads: the delivered content is independent of the schedule.
+  // Pass 2: lay out the arena (receiver-major, senders ascending within a
+  // receiver) and scatter every source's staged runs into its slices. The
+  // delivered content is independent of the schedule.
+  std::size_t cursor = 0;
   for (int dst = 0; dst < n_; ++dst)
     for (int src = 0; src < n_; ++src) {
-      auto& in =
-          inbox_[static_cast<std::size_t>(dst)][static_cast<std::size_t>(src)];
-      in.clear();
-      auto& out =
-          outbox_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
-      if (!out.empty()) in = std::move(out);
-      out.clear();
+      const auto idx = pair_index(dst, src);
+      const auto words = pair_words_[static_cast<std::size_t>(src) *
+                                         static_cast<std::size_t>(n_) +
+                                     static_cast<std::size_t>(dst)];
+      in_off_[idx] = cursor;
+      in_len_[idx] = words;
+      cursor += words;
     }
+  arena_.resize(cursor);
+
+  // pair_words_ is consumed as the per-pair write cursor from here on.
+  std::fill(pair_words_.begin(), pair_words_.end(), 0);
+  for (int src = 0; src < n_; ++src) {
+    const auto s = static_cast<std::size_t>(src);
+    const auto base = s * static_cast<std::size_t>(n_);
+    const Word* read = out_data_[s].data();
+    for (const auto& seg : out_segs_[s]) {
+      auto& consumed = pair_words_[base + static_cast<std::size_t>(seg.dst)];
+      std::memcpy(arena_.data() + in_off_[pair_index(seg.dst, src)] + consumed,
+                  read, static_cast<std::size_t>(seg.len) * sizeof(Word));
+      consumed += seg.len;
+      read += seg.len;
+    }
+    out_data_[s].clear();
+    out_segs_[s].clear();
+  }
 
   stats_.rounds += rounds;
   stats_.supersteps += 1;
@@ -110,17 +155,21 @@ void Network::deliver(Router router) {
   }
 }
 
-const std::vector<Word>& Network::inbox(NodeId dst, NodeId src) const {
+std::span<const Word> Network::inbox(NodeId dst, NodeId src) const {
   check_node(dst);
   check_node(src);
-  return inbox_[static_cast<std::size_t>(dst)][static_cast<std::size_t>(src)];
+  const auto idx = pair_index(dst, src);
+  return {arena_.data() + in_off_[idx], in_len_[idx]};
 }
 
 std::vector<Word> Network::take_inbox(NodeId dst, NodeId src) {
   check_node(dst);
   check_node(src);
-  return std::move(
-      inbox_[static_cast<std::size_t>(dst)][static_cast<std::size_t>(src)]);
+  const auto idx = pair_index(dst, src);
+  std::vector<Word> out(arena_.data() + in_off_[idx],
+                        arena_.data() + in_off_[idx] + in_len_[idx]);
+  in_len_[idx] = 0;
+  return out;
 }
 
 void Network::charge_rounds(std::int64_t rounds) {

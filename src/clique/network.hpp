@@ -103,9 +103,12 @@ class Network {
   void deliver(Router router);
 
   /// Words received by dst from src in the most recent superstep, FIFO.
-  [[nodiscard]] const std::vector<Word>& inbox(NodeId dst, NodeId src) const;
+  /// The span views the delivery arena: it stays valid until the next
+  /// deliver() (or take_inbox of the same pair), which rebuilds the arena.
+  [[nodiscard]] std::span<const Word> inbox(NodeId dst, NodeId src) const;
 
-  /// Move the inbox out (avoids copies for large blocks).
+  /// Copy the inbox out as an owning vector and mark the pair consumed
+  /// (subsequent inbox() calls for the pair see an empty view).
   [[nodiscard]] std::vector<Word> take_inbox(NodeId dst, NodeId src);
 
   /// Charge rounds for a protocol the caller scheduled manually.
@@ -119,12 +122,33 @@ class Network {
  private:
   void check_node(NodeId v) const;
 
+  [[nodiscard]] std::size_t pair_index(NodeId dst, NodeId src) const noexcept {
+    return static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(src);
+  }
+
   int n_;
   Router default_router_;
   Rng rng_;
-  // outbox_[src][dst] and inbox_[dst][src]: word queues for one superstep.
-  std::vector<std::vector<std::vector<Word>>> outbox_;
-  std::vector<std::vector<std::vector<Word>>> inbox_;
+
+  // Staged words, one flat append-only buffer per source. A segment records
+  // a run of consecutive words bound for one destination; runs to the same
+  // destination concatenate in append order, so per-pair FIFO is preserved
+  // without n^2 queues.
+  struct Segment {
+    NodeId dst;
+    std::uint64_t len;
+  };
+  std::vector<std::vector<Word>> out_data_;      // [src] staged payload
+  std::vector<std::vector<Segment>> out_segs_;   // [src] destination runs
+
+  // Delivered words for the current superstep, in one contiguous arena.
+  // in_off_/in_len_ (indexed dst*n + src) describe each ordered pair's
+  // slice; deliver() rebuilds all three in a single pass over the outboxes.
+  std::vector<Word> arena_;
+  std::vector<std::size_t> in_off_;
+  std::vector<std::size_t> in_len_;
+  std::vector<std::size_t> pair_words_;          // scratch: src*n + dst
   TrafficStats stats_;
 };
 

@@ -92,109 +92,155 @@ struct Edge {
   std::int64_t count;
 };
 
-std::int64_t max_degree(int n, const std::vector<Edge>& edges) {
-  std::vector<std::int64_t> row(static_cast<std::size_t>(n));
-  std::vector<std::int64_t> col(static_cast<std::size_t>(n));
-  for (const auto& e : edges) {
-    row[static_cast<std::size_t>(e.src)] += e.count;
-    col[static_cast<std::size_t>(e.dst)] += e.count;
-  }
-  std::int64_t best = 0;
-  for (int v = 0; v < n; ++v)
-    best = std::max({best, row[static_cast<std::size_t>(v)],
-                     col[static_cast<std::size_t>(v)]});
-  return best;
-}
+/// Recursively colour the demand multigraph. Colour classes are produced in
+/// leaf (DFS) order; consecutive classes share split ancestry and hence have
+/// near-disjoint edge sets, so contiguous BLOCKS of classes are assigned to
+/// the same intermediate: class t of C goes through node floor(t*n/C). The
+/// total class count is needed before any class can be assigned, so the
+/// split recursion logs the class sequence into a flat buffer and the load
+/// assignment replays the log once the count is known.
+///
+/// Two observations keep the schedule exactly as specified while avoiding
+/// the naive implementation's Theta(classes * n) blowup:
+///  * When every multiplicity is even, the Euler split produces two
+///    element-identical halves, so the recursion's subtrees emit identical
+///    class sequences. The subtree is traversed once and its logged class
+///    range is duplicated in place of the second descent. Uniform word
+///    blocks (the matrix algorithms' common case) collapse from 2^k
+///    traversals to one.
+///  * The odd-leftover trail walk touches only vertices incident to odd
+///    edges; adjacency and cursor scratch is reused across recursion nodes
+///    and reset per touched vertex, never per clique node.
+class KoenigColouring {
+ public:
+  KoenigColouring(int n, std::vector<std::int64_t>& load_a,
+                  std::vector<std::int64_t>& load_b)
+      : n_(n),
+        load_a_(load_a),
+        load_b_(load_b),
+        adj_(static_cast<std::size_t>(2 * n)),
+        cursor_(static_cast<std::size_t>(2 * n)),
+        row_(static_cast<std::size_t>(n)),
+        col_(static_cast<std::size_t>(n)) {}
 
-/// Split the demand multigraph into two halves whose row/column sums are as
-/// equal as possible: even multiplicities are halved arithmetically, odd
-/// leftovers form a simple bipartite graph whose edges are 2-coloured by
-/// alternating along maximal trails (starting at odd-degree vertices first,
-/// so every vertex's degree splits with deviation at most one).
-void euler_split(int n, const std::vector<Edge>& edges, std::vector<Edge>& lo,
-                 std::vector<Edge>& hi) {
-  lo.clear();
-  hi.clear();
+  void colour(const std::vector<Edge>& edges) {
+    // Single split traversal: the DFS leaf order of colour classes goes
+    // into a flat log (class t = edges [log_bounds_[t], log_bounds_[t+1])).
+    // The class count needed for the block assignment is the log length,
+    // so no separate counting pass re-runs the splits.
+    log_edges_.clear();
+    log_bounds_.clear();
+    split_walk(edges, 0);
+    total_colours_ = static_cast<std::int64_t>(log_bounds_.size());
+    if (total_colours_ == 0) return;
+    for (std::int64_t t = 0; t < total_colours_; ++t) {
+      const int mid = static_cast<int>(t * n_ / total_colours_);
+      const std::size_t begin = log_bounds_[static_cast<std::size_t>(t)];
+      const std::size_t finish =
+          t + 1 < total_colours_ ? log_bounds_[static_cast<std::size_t>(t + 1)]
+                                 : log_edges_.size();
+      for (std::size_t i = begin; i < finish; ++i)
+        add_load(log_edges_[i].first, log_edges_[i].second, mid);
+    }
+  }
+
+ private:
   struct OddEdge {
     int src;
     int dst;
     bool used = false;
   };
-  std::vector<OddEdge> odd;
-  for (const auto& e : edges) {
-    const std::int64_t half = e.count / 2;
-    if (half > 0) {
-      lo.push_back({e.src, e.dst, half});
-      hi.push_back({e.src, e.dst, half});
+
+  std::int64_t max_degree(const std::vector<Edge>& edges) {
+    // row_/col_ are all-zero between calls; only entries touched by this
+    // edge list are accumulated, maxed, and zeroed again — O(|edges|), not
+    // O(n), per recursion node.
+    for (const auto& e : edges) {
+      row_[static_cast<std::size_t>(e.src)] += e.count;
+      col_[static_cast<std::size_t>(e.dst)] += e.count;
     }
-    if (e.count % 2 == 1) odd.push_back({e.src, e.dst, false});
-  }
-  if (odd.empty()) return;
-
-  // Adjacency over 2n vertices: sources are [0,n), destinations [n,2n).
-  std::vector<std::vector<int>> adj(static_cast<std::size_t>(2 * n));
-  for (std::size_t i = 0; i < odd.size(); ++i) {
-    adj[static_cast<std::size_t>(odd[i].src)].push_back(static_cast<int>(i));
-    adj[static_cast<std::size_t>(n + odd[i].dst)].push_back(
-        static_cast<int>(i));
-  }
-  std::vector<std::size_t> cursor(static_cast<std::size_t>(2 * n));
-
-  auto walk = [&](int v0) {
-    // Maximal trail from v0, alternating edges between lo and hi.
-    int v = v0;
-    bool to_lo = true;
-    for (;;) {
-      auto& cu = cursor[static_cast<std::size_t>(v)];
-      const auto& edges_at = adj[static_cast<std::size_t>(v)];
-      while (cu < edges_at.size() &&
-             odd[static_cast<std::size_t>(edges_at[cu])].used)
-        ++cu;
-      if (cu >= edges_at.size()) return;
-      const auto id = static_cast<std::size_t>(edges_at[cu]);
-      odd[id].used = true;
-      (to_lo ? lo : hi).push_back({odd[id].src, odd[id].dst, 1});
-      to_lo = !to_lo;
-      const int s = odd[id].src;
-      const int d = n + odd[id].dst;
-      v = (v == s) ? d : s;
+    std::int64_t best = 0;
+    for (const auto& e : edges) {
+      best = std::max({best, row_[static_cast<std::size_t>(e.src)],
+                       col_[static_cast<std::size_t>(e.dst)]});
+      row_[static_cast<std::size_t>(e.src)] = 0;
+      col_[static_cast<std::size_t>(e.dst)] = 0;
     }
-  };
-
-  // Start trails at odd-degree vertices so trail endpoints pair them up.
-  for (int v = 0; v < 2 * n; ++v)
-    if (adj[static_cast<std::size_t>(v)].size() % 2 == 1) walk(v);
-  for (int v = 0; v < 2 * n; ++v) walk(v);
-}
-
-/// Recursively colour the demand multigraph. Colour classes are produced in
-/// leaf (DFS) order; consecutive classes share split ancestry and hence have
-/// near-disjoint edge sets, so contiguous BLOCKS of classes are assigned to
-/// the same intermediate: class t of C goes through node floor(t*n/C). This
-/// needs the total class count up front, so the recursion runs twice: a
-/// counting pass and an assignment pass (both deterministic).
-class KoenigColouring {
- public:
-  KoenigColouring(int n, std::vector<std::int64_t>& load_a,
-                  std::vector<std::int64_t>& load_b)
-      : n_(n), load_a_(load_a), load_b_(load_b) {}
-
-  void colour(const std::vector<Edge>& edges) {
-    total_colours_ = 0;
-    counting_ = true;
-    walk(edges, 0);
-    if (total_colours_ == 0) return;
-    counting_ = false;
-    next_colour_ = 0;
-    walk(edges, 0);
+    return best;
   }
 
- private:
-  void walk(std::vector<Edge> edges, int depth) {
+  /// Split the demand multigraph into two halves whose row/column sums are
+  /// as equal as possible: even multiplicities are halved arithmetically,
+  /// odd leftovers form a simple bipartite graph whose edges are 2-coloured
+  /// by alternating along maximal trails (starting at odd-degree vertices
+  /// first, so every vertex's degree splits with deviation at most one).
+  /// Returns true when the halves are element-identical (no odd leftovers).
+  bool euler_split(const std::vector<Edge>& edges, std::vector<Edge>& lo,
+                   std::vector<Edge>& hi) {
+    lo.clear();
+    hi.clear();
+    odd_.clear();
+    for (const auto& e : edges) {
+      const std::int64_t half = e.count / 2;
+      if (half > 0) {
+        lo.push_back({e.src, e.dst, half});
+        hi.push_back({e.src, e.dst, half});
+      }
+      if (e.count % 2 == 1) odd_.push_back({e.src, e.dst, false});
+    }
+    if (odd_.empty()) return true;
+
+    // Adjacency over 2n vertices: sources are [0,n), destinations [n,2n).
+    // Only vertices incident to an odd edge are touched; their scratch
+    // entries are reset on the way out.
+    touched_.clear();
+    for (std::size_t i = 0; i < odd_.size(); ++i) {
+      const auto s = static_cast<std::size_t>(odd_[i].src);
+      const auto d = static_cast<std::size_t>(n_ + odd_[i].dst);
+      if (adj_[s].empty()) touched_.push_back(static_cast<int>(s));
+      if (adj_[d].empty()) touched_.push_back(static_cast<int>(d));
+      adj_[s].push_back(static_cast<int>(i));
+      adj_[d].push_back(static_cast<int>(i));
+    }
+    std::sort(touched_.begin(), touched_.end());
+    for (const int v : touched_) cursor_[static_cast<std::size_t>(v)] = 0;
+
+    auto walk_trail = [&](int v0) {
+      // Maximal trail from v0, alternating edges between lo and hi.
+      int v = v0;
+      bool to_lo = true;
+      for (;;) {
+        auto& cu = cursor_[static_cast<std::size_t>(v)];
+        const auto& edges_at = adj_[static_cast<std::size_t>(v)];
+        while (cu < edges_at.size() &&
+               odd_[static_cast<std::size_t>(edges_at[cu])].used)
+          ++cu;
+        if (cu >= edges_at.size()) return;
+        const auto id = static_cast<std::size_t>(edges_at[cu]);
+        odd_[id].used = true;
+        (to_lo ? lo : hi).push_back({odd_[id].src, odd_[id].dst, 1});
+        to_lo = !to_lo;
+        const int s = odd_[id].src;
+        const int d = n_ + odd_[id].dst;
+        v = (v == s) ? d : s;
+      }
+    };
+
+    // Start trails at odd-degree vertices so trail endpoints pair them up.
+    // Untouched vertices have empty adjacency, so visiting the sorted
+    // touched set is equivalent to the full 0..2n-1 sweep.
+    for (const int v : touched_)
+      if (adj_[static_cast<std::size_t>(v)].size() % 2 == 1) walk_trail(v);
+    for (const int v : touched_) walk_trail(v);
+    for (const int v : touched_) adj_[static_cast<std::size_t>(v)].clear();
+    return false;
+  }
+
+  void split_walk(std::vector<Edge> edges, int depth) {
     if (edges.empty()) return;
-    const std::int64_t deg = max_degree(n_, edges);
+    const std::int64_t deg = max_degree(edges);
     if (deg <= 1) {
-      assign_class(edges);
+      log_class(edges);
       return;
     }
     if (depth > 64) {
@@ -202,40 +248,67 @@ class KoenigColouring {
       // the max degree), but keeps the router total even if it regresses.
       for (const auto& e : edges)
         for (std::int64_t i = 0; i < e.count; ++i)
-          assign_class({{e.src, e.dst, 1}});
+          log_class({{e.src, e.dst, 1}});
       return;
     }
     std::vector<Edge> lo;
     std::vector<Edge> hi;
-    euler_split(n_, edges, lo, hi);
+    const bool identical = euler_split(edges, lo, hi);
     edges.clear();
     edges.shrink_to_fit();
-    walk(std::move(lo), depth + 1);
-    walk(std::move(hi), depth + 1);
-  }
-
-  void assign_class(const std::vector<Edge>& matching) {
-    if (counting_) {
-      ++total_colours_;
+    if (!identical) {
+      split_walk(std::move(lo), depth + 1);
+      split_walk(std::move(hi), depth + 1);
       return;
     }
-    const auto t = next_colour_++;
-    const int mid = static_cast<int>(t * n_ / total_colours_);
+    // Element-identical halves produce identical subtrees: traverse once
+    // and duplicate the logged class range in place of the second descent.
+    const std::size_t mark_b = log_bounds_.size();
+    const std::size_t mark_e = log_edges_.size();
+    split_walk(std::move(lo), depth + 1);
+    const std::size_t end_b = log_bounds_.size();
+    const std::size_t end_e = log_edges_.size();
+    const std::size_t delta = end_e - mark_e;
+    log_bounds_.reserve(end_b + (end_b - mark_b));
+    for (std::size_t b = mark_b; b < end_b; ++b)
+      log_bounds_.push_back(log_bounds_[b] + delta);
+    log_edges_.resize(end_e + delta);
+    std::copy(log_edges_.begin() + static_cast<std::ptrdiff_t>(mark_e),
+              log_edges_.begin() + static_cast<std::ptrdiff_t>(end_e),
+              log_edges_.begin() + static_cast<std::ptrdiff_t>(end_e));
+  }
+
+  void log_class(const std::vector<Edge>& matching) {
+    log_bounds_.push_back(log_edges_.size());
     for (const auto& e : matching) {
       CCA_ASSERT(e.count == 1);
-      load_a_[static_cast<std::size_t>(e.src) * static_cast<std::size_t>(n_) +
-              static_cast<std::size_t>(mid)] += 1;
-      load_b_[static_cast<std::size_t>(mid) * static_cast<std::size_t>(n_) +
-              static_cast<std::size_t>(e.dst)] += 1;
+      log_edges_.push_back({e.src, e.dst});
     }
+  }
+
+  void add_load(int src, int dst, int mid) {
+    load_a_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+            static_cast<std::size_t>(mid)] += 1;
+    load_b_[static_cast<std::size_t>(mid) * static_cast<std::size_t>(n_) +
+            static_cast<std::size_t>(dst)] += 1;
   }
 
   int n_;
-  bool counting_ = true;
   std::int64_t total_colours_ = 0;
-  std::int64_t next_colour_ = 0;
   std::vector<std::int64_t>& load_a_;
   std::vector<std::int64_t>& load_b_;
+
+  // Scratch reused across recursion nodes.
+  std::vector<std::vector<int>> adj_;
+  std::vector<std::size_t> cursor_;
+  std::vector<std::int64_t> row_;
+  std::vector<std::int64_t> col_;
+  std::vector<OddEdge> odd_;
+  std::vector<int> touched_;
+
+  // Flat log of colour classes in DFS leaf order.
+  std::vector<std::pair<int, int>> log_edges_;
+  std::vector<std::size_t> log_bounds_;
 };
 
 }  // namespace

@@ -23,15 +23,18 @@
 // discharged.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "clique/network.hpp"
 #include "matrix/bilinear.hpp"
+#include "matrix/kernels.hpp"
 #include "matrix/matrix.hpp"
 #include "matrix/ops.hpp"
 #include "matrix/semiring.hpp"
 #include "util/contracts.hpp"
 #include "util/math.hpp"
+#include "util/parallel.hpp"
 
 namespace cca::core {
 
@@ -42,7 +45,7 @@ namespace detail {
 /// every call site sends at most two blocks per message, so
 /// codec.words_for(prior_entries) is exactly the word offset.
 template <typename Codec>
-auto decode_entries(const Codec& codec, const std::vector<clique::Word>& in,
+auto decode_entries(const Codec& codec, std::span<const clique::Word> in,
                     std::size_t prior_entries, std::size_t count) {
   const auto offset = codec.words_for(prior_entries);
   CCA_EXPECTS(offset + codec.words_for(count) <= in.size());
@@ -113,9 +116,10 @@ template <Semiring S, typename Codec>
   net.deliver();
 
   // Each node v now assembles S[v1**, v2**] and T[v2**, v3**] and multiplies
-  // them locally (Step 2).
+  // them locally (Step 2). Per-node work is independent and reads only
+  // delivered inbox views, so the nodes run on the worker group.
   std::vector<Matrix<V>> prod(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v) {
+  parallel_for(0, n, [&](int v) {
     Matrix<V> sb(c2, c2, sr.zero());
     Matrix<V> tb(c2, c2, sr.zero());
     for (int tail = 0; tail < c2; ++tail) {
@@ -134,8 +138,8 @@ template <Semiring S, typename Codec>
                                              static_cast<std::size_t>(c2));
       for (int j = 0; j < c2; ++j) tb(tail, j) = tw[static_cast<std::size_t>(j)];
     }
-    prod[static_cast<std::size_t>(v)] = multiply(sr, sb, tb);
-  }
+    prod[static_cast<std::size_t>(v)] = local_multiply(sr, sb, tb);
+  });
 
   // Step 3: node v sends P^(v2)[u, v3**] to each u in v1**.
   {
@@ -155,9 +159,10 @@ template <Semiring S, typename Codec>
   }
   net.deliver();
 
-  // Step 4: node v sums the received pieces into row v of the product.
+  // Step 4: node v sums the received pieces into row v of the product
+  // (distinct output rows, so the nodes run concurrently).
   Matrix<V> out(n, n, sr.zero());
-  for (int v = 0; v < n; ++v) {
+  parallel_for(0, n, [&](int v) {
     for (int tail = 0; tail < c2; ++tail) {
       const int u = d1(v) * c2 + tail;  // sent P^(u2)[v, u3**]
       const auto piece = detail::decode_entries(codec, net.inbox(v, u), 0,
@@ -167,7 +172,7 @@ template <Semiring S, typename Codec>
         out(v, col0 + j) =
             sr.add(out(v, col0 + j), piece[static_cast<std::size_t>(j)]);
     }
-  }
+  });
   return out;
 }
 
@@ -256,28 +261,27 @@ template <Ring R, typename Codec>
   // index of global column j = i*big + x2*bs + off is i*bs + off.
   std::vector<Matrix<V>> sloc(static_cast<std::size_t>(n));
   std::vector<Matrix<V>> tloc(static_cast<std::size_t>(n));
-  for (int x1 = 0; x1 < sq; ++x1)
-    for (int x2 = 0; x2 < sq; ++x2) {
-      const int u = label_of(x1, x2);
-      Matrix<V> sl(sq, sq, ring.zero());
-      Matrix<V> tl(sq, sq, ring.zero());
-      for (int v1 = 0; v1 < d; ++v1)
-        for (int v3 = 0; v3 < bs; ++v3) {
-          const int v = v1 * big + x1 * bs + v3;  // sender with v2 == x1
-          const int lrow = v1 * bs + v3;
-          const auto s_piece = detail::decode_entries(
-              codec, net.inbox(u, v), 0, static_cast<std::size_t>(sq));
-          const auto t_piece = detail::decode_entries(
-              codec, net.inbox(u, v), static_cast<std::size_t>(sq),
-              static_cast<std::size_t>(sq));
-          for (int lj = 0; lj < sq; ++lj) {
-            sl(lrow, lj) = s_piece[static_cast<std::size_t>(lj)];
-            tl(lrow, lj) = t_piece[static_cast<std::size_t>(lj)];
-          }
+  parallel_for(0, n, [&](int u) {
+    const int x1 = u / sq;
+    Matrix<V> sl(sq, sq, ring.zero());
+    Matrix<V> tl(sq, sq, ring.zero());
+    for (int v1 = 0; v1 < d; ++v1)
+      for (int v3 = 0; v3 < bs; ++v3) {
+        const int v = v1 * big + x1 * bs + v3;  // sender with v2 == x1
+        const int lrow = v1 * bs + v3;
+        const auto s_piece = detail::decode_entries(
+            codec, net.inbox(u, v), 0, static_cast<std::size_t>(sq));
+        const auto t_piece = detail::decode_entries(
+            codec, net.inbox(u, v), static_cast<std::size_t>(sq),
+            static_cast<std::size_t>(sq));
+        for (int lj = 0; lj < sq; ++lj) {
+          sl(lrow, lj) = s_piece[static_cast<std::size_t>(lj)];
+          tl(lrow, lj) = t_piece[static_cast<std::size_t>(lj)];
         }
-      sloc[static_cast<std::size_t>(u)] = std::move(sl);
-      tloc[static_cast<std::size_t>(u)] = std::move(tl);
-    }
+      }
+    sloc[static_cast<std::size_t>(u)] = std::move(sl);
+    tloc[static_cast<std::size_t>(u)] = std::move(tl);
+  });
 
   // Step 2 (local): linear combinations S^(w)[x1*, x2*], T^(w)[x1*, x2*].
   // Step 3: send both to node w, for every w in [m].
@@ -325,7 +329,7 @@ template <Ring R, typename Codec>
 
   // Step 4 (local at product nodes): assemble S^(w), T^(w) and multiply.
   std::vector<Matrix<V>> phat(static_cast<std::size_t>(m));
-  for (int w = 0; w < m; ++w) {
+  parallel_for(0, m, [&](int w) {
     Matrix<V> sw(big, big, ring.zero());
     Matrix<V> tw(big, big, ring.zero());
     for (int x1 = 0; x1 < sq; ++x1)
@@ -344,8 +348,8 @@ template <Ring R, typename Codec>
                 t_piece[static_cast<std::size_t>(i * bs + j)];
           }
       }
-    phat[static_cast<std::size_t>(w)] = multiply(ring, sw, tw);
-  }
+    phat[static_cast<std::size_t>(w)] = local_multiply(ring, sw, tw);
+  });
 
   // Step 5: node w returns P^(w)[x1*, x2*] to label (x1, x2).
   {
@@ -370,40 +374,38 @@ template <Ring R, typename Codec>
   // Step 6 (local): P[ix1*, jx2*] = sum_w lambda_ijw P^(w)[x1*, x2*],
   // assembled into the sq x sq local view P[*x1*, *x2*].
   std::vector<Matrix<V>> ploc(static_cast<std::size_t>(n));
-  for (int x1 = 0; x1 < sq; ++x1)
-    for (int x2 = 0; x2 < sq; ++x2) {
-      const int u = label_of(x1, x2);
-      std::vector<Matrix<V>> pieces;
-      pieces.reserve(static_cast<std::size_t>(m));
-      for (int w = 0; w < m; ++w)
-        pieces.push_back(Matrix<V>(bs, bs, ring.zero()));
-      for (int w = 0; w < m; ++w) {
-        const auto entries = detail::decode_entries(
-            codec, net.inbox(u, w), 0, static_cast<std::size_t>(bs * bs));
-        auto& piece = pieces[static_cast<std::size_t>(w)];
-        for (int i = 0; i < bs; ++i)
-          for (int j = 0; j < bs; ++j)
-            piece(i, j) = entries[static_cast<std::size_t>(i * bs + j)];
-      }
-      Matrix<V> pl(sq, sq, ring.zero());
-      for (int i = 0; i < d; ++i)
-        for (int j = 0; j < d; ++j)
-          for (const auto& cfc :
-               alg.lambda[static_cast<std::size_t>(i * d + j)]) {
-            const auto& piece = pieces[static_cast<std::size_t>(cfc.index)];
-            for (int a = 0; a < bs; ++a)
-              for (int b = 0; b < bs; ++b) {
-                auto& cell = pl(i * bs + a, j * bs + b);
-                if (cfc.coeff >= 0)
-                  for (std::int64_t rep = 0; rep < cfc.coeff; ++rep)
-                    cell = ring.add(cell, piece(a, b));
-                else
-                  for (std::int64_t rep = 0; rep < -cfc.coeff; ++rep)
-                    cell = ring.sub(cell, piece(a, b));
-              }
-          }
-      ploc[static_cast<std::size_t>(u)] = std::move(pl);
+  parallel_for(0, n, [&](int u) {
+    std::vector<Matrix<V>> pieces;
+    pieces.reserve(static_cast<std::size_t>(m));
+    for (int w = 0; w < m; ++w)
+      pieces.push_back(Matrix<V>(bs, bs, ring.zero()));
+    for (int w = 0; w < m; ++w) {
+      const auto entries = detail::decode_entries(
+          codec, net.inbox(u, w), 0, static_cast<std::size_t>(bs * bs));
+      auto& piece = pieces[static_cast<std::size_t>(w)];
+      for (int i = 0; i < bs; ++i)
+        for (int j = 0; j < bs; ++j)
+          piece(i, j) = entries[static_cast<std::size_t>(i * bs + j)];
     }
+    Matrix<V> pl(sq, sq, ring.zero());
+    for (int i = 0; i < d; ++i)
+      for (int j = 0; j < d; ++j)
+        for (const auto& cfc :
+             alg.lambda[static_cast<std::size_t>(i * d + j)]) {
+          const auto& piece = pieces[static_cast<std::size_t>(cfc.index)];
+          for (int a = 0; a < bs; ++a)
+            for (int b = 0; b < bs; ++b) {
+              auto& cell = pl(i * bs + a, j * bs + b);
+              if (cfc.coeff >= 0)
+                for (std::int64_t rep = 0; rep < cfc.coeff; ++rep)
+                  cell = ring.add(cell, piece(a, b));
+              else
+                for (std::int64_t rep = 0; rep < -cfc.coeff; ++rep)
+                  cell = ring.sub(cell, piece(a, b));
+            }
+        }
+    ploc[static_cast<std::size_t>(u)] = std::move(pl);
+  });
 
   // Step 7: node (x1, x2) sends P[r, *x2*] to r for each r in *x1*.
   {
@@ -428,7 +430,7 @@ template <Ring R, typename Codec>
   net.deliver();
 
   Matrix<V> out(n, n, ring.zero());
-  for (int r = 0; r < n; ++r) {
+  parallel_for(0, n, [&](int r) {
     const int r2 = (r / bs) % sq;
     for (int x2 = 0; x2 < sq; ++x2) {
       const int u = label_of(r2, x2);
@@ -440,7 +442,7 @@ template <Ring R, typename Codec>
         ++lj;
       });
     }
-  }
+  });
   return out;
 }
 

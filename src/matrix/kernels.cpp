@@ -1,0 +1,104 @@
+#include "matrix/kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace cca {
+
+Matrix<std::uint8_t> multiply_bool_packed(const Matrix<std::uint8_t>& a,
+                                          const Matrix<std::uint8_t>& b) {
+  CCA_EXPECTS(a.cols() == b.rows());
+  const int n = a.rows();
+  const int k = a.cols();
+  const int m = b.cols();
+  Matrix<std::uint8_t> out(n, m, 0);
+  if (n == 0 || k == 0 || m == 0) return out;
+
+  const std::size_t words_per_row = (static_cast<std::size_t>(m) + 63) / 64;
+  std::vector<std::uint64_t> packed(static_cast<std::size_t>(k) *
+                                        words_per_row,
+                                    0);
+  for (int r = 0; r < k; ++r) {
+    const std::uint8_t* brow = b.row(r);
+    std::uint64_t* prow = packed.data() +
+                          static_cast<std::size_t>(r) * words_per_row;
+    for (int j = 0; j < m; ++j)
+      if (brow[j] != 0)
+        prow[static_cast<std::size_t>(j) / 64] |=
+            std::uint64_t{1} << (static_cast<std::size_t>(j) % 64);
+  }
+
+  std::vector<std::uint64_t> acc(words_per_row);
+  for (int i = 0; i < n; ++i) {
+    std::fill(acc.begin(), acc.end(), 0);
+    const std::uint8_t* arow = a.row(i);
+    for (int r = 0; r < k; ++r) {
+      if (arow[r] == 0) continue;
+      const std::uint64_t* prow = packed.data() +
+                                  static_cast<std::size_t>(r) * words_per_row;
+      for (std::size_t w = 0; w < words_per_row; ++w) acc[w] |= prow[w];
+    }
+    std::uint8_t* orow = out.row(i);
+    for (int j = 0; j < m; ++j)
+      orow[j] = static_cast<std::uint8_t>(
+          (acc[static_cast<std::size_t>(j) / 64] >>
+           (static_cast<std::size_t>(j) % 64)) &
+          1);
+  }
+  return out;
+}
+
+Matrix<std::int64_t> multiply_minplus_blocked(const Matrix<std::int64_t>& a,
+                                              const Matrix<std::int64_t>& b) {
+  CCA_EXPECTS(a.cols() == b.rows());
+  constexpr std::int64_t kInf = MinPlusSemiring::kInf;
+  const int n = a.rows();
+  const int k = a.cols();
+  const int m = b.cols();
+  Matrix<std::int64_t> out(n, m, kInf);
+  if (n == 0 || k == 0 || m == 0) return out;
+
+  // Rows of b with no infinite entry take a branch-free inner loop; rows
+  // with infinities mirror MinPlusSemiring::mul's saturation exactly by
+  // skipping those entries (aik + inf must NOT compete, even for aik < 0).
+  std::vector<std::uint8_t> row_has_inf(static_cast<std::size_t>(k), 0);
+  for (int r = 0; r < k; ++r) {
+    const std::int64_t* brow = b.row(r);
+    for (int j = 0; j < m; ++j)
+      if (brow[j] >= kInf) {
+        row_has_inf[static_cast<std::size_t>(r)] = 1;
+        break;
+      }
+  }
+
+  constexpr int kBlock = 64;  // contraction-dimension tile kept hot in L1
+  for (int r0 = 0; r0 < k; r0 += kBlock) {
+    const int r1 = std::min(r0 + kBlock, k);
+    for (int i = 0; i < n; ++i) {
+      std::int64_t* orow = out.row(i);
+      const std::int64_t* arow = a.row(i);
+      for (int r = r0; r < r1; ++r) {
+        const auto aik = arow[r];
+        if (aik >= kInf) continue;  // infinite row entry contributes nothing
+        const std::int64_t* brow = b.row(r);
+        if (!row_has_inf[static_cast<std::size_t>(r)]) {
+          for (int j = 0; j < m; ++j) {
+            const auto cand = aik + brow[j];
+            if (cand < orow[j]) orow[j] = cand;
+          }
+        } else {
+          for (int j = 0; j < m; ++j) {
+            if (brow[j] >= kInf) continue;
+            const auto cand = aik + brow[j];
+            if (cand < orow[j]) orow[j] = cand;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cca

@@ -1,0 +1,70 @@
+// Specialized node-local multiplication kernels.
+//
+// The distributed algorithms' supersteps interleave communication (charged
+// in rounds) with free local computation; the local products are the
+// wall-clock hot spots of the simulator. local_multiply() dispatches on the
+// semiring: the Boolean semiring runs a bit-packed kernel (64 adjacency
+// entries per machine word, OR-accumulated row-wise — the same word-level
+// trick the PackedBoolCodec uses on the wire), the min-plus semiring runs a
+// cache-blocked tropical kernel, and every other algebra falls back to the
+// generic schoolbook multiply() from ops.hpp.
+//
+// All kernels are EXACTLY result-equivalent to multiply(s, a, b): Boolean
+// OR/AND and min/plus are associative and commutative, so reassociating the
+// accumulation cannot change any output entry. Round accounting is
+// untouched — these run strictly between supersteps.
+//
+// To add a kernel specialization for a new semiring: implement the kernel,
+// add a non-template local_multiply overload for the semiring type (overload
+// resolution prefers it over the generic template), and extend the
+// equivalence tests in tests/test_kernels.cpp with random-input comparisons
+// against multiply().
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/semiring.hpp"
+
+namespace cca {
+
+/// Boolean matrix product via bit-packing: rows of `b` are packed 64
+/// columns per word; row i of the output is the OR of the packed rows
+/// selected by the nonzero entries of row i of `a`. Result-identical to
+/// multiply(BoolSemiring{}, a, b) at ~64 entries per word-op for CANONICAL
+/// inputs (every entry 0 or 1 — what the graph adjacencies and codecs
+/// produce). Non-canonical bytes would diverge: the semiring's bitwise AND
+/// distinguishes 2&1 == 0 from "both nonzero", the packed kernel does not.
+[[nodiscard]] Matrix<std::uint8_t> multiply_bool_packed(
+    const Matrix<std::uint8_t>& a, const Matrix<std::uint8_t>& b);
+
+/// Min-plus (tropical) matrix product with cache blocking over the
+/// contraction dimension and +infinity clamping that mirrors
+/// MinPlusSemiring::mul's saturation. Result-identical to
+/// multiply(MinPlusSemiring{}, a, b).
+[[nodiscard]] Matrix<std::int64_t> multiply_minplus_blocked(
+    const Matrix<std::int64_t>& a, const Matrix<std::int64_t>& b);
+
+/// Semiring-dispatched local product: specialized kernel when one exists,
+/// generic multiply() otherwise.
+template <Semiring S>
+[[nodiscard]] Matrix<typename S::Value> local_multiply(
+    const S& s, const Matrix<typename S::Value>& a,
+    const Matrix<typename S::Value>& b) {
+  return multiply(s, a, b);
+}
+
+[[nodiscard]] inline Matrix<std::uint8_t> local_multiply(
+    const BoolSemiring&, const Matrix<std::uint8_t>& a,
+    const Matrix<std::uint8_t>& b) {
+  return multiply_bool_packed(a, b);
+}
+
+[[nodiscard]] inline Matrix<std::int64_t> local_multiply(
+    const MinPlusSemiring&, const Matrix<std::int64_t>& a,
+    const Matrix<std::int64_t>& b) {
+  return multiply_minplus_blocked(a, b);
+}
+
+}  // namespace cca

@@ -6,6 +6,7 @@
 // schemes of Sections 2.1 and 2.2 of the paper.
 #pragma once
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -54,12 +55,15 @@ class Matrix {
   }
 
   /// Copy of the block with top-left corner (r0, c0) and size h x w.
+  /// Rows are copied contiguously (memmove for trivially copyable T).
   [[nodiscard]] Matrix block(int r0, int c0, int h, int w) const {
     CCA_EXPECTS(r0 >= 0 && c0 >= 0 && h >= 0 && w >= 0);
     CCA_EXPECTS(r0 + h <= rows_ && c0 + w <= cols_);
     Matrix out(h, w);
-    for (int i = 0; i < h; ++i)
-      for (int j = 0; j < w; ++j) out(i, j) = (*this)(r0 + i, c0 + j);
+    for (int i = 0; i < h; ++i) {
+      const T* src = row(r0 + i) + c0;
+      std::copy(src, src + w, out.row(i));
+    }
     return out;
   }
 
@@ -67,9 +71,10 @@ class Matrix {
   void paste(int r0, int c0, const Matrix& src) {
     CCA_EXPECTS(r0 >= 0 && c0 >= 0);
     CCA_EXPECTS(r0 + src.rows() <= rows_ && c0 + src.cols() <= cols_);
-    for (int i = 0; i < src.rows(); ++i)
-      for (int j = 0; j < src.cols(); ++j)
-        (*this)(r0 + i, c0 + j) = src(i, j);
+    for (int i = 0; i < src.rows(); ++i) {
+      const T* from = src.row(i);
+      std::copy(from, from + src.cols(), row(r0 + i) + c0);
+    }
   }
 
   /// Enlarged/cropped copy; new cells (if any) take value `fill`.
@@ -77,8 +82,10 @@ class Matrix {
     Matrix out(rows, cols, std::move(fill));
     const int h = rows < rows_ ? rows : rows_;
     const int w = cols < cols_ ? cols : cols_;
-    for (int i = 0; i < h; ++i)
-      for (int j = 0; j < w; ++j) out(i, j) = (*this)(i, j);
+    for (int i = 0; i < h; ++i) {
+      const T* src = row(i);
+      std::copy(src, src + w, out.row(i));
+    }
     return out;
   }
 

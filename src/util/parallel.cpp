@@ -1,0 +1,56 @@
+#include "util/parallel.hpp"
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace cca {
+
+int parallel_workers() {
+  static const int workers = [] {
+    if (const char* env = std::getenv("CCA_THREADS")) {
+      const int requested = std::atoi(env);
+      if (requested >= 1) return requested;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return workers;
+}
+
+namespace detail {
+
+void parallel_for_impl(int begin, int end,
+                       const std::function<void(int, int)>& chunk) {
+  const int count = end - begin;
+  if (count <= 0) return;
+  const int workers = std::min(parallel_workers(), count);
+  if (workers <= 1) {
+    chunk(begin, end);
+    return;
+  }
+  // Block partition; the calling thread takes the first block so a worker
+  // group of w costs w-1 thread spawns. Per-node matrix products are
+  // millisecond-scale, which dwarfs the spawn overhead.
+  std::vector<std::thread> group;
+  group.reserve(static_cast<std::size_t>(workers) - 1);
+  const int base = count / workers;
+  const int extra = count % workers;
+  int at = begin;
+  int first_end = 0;
+  for (int w = 0; w < workers; ++w) {
+    const int len = base + (w < extra ? 1 : 0);
+    if (w == 0) {
+      first_end = at + len;
+    } else {
+      group.emplace_back(chunk, at, at + len);
+    }
+    at += len;
+  }
+  chunk(begin, first_end);
+  for (auto& t : group) t.join();
+}
+
+}  // namespace detail
+
+}  // namespace cca

@@ -1,0 +1,39 @@
+// Minimal fork-join helper for the "free" node-local computation phases of
+// the distributed algorithms.
+//
+// The congested clique model charges only for communication; each node's
+// local work between supersteps is unbounded and embarrassingly parallel
+// across the n simulated nodes. parallel_for runs those per-node loops on a
+// small worker group (std::thread, block-partitioned indices). Callers must
+// keep network mutation (send/deliver) OUT of the parallel region: Network
+// staging is single-threaded by design, while const reads of delivered
+// inboxes are safe from any thread.
+#pragma once
+
+#include <functional>
+
+namespace cca {
+
+/// Worker count used by parallel_for: the CCA_THREADS environment variable
+/// when set (clamped to >= 1), otherwise std::thread::hardware_concurrency.
+[[nodiscard]] int parallel_workers();
+
+namespace detail {
+
+/// Runs chunk(begin, end) over a block partition of [begin, end).
+void parallel_for_impl(int begin, int end,
+                       const std::function<void(int, int)>& chunk);
+
+}  // namespace detail
+
+/// Run fn(i) for every i in [begin, end), partitioned over the workers.
+/// Falls back to a serial loop for single-worker configurations or trivial
+/// ranges. fn must be safe to invoke concurrently for distinct indices.
+template <typename Fn>
+void parallel_for(int begin, int end, Fn&& fn) {
+  detail::parallel_for_impl(begin, end, [&fn](int b, int e) {
+    for (int i = b; i < e; ++i) fn(i);
+  });
+}
+
+}  // namespace cca

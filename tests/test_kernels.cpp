@@ -1,0 +1,120 @@
+// Equivalence tests for the specialized node-local kernels: bit-packed
+// Boolean multiply and the blocked min-plus product must agree entry-for-
+// entry with the schoolbook multiply() over the corresponding semiring.
+#include <gtest/gtest.h>
+
+#include "matrix/kernels.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/semiring.hpp"
+#include "util/rng.hpp"
+
+namespace cca {
+namespace {
+
+Matrix<std::uint8_t> random_bool_matrix(int rows, int cols, double density,
+                                        Rng& rng) {
+  Matrix<std::uint8_t> m(rows, cols, 0);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j)
+      m(i, j) = rng.next_double() < density ? 1 : 0;
+  return m;
+}
+
+Matrix<std::int64_t> random_minplus_matrix(int rows, int cols,
+                                           double inf_density, Rng& rng) {
+  Matrix<std::int64_t> m(rows, cols, 0);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j)
+      m(i, j) = rng.next_double() < inf_density ? MinPlusSemiring::kInf
+                                                : rng.next_in(-50, 1000);
+  return m;
+}
+
+TEST(BoolPackedKernel, MatchesSchoolbookOnRandomSquare) {
+  Rng rng(7);
+  const BoolSemiring sr;
+  for (const int n : {1, 2, 17, 63, 64, 65, 100}) {
+    for (const double density : {0.05, 0.5, 0.95}) {
+      const auto a = random_bool_matrix(n, n, density, rng);
+      const auto b = random_bool_matrix(n, n, density, rng);
+      EXPECT_EQ(multiply_bool_packed(a, b), multiply(sr, a, b))
+          << "n=" << n << " density=" << density;
+    }
+  }
+}
+
+TEST(BoolPackedKernel, MatchesSchoolbookOnRectangles) {
+  Rng rng(8);
+  const BoolSemiring sr;
+  const struct {
+    int n, k, m;
+  } shapes[] = {{3, 70, 5}, {65, 2, 130}, {1, 128, 1}, {20, 1, 64}};
+  for (const auto& s : shapes) {
+    const auto a = random_bool_matrix(s.n, s.k, 0.3, rng);
+    const auto b = random_bool_matrix(s.k, s.m, 0.3, rng);
+    EXPECT_EQ(multiply_bool_packed(a, b), multiply(sr, a, b));
+  }
+}
+
+TEST(BoolPackedKernel, LocalMultiplyDispatchesToPackedKernel) {
+  Rng rng(9);
+  const BoolSemiring sr;
+  const auto a = random_bool_matrix(40, 40, 0.4, rng);
+  const auto b = random_bool_matrix(40, 40, 0.4, rng);
+  EXPECT_EQ(local_multiply(sr, a, b), multiply(sr, a, b));
+}
+
+TEST(MinPlusBlockedKernel, MatchesSchoolbookOnRandomSquare) {
+  Rng rng(10);
+  const MinPlusSemiring sr;
+  for (const int n : {1, 2, 16, 63, 64, 65, 90}) {
+    for (const double inf_density : {0.0, 0.3, 0.9}) {
+      const auto a = random_minplus_matrix(n, n, inf_density, rng);
+      const auto b = random_minplus_matrix(n, n, inf_density, rng);
+      EXPECT_EQ(multiply_minplus_blocked(a, b), multiply(sr, a, b))
+          << "n=" << n << " inf_density=" << inf_density;
+    }
+  }
+}
+
+TEST(MinPlusBlockedKernel, NegativeEntriesDoNotBeatInfinity) {
+  // Regression guard for the saturation rule: a finite-but-negative left
+  // entry combined with an infinite right entry must yield infinity, not
+  // (negative + kInf).
+  const MinPlusSemiring sr;
+  Matrix<std::int64_t> a(2, 2, 0);
+  a(0, 0) = -40;
+  a(0, 1) = -7;
+  Matrix<std::int64_t> b(2, 2, MinPlusSemiring::kInf);
+  b(1, 1) = 3;
+  const auto expect = multiply(sr, a, b);
+  const auto got = multiply_minplus_blocked(a, b);
+  EXPECT_EQ(got, expect);
+  EXPECT_TRUE(MinPlusSemiring::is_inf(got(0, 0)));
+  EXPECT_EQ(got(0, 1), -4);
+}
+
+TEST(MinPlusBlockedKernel, LocalMultiplyDispatchesToBlockedKernel) {
+  Rng rng(11);
+  const MinPlusSemiring sr;
+  const auto a = random_minplus_matrix(33, 33, 0.2, rng);
+  const auto b = random_minplus_matrix(33, 33, 0.2, rng);
+  EXPECT_EQ(local_multiply(sr, a, b), multiply(sr, a, b));
+}
+
+TEST(LocalMultiply, GenericSemiringFallsBackToSchoolbook) {
+  Rng rng(12);
+  const IntRing ring;
+  Matrix<std::int64_t> a(10, 10, 0);
+  Matrix<std::int64_t> b(10, 10, 0);
+  for (int i = 0; i < 10; ++i)
+    for (int j = 0; j < 10; ++j) {
+      a(i, j) = rng.next_in(-9, 9);
+      b(i, j) = rng.next_in(-9, 9);
+    }
+  EXPECT_EQ(local_multiply(ring, a, b), multiply(ring, a, b));
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,0 +1,161 @@
+// Tests for the flat-arena network data plane: inbox span views, take_inbox
+// ownership semantics, interleaved staging order, and TrafficStats algebra.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "clique/network.hpp"
+#include "util/rng.hpp"
+
+namespace cca::clique {
+namespace {
+
+std::vector<Word> to_vector(std::span<const Word> s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(NetworkArena, InterleavedSendsStayFifoPerPair) {
+  Network net(4);
+  // Node 0 alternates destinations; each pair's words must arrive in the
+  // order they were staged, independent of the interleaving.
+  net.send(0, 1, 1);
+  net.send(0, 2, 100);
+  net.send(0, 1, 2);
+  net.send(0, 2, 101);
+  net.send(0, 1, 3);
+  net.deliver();
+  EXPECT_EQ(to_vector(net.inbox(1, 0)), (std::vector<Word>{1, 2, 3}));
+  EXPECT_EQ(to_vector(net.inbox(2, 0)), (std::vector<Word>{100, 101}));
+}
+
+TEST(NetworkArena, SendWordsAndSendMix) {
+  Network net(3);
+  const std::vector<Word> block{7, 8, 9};
+  net.send(0, 1, 6);
+  net.send_words(0, 1, block);
+  net.send(0, 1, 10);
+  net.deliver();
+  EXPECT_EQ(to_vector(net.inbox(1, 0)), (std::vector<Word>{6, 7, 8, 9, 10}));
+}
+
+TEST(NetworkArena, InboxSpanValidUntilNextDeliver) {
+  Network net(3);
+  net.send(0, 1, 41);
+  net.send(0, 1, 42);
+  net.deliver();
+  const auto view = net.inbox(1, 0);
+  ASSERT_EQ(view.size(), 2u);
+  // The view stays stable across unrelated reads and further staging; only
+  // deliver() invalidates it.
+  net.send(2, 1, 99);
+  EXPECT_EQ(view[0], 41u);
+  EXPECT_EQ(view[1], 42u);
+  EXPECT_EQ(to_vector(net.inbox(1, 0)), (std::vector<Word>{41, 42}));
+  net.deliver();
+  // After the next superstep the pair (1, 0) is empty and (1, 2) holds the
+  // new payload; the old span must not be used (and is not, here).
+  EXPECT_TRUE(net.inbox(1, 0).empty());
+  EXPECT_EQ(to_vector(net.inbox(1, 2)), (std::vector<Word>{99}));
+}
+
+TEST(NetworkArena, TakeInboxPreservesFifoAndEmptiesPair) {
+  Network net(3);
+  for (Word w = 0; w < 50; ++w) net.send(0, 1, w);
+  net.send(2, 1, 999);
+  net.deliver();
+  const auto words = net.take_inbox(1, 0);
+  ASSERT_EQ(words.size(), 50u);
+  for (Word w = 0; w < 50; ++w) EXPECT_EQ(words[w], w);
+  // The taken pair reads empty; other pairs are untouched.
+  EXPECT_TRUE(net.inbox(1, 0).empty());
+  EXPECT_EQ(to_vector(net.inbox(1, 2)), (std::vector<Word>{999}));
+}
+
+TEST(NetworkArena, SelfSendDeliveredLocally) {
+  Network net(2);
+  net.send(1, 1, 5);
+  net.deliver();
+  EXPECT_EQ(net.stats().rounds, 0);
+  EXPECT_EQ(net.stats().total_words, 0);  // self-sends bypass the network
+  EXPECT_EQ(to_vector(net.inbox(1, 1)), (std::vector<Word>{5}));
+}
+
+TEST(NetworkArena, RandomizedEquivalenceWithPerPairModel) {
+  // Drive the arena with random interleaved traffic and compare against a
+  // straightforward per-pair queue model.
+  Rng rng(2024);
+  const int n = 8;
+  Network net(n);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::vector<std::vector<Word>>> model(
+        static_cast<std::size_t>(n),
+        std::vector<std::vector<Word>>(static_cast<std::size_t>(n)));
+    const int ops = 200;
+    for (int i = 0; i < ops; ++i) {
+      const int src = static_cast<int>(rng.next_below(n));
+      const int dst = static_cast<int>(rng.next_below(n));
+      if (rng.next_below(2) == 0) {
+        const Word w = rng.next();
+        net.send(src, dst, w);
+        model[static_cast<std::size_t>(dst)][static_cast<std::size_t>(src)]
+            .push_back(w);
+      } else {
+        std::vector<Word> block(1 + rng.next_below(5));
+        for (auto& w : block) w = rng.next();
+        net.send_words(src, dst, block);
+        auto& q =
+            model[static_cast<std::size_t>(dst)][static_cast<std::size_t>(src)];
+        q.insert(q.end(), block.begin(), block.end());
+      }
+    }
+    net.deliver();
+    for (int dst = 0; dst < n; ++dst)
+      for (int src = 0; src < n; ++src)
+        EXPECT_EQ(to_vector(net.inbox(dst, src)),
+                  model[static_cast<std::size_t>(dst)]
+                       [static_cast<std::size_t>(src)])
+            << "round " << round << " pair (" << dst << "," << src << ")";
+  }
+}
+
+TEST(TrafficStats, PlusEqualsAccumulatesAndMaxes) {
+  TrafficStats a{10, 5, 2, 100, 7, 9};
+  const TrafficStats b{3, 2, 1, 50, 11, 4};
+  a += b;
+  EXPECT_EQ(a.rounds, 13);
+  EXPECT_EQ(a.bound_rounds, 7);
+  EXPECT_EQ(a.supersteps, 3);
+  EXPECT_EQ(a.total_words, 150);
+  EXPECT_EQ(a.max_node_send, 11);  // max, not sum
+  EXPECT_EQ(a.max_node_recv, 9);   // max, not sum
+}
+
+TEST(TrafficStats, DifferenceIsDeltaOfCounters) {
+  const TrafficStats before{10, 5, 2, 100, 7, 9};
+  const TrafficStats after{25, 11, 5, 260, 8, 12};
+  const auto d = after - before;
+  EXPECT_EQ(d.rounds, 15);
+  EXPECT_EQ(d.bound_rounds, 6);
+  EXPECT_EQ(d.supersteps, 3);
+  EXPECT_EQ(d.total_words, 160);
+  // Maxima are not differentiable; the delta keeps the minuend's values.
+  EXPECT_EQ(d.max_node_send, 8);
+  EXPECT_EQ(d.max_node_recv, 12);
+}
+
+TEST(TrafficStats, RoundMeterMeasuresScopedDelta) {
+  Network net(4);
+  net.send(0, 1, 1);
+  net.deliver();
+  RoundMeter meter(net);
+  net.send(0, 1, 1);
+  net.send(0, 2, 2);
+  net.deliver();
+  EXPECT_GE(meter.rounds(), 1);
+  EXPECT_EQ(meter.delta().supersteps, 1);
+  EXPECT_EQ(meter.delta().total_words, 2);
+}
+
+}  // namespace
+}  // namespace cca::clique

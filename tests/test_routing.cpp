@@ -9,14 +9,18 @@
 namespace cca::clique {
 namespace {
 
+std::vector<Word> to_vector(std::span<const Word> s) {
+  return {s.begin(), s.end()};
+}
+
 TEST(Network, DeliversWordsInOrder) {
   Network net(4);
   net.send(0, 1, 10);
   net.send(0, 1, 11);
   net.send(2, 1, 99);
   net.deliver();
-  EXPECT_EQ(net.inbox(1, 0), (std::vector<Word>{10, 11}));
-  EXPECT_EQ(net.inbox(1, 2), (std::vector<Word>{99}));
+  EXPECT_EQ(to_vector(net.inbox(1, 0)), (std::vector<Word>{10, 11}));
+  EXPECT_EQ(to_vector(net.inbox(1, 2)), (std::vector<Word>{99}));
   EXPECT_TRUE(net.inbox(1, 3).empty());
 }
 
@@ -25,7 +29,7 @@ TEST(Network, SelfSendsAreFree) {
   net.send(1, 1, 7);
   net.deliver();
   EXPECT_EQ(net.stats().rounds, 0);
-  EXPECT_EQ(net.inbox(1, 1), (std::vector<Word>{7}));
+  EXPECT_EQ(to_vector(net.inbox(1, 1)), (std::vector<Word>{7}));
 }
 
 TEST(Network, SingleWordCostsOneRoundEverywhere) {
@@ -47,7 +51,7 @@ TEST(Network, InboxClearedBetweenSupersteps) {
   net.send(2, 1, 6);
   net.deliver();
   EXPECT_TRUE(net.inbox(1, 0).empty());
-  EXPECT_EQ(net.inbox(1, 2), (std::vector<Word>{6}));
+  EXPECT_EQ(to_vector(net.inbox(1, 2)), (std::vector<Word>{6}));
 }
 
 TEST(Network, StatsAccumulate) {

@@ -1,0 +1,131 @@
+// TrafficStats regression against the seed implementation.
+//
+// The flat-arena data plane, the parallel local compute, and the kernel
+// specializations are all wall-clock optimisations: they must not move a
+// single word or round. The constants below are the exact TrafficStats
+// (rounds, bound_rounds, supersteps, total_words, max_node_send,
+// max_node_recv) recorded from the seed per-pair-queue implementation for a
+// fixed set of deterministic workloads; any drift indicates the
+// paper-replication tables changed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "clique/network.hpp"
+#include "core/apsp.hpp"
+#include "core/counting.hpp"
+#include "core/distance_product.hpp"
+#include "core/engine.hpp"
+#include "core/girth.hpp"
+#include "core/mm.hpp"
+#include "graph/generators.hpp"
+#include "matrix/codec.hpp"
+#include "util/rng.hpp"
+
+namespace cca {
+namespace {
+
+using core::MmKind;
+
+struct Expected {
+  std::int64_t rounds;
+  std::int64_t bound_rounds;
+  std::int64_t supersteps;
+  std::int64_t total_words;
+  std::int64_t max_node_send;
+  std::int64_t max_node_recv;
+};
+
+void expect_stats(const clique::TrafficStats& got, const Expected& want,
+                  const char* what) {
+  EXPECT_EQ(got.rounds, want.rounds) << what;
+  EXPECT_EQ(got.bound_rounds, want.bound_rounds) << what;
+  EXPECT_EQ(got.supersteps, want.supersteps) << what;
+  EXPECT_EQ(got.total_words, want.total_words) << what;
+  EXPECT_EQ(got.max_node_send, want.max_node_send) << what;
+  EXPECT_EQ(got.max_node_recv, want.max_node_recv) << what;
+}
+
+Matrix<std::int64_t> random_matrix(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<std::int64_t> m(n, n, 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m(i, j) = rng.next_in(0, 1000);
+  return m;
+}
+
+TEST(TrafficRegression, MmSemiring3D) {
+  clique::Network net(64);
+  const IntRing ring;
+  const I64Codec codec;
+  (void)core::mm_semiring_3d(net, ring, codec, random_matrix(64, 1),
+                             random_matrix(64, 2));
+  expect_stats(net.stats(), {24, 12, 2, 46848, 496, 496}, "mm semiring n=64");
+}
+
+TEST(TrafficRegression, MmFastBilinear) {
+  const auto plan = core::plan_fast_mm(49, 2);
+  clique::Network net(plan.clique_n);
+  const IntRing ring;
+  const I64Codec codec;
+  const auto alg = tensor_power(strassen_algorithm(), 2);
+  const auto a =
+      core::pad_matrix(random_matrix(49, 1), plan.clique_n, std::int64_t{0});
+  const auto b =
+      core::pad_matrix(random_matrix(49, 2), plan.clique_n, std::int64_t{0});
+  (void)core::mm_fast_bilinear(net, ring, codec, alg, a, b);
+  expect_stats(net.stats(), {29, 17, 4, 49140, 392, 504},
+               "mm fast bilinear n=49 depth=2");
+}
+
+TEST(TrafficRegression, MmBooleanPackedCodec) {
+  clique::Network net(64);
+  const BoolSemiring sr;
+  Rng rng(11);
+  Matrix<std::uint8_t> a(64, 64, 0);
+  for (int i = 0; i < 64; ++i)
+    for (int j = 0; j < 64; ++j)
+      a(i, j) = static_cast<std::uint8_t>(rng.next_below(2));
+  (void)core::mm_semiring_3d(net, sr, PackedBoolCodec{}, a, a);
+  expect_stats(net.stats(), {4, 2, 2, 2928, 31, 31}, "bool packed mm n=64");
+}
+
+TEST(TrafficRegression, DistanceProduct) {
+  clique::Network net(27);
+  (void)core::dp_semiring(net, random_matrix(27, 3), random_matrix(27, 4));
+  expect_stats(net.stats(), {21, 9, 2, 5994, 153, 153}, "dp semiring n=27");
+}
+
+TEST(TrafficRegression, ApspSemiring) {
+  const auto g = random_weighted_graph(20, 0.3, 1, 50, 7);
+  expect_stats(core::apsp_semiring(g).traffic, {190, 90, 10, 59940, 306, 306},
+               "apsp semiring n=20");
+}
+
+TEST(TrafficRegression, ApspSeidel) {
+  const auto g = gnp_random_graph(20, 0.3, 7);
+  expect_stats(core::apsp_seidel(g, MmKind::Semiring3D, -1).traffic,
+               {110, 50, 10, 29970, 153, 153}, "apsp seidel n=20");
+}
+
+TEST(TrafficRegression, GirthUndirected) {
+  const auto g = gnp_random_graph(40, 0.3, 5);
+  const auto r = core::girth_undirected_cc(g, 123, MmKind::Semiring3D, -1, 1);
+  EXPECT_EQ(r.girth, 3);
+  EXPECT_FALSE(r.used_sparse_path);
+  expect_stats(r.traffic, {26, 14, 2, 46848, 496, 496},
+               "girth undirected n=40");
+}
+
+TEST(TrafficRegression, CycleCounting) {
+  const auto g = gnp_random_graph(25, 0.3, 9);
+  expect_stats(core::count_triangles_cc(g, MmKind::Semiring3D, -1).traffic,
+               {22, 10, 2, 5994, 153, 153}, "triangles n=25");
+  expect_stats(core::count_4cycles_cc(g, MmKind::Semiring3D, -1).traffic,
+               {27, 12, 3, 6696, 153, 153}, "4-cycles n=25");
+  expect_stats(core::count_5cycles_cc(g, MmKind::Semiring3D, -1).traffic,
+               {45, 21, 4, 11988, 153, 153}, "5-cycles n=25");
+}
+
+}  // namespace
+}  // namespace cca

@@ -1,6 +1,10 @@
 // Table 1 APSP rows: exact weighted (Corollary 6), unweighted undirected
 // via Seidel (Corollary 7), (1+o(1))-approximate weighted (Theorem 9), and
 // the naive learn-everything baseline.
+//
+// `--json` writes BENCH_apsp.json (label, clique_n, rounds, wall ns/op) so
+// the perf trajectory of the APSP path is tracked per PR alongside
+// BENCH_mm.json; `--smoke` restricts to tiny sizes for the CI smoke step.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -16,16 +20,25 @@ using cca::bench::Series;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cca::bench::JsonReport json("apsp", argc, argv);
+  const bool smoke = cca::bench::has_flag(argc, argv, "--smoke");
+
   cca::bench::print_header(
       "Table 1: weighted directed APSP (Corollary 6, semiring squaring)");
   Series exact{"semiring APSP", {}, {}};
   Series naive{"naive learn-all", {}, {}};
-  for (const int n : {27, 64, 125, 216}) {
+  const std::vector<int> exact_sizes =
+      smoke ? std::vector<int>{27} : std::vector<int>{27, 64, 125, 216};
+  for (const int n : exact_sizes) {
     const auto g = random_weighted_graph(n, 0.3, 1, 50,
                                          3 + static_cast<std::uint64_t>(n),
                                          /*directed=*/true);
-    exact.add(n, static_cast<double>(apsp_semiring(g).traffic.rounds));
+    const auto t0 = cca::bench::now_ns();
+    const auto r = apsp_semiring(g);
+    const auto t1 = cca::bench::now_ns();
+    json.add("apsp_semiring", n, r.traffic.rounds, t1 - t0);
+    exact.add(n, static_cast<double>(r.traffic.rounds));
     naive.add(n, static_cast<double>(apsp_naive_learn(g).traffic.rounds));
   }
   cca::bench::print_series_table({exact, naive});
@@ -35,9 +48,15 @@ int main() {
   cca::bench::print_header(
       "Table 1: unweighted undirected APSP (Corollary 7, Seidel)");
   Series seidel{"Seidel", {}, {}};
-  for (const int n : {36, 64, 121, 196}) {
+  const std::vector<int> seidel_sizes =
+      smoke ? std::vector<int>{36} : std::vector<int>{36, 64, 121, 196};
+  for (const int n : seidel_sizes) {
     const auto g = gnp_random_graph(n, 3.0 / n, 11 + static_cast<std::uint64_t>(n));
-    seidel.add(n, static_cast<double>(apsp_seidel(g).traffic.rounds));
+    const auto t0 = cca::bench::now_ns();
+    const auto r = apsp_seidel(g);
+    const auto t1 = cca::bench::now_ns();
+    json.add("apsp_seidel", n, r.traffic.rounds, t1 - t0);
+    seidel.add(n, static_cast<double>(r.traffic.rounds));
   }
   cca::bench::print_series_table({seidel});
   cca::bench::print_fit(seidel, "O~(n^rho) (rho = 0.288 implemented)");
@@ -48,8 +67,12 @@ int main() {
   const int n_apx = 36;
   const auto g = random_weighted_graph(n_apx, 0.3, 1, 400, 21, true);
   const auto truth = apsp_semiring(g);
-  for (const double delta : {0.5, 0.25, 0.1}) {
+  const std::vector<double> deltas =
+      smoke ? std::vector<double>{0.5} : std::vector<double>{0.5, 0.25, 0.1};
+  for (const double delta : deltas) {
+    const auto t0 = cca::bench::now_ns();
     const auto approx = apsp_approx(g, delta);
+    const auto t1 = cca::bench::now_ns();
     double worst = 1.0;
     for (int u = 0; u < n_apx; ++u)
       for (int v = 0; v < n_apx; ++v)
@@ -59,8 +82,13 @@ int main() {
                                       static_cast<double>(truth.dist(u, v)));
     std::printf("  delta=%.2f  rounds=%6lld  worst measured ratio=%.4f\n",
                 delta, static_cast<long long>(approx.traffic.rounds), worst);
+    char label[32];
+    std::snprintf(label, sizeof label, "apsp_approx_d%02d",
+                  static_cast<int>(delta * 100));
+    json.add(label, n_apx, approx.traffic.rounds, t1 - t0);
   }
   std::printf("(ratio must stay below (1+delta)^ceil(log2 n); smaller delta "
               "costs ~1/delta^2 more rounds — Lemma 20's trade-off)\n");
+  json.write();
   return 0;
 }

@@ -43,6 +43,10 @@ class JsonReport {
     rows_.push_back({label, clique_n, rounds, wall_ns_per_op});
   }
 
+  /// Attach a free-form finding to the report (written as a "notes" array);
+  /// used to record profiling conclusions next to the numbers they explain.
+  void note(std::string text) { notes_.push_back(std::move(text)); }
+
   /// Write BENCH_<name>.json (no-op unless --json was passed).
   void write() const {
     if (!enabled_) return;
@@ -62,7 +66,21 @@ class JsonReport {
                    static_cast<long long>(r.wall_ns_per_op),
                    i + 1 < rows_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    if (notes_.empty()) {
+      std::fprintf(f, "  ]\n}\n");
+    } else {
+      std::fprintf(f, "  ],\n  \"notes\": [\n");
+      for (std::size_t i = 0; i < notes_.size(); ++i) {
+        std::string escaped;
+        for (const char c : notes_[i]) {
+          if (c == '"' || c == '\\') escaped.push_back('\\');
+          escaped.push_back(c);
+        }
+        std::fprintf(f, "    \"%s\"%s\n", escaped.c_str(),
+                     i + 1 < notes_.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+    }
     std::fclose(f);
     std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
   }
@@ -77,7 +95,15 @@ class JsonReport {
   std::string name_;
   bool enabled_ = false;
   std::vector<Row> rows_;
+  std::vector<std::string> notes_;
 };
+
+/// True when `flag` (e.g. "--steps") was passed on the command line.
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == flag) return true;
+  return false;
+}
 
 struct Series {
   std::string name;

@@ -30,17 +30,18 @@ Matrix<std::int64_t> random_matrix(int n, std::uint64_t seed) {
   return m;
 }
 
-clique::TrafficStats run_semiring(int n) {
+clique::TrafficStats run_semiring(int n, MmStepProfile* profile = nullptr) {
   clique::Network net(n);
   const IntRing ring;
   const I64Codec codec;
   const auto a = random_matrix(n, 1);
   const auto b = random_matrix(n, 2);
-  (void)mm_semiring_3d(net, ring, codec, a, b);
+  (void)mm_semiring_3d(net, ring, codec, a, b, profile);
   return net.stats();
 }
 
-clique::TrafficStats run_fast(int n, int depth) {
+clique::TrafficStats run_fast(int n, int depth,
+                              MmStepProfile* profile = nullptr) {
   const auto plan = plan_fast_mm(n, depth);
   clique::Network net(plan.clique_n);
   const IntRing ring;
@@ -48,8 +49,21 @@ clique::TrafficStats run_fast(int n, int depth) {
   const auto alg = tensor_power(strassen_algorithm(), depth);
   const auto a = pad_matrix(random_matrix(n, 1), plan.clique_n, std::int64_t{0});
   const auto b = pad_matrix(random_matrix(n, 2), plan.clique_n, std::int64_t{0});
-  (void)mm_fast_bilinear(net, ring, codec, alg, a, b);
+  (void)mm_fast_bilinear(net, ring, codec, alg, a, b, profile);
   return net.stats();
+}
+
+void print_profile(const char* what, const MmStepProfile& profile) {
+  std::int64_t total = 0;
+  for (const auto& s : profile.steps) total += s.ns;
+  std::printf("%s (total %.1f ms):\n", what,
+              static_cast<double>(total) / 1e6);
+  for (const auto& s : profile.steps)
+    std::printf("  %-24s %9.2f ms  (%4.1f%%)\n", s.name,
+                static_cast<double>(s.ns) / 1e6,
+                total > 0 ? 100.0 * static_cast<double>(s.ns) /
+                                static_cast<double>(total)
+                          : 0.0);
 }
 
 std::int64_t run_naive(int n) {
@@ -65,6 +79,33 @@ std::int64_t run_naive(int n) {
 
 int main(int argc, char** argv) {
   cca::bench::JsonReport json("mm", argc, argv);
+
+  // --steps: per-step wall-clock breakdown (stage / deliver / local kernel)
+  // for the sizes whose totals the main table reports, then exit. This is
+  // the tool that located the non-monotonic semiring_3d spike at n=343.
+  if (cca::bench::has_flag(argc, argv, "--steps")) {
+    cca::bench::print_header("Per-step wall-clock breakdown");
+    for (const int n : {216, 343, 512}) {
+      MmStepProfile profile;
+      (void)run_semiring(n, &profile);
+      char what[64];
+      std::snprintf(what, sizeof what, "semiring_3d n=%d", n);
+      print_profile(what, profile);
+    }
+    {
+      MmStepProfile profile;
+      (void)run_fast(343, 3, &profile);
+      print_profile("fast_bilinear n=343 depth=3 (clique 576)", profile);
+    }
+    if (json.enabled())
+      std::printf("(--steps is a diagnostic mode; BENCH json not written)\n");
+    return 0;
+  }
+
+  // --smoke: tiny sizes only, for CI (asserts the perf path still runs and
+  // emits valid JSON; no thresholds).
+  const bool smoke = cca::bench::has_flag(argc, argv, "--smoke");
+
   cca::bench::print_header(
       "Table 1: matrix multiplication round complexity (semiring / ring / naive)");
 
@@ -75,7 +116,10 @@ int main(int argc, char** argv) {
   Series semi{"semiring 3D", {}, {}};
   Series semi_bound{"semiring 3D (bound)", {}, {}};
   Series naive{"naive broadcast", {}, {}};
-  for (const int n : {27, 64, 125, 216, 343, 512}) {
+  const std::vector<int> semi_sizes =
+      smoke ? std::vector<int>{27, 64} : std::vector<int>{27, 64, 125, 216,
+                                                          343, 512};
+  for (const int n : semi_sizes) {
     const auto t0 = cca::bench::now_ns();
     const auto s = run_semiring(n);
     const auto t1 = cca::bench::now_ns();
@@ -93,10 +137,13 @@ int main(int argc, char** argv) {
       "\nFast bilinear (Section 2.2), matched-depth family (m(d) ~ n):\n");
   Series fast{"fast (Strassen^k)", {}, {}};
   Series fast_bound{"fast (bound)", {}, {}};
-  const struct {
+  struct FastConfig {
     int n;
     int depth;
-  } family[] = {{7, 1}, {49, 2}, {343, 3}};
+  };
+  const std::vector<FastConfig> family =
+      smoke ? std::vector<FastConfig>{{7, 1}, {49, 2}}
+            : std::vector<FastConfig>{{7, 1}, {49, 2}, {343, 3}};
   for (const auto& f : family) {
     const auto plan = plan_fast_mm(f.n, f.depth);
     const auto t0 = cca::bench::now_ns();
@@ -119,7 +166,10 @@ int main(int argc, char** argv) {
   std::printf("\nFixed-depth series (depth 2), showing the linear-in-N tail "
               "between depth jumps:\n");
   Series fixed{"fast depth=2", {}, {}};
-  for (const int n : {64, 144, 256, 400, 576}) {
+  const std::vector<int> fixed_sizes =
+      smoke ? std::vector<int>{64, 144}
+            : std::vector<int>{64, 144, 256, 400, 576};
+  for (const int n : fixed_sizes) {
     fixed.add(n, static_cast<double>(run_fast(n, 2).rounds));
   }
   cca::bench::print_series_table({fixed});
@@ -128,6 +178,20 @@ int main(int argc, char** argv) {
   std::printf("\nNote: absolute crossover fast-vs-semiring requires n beyond "
               "laptop simulation for sigma=2.807; the reproduced claim is "
               "the exponent ordering 0.288 < 0.333 < 1 (see EXPERIMENTS.md).\n");
+  json.note(
+      "semiring_3d clique_n=343 spike (--steps finding): >94% of the time is "
+      "deliver(), i.e. KoenigRelay Euler-split scheduling. At n=343 each pair "
+      "carries c2=49 words (odd), so the colouring's identical-halves "
+      "collapse never fires and the class log is built at word granularity "
+      "(O(words*log maxdeg)); at n=512 c2=64=2^6 collapses six levels and "
+      "schedules ~7x faster despite ~2.6x more words. Non-monotonicity is a "
+      "parity property of the per-pair word count, not of n.");
+  json.note(
+      "fast_bilinear clique_n=576 (--steps finding): staging/encode and local "
+      "kernels are <10% after the zero-copy staged-encode and int64-kernel "
+      "work; the remaining ~90% is the Step 3/5 KoenigRelay schedules "
+      "(18 and 9 words/pair, odd-dominated), bounded below by the exact "
+      "class-sequence volume.");
   json.write();
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "clique/routing.hpp"
 #include "util/contracts.hpp"
+#include "util/parallel.hpp"
 
 namespace cca::clique {
 
@@ -49,9 +50,28 @@ void Network::send_words(NodeId src, NodeId dst, std::span<const Word> ws) {
     segs.push_back({dst, ws.size()});
 }
 
+std::span<Word> Network::stage(NodeId src, NodeId dst, std::size_t nwords) {
+  check_node(src);
+  check_node(dst);
+  const auto s = static_cast<std::size_t>(src);
+  auto& data = out_data_[s];
+  const std::size_t base = data.size();
+  if (nwords == 0) return {};
+  data.resize(base + nwords, 0);
+  auto& segs = out_segs_[s];
+  if (!segs.empty() && segs.back().dst == dst)
+    segs.back().len += nwords;
+  else
+    segs.push_back({dst, nwords});
+  return {data.data() + base, nwords};
+}
+
 void Network::deliver() { deliver(default_router_); }
 
 void Network::deliver(Router router) {
+  // Staging is safe from parallel regions (one src per iteration); the
+  // delivery phase change is not — it mutates every outbox and the arena.
+  CCA_EXPECTS(!in_parallel_region());
   // Pass 1: per-pair word counts from the staged segments.
   std::fill(pair_words_.begin(), pair_words_.end(), 0);
   for (int src = 0; src < n_; ++src) {

@@ -96,6 +96,23 @@ class Network {
   /// Stage a block of words from src to dst (kept in order).
   void send_words(NodeId src, NodeId dst, std::span<const Word> ws);
 
+  /// Reserve `nwords` staged words from src to dst and return a writable
+  /// span over them (zero-copy send staging: codecs encode directly into
+  /// network memory via encode_into, with no intermediate buffer and no
+  /// copy). The reserved words read as zero until written. The span is
+  /// valid until the NEXT staging call for the SAME src (stage / send /
+  /// send_words may grow src's flat buffer and relocate it) or deliver().
+  ///
+  /// Thread-safety invariant (asserted in deliver()): each source owns its
+  /// per-source outbox exclusively, so staging MAY run under
+  /// cca::parallel_for provided every parallel iteration stages from its
+  /// own distinct src — no locks needed, and the resulting word layout is
+  /// identical to the serial order because per-source append order is
+  /// unchanged. Staging from the same src on two threads is a data race.
+  /// deliver() itself must stay OUTSIDE parallel regions.
+  [[nodiscard]] std::span<Word> stage(NodeId src, NodeId dst,
+                                      std::size_t nwords);
+
   /// Deliver every staged word using the default router; charges rounds.
   void deliver();
 

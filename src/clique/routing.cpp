@@ -1,6 +1,7 @@
 #include "clique/routing.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 
 #include "util/contracts.hpp"
@@ -100,7 +101,7 @@ struct Edge {
 /// split recursion logs the class sequence into a flat buffer and the load
 /// assignment replays the log once the count is known.
 ///
-/// Two observations keep the schedule exactly as specified while avoiding
+/// Observations that keep the schedule exactly as specified while avoiding
 /// the naive implementation's Theta(classes * n) blowup:
 ///  * When every multiplicity is even, the Euler split produces two
 ///    element-identical halves, so the recursion's subtrees emit identical
@@ -111,6 +112,17 @@ struct Edge {
 ///  * The odd-leftover trail walk touches only vertices incident to odd
 ///    edges; adjacency and cursor scratch is reused across recursion nodes
 ///    and reset per touched vertex, never per clique node.
+///  * The log stores one packed 32-bit (src, dst) word per class edge, with
+///    the exact footprint (the superstep's total word count) reserved up
+///    front, so logging is sequential stores and subtree duplication is one
+///    memcpy-sized range copy.
+///  * Both load matrices are intermediate-major (load_a[mid][src],
+///    load_b[mid][dst]). All edges of one class share one mid, so a class
+///    replay touches exactly two rows — resident in L1 — instead of
+///    striding across the whole n^2 arrays per edge. The load MULTISET is
+///    unchanged, hence so are the maxima and the round total.
+///  * Split scratch vectors recycle through a small pool (the recursion
+///    allocates nothing in steady state).
 class KoenigColouring {
  public:
   KoenigColouring(int n, std::vector<std::int64_t>& load_a,
@@ -118,38 +130,159 @@ class KoenigColouring {
       : n_(n),
         load_a_(load_a),
         load_b_(load_b),
-        adj_(static_cast<std::size_t>(2 * n)),
-        cursor_(static_cast<std::size_t>(2 * n)),
+        head_(static_cast<std::size_t>(2 * n), -1),
+        mark_((static_cast<std::size_t>(2 * n) + 63) / 64, 0),
+        oddb_((static_cast<std::size_t>(2 * n) + 63) / 64, 0),
         row_(static_cast<std::size_t>(n)),
-        col_(static_cast<std::size_t>(n)) {}
+        col_(static_cast<std::size_t>(n)),
+        row2_(static_cast<std::size_t>(2 * n), 0) {
+    // The packed log format holds src and dst in 16 bits each.
+    CCA_EXPECTS(n <= 0xffff);
+  }
 
   void colour(const std::vector<Edge>& edges) {
     // Single split traversal: the DFS leaf order of colour classes goes
     // into a flat log (class t = edges [log_bounds_[t], log_bounds_[t+1])).
     // The class count needed for the block assignment is the log length,
     // so no separate counting pass re-runs the splits.
+    std::int64_t total_words = 0;
+    for (const auto& e : edges) total_words += e.count;
     log_edges_.clear();
+    log_edges_.reserve(static_cast<std::size_t>(total_words));
     log_bounds_.clear();
-    split_walk(edges, 0);
+    split_walk(copy_of(edges), 0);
     total_colours_ = static_cast<std::int64_t>(log_bounds_.size());
     if (total_colours_ == 0) return;
     for (std::int64_t t = 0; t < total_colours_; ++t) {
-      const int mid = static_cast<int>(t * n_ / total_colours_);
+      const auto mid = static_cast<std::size_t>(t * n_ / total_colours_);
       const std::size_t begin = log_bounds_[static_cast<std::size_t>(t)];
       const std::size_t finish =
           t + 1 < total_colours_ ? log_bounds_[static_cast<std::size_t>(t + 1)]
                                  : log_edges_.size();
-      for (std::size_t i = begin; i < finish; ++i)
-        add_load(log_edges_[i].first, log_edges_[i].second, mid);
+      auto* la = load_a_.data() + mid * static_cast<std::size_t>(n_);
+      auto* lb = load_b_.data() + mid * static_cast<std::size_t>(n_);
+      for (std::size_t i = begin; i < finish; ++i) {
+        const auto e = log_edges_[i];
+        ++la[e >> 16];
+        ++lb[e & 0xffffu];
+      }
     }
   }
 
  private:
-  struct OddEdge {
-    int src;
-    int dst;
-    bool used = false;
+  [[nodiscard]] static std::uint32_t pack(int src, int dst) noexcept {
+    return (static_cast<std::uint32_t>(src) << 16) |
+           static_cast<std::uint32_t>(dst);
+  }
+
+  /// Pool-backed copy/acquire of edge scratch vectors: the recursion reuses
+  /// vectors instead of allocating one pair per node.
+  [[nodiscard]] std::vector<Edge> acquire() {
+    if (pool_.empty()) return {};
+    auto v = std::move(pool_.back());
+    pool_.pop_back();
+    v.clear();
+    return v;
+  }
+  void release(std::vector<Edge>&& v) { pool_.push_back(std::move(v)); }
+  [[nodiscard]] std::vector<Edge> copy_of(const std::vector<Edge>& edges) {
+    auto v = acquire();
+    v.assign(edges.begin(), edges.end());
+    return v;
+  }
+  [[nodiscard]] std::vector<std::uint32_t> acquire_packed() {
+    if (packed_pool_.empty()) return {};
+    auto v = std::move(packed_pool_.back());
+    packed_pool_.pop_back();
+    v.clear();
+    return v;
+  }
+  void release_packed(std::vector<std::uint32_t>&& v) {
+    packed_pool_.push_back(std::move(v));
+  }
+
+  /// One edge occurrence in a vertex's adjacency list: slot 2i is the src
+  /// side and slot 2i+1 the dst side of odd edge i, so an edge's two slots
+  /// always share one (aligned) 16-byte chunk — marking both sides used
+  /// after a consume touches the cache line the walk just read. `edge`
+  /// doubles as the used flag (kUsedSlot): the walk's skip-chase needs ONE
+  /// random load per step instead of separate next/edge/used lookups.
+  struct SlotRec {
+    int next;
+    std::uint32_t edge;
   };
+  static constexpr std::uint32_t kUsedSlot = 0xffffffffu;  // src 0xffff illegal
+
+  /// Thread a packed edge list into per-vertex slot lists. Iterating edges
+  /// in reverse makes every vertex's list ascend in slot order — exactly
+  /// the order a forward push_back build yields, preserving the reference
+  /// implementation's lowest-id-first edge selection. Only touched entries
+  /// of head_/mark_/oddb_ are written — O(odd edges), never O(n).
+  void build_slots(const std::vector<std::uint32_t>& es) {
+    touched_.clear();
+    slots_.resize(2 * es.size());
+    node_deg_ = 0;
+    for (std::size_t i = es.size(); i-- > 0;) {
+      const auto e = es[i];
+      const auto s = static_cast<std::size_t>(e >> 16);
+      const auto d = static_cast<std::size_t>(n_) +
+                     static_cast<std::size_t>(e & 0xffffu);
+      if (head_[s] < 0) touched_.push_back(static_cast<int>(s));
+      if (head_[d] < 0) touched_.push_back(static_cast<int>(d));
+      slots_[2 * i] = {head_[s], e};
+      head_[s] = static_cast<int>(2 * i);
+      slots_[2 * i + 1] = {head_[d], e};
+      head_[d] = static_cast<int>(2 * i + 1);
+      mark_[s >> 6] |= std::uint64_t{1} << (s & 63);
+      mark_[d >> 6] |= std::uint64_t{1} << (d & 63);
+      oddb_[s >> 6] ^= std::uint64_t{1} << (s & 63);
+      oddb_[d >> 6] ^= std::uint64_t{1} << (d & 63);
+      // Exact node max degree, free with the threading pass: counters only
+      // ever increment, so the running max equals the final max.
+      const auto ds = ++row2_[s];
+      const auto dd = ++row2_[d];
+      if (ds > node_deg_) node_deg_ = ds;
+      if (dd > node_deg_) node_deg_ = dd;
+    }
+  }
+
+  /// Tear down build_slots scratch without running the walks (used when the
+  /// just-built node turned out to be a leaf). All set bits in mark_/oddb_
+  /// belong to this node, so zeroing whole words via the touched list is
+  /// exact.
+  void unbuild_slots() {
+    for (const int v : touched_) {
+      const auto u = static_cast<std::size_t>(v);
+      head_[u] = -1;
+      row2_[u] = 0;
+      mark_[u >> 6] = 0;
+      oddb_[u >> 6] = 0;
+    }
+  }
+
+  struct Consumed {
+    int slot;
+    std::uint32_t edge;
+  };
+
+  /// Pop the lowest-id unused edge at vertex v, dropping the used prefix
+  /// of v's list on the way (each slot is dropped at most once, so the
+  /// chase is amortised O(1)). Returns slot -1 when v is exhausted.
+  Consumed consume_lowest_unused(int v) {
+    int slot = head_[static_cast<std::size_t>(v)];
+    while (slot >= 0 && slots_[static_cast<std::size_t>(slot)].edge == kUsedSlot)
+      slot = slots_[static_cast<std::size_t>(slot)].next;
+    if (slot < 0) {
+      head_[static_cast<std::size_t>(v)] = -1;
+      return {-1, 0};
+    }
+    const auto e = slots_[static_cast<std::size_t>(slot)].edge;
+    head_[static_cast<std::size_t>(v)] =
+        slots_[static_cast<std::size_t>(slot)].next;
+    slots_[static_cast<std::size_t>(slot)].edge = kUsedSlot;
+    slots_[static_cast<std::size_t>(slot ^ 1)].edge = kUsedSlot;
+    return {slot, e};
+  }
 
   std::int64_t max_degree(const std::vector<Edge>& edges) {
     // row_/col_ are all-zero between calls; only entries touched by this
@@ -175,97 +308,237 @@ class KoenigColouring {
   /// by alternating along maximal trails (starting at odd-degree vertices
   /// first, so every vertex's degree splits with deviation at most one).
   /// Returns true when the halves are element-identical (no odd leftovers).
+  ///
+  /// The recursion visits Theta(colour classes) nodes, so the per-node cost
+  /// here is the router's wall-clock. Everything is O(odd edges) flat-array
+  /// work with NO per-node sorting: per-endpoint intrusive linked lists
+  /// (built in one reverse pass, so each vertex's list is in ascending
+  /// edge order — exactly the order a forward push_back build yields) and a
+  /// touched-vertex bitmap whose ascending-set-bit sweep replaces the
+  /// sorted-touched-list sweep. Trails always consume the lowest-unused
+  /// edge at each vertex and start in ascending vertex order, identical to
+  /// the reference implementation, so the colouring is bit-identical.
   bool euler_split(const std::vector<Edge>& edges, std::vector<Edge>& lo,
                    std::vector<Edge>& hi) {
     lo.clear();
     hi.clear();
-    odd_.clear();
+    odd_pack_.clear();
+    max_half_ = 0;
     for (const auto& e : edges) {
       const std::int64_t half = e.count / 2;
       if (half > 0) {
         lo.push_back({e.src, e.dst, half});
         hi.push_back({e.src, e.dst, half});
+        if (half > max_half_) max_half_ = half;
       }
-      if (e.count % 2 == 1) odd_.push_back({e.src, e.dst, false});
+      if (e.count % 2 == 1) odd_pack_.push_back(pack(e.src, e.dst));
     }
-    if (odd_.empty()) return true;
+    if (odd_pack_.empty()) return true;
 
-    // Adjacency over 2n vertices: sources are [0,n), destinations [n,2n).
-    // Only vertices incident to an odd edge are touched; their scratch
-    // entries are reset on the way out.
-    touched_.clear();
-    for (std::size_t i = 0; i < odd_.size(); ++i) {
-      const auto s = static_cast<std::size_t>(odd_[i].src);
-      const auto d = static_cast<std::size_t>(n_ + odd_[i].dst);
-      if (adj_[s].empty()) touched_.push_back(static_cast<int>(s));
-      if (adj_[d].empty()) touched_.push_back(static_cast<int>(d));
-      adj_[s].push_back(static_cast<int>(i));
-      adj_[d].push_back(static_cast<int>(i));
-    }
-    std::sort(touched_.begin(), touched_.end());
-    for (const int v : touched_) cursor_[static_cast<std::size_t>(v)] = 0;
+    build_slots(odd_pack_);
 
     auto walk_trail = [&](int v0) {
-      // Maximal trail from v0, alternating edges between lo and hi.
+      // Maximal trail from v0, alternating edges between lo and hi. Each
+      // vertex's list head skips already-used occurrences lazily, so the
+      // chosen edge is always the lowest-id unused edge at the vertex —
+      // the rem_ counters only shortcut the discovery that none is left.
       int v = v0;
       bool to_lo = true;
       for (;;) {
-        auto& cu = cursor_[static_cast<std::size_t>(v)];
-        const auto& edges_at = adj_[static_cast<std::size_t>(v)];
-        while (cu < edges_at.size() &&
-               odd_[static_cast<std::size_t>(edges_at[cu])].used)
-          ++cu;
-        if (cu >= edges_at.size()) return;
-        const auto id = static_cast<std::size_t>(edges_at[cu]);
-        odd_[id].used = true;
-        (to_lo ? lo : hi).push_back({odd_[id].src, odd_[id].dst, 1});
+        const auto c = consume_lowest_unused(v);
+        if (c.slot < 0) return;
+        const int src = static_cast<int>(c.edge >> 16);
+        const int dst = static_cast<int>(c.edge & 0xffffu);
+        (to_lo ? lo : hi).push_back({src, dst, 1});
         to_lo = !to_lo;
-        const int s = odd_[id].src;
-        const int d = n_ + odd_[id].dst;
-        v = (v == s) ? d : s;
+        // Even slot = arrived via the src side, continue at the dst side.
+        v = (c.slot & 1) == 0 ? n_ + dst : src;
       }
     };
 
-    // Start trails at odd-degree vertices so trail endpoints pair them up.
-    // Untouched vertices have empty adjacency, so visiting the sorted
-    // touched set is equivalent to the full 0..2n-1 sweep.
-    for (const int v : touched_)
-      if (adj_[static_cast<std::size_t>(v)].size() % 2 == 1) walk_trail(v);
-    for (const int v : touched_) walk_trail(v);
-    for (const int v : touched_) adj_[static_cast<std::size_t>(v)].clear();
+    // Start trails at odd-degree vertices first, in ascending vertex order
+    // (bitmap sweep), then close the remaining Eulerian tours the same way.
+    // Untouched vertices carry no bits, so this matches a full 0..2n-1
+    // sweep of the reference implementation; the rem_ gate skips exhausted
+    // vertices without touching the edge arrays (a reference walk_trail
+    // call there is a no-op).
+    const std::size_t words = mark_.size();
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = oddb_[w];
+      oddb_[w] = 0;
+      while (bits != 0) {
+        const int v = static_cast<int>(w * 64) +
+                      std::countr_zero(bits);
+        bits &= bits - 1;
+        if (head_[static_cast<std::size_t>(v)] >= 0) walk_trail(v);
+      }
+    }
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = mark_[w];
+      while (bits != 0) {
+        const int v = static_cast<int>(w * 64) + std::countr_zero(bits);
+        bits &= bits - 1;
+        if (head_[static_cast<std::size_t>(v)] >= 0) walk_trail(v);
+      }
+      mark_[w] = 0;
+    }
+    for (const int v : touched_) {
+      head_[static_cast<std::size_t>(v)] = -1;
+      row2_[static_cast<std::size_t>(v)] = 0;  // degree counters, see build
+    }
     return false;
   }
 
+  // -------------------------------------------------------------------
+  // All-count-1 fast path. Once every entry of a node has multiplicity 1
+  // (the endgame of every split tree — it holds the vast majority of the
+  // recursion's edge volume), halving is a no-op and every entry is an odd
+  // leftover, so a split is exactly one trail walk. This path stores
+  // entries packed ((src << 16) | dst, count implicitly 1) and runs the
+  // SAME trail mechanics as euler_split — adjacency threaded in reverse
+  // entry order, bitmap sweeps in ascending vertex order, lowest-unused-
+  // edge selection — so the emitted class sequence is bit-identical to the
+  // general path's; only the entry storage is 4x denser.
+  // -------------------------------------------------------------------
+
+  /// Trail-split of an all-count-1 multigraph: the packed counterpart of
+  /// euler_split's odd-leftover walk (which is the whole split here). Each
+  /// child recomputes its own exact max degree inside ITS build_slots
+  /// (node_deg_), so no separate degree pass runs anywhere.
+  void trail_split_packed(const std::vector<std::uint32_t>& es,
+                          std::vector<std::uint32_t>& lo,
+                          std::vector<std::uint32_t>& hi) {
+    // The caller already ran build_slots(es). Scratch-size the halves once
+    // and emit through raw cursors (the walk's serial chain pays no vector
+    // bookkeeping); truncate afterwards.
+    lo.resize(es.size());
+    hi.resize(es.size());
+    std::uint32_t* out[2] = {lo.data(), hi.data()};
+
+    auto walk_trail = [&](int v0) {
+      int v = v0;
+      int side = 0;
+      for (;;) {
+        const auto c = consume_lowest_unused(v);
+        if (c.slot < 0) return;
+        const auto e = c.edge;
+        *out[side]++ = e;
+        side ^= 1;
+        v = (c.slot & 1) == 0
+                ? n_ + static_cast<int>(e & 0xffffu)
+                : static_cast<int>(e >> 16);
+      }
+    };
+
+    const std::size_t words = mark_.size();
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = oddb_[w];
+      oddb_[w] = 0;
+      while (bits != 0) {
+        const int v = static_cast<int>(w * 64) + std::countr_zero(bits);
+        bits &= bits - 1;
+        if (head_[static_cast<std::size_t>(v)] >= 0) walk_trail(v);
+      }
+    }
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = mark_[w];
+      while (bits != 0) {
+        const int v = static_cast<int>(w * 64) + std::countr_zero(bits);
+        bits &= bits - 1;
+        if (head_[static_cast<std::size_t>(v)] >= 0) walk_trail(v);
+      }
+      mark_[w] = 0;
+    }
+    for (const int v : touched_) {
+      head_[static_cast<std::size_t>(v)] = -1;
+      row2_[static_cast<std::size_t>(v)] = 0;
+    }
+    lo.resize(static_cast<std::size_t>(out[0] - lo.data()));
+    hi.resize(static_cast<std::size_t>(out[1] - hi.data()));
+  }
+
+  void split_walk_packed(std::vector<std::uint32_t> es, int depth) {
+    if (es.empty()) {
+      release_packed(std::move(es));
+      return;
+    }
+    if (depth > 64) {
+      for (const auto e : es) {
+        log_bounds_.push_back(log_edges_.size());
+        log_edges_.push_back(e);
+      }
+      release_packed(std::move(es));
+      return;
+    }
+    build_slots(es);
+    if (node_deg_ <= 1) {
+      // Leaf: one colour class; tear the scratch back down and log it.
+      unbuild_slots();
+      log_bounds_.push_back(log_edges_.size());
+      log_edges_.insert(log_edges_.end(), es.begin(), es.end());
+      release_packed(std::move(es));
+      return;
+    }
+    auto lo = acquire_packed();
+    auto hi = acquire_packed();
+    trail_split_packed(es, lo, hi);
+    release_packed(std::move(es));
+    split_walk_packed(std::move(lo), depth + 1);
+    split_walk_packed(std::move(hi), depth + 1);
+  }
+
   void split_walk(std::vector<Edge> edges, int depth) {
-    if (edges.empty()) return;
+    if (edges.empty()) {
+      release(std::move(edges));
+      return;
+    }
     const std::int64_t deg = max_degree(edges);
     if (deg <= 1) {
       log_class(edges);
+      release(std::move(edges));
       return;
     }
     if (depth > 64) {
       // Termination backstop; never expected (the split strictly shrinks
       // the max degree), but keeps the router total even if it regresses.
       for (const auto& e : edges)
-        for (std::int64_t i = 0; i < e.count; ++i)
-          log_class({{e.src, e.dst, 1}});
+        for (std::int64_t i = 0; i < e.count; ++i) {
+          log_bounds_.push_back(log_edges_.size());
+          log_edges_.push_back(pack(e.src, e.dst));
+        }
+      release(std::move(edges));
       return;
     }
-    std::vector<Edge> lo;
-    std::vector<Edge> hi;
+    auto lo = acquire();
+    auto hi = acquire();
     const bool identical = euler_split(edges, lo, hi);
-    edges.clear();
-    edges.shrink_to_fit();
+    // Every child entry is either a halved count (<= max_half_) or an odd
+    // leftover (count 1): once max_half_ <= 1, the children live entirely
+    // in the all-count-1 regime and descend through the packed fast path.
+    const bool simple_children = max_half_ <= 1;
+    release(std::move(edges));
+    auto descend = [&](std::vector<Edge>&& child) {
+      if (simple_children) {
+        auto p = acquire_packed();
+        p.reserve(child.size());
+        for (const auto& e : child) p.push_back(pack(e.src, e.dst));
+        release(std::move(child));
+        split_walk_packed(std::move(p), depth + 1);
+      } else {
+        split_walk(std::move(child), depth + 1);
+      }
+    };
     if (!identical) {
-      split_walk(std::move(lo), depth + 1);
-      split_walk(std::move(hi), depth + 1);
+      descend(std::move(lo));
+      descend(std::move(hi));
       return;
     }
+    release(std::move(hi));
     // Element-identical halves produce identical subtrees: traverse once
     // and duplicate the logged class range in place of the second descent.
     const std::size_t mark_b = log_bounds_.size();
     const std::size_t mark_e = log_edges_.size();
-    split_walk(std::move(lo), depth + 1);
+    descend(std::move(lo));
     const std::size_t end_b = log_bounds_.size();
     const std::size_t end_e = log_edges_.size();
     const std::size_t delta = end_e - mark_e;
@@ -282,32 +555,32 @@ class KoenigColouring {
     log_bounds_.push_back(log_edges_.size());
     for (const auto& e : matching) {
       CCA_ASSERT(e.count == 1);
-      log_edges_.push_back({e.src, e.dst});
+      log_edges_.push_back(pack(e.src, e.dst));
     }
-  }
-
-  void add_load(int src, int dst, int mid) {
-    load_a_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
-            static_cast<std::size_t>(mid)] += 1;
-    load_b_[static_cast<std::size_t>(mid) * static_cast<std::size_t>(n_) +
-            static_cast<std::size_t>(dst)] += 1;
   }
 
   int n_;
   std::int64_t total_colours_ = 0;
-  std::vector<std::int64_t>& load_a_;
-  std::vector<std::int64_t>& load_b_;
+  std::vector<std::int64_t>& load_a_;  ///< intermediate-major: [mid][src]
+  std::vector<std::int64_t>& load_b_;  ///< intermediate-major: [mid][dst]
 
   // Scratch reused across recursion nodes.
-  std::vector<std::vector<int>> adj_;
-  std::vector<std::size_t> cursor_;
+  std::vector<int> head_;            ///< per vertex: first unused slot, -1 idle
+  std::vector<std::uint64_t> mark_;  ///< touched-vertex bitmap
+  std::vector<std::uint64_t> oddb_;  ///< odd-degree parity bitmap
+  std::vector<SlotRec> slots_;       ///< per slot (2 per odd edge): next+edge
   std::vector<std::int64_t> row_;
   std::vector<std::int64_t> col_;
-  std::vector<OddEdge> odd_;
+  std::vector<std::int64_t> row2_;       ///< build-fused node degree counters
+  std::vector<std::uint32_t> odd_pack_;  ///< odd edges, (src << 16) | dst
   std::vector<int> touched_;
+  std::int64_t max_half_ = 0;            ///< max halved count of last split
+  std::int64_t node_deg_ = 0;            ///< max degree of last built node
+  std::vector<std::vector<Edge>> pool_;
+  std::vector<std::vector<std::uint32_t>> packed_pool_;
 
-  // Flat log of colour classes in DFS leaf order.
-  std::vector<std::pair<int, int>> log_edges_;
+  // Flat log of colour classes in DFS leaf order, packed (src << 16) | dst.
+  std::vector<std::uint32_t> log_edges_;
   std::vector<std::size_t> log_bounds_;
 };
 

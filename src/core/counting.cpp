@@ -2,6 +2,7 @@
 
 #include "clique/primitives.hpp"
 #include "util/contracts.hpp"
+#include "util/parallel.hpp"
 
 namespace cca::core {
 
@@ -16,16 +17,22 @@ Matrix<std::int64_t> transpose_distributed(clique::Network& net, int n,
     out(0, 0) = m(0, 0);
     return out;
   }
-  for (int v = 0; v < n; ++v)
-    for (int u = 0; u < n; ++u)
-      net.send(v, u, static_cast<clique::Word>(m(v, u)));
+  // Parallel staged encode over senders (each v owns its outbox); the
+  // receive side reads distinct output rows per node.
+  parallel_for(0, n, [&](int v) {
+    for (int u = 0; u < n; ++u) {
+      const auto span = net.stage(v, u, 1);
+      span[0] = static_cast<clique::Word>(m(v, u));
+    }
+  });
   net.deliver();
-  for (int u = 0; u < n; ++u)
+  parallel_for(0, n, [&](int u) {
     for (int v = 0; v < n; ++v) {
-      const auto& in = net.inbox(u, v);
+      const auto in = net.inbox(u, v);
       CCA_ASSERT(in.size() == 1);
       out(u, v) = static_cast<std::int64_t>(in[0]);
     }
+  });
   return out;
 }
 
@@ -61,11 +68,11 @@ CountOutcome count_triangles_cc(const Graph& g, MmKind kind, int depth) {
     at = g.adjacency();
   }
   std::vector<std::int64_t> partial(static_cast<std::size_t>(big), 0);
-  for (int u = 0; u < n; ++u) {
+  parallel_for(0, n, [&](int u) {
     std::int64_t acc = 0;
     for (int v = 0; v < n; ++v) acc += a2(u, v) * at(u, v);
     partial[static_cast<std::size_t>(u)] = acc;
-  }
+  });
   const auto tr = broadcast_and_sum(net, partial);
   const std::int64_t divisor = g.is_directed() ? 3 : 6;
   CCA_ASSERT(tr % divisor == 0);
@@ -86,11 +93,11 @@ CountOutcome count_4cycles_cc(const Graph& g, MmKind kind, int depth) {
   const auto a2t = transpose_distributed(net, big, a2).block(0, 0, n, n);
 
   std::vector<std::int64_t> partial(static_cast<std::size_t>(big), 0);
-  for (int u = 0; u < n; ++u) {
+  parallel_for(0, n, [&](int u) {
     std::int64_t acc = 0;
     for (int v = 0; v < n; ++v) acc += a2(u, v) * a2t(u, v);
     partial[static_cast<std::size_t>(u)] = acc;
-  }
+  });
   const auto tr = broadcast_and_sum(net, partial);
 
   // Correction term: deg(v) for undirected graphs, the number of 2-cycles
@@ -133,14 +140,14 @@ CountOutcome count_5cycles_cc(const Graph& g, MmKind kind, int depth) {
   std::vector<std::int64_t> tr5_part(static_cast<std::size_t>(big), 0);
   std::vector<std::int64_t> tr3_part(static_cast<std::size_t>(big), 0);
   std::vector<std::int64_t> corr_part(static_cast<std::size_t>(big), 0);
-  for (int u = 0; u < n; ++u) {
+  parallel_for(0, n, [&](int u) {
     std::int64_t acc = 0;
     for (int v = 0; v < n; ++v) acc += a2(u, v) * a3(u, v);
     tr5_part[static_cast<std::size_t>(u)] = acc;
     tr3_part[static_cast<std::size_t>(u)] = a3(u, u);
     const std::int64_t d = g.out_degree(u);
     corr_part[static_cast<std::size_t>(u)] = (d - 2) * a3(u, u);
-  }
+  });
   const auto tr5 = broadcast_and_sum(net, tr5_part);
   const auto tr3 = broadcast_and_sum(net, tr3_part);
   const auto corr = broadcast_and_sum(net, corr_part);

@@ -1,11 +1,13 @@
 #include "core/distance_product.hpp"
 
 #include <cmath>
+#include <span>
 
 #include "core/mm.hpp"
 #include "matrix/codec.hpp"
 #include "matrix/poly.hpp"
 #include "util/contracts.hpp"
+#include "util/parallel.hpp"
 
 namespace cca::core {
 
@@ -42,19 +44,28 @@ struct WDistCodec {
   [[nodiscard]] std::size_t words_for(std::size_t entries) const noexcept {
     return 2 * entries;
   }
+  void encode_into(std::span<const Value> vals, clique::Word* out) const {
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      out[2 * i] = static_cast<clique::Word>(vals[i].d);
+      out[2 * i + 1] = static_cast<clique::Word>(vals[i].w);
+    }
+  }
+  void decode_into(const clique::Word* words, std::size_t count,
+                   Value* out) const {
+    for (std::size_t i = 0; i < count; ++i)
+      out[i] = {static_cast<std::int64_t>(words[2 * i]),
+                static_cast<std::int64_t>(words[2 * i + 1])};
+  }
   void encode_block(const std::vector<Value>& vals,
                     std::vector<clique::Word>& out) const {
-    for (const auto& v : vals) {
-      out.push_back(static_cast<clique::Word>(v.d));
-      out.push_back(static_cast<clique::Word>(v.w));
-    }
+    const std::size_t base = out.size();
+    out.resize(base + words_for(vals.size()));
+    encode_into(vals, out.data() + base);
   }
   [[nodiscard]] std::vector<Value> decode_block(const clique::Word* words,
                                                 std::size_t count) const {
     std::vector<Value> out(count);
-    for (std::size_t i = 0; i < count; ++i)
-      out[i] = {static_cast<std::int64_t>(words[2 * i]),
-                static_cast<std::int64_t>(words[2 * i + 1])};
+    decode_into(words, count, out.data());
     return out;
   }
 };
@@ -74,24 +85,27 @@ WitnessedProduct dp_semiring_witness(clique::Network& net,
                                      const Matrix<std::int64_t>& t) {
   const int n = s.rows();
   CCA_EXPECTS(s.cols() == n && t.rows() == n && t.cols() == n);
-  // Lift: S entries carry their column index as witness, T entries none.
+  // Lift: S entries carry their column index as witness, T entries none
+  // (node-local row transforms — run on the worker group).
   Matrix<WDist> ws(n, n), wt(n, n);
-  for (int i = 0; i < n; ++i)
+  parallel_for(0, n, [&](int i) {
     for (int j = 0; j < n; ++j) {
       ws(i, j) = {s(i, j), j};
       wt(i, j) = {t(i, j), -1};
     }
+  });
   const WitnessMinPlus sr;
   const WDistCodec codec;
   const auto prod = mm_semiring_3d(net, sr, codec, ws, wt);
 
   WitnessedProduct out{Matrix<std::int64_t>(n, n, kInf), Matrix<int>(n, n, -1)};
-  for (int i = 0; i < n; ++i)
+  parallel_for(0, n, [&](int i) {
     for (int j = 0; j < n; ++j) {
       out.dist(i, j) = prod(i, j).d >= kInf ? kInf : prod(i, j).d;
       out.witness(i, j) =
           prod(i, j).d >= kInf ? -1 : static_cast<int>(prod(i, j).w);
     }
+  });
   return out;
 }
 
@@ -108,24 +122,28 @@ Matrix<std::int64_t> dp_ring_embedded(clique::Network& net,
   const PolyCodec codec{cap};
 
   // Entry w in {0..M} becomes X^w; everything else becomes 0 (= infinity).
+  // Both the lift and the min-degree extraction are node-local row work.
   auto embed = [&](const Matrix<std::int64_t>& src) {
     Matrix<CappedPoly> out(n, n, ring.zero());
-    for (int i = 0; i < n; ++i)
+    parallel_for(0, n, [&](int i) {
       for (int j = 0; j < n; ++j) {
         const auto v = src(i, j);
-        if (v >= 0 && v <= m_bound) out(i, j) = CappedPoly::monomial(cap, static_cast<int>(v));
+        if (v >= 0 && v <= m_bound)
+          out(i, j) = CappedPoly::monomial(cap, static_cast<int>(v));
       }
+    });
     return out;
   };
 
   const auto prod = mm_fast_bilinear(net, ring, codec, alg, embed(s), embed(t));
 
   Matrix<std::int64_t> out(n, n, kInf);
-  for (int i = 0; i < n; ++i)
+  parallel_for(0, n, [&](int i) {
     for (int j = 0; j < n; ++j) {
       const int deg = prod(i, j).min_degree();
       if (deg >= 0) out(i, j) = deg;
     }
+  });
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "clique/primitives.hpp"
 #include "util/contracts.hpp"
 #include "util/math.hpp"
+#include "util/parallel.hpp"
 
 namespace cca::core {
 
@@ -201,42 +202,43 @@ FourCycleOutcome detect_4cycle_const(const Graph& g) {
   };
 
   // Step 1: y scatters chunk i of N(y) to tile-row node A(y)[i] = row0 + i.
-  for (const auto& t : tiles) {
+  // Each tile has a distinct owner y (the sender), so tiles stage in
+  // parallel; chunk words write straight into the staged span.
+  parallel_for(0, static_cast<int>(tiles.size()), [&](int ti) {
+    const auto& t = tiles[static_cast<std::size_t>(ti)];
     const auto nb = sorted_neighbours(t.y);
     for (int i = 0; i < t.size; ++i) {
       const auto [lo, hi] =
           chunk_range(static_cast<std::int64_t>(nb.size()), t.size, i);
+      if (lo == hi) continue;
+      const auto span = net.stage(t.y, t.row0 + i,
+                                  static_cast<std::size_t>(hi - lo));
       for (int idx = lo; idx < hi; ++idx)
-        net.send(t.y, t.row0 + i,
-                 static_cast<clique::Word>(nb[static_cast<std::size_t>(idx)]));
+        span[static_cast<std::size_t>(idx - lo)] =
+            static_cast<clique::Word>(nb[static_cast<std::size_t>(idx)]);
     }
-  }
+  });
   net.deliver();
 
   // Step 2: tile-row node a forwards its chunk of N(y) to every tile-column
   // node b in B(y); at most one tile covers any ordered pair (a, b), so
-  // every link carries at most 8 words — delivered directly.
-  {
-    // a's received chunks, keyed by sender y.
-    std::vector<std::vector<clique::Word>> chunk(static_cast<std::size_t>(n));
-    for (int a = 0; a < n; ++a) {
-      for (const auto& t : tiles) {
-        if (a < t.row0 || a >= t.row0 + t.size) continue;
-        chunk[static_cast<std::size_t>(t.y)] = net.take_inbox(a, t.y);
-      }
-      for (const auto& t : tiles) {
-        if (a < t.row0 || a >= t.row0 + t.size) continue;
-        const auto& words = chunk[static_cast<std::size_t>(t.y)];
-        for (int b = t.col0; b < t.col0 + t.size; ++b)
-          net.send_words(a, b, words);
-      }
+  // every link carries at most 8 words — delivered directly. The inbox
+  // views stay valid while staging (only deliver() rebuilds the arena), so
+  // a forwards zero-copy from its inbox span, in parallel over senders a.
+  parallel_for(0, n, [&](int a) {
+    for (const auto& t : tiles) {
+      if (a < t.row0 || a >= t.row0 + t.size) continue;
+      const auto words = net.inbox(a, t.y);
+      for (int b = t.col0; b < t.col0 + t.size; ++b)
+        net.send_words(a, b, words);
     }
-  }
+  });
   net.deliver(clique::Router::Direct);
 
   // Step 3 (local) + final gather: b reassembles N(y) for its tiles, forms
   // W(y,b) = N(y) x {y} x NB(y,b), and routes each 2-walk (x, y, z) to x.
-  for (int b = 0; b < n; ++b) {
+  // Senders b are distinct per iteration, so the loop runs parallel.
+  parallel_for(0, n, [&](int b) {
     for (const auto& t : tiles) {
       if (b < t.col0 || b >= t.col0 + t.size) continue;
       // Chunks arrive from a = row0..row0+size-1 in rank order.
@@ -257,7 +259,7 @@ FourCycleOutcome detect_4cycle_const(const Graph& g) {
           net.send(b, x, pack_pair(t.y, z));
       }
     }
-  }
+  });
   net.deliver();
 
   // Step 4: x scans its gathered P(x,*,*) for a repeated endpoint z != x.

@@ -15,6 +15,15 @@
 // at that point of the algorithm (its input rows, then whatever it received
 // in earlier supersteps).
 //
+// Data plane: both directions are zero-copy. Send staging encodes directly
+// into Network::stage spans (no intermediate value/word buffers), and every
+// staging loop runs under cca::parallel_for over the SENDERS — legal
+// because each source owns its per-source outbox (see Network::stage), and
+// layout-preserving because per-source append order is unchanged. Receive
+// decoding goes through decode_into straight into matrix rows or reused
+// scratch. None of this moves a word: TrafficStats are bit-identical to the
+// serial entry-at-a-time implementation.
+//
 // All functions require net.n() == matrix dimension and an "admissible" n
 // (perfect cube for the 3D algorithm; square with d | sqrt(n) and m <= n for
 // the bilinear scheme). pad_matrix / semiring_clique_size / plan_fast_mm
@@ -23,6 +32,9 @@
 // discharged.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -38,18 +50,125 @@
 
 namespace cca::core {
 
+/// Optional per-step wall-clock breakdown of one mm_* invocation (pass a
+/// profile pointer to fill it). Steps alternate staging / delivery / local
+/// compute, so the breakdown separates encode cost, router cost, and kernel
+/// cost — bench_mm --steps prints it.
+struct MmStepProfile {
+  struct Step {
+    const char* name;
+    std::int64_t ns;
+  };
+  std::vector<Step> steps;
+};
+
 namespace detail {
 
-/// Decode a `count`-entry block from a word vector. `prior_entries` is the
-/// total entry count of the blocks encoded before it in the same message;
-/// every call site sends at most two blocks per message, so
-/// codec.words_for(prior_entries) is exactly the word offset.
-template <typename Codec>
-auto decode_entries(const Codec& codec, std::span<const clique::Word> in,
-                    std::size_t prior_entries, std::size_t count) {
+/// Lap timer feeding MmStepProfile; all calls are no-ops when profile is
+/// null, so the instrumented algorithms pay nothing in normal runs.
+class StepClock {
+ public:
+  explicit StepClock(MmStepProfile* profile) : profile_(profile) {
+    if (profile_ != nullptr) last_ = std::chrono::steady_clock::now();
+  }
+  void lap(const char* name) {
+    if (profile_ == nullptr) return;
+    const auto t = std::chrono::steady_clock::now();
+    profile_->steps.push_back(
+        {name, std::chrono::duration_cast<std::chrono::nanoseconds>(t - last_)
+                   .count()});
+    last_ = t;
+  }
+
+ private:
+  MmStepProfile* profile_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+/// Decode a `count`-entry block from a word span into out[0..count) with no
+/// allocation. `prior_entries` is the total entry count of the blocks
+/// encoded before it in the same message; every call site sends at most two
+/// blocks per message, so codec.words_for(prior_entries) is exactly the
+/// word offset.
+template <typename Codec, typename V>
+void decode_entries_into(const Codec& codec, std::span<const clique::Word> in,
+                         std::size_t prior_entries, std::size_t count,
+                         V* out) {
   const auto offset = codec.words_for(prior_entries);
   CCA_EXPECTS(offset + codec.words_for(count) <= in.size());
-  return codec.decode_block(in.data() + offset, count);
+  codec.decode_into(in.data() + offset, count, out);
+}
+
+/// acc[i*w + j] (+|-)= coeff * src(r0+i, c0+j) over an h x w block, where
+/// acc is a flat row-major block. |coeff| == 1 skips the multiply (the
+/// generic fallback — also the only case a semiring without subtraction
+/// could support for positive coefficients); larger coefficients build the
+/// scalar once and multiply-accumulate. Negative coefficients use the
+/// ring's subtraction.
+template <Ring R>
+void scaled_accumulate(const R& ring, typename R::Value* acc, int h, int w,
+                       const Matrix<typename R::Value>& src, int r0, int c0,
+                       std::int64_t coeff) {
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    for (int i = 0; i < h; ++i) {
+      const auto* srow = src.row(r0 + i) + c0;
+      auto* arow = acc + static_cast<std::size_t>(i) * w;
+      for (int j = 0; j < w; ++j) arow[j] = ring.add(arow[j], srow[j]);
+    }
+    return;
+  }
+  if (coeff == -1) {
+    for (int i = 0; i < h; ++i) {
+      const auto* srow = src.row(r0 + i) + c0;
+      auto* arow = acc + static_cast<std::size_t>(i) * w;
+      for (int j = 0; j < w; ++j) arow[j] = ring.sub(arow[j], srow[j]);
+    }
+    return;
+  }
+  const auto scale = scalar_of(ring, coeff > 0 ? coeff : -coeff);
+  for (int i = 0; i < h; ++i) {
+    const auto* srow = src.row(r0 + i) + c0;
+    auto* arow = acc + static_cast<std::size_t>(i) * w;
+    if (coeff > 0)
+      for (int j = 0; j < w; ++j)
+        arow[j] = ring.add(arow[j], ring.mul(scale, srow[j]));
+    else
+      for (int j = 0; j < w; ++j)
+        arow[j] = ring.sub(arow[j], ring.mul(scale, srow[j]));
+  }
+}
+
+/// dst(r0+i, c0+j) (+|-)= coeff * piece[i*bs + j] over a bs x bs block —
+/// the flat-source dual of scaled_accumulate, used when the accumulator is
+/// a matrix view and the source is a decoded scratch block.
+template <Ring R>
+void scaled_accumulate_flat(const R& ring, Matrix<typename R::Value>& dst,
+                            int r0, int c0, const typename R::Value* piece,
+                            int bs, std::int64_t coeff) {
+  if (coeff == 0) return;
+  if (coeff == 1 || coeff == -1) {
+    for (int i = 0; i < bs; ++i) {
+      auto* drow = dst.row(r0 + i) + c0;
+      const auto* prow = piece + static_cast<std::size_t>(i) * bs;
+      if (coeff > 0)
+        for (int j = 0; j < bs; ++j) drow[j] = ring.add(drow[j], prow[j]);
+      else
+        for (int j = 0; j < bs; ++j) drow[j] = ring.sub(drow[j], prow[j]);
+    }
+    return;
+  }
+  const auto scale = scalar_of(ring, coeff > 0 ? coeff : -coeff);
+  for (int i = 0; i < bs; ++i) {
+    auto* drow = dst.row(r0 + i) + c0;
+    const auto* prow = piece + static_cast<std::size_t>(i) * bs;
+    if (coeff > 0)
+      for (int j = 0; j < bs; ++j)
+        drow[j] = ring.add(drow[j], ring.mul(scale, prow[j]));
+    else
+      for (int j = 0; j < bs; ++j)
+        drow[j] = ring.sub(drow[j], ring.mul(scale, prow[j]));
+  }
 }
 
 }  // namespace detail
@@ -68,7 +187,8 @@ auto decode_entries(const Codec& codec, std::span<const clique::Word> in,
 template <Semiring S, typename Codec>
 [[nodiscard]] Matrix<typename S::Value> mm_semiring_3d(
     clique::Network& net, const S& sr, const Codec& codec,
-    const Matrix<typename S::Value>& s, const Matrix<typename S::Value>& t) {
+    const Matrix<typename S::Value>& s, const Matrix<typename S::Value>& t,
+    MmStepProfile* profile = nullptr) {
   using V = typename S::Value;
   const int n = net.n();
   CCA_EXPECTS(s.rows() == n && s.cols() == n);
@@ -81,98 +201,95 @@ template <Semiring S, typename Codec>
   }
   const int c = static_cast<int>(icbrt(n));
   const int c2 = c * c;
+  const auto block_entries = static_cast<std::size_t>(c2);
+  const auto block_words = codec.words_for(block_entries);
   auto d1 = [c2](int v) { return v / c2; };
   auto d2 = [c, c2](int v) { return (v / c) % c; };
   auto d3 = [c](int v) { return v % c; };
+  detail::StepClock clock(profile);
 
-  // Step 1: node v scatters pieces of its rows S[v,*] and T[v,*].
-  {
-    std::vector<clique::Word> buf;
-    std::vector<V> tmp;
-    for (int v = 0; v < n; ++v) {
-      // S[v, u2**] to each u in v1** (same first digit as v).
-      for (int tail = 0; tail < c2; ++tail) {
-        const int u = d1(v) * c2 + tail;
-        tmp.clear();
-        for (int j = d2(u) * c2; j < (d2(u) + 1) * c2; ++j)
-          tmp.push_back(s(v, j));
-        buf.clear();
-        codec.encode_block(tmp, buf);
-        net.send_words(v, u, buf);
-      }
-      // T[v, w3**] to each w in *v1* (second digit equals v's first digit).
-      for (int w1 = 0; w1 < c; ++w1)
-        for (int w3 = 0; w3 < c; ++w3) {
-          const int w = w1 * c2 + d1(v) * c + w3;
-          tmp.clear();
-          for (int j = d3(w) * c2; j < (d3(w) + 1) * c2; ++j)
-            tmp.push_back(t(v, j));
-          buf.clear();
-          codec.encode_block(tmp, buf);
-          net.send_words(v, w, buf);
-        }
+  // Step 1: node v scatters pieces of its rows S[v,*] and T[v,*], encoding
+  // the contiguous row slices straight into staged network spans. Senders
+  // are independent (one src per iteration), so the loop runs parallel.
+  parallel_for(0, n, [&](int v) {
+    // S[v, u2**] to each u in v1** (same first digit as v).
+    for (int tail = 0; tail < c2; ++tail) {
+      const int u = d1(v) * c2 + tail;
+      const auto out = net.stage(v, u, block_words);
+      codec.encode_into(std::span<const V>(s.row(v) + d2(u) * c2,
+                                           block_entries),
+                        out.data());
     }
-  }
+    // T[v, w3**] to each w in *v1* (second digit equals v's first digit).
+    for (int w1 = 0; w1 < c; ++w1)
+      for (int w3 = 0; w3 < c; ++w3) {
+        const int w = w1 * c2 + d1(v) * c + w3;
+        const auto out = net.stage(v, w, block_words);
+        codec.encode_into(std::span<const V>(t.row(v) + d3(w) * c2,
+                                             block_entries),
+                          out.data());
+      }
+  });
+  clock.lap("step1 stage");
   net.deliver();
+  clock.lap("step1 deliver");
 
   // Each node v now assembles S[v1**, v2**] and T[v2**, v3**] and multiplies
   // them locally (Step 2). Per-node work is independent and reads only
-  // delivered inbox views, so the nodes run on the worker group.
+  // delivered inbox views, so the nodes run on the worker group; blocks are
+  // decoded directly into the assembled matrix rows.
   std::vector<Matrix<V>> prod(static_cast<std::size_t>(n));
   parallel_for(0, n, [&](int v) {
     Matrix<V> sb(c2, c2, sr.zero());
     Matrix<V> tb(c2, c2, sr.zero());
     for (int tail = 0; tail < c2; ++tail) {
       const int u = d1(v) * c2 + tail;  // sender of S[u, v2**]
-      const auto su = detail::decode_entries(
-          codec, net.inbox(v, u), 0, static_cast<std::size_t>(c2));
-      for (int j = 0; j < c2; ++j) sb(tail, j) = su[static_cast<std::size_t>(j)];
+      detail::decode_entries_into(codec, net.inbox(v, u), 0, block_entries,
+                                  sb.row(tail));
     }
     for (int tail = 0; tail < c2; ++tail) {
       const int w = d2(v) * c2 + tail;  // sender of T[w, v3**]
       // v received its S piece and/or T piece from w in one inbox; the S
       // piece (if any) comes first — compute its length to skip it.
       std::size_t at = 0;
-      if (d1(w) == d1(v)) at = static_cast<std::size_t>(c2);  // w also sent S
-      const auto tw = detail::decode_entries(codec, net.inbox(v, w), at,
-                                             static_cast<std::size_t>(c2));
-      for (int j = 0; j < c2; ++j) tb(tail, j) = tw[static_cast<std::size_t>(j)];
+      if (d1(w) == d1(v)) at = block_entries;  // w also sent S
+      detail::decode_entries_into(codec, net.inbox(v, w), at, block_entries,
+                                  tb.row(tail));
     }
     prod[static_cast<std::size_t>(v)] = local_multiply(sr, sb, tb);
   });
+  clock.lap("step2 local product");
 
-  // Step 3: node v sends P^(v2)[u, v3**] to each u in v1**.
-  {
-    std::vector<clique::Word> buf;
-    std::vector<V> tmp;
-    for (int v = 0; v < n; ++v) {
-      const auto& pv = prod[static_cast<std::size_t>(v)];
-      for (int tail = 0; tail < c2; ++tail) {
-        const int u = d1(v) * c2 + tail;
-        tmp.clear();
-        for (int j = 0; j < c2; ++j) tmp.push_back(pv(tail, j));
-        buf.clear();
-        codec.encode_block(tmp, buf);
-        net.send_words(v, u, buf);
-      }
+  // Step 3: node v sends P^(v2)[u, v3**] to each u in v1** — one contiguous
+  // product row per message, encoded in place.
+  parallel_for(0, n, [&](int v) {
+    const auto& pv = prod[static_cast<std::size_t>(v)];
+    for (int tail = 0; tail < c2; ++tail) {
+      const int u = d1(v) * c2 + tail;
+      const auto out = net.stage(v, u, block_words);
+      codec.encode_into(std::span<const V>(pv.row(tail), block_entries),
+                        out.data());
     }
-  }
+  });
+  clock.lap("step3 stage");
   net.deliver();
+  clock.lap("step3 deliver");
 
   // Step 4: node v sums the received pieces into row v of the product
   // (distinct output rows, so the nodes run concurrently).
   Matrix<V> out(n, n, sr.zero());
   parallel_for(0, n, [&](int v) {
+    std::vector<V> piece(block_entries, sr.zero());
     for (int tail = 0; tail < c2; ++tail) {
       const int u = d1(v) * c2 + tail;  // sent P^(u2)[v, u3**]
-      const auto piece = detail::decode_entries(codec, net.inbox(v, u), 0,
-                                                static_cast<std::size_t>(c2));
-      const int col0 = d3(u) * c2;
+      detail::decode_entries_into(codec, net.inbox(v, u), 0, block_entries,
+                                  piece.data());
+      auto* orow = out.row(v) + d3(u) * c2;
       for (int j = 0; j < c2; ++j)
-        out(v, col0 + j) =
-            sr.add(out(v, col0 + j), piece[static_cast<std::size_t>(j)]);
+        orow[j] = sr.add(orow[j], piece[static_cast<std::size_t>(j)]);
     }
   });
+  clock.lap("step4 combine");
   return out;
 }
 
@@ -205,7 +322,7 @@ template <Ring R, typename Codec>
 [[nodiscard]] Matrix<typename R::Value> mm_fast_bilinear(
     clique::Network& net, const R& ring, const Codec& codec,
     const BilinearAlgorithm& alg, const Matrix<typename R::Value>& s,
-    const Matrix<typename R::Value>& t) {
+    const Matrix<typename R::Value>& t, MmStepProfile* profile = nullptr) {
   using V = typename R::Value;
   const int n = net.n();
   CCA_EXPECTS(s.rows() == n && s.cols() == n);
@@ -223,6 +340,12 @@ template <Ring R, typename Codec>
     out(0, 0) = ring.mul(s(0, 0), t(0, 0));
     return out;
   }
+  const auto row_entries = static_cast<std::size_t>(sq);
+  const auto row_words = codec.words_for(row_entries);
+  const auto blk_entries = static_cast<std::size_t>(bs) *
+                           static_cast<std::size_t>(bs);
+  const auto blk_words = codec.words_for(blk_entries);
+  detail::StepClock clock(profile);
 
   // Node digits (v1, v2, v3) in radices (d, sq, sq/d) and labels (x1, x2).
   auto label_of = [sq](int x1, int x2) { return x1 * sq + x2; };
@@ -234,31 +357,33 @@ template <Ring R, typename Codec>
       for (int off = 0; off < bs; ++off) fn(i * big + x2 * bs + off);
   };
 
-  // Step 1: node v sends S[v, *x2*] and T[v, *x2*] to label (v2, x2),
-  // as two blocks (S piece, then T piece).
-  {
-    std::vector<clique::Word> buf;
-    std::vector<V> tmp;
-    for (int v = 0; v < n; ++v) {
-      const int v2 = (v / bs) % sq;
-      for (int x2 = 0; x2 < sq; ++x2) {
-        const int u = label_of(v2, x2);
-        buf.clear();
-        tmp.clear();
-        for_each_col_x2(x2, [&](int j) { tmp.push_back(s(v, j)); });
-        codec.encode_block(tmp, buf);
-        tmp.clear();
-        for_each_col_x2(x2, [&](int j) { tmp.push_back(t(v, j)); });
-        codec.encode_block(tmp, buf);
-        net.send_words(v, u, buf);
-      }
+  // Step 1: node v sends S[v, *x2*] and T[v, *x2*] to label (v2, x2), as
+  // two blocks (S piece, then T piece) in one staged span. The columns for
+  // x2 are d contiguous bs-runs, gathered into a per-sender scratch and
+  // encoded straight into network memory.
+  parallel_for(0, n, [&](int v) {
+    const int v2 = (v / bs) % sq;
+    std::vector<V> tmp(row_entries, ring.zero());
+    for (int x2 = 0; x2 < sq; ++x2) {
+      const int u = label_of(v2, x2);
+      const auto out = net.stage(v, u, 2 * row_words);
+      int lj = 0;
+      for_each_col_x2(x2, [&](int j) { tmp[static_cast<std::size_t>(lj++)] = s(v, j); });
+      codec.encode_into(std::span<const V>(tmp.data(), row_entries),
+                        out.data());
+      lj = 0;
+      for_each_col_x2(x2, [&](int j) { tmp[static_cast<std::size_t>(lj++)] = t(v, j); });
+      codec.encode_into(std::span<const V>(tmp.data(), row_entries),
+                        out.data() + row_words);
     }
-  }
+  });
+  clock.lap("step1 stage");
   net.deliver();
+  clock.lap("step1 deliver");
 
   // Node u = (x1,x2) assembles the sq x sq local views S[*x1*, *x2*] and
-  // T[*x1*, *x2*]: local row index of sender v is v1*bs + v3, local column
-  // index of global column j = i*big + x2*bs + off is i*bs + off.
+  // T[*x1*, *x2*]: local row index of sender v is v1*bs + v3; each piece
+  // decodes directly into the local-view row.
   std::vector<Matrix<V>> sloc(static_cast<std::size_t>(n));
   std::vector<Matrix<V>> tloc(static_cast<std::size_t>(n));
   parallel_for(0, n, [&](int u) {
@@ -269,173 +394,148 @@ template <Ring R, typename Codec>
       for (int v3 = 0; v3 < bs; ++v3) {
         const int v = v1 * big + x1 * bs + v3;  // sender with v2 == x1
         const int lrow = v1 * bs + v3;
-        const auto s_piece = detail::decode_entries(
-            codec, net.inbox(u, v), 0, static_cast<std::size_t>(sq));
-        const auto t_piece = detail::decode_entries(
-            codec, net.inbox(u, v), static_cast<std::size_t>(sq),
-            static_cast<std::size_t>(sq));
-        for (int lj = 0; lj < sq; ++lj) {
-          sl(lrow, lj) = s_piece[static_cast<std::size_t>(lj)];
-          tl(lrow, lj) = t_piece[static_cast<std::size_t>(lj)];
-        }
+        const auto in = net.inbox(u, v);
+        detail::decode_entries_into(codec, in, 0, row_entries, sl.row(lrow));
+        detail::decode_entries_into(codec, in, row_entries, row_entries,
+                                    tl.row(lrow));
       }
     sloc[static_cast<std::size_t>(u)] = std::move(sl);
     tloc[static_cast<std::size_t>(u)] = std::move(tl);
   });
+  clock.lap("step1 assemble");
 
-  // Step 2 (local): linear combinations S^(w)[x1*, x2*], T^(w)[x1*, x2*].
-  // Step 3: send both to node w, for every w in [m].
-  auto axpy = [&](Matrix<V>& acc, std::int64_t coeff, const Matrix<V>& src,
-                  int r0, int c0) {
-    for (int i = 0; i < bs; ++i)
-      for (int j = 0; j < bs; ++j) {
-        if (coeff >= 0)
-          for (std::int64_t rep = 0; rep < coeff; ++rep)
-            acc(i, j) = ring.add(acc(i, j), src(r0 + i, c0 + j));
-        else
-          for (std::int64_t rep = 0; rep < -coeff; ++rep)
-            acc(i, j) = ring.sub(acc(i, j), src(r0 + i, c0 + j));
-      }
-  };
-  {
-    std::vector<clique::Word> buf;
-    std::vector<V> tmp;
-    for (int u = 0; u < n; ++u) {
-      const auto& sl = sloc[static_cast<std::size_t>(u)];
-      const auto& tl = tloc[static_cast<std::size_t>(u)];
-      for (int w = 0; w < m; ++w) {
-        Matrix<V> shat(bs, bs, ring.zero());
-        Matrix<V> that(bs, bs, ring.zero());
-        for (const auto& cfc : alg.alpha[static_cast<std::size_t>(w)])
-          axpy(shat, cfc.coeff, sl, (cfc.index / d) * bs,
-               (cfc.index % d) * bs);
-        for (const auto& cfc : alg.beta[static_cast<std::size_t>(w)])
-          axpy(that, cfc.coeff, tl, (cfc.index / d) * bs,
-               (cfc.index % d) * bs);
-        buf.clear();
-        tmp.clear();
-        for (int i = 0; i < bs; ++i)
-          for (int j = 0; j < bs; ++j) tmp.push_back(shat(i, j));
-        codec.encode_block(tmp, buf);
-        tmp.clear();
-        for (int i = 0; i < bs; ++i)
-          for (int j = 0; j < bs; ++j) tmp.push_back(that(i, j));
-        codec.encode_block(tmp, buf);
-        net.send_words(u, w, buf);
-      }
+  // Step 2 (local): linear combinations S^(w)[x1*, x2*], T^(w)[x1*, x2*],
+  // built in flat per-sender scratch blocks with one multiply-accumulate
+  // per coefficient (see scaled_accumulate). Step 3: both blocks encode
+  // into one staged span to node w, for every w in [m].
+  parallel_for(0, n, [&](int u) {
+    const auto& sl = sloc[static_cast<std::size_t>(u)];
+    const auto& tl = tloc[static_cast<std::size_t>(u)];
+    std::vector<V> shat(blk_entries, ring.zero());
+    std::vector<V> that(blk_entries, ring.zero());
+    for (int w = 0; w < m; ++w) {
+      std::fill(shat.begin(), shat.end(), ring.zero());
+      std::fill(that.begin(), that.end(), ring.zero());
+      for (const auto& cfc : alg.alpha[static_cast<std::size_t>(w)])
+        detail::scaled_accumulate(ring, shat.data(), bs, bs, sl,
+                                  (cfc.index / d) * bs, (cfc.index % d) * bs,
+                                  cfc.coeff);
+      for (const auto& cfc : alg.beta[static_cast<std::size_t>(w)])
+        detail::scaled_accumulate(ring, that.data(), bs, bs, tl,
+                                  (cfc.index / d) * bs, (cfc.index % d) * bs,
+                                  cfc.coeff);
+      const auto out = net.stage(u, w, 2 * blk_words);
+      codec.encode_into(std::span<const V>(shat.data(), blk_entries),
+                        out.data());
+      codec.encode_into(std::span<const V>(that.data(), blk_entries),
+                        out.data() + blk_words);
     }
-  }
+  });
+  clock.lap("step2-3 combine+stage");
   net.deliver();
+  clock.lap("step3 deliver");
 
   // Step 4 (local at product nodes): assemble S^(w), T^(w) and multiply.
   std::vector<Matrix<V>> phat(static_cast<std::size_t>(m));
   parallel_for(0, m, [&](int w) {
     Matrix<V> sw(big, big, ring.zero());
     Matrix<V> tw(big, big, ring.zero());
+    std::vector<V> sbuf(blk_entries, ring.zero());
+    std::vector<V> tbuf(blk_entries, ring.zero());
     for (int x1 = 0; x1 < sq; ++x1)
       for (int x2 = 0; x2 < sq; ++x2) {
         const int u = label_of(x1, x2);
-        const auto s_piece = detail::decode_entries(
-            codec, net.inbox(w, u), 0, static_cast<std::size_t>(bs * bs));
-        const auto t_piece = detail::decode_entries(
-            codec, net.inbox(w, u), static_cast<std::size_t>(bs * bs),
-            static_cast<std::size_t>(bs * bs));
-        for (int i = 0; i < bs; ++i)
+        const auto in = net.inbox(w, u);
+        detail::decode_entries_into(codec, in, 0, blk_entries, sbuf.data());
+        detail::decode_entries_into(codec, in, blk_entries, blk_entries,
+                                    tbuf.data());
+        for (int i = 0; i < bs; ++i) {
+          const auto* sp = sbuf.data() + static_cast<std::size_t>(i) * bs;
+          const auto* tp = tbuf.data() + static_cast<std::size_t>(i) * bs;
+          auto* swrow = sw.row(x1 * bs + i) + x2 * bs;
+          auto* twrow = tw.row(x1 * bs + i) + x2 * bs;
           for (int j = 0; j < bs; ++j) {
-            sw(x1 * bs + i, x2 * bs + j) =
-                s_piece[static_cast<std::size_t>(i * bs + j)];
-            tw(x1 * bs + i, x2 * bs + j) =
-                t_piece[static_cast<std::size_t>(i * bs + j)];
+            swrow[j] = sp[j];
+            twrow[j] = tp[j];
           }
+        }
       }
     phat[static_cast<std::size_t>(w)] = local_multiply(ring, sw, tw);
   });
+  clock.lap("step4 product");
 
   // Step 5: node w returns P^(w)[x1*, x2*] to label (x1, x2).
-  {
-    std::vector<clique::Word> buf;
-    std::vector<V> tmp;
-    for (int w = 0; w < m; ++w) {
-      const auto& pw = phat[static_cast<std::size_t>(w)];
-      for (int x1 = 0; x1 < sq; ++x1)
-        for (int x2 = 0; x2 < sq; ++x2) {
-          tmp.clear();
-          for (int i = 0; i < bs; ++i)
-            for (int j = 0; j < bs; ++j)
-              tmp.push_back(pw(x1 * bs + i, x2 * bs + j));
-          buf.clear();
-          codec.encode_block(tmp, buf);
-          net.send_words(w, label_of(x1, x2), buf);
+  parallel_for(0, m, [&](int w) {
+    const auto& pw = phat[static_cast<std::size_t>(w)];
+    std::vector<V> tmp(blk_entries, ring.zero());
+    for (int x1 = 0; x1 < sq; ++x1)
+      for (int x2 = 0; x2 < sq; ++x2) {
+        for (int i = 0; i < bs; ++i) {
+          const auto* prow = pw.row(x1 * bs + i) + x2 * bs;
+          auto* tp = tmp.data() + static_cast<std::size_t>(i) * bs;
+          for (int j = 0; j < bs; ++j) tp[j] = prow[j];
         }
-    }
-  }
+        const auto out = net.stage(w, label_of(x1, x2), blk_words);
+        codec.encode_into(std::span<const V>(tmp.data(), blk_entries),
+                          out.data());
+      }
+  });
+  clock.lap("step5 stage");
   net.deliver();
+  clock.lap("step5 deliver");
 
   // Step 6 (local): P[ix1*, jx2*] = sum_w lambda_ijw P^(w)[x1*, x2*],
-  // assembled into the sq x sq local view P[*x1*, *x2*].
+  // assembled into the sq x sq local view P[*x1*, *x2*]. Pieces decode into
+  // one flat scratch (m consecutive bs x bs blocks) and each lambda
+  // coefficient applies as a single multiply-accumulate.
   std::vector<Matrix<V>> ploc(static_cast<std::size_t>(n));
   parallel_for(0, n, [&](int u) {
-    std::vector<Matrix<V>> pieces;
-    pieces.reserve(static_cast<std::size_t>(m));
+    std::vector<V> pieces(static_cast<std::size_t>(m) * blk_entries,
+                          ring.zero());
     for (int w = 0; w < m; ++w)
-      pieces.push_back(Matrix<V>(bs, bs, ring.zero()));
-    for (int w = 0; w < m; ++w) {
-      const auto entries = detail::decode_entries(
-          codec, net.inbox(u, w), 0, static_cast<std::size_t>(bs * bs));
-      auto& piece = pieces[static_cast<std::size_t>(w)];
-      for (int i = 0; i < bs; ++i)
-        for (int j = 0; j < bs; ++j)
-          piece(i, j) = entries[static_cast<std::size_t>(i * bs + j)];
-    }
+      detail::decode_entries_into(
+          codec, net.inbox(u, w), 0, blk_entries,
+          pieces.data() + static_cast<std::size_t>(w) * blk_entries);
     Matrix<V> pl(sq, sq, ring.zero());
     for (int i = 0; i < d; ++i)
       for (int j = 0; j < d; ++j)
         for (const auto& cfc :
              alg.lambda[static_cast<std::size_t>(i * d + j)]) {
-          const auto& piece = pieces[static_cast<std::size_t>(cfc.index)];
-          for (int a = 0; a < bs; ++a)
-            for (int b = 0; b < bs; ++b) {
-              auto& cell = pl(i * bs + a, j * bs + b);
-              if (cfc.coeff >= 0)
-                for (std::int64_t rep = 0; rep < cfc.coeff; ++rep)
-                  cell = ring.add(cell, piece(a, b));
-              else
-                for (std::int64_t rep = 0; rep < -cfc.coeff; ++rep)
-                  cell = ring.sub(cell, piece(a, b));
-            }
+          const auto* piece =
+              pieces.data() + static_cast<std::size_t>(cfc.index) * blk_entries;
+          detail::scaled_accumulate_flat(ring, pl, i * bs, j * bs, piece, bs,
+                                         cfc.coeff);
         }
     ploc[static_cast<std::size_t>(u)] = std::move(pl);
   });
+  clock.lap("step6 recombine");
 
-  // Step 7: node (x1, x2) sends P[r, *x2*] to r for each r in *x1*.
-  {
-    std::vector<clique::Word> buf;
-    std::vector<V> tmp;
-    for (int x1 = 0; x1 < sq; ++x1)
-      for (int x2 = 0; x2 < sq; ++x2) {
-        const int u = label_of(x1, x2);
-        const auto& pl = ploc[static_cast<std::size_t>(u)];
-        for (int r1 = 0; r1 < d; ++r1)
-          for (int r3 = 0; r3 < bs; ++r3) {
-            const int r = r1 * big + x1 * bs + r3;
-            tmp.clear();
-            for (int lj = 0; lj < sq; ++lj)
-              tmp.push_back(pl(r1 * bs + r3, lj));
-            buf.clear();
-            codec.encode_block(tmp, buf);
-            net.send_words(u, r, buf);
-          }
+  // Step 7: node (x1, x2) sends P[r, *x2*] to r for each r in *x1* — one
+  // contiguous local-view row per message, encoded in place.
+  parallel_for(0, sq * sq, [&](int u) {
+    const int x1 = u / sq;
+    const auto& pl = ploc[static_cast<std::size_t>(u)];
+    for (int r1 = 0; r1 < d; ++r1)
+      for (int r3 = 0; r3 < bs; ++r3) {
+        const int r = r1 * big + x1 * bs + r3;
+        const auto out = net.stage(u, r, row_words);
+        codec.encode_into(
+            std::span<const V>(pl.row(r1 * bs + r3), row_entries),
+            out.data());
       }
-  }
+  });
+  clock.lap("step7 stage");
   net.deliver();
+  clock.lap("step7 deliver");
 
   Matrix<V> out(n, n, ring.zero());
   parallel_for(0, n, [&](int r) {
     const int r2 = (r / bs) % sq;
+    std::vector<V> entries(row_entries, ring.zero());
     for (int x2 = 0; x2 < sq; ++x2) {
       const int u = label_of(r2, x2);
-      const auto entries = detail::decode_entries(
-          codec, net.inbox(r, u), 0, static_cast<std::size_t>(sq));
+      detail::decode_entries_into(codec, net.inbox(r, u), 0, row_entries,
+                                  entries.data());
       int lj = 0;
       for_each_col_x2(x2, [&](int j) {
         out(r, j) = entries[static_cast<std::size_t>(lj)];
@@ -443,6 +543,7 @@ template <Ring R, typename Codec>
       });
     }
   });
+  clock.lap("step8 output");
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "matrix/semiring.hpp"
 #include "util/contracts.hpp"
 #include "util/math.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace cca::core {
@@ -76,36 +77,44 @@ Matrix<std::uint8_t> verify_witnesses(clique::Network& net,
   CCA_EXPECTS(q.rows() == n && q.cols() == n);
 
   // Superstep 1: transpose T so node v holds column v (node k owns row k).
-  for (int k = 0; k < n; ++k)
-    for (int v = 0; v < n; ++v)
-      net.send(k, v, static_cast<clique::Word>(t(k, v)));
+  // Staging runs parallel over senders — each k owns its outbox.
+  parallel_for(0, n, [&](int k) {
+    for (int v = 0; v < n; ++v) {
+      const auto span = net.stage(k, v, 1);
+      span[0] = static_cast<clique::Word>(t(k, v));
+    }
+  });
   net.deliver();
-  // Node v's column of T, assembled from the inboxes.
+  // Node v's column of T, assembled from the inboxes (distinct rows).
   Matrix<std::int64_t> tcol(n, n, kInf);  // tcol(v, k) = T(k, v)
-  for (int v = 0; v < n; ++v)
+  parallel_for(0, n, [&](int v) {
     for (int k = 0; k < n; ++k) {
-      const auto& in = net.inbox(v, k);
+      const auto in = net.inbox(v, k);
       CCA_ASSERT(in.size() == 1);
       tcol(v, k) = static_cast<std::int64_t>(in[0]);
     }
+  });
 
-  // Superstep 2: node u ships (q, S[u,q], P[u,v]) to v for every v.
-  for (int u = 0; u < n; ++u)
+  // Superstep 2: node u ships (q, S[u,q], P[u,v]) to v for every v,
+  // written straight into the staged span.
+  parallel_for(0, n, [&](int u) {
     for (int v = 0; v < n; ++v) {
       const int w = q(u, v);
       const std::int64_t suw = (w >= 0) ? s(u, w) : kInf;
-      const clique::Word msg[3] = {static_cast<clique::Word>(w),
-                                   static_cast<clique::Word>(suw),
-                                   static_cast<clique::Word>(p(u, v))};
-      net.send_words(u, v, msg);
+      const auto msg = net.stage(u, v, 3);
+      msg[0] = static_cast<clique::Word>(w);
+      msg[1] = static_cast<clique::Word>(suw);
+      msg[2] = static_cast<clique::Word>(p(u, v));
     }
+  });
   net.deliver();
 
-  // Node v checks each claim against its T column and replies one bit.
+  // Node v checks each claim against its T column and replies one bit
+  // (sender of the reply is v, so the loop parallelises over v).
   Matrix<std::uint8_t> ok(n, n, 0);
-  for (int v = 0; v < n; ++v)
+  parallel_for(0, n, [&](int v) {
     for (int u = 0; u < n; ++u) {
-      const auto& in = net.inbox(v, u);
+      const auto in = net.inbox(v, u);
       CCA_ASSERT(in.size() == 3);
       const int w = static_cast<int>(static_cast<std::int64_t>(in[0]));
       const auto suw = static_cast<std::int64_t>(in[1]);
@@ -115,15 +124,18 @@ Matrix<std::uint8_t> verify_witnesses(clique::Network& net,
         const auto tkv = tcol(v, w);
         valid = tkv < kInf && suw + tkv == puv;
       }
-      net.send(v, u, valid ? 1 : 0);
+      const auto reply = net.stage(v, u, 1);
+      reply[0] = valid ? 1 : 0;
     }
+  });
   net.deliver();
-  for (int u = 0; u < n; ++u)
+  parallel_for(0, n, [&](int u) {
     for (int v = 0; v < n; ++v) {
-      const auto& in = net.inbox(u, v);
+      const auto in = net.inbox(u, v);
       CCA_ASSERT(in.size() == 1);
       ok(u, v) = static_cast<std::uint8_t>(in[0]);
     }
+  });
   return ok;
 }
 

@@ -69,19 +69,28 @@ template <Ring R>
   CCA_EXPECTS(t.rows() == alg.d && t.cols() == alg.d);
   using V = typename R::Value;
 
+  // A coefficient applies as one multiply-accumulate: c·x = (c·1)·x by
+  // distributivity (exact in any ring, see scalar_of), with the |c| == 1
+  // add/sub fast path.
+  auto accumulate = [&](V& acc, const V& term, std::int64_t coeff) {
+    if (coeff == 0) return;
+    if (coeff == 1) {
+      acc = r.add(acc, term);
+      return;
+    }
+    if (coeff == -1) {
+      acc = r.sub(acc, term);
+      return;
+    }
+    const V scaled = r.mul(scalar_of(r, coeff > 0 ? coeff : -coeff), term);
+    acc = coeff > 0 ? r.add(acc, scaled) : r.sub(acc, scaled);
+  };
+
   auto combine = [&](const std::vector<SparseCoeff>& coeffs,
                      const Matrix<V>& mat) {
     V acc = r.zero();
-    for (const auto& c : coeffs) {
-      const int i = c.index / alg.d;
-      const int j = c.index % alg.d;
-      V term = mat(i, j);
-      if (c.coeff >= 0)
-        for (std::int64_t rep = 0; rep < c.coeff; ++rep) acc = r.add(acc, term);
-      else
-        for (std::int64_t rep = 0; rep < -c.coeff; ++rep)
-          acc = r.sub(acc, term);
-    }
+    for (const auto& c : coeffs)
+      accumulate(acc, mat(c.index / alg.d, c.index % alg.d), c.coeff);
     return acc;
   };
 
@@ -96,15 +105,8 @@ template <Ring R>
     for (int j = 0; j < alg.d; ++j) {
       V acc = r.zero();
       for (const auto& c :
-           alg.lambda[static_cast<std::size_t>(i * alg.d + j)]) {
-        const V term = products[static_cast<std::size_t>(c.index)];
-        if (c.coeff >= 0)
-          for (std::int64_t rep = 0; rep < c.coeff; ++rep)
-            acc = r.add(acc, term);
-        else
-          for (std::int64_t rep = 0; rep < -c.coeff; ++rep)
-            acc = r.sub(acc, term);
-      }
+           alg.lambda[static_cast<std::size_t>(i * alg.d + j)])
+        accumulate(acc, products[static_cast<std::size_t>(c.index)], c.coeff);
       p(i, j) = acc;
     }
   return p;

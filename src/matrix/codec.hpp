@@ -12,10 +12,22 @@
 // submatrix pieces, and a block codec may use fewer words than
 // entries x words-per-entry (bit packing). `words_for(count)` must be the
 // exact encoded size of a `count`-entry block.
+//
+// Each codec exposes two symmetric interfaces:
+//  * encode_into / decode_into — zero-copy forms writing into caller-owned
+//    memory (a Network::stage span on the send side, a scratch buffer or
+//    matrix row on the receive side). encode_into writes every word it owns
+//    (no read-modify-write), so staged spans need no pre-zeroing;
+//    decode_into overwrites out[0..count) and never allocates (the
+//    polynomial codec reuses the coefficient storage of the scratch entries
+//    when the caps match).
+//  * encode_block / decode_block — the allocating conveniences, implemented
+//    on top of the zero-copy forms.
 #pragma once
 
 #include <bit>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "matrix/poly.hpp"
@@ -32,15 +44,25 @@ struct I64Codec {
   [[nodiscard]] std::size_t words_for(std::size_t entries) const noexcept {
     return entries;
   }
+  void encode_into(std::span<const Value> vals, EncodedWord* out) const {
+    for (std::size_t i = 0; i < vals.size(); ++i)
+      out[i] = std::bit_cast<EncodedWord>(vals[i]);
+  }
+  void decode_into(const EncodedWord* words, std::size_t count,
+                   Value* out) const {
+    for (std::size_t i = 0; i < count; ++i)
+      out[i] = std::bit_cast<Value>(words[i]);
+  }
   void encode_block(const std::vector<Value>& vals,
                     std::vector<EncodedWord>& out) const {
-    for (const auto v : vals) out.push_back(std::bit_cast<EncodedWord>(v));
+    const std::size_t base = out.size();
+    out.resize(base + words_for(vals.size()));
+    encode_into(vals, out.data() + base);
   }
   [[nodiscard]] std::vector<Value> decode_block(const EncodedWord* words,
                                                 std::size_t count) const {
     std::vector<Value> out(count);
-    for (std::size_t i = 0; i < count; ++i)
-      out[i] = std::bit_cast<Value>(words[i]);
+    decode_into(words, count, out.data());
     return out;
   }
 };
@@ -52,15 +74,24 @@ struct ByteCodec {
   [[nodiscard]] std::size_t words_for(std::size_t entries) const noexcept {
     return entries;
   }
+  void encode_into(std::span<const Value> vals, EncodedWord* out) const {
+    for (std::size_t i = 0; i < vals.size(); ++i) out[i] = vals[i];
+  }
+  void decode_into(const EncodedWord* words, std::size_t count,
+                   Value* out) const {
+    for (std::size_t i = 0; i < count; ++i)
+      out[i] = static_cast<Value>(words[i]);
+  }
   void encode_block(const std::vector<Value>& vals,
                     std::vector<EncodedWord>& out) const {
-    for (const auto v : vals) out.push_back(v);
+    const std::size_t base = out.size();
+    out.resize(base + words_for(vals.size()));
+    encode_into(vals, out.data() + base);
   }
   [[nodiscard]] std::vector<Value> decode_block(const EncodedWord* words,
                                                 std::size_t count) const {
     std::vector<Value> out(count);
-    for (std::size_t i = 0; i < count; ++i)
-      out[i] = static_cast<Value>(words[i]);
+    decode_into(words, count, out.data());
     return out;
   }
 };
@@ -73,18 +104,35 @@ struct PackedBoolCodec {
   [[nodiscard]] std::size_t words_for(std::size_t entries) const noexcept {
     return (entries + 63) / 64;
   }
+  void encode_into(std::span<const Value> vals, EncodedWord* out) const {
+    // Assemble each word in a register and store it whole, so the
+    // destination needs no pre-zeroing.
+    const std::size_t nwords = words_for(vals.size());
+    for (std::size_t w = 0; w < nwords; ++w) {
+      EncodedWord word = 0;
+      const std::size_t lo = w * 64;
+      const std::size_t hi =
+          lo + 64 < vals.size() ? lo + 64 : vals.size();
+      for (std::size_t i = lo; i < hi; ++i)
+        if (vals[i] != 0) word |= EncodedWord{1} << (i - lo);
+      out[w] = word;
+    }
+  }
+  void decode_into(const EncodedWord* words, std::size_t count,
+                   Value* out) const {
+    for (std::size_t i = 0; i < count; ++i)
+      out[i] = static_cast<Value>((words[i / 64] >> (i % 64)) & 1);
+  }
   void encode_block(const std::vector<Value>& vals,
                     std::vector<EncodedWord>& out) const {
     const std::size_t base = out.size();
-    out.resize(base + words_for(vals.size()), 0);
-    for (std::size_t i = 0; i < vals.size(); ++i)
-      if (vals[i] != 0) out[base + i / 64] |= EncodedWord{1} << (i % 64);
+    out.resize(base + words_for(vals.size()));
+    encode_into(vals, out.data() + base);
   }
   [[nodiscard]] std::vector<Value> decode_block(const EncodedWord* words,
                                                 std::size_t count) const {
     std::vector<Value> out(count);
-    for (std::size_t i = 0; i < count; ++i)
-      out[i] = static_cast<Value>((words[i / 64] >> (i % 64)) & 1);
+    decode_into(words, count, out.data());
     return out;
   }
 };
@@ -97,26 +145,40 @@ struct PolyCodec {
   [[nodiscard]] std::size_t words_for(std::size_t entries) const noexcept {
     return entries * static_cast<std::size_t>(cap);
   }
-  void encode_block(const std::vector<Value>& vals,
-                    std::vector<EncodedWord>& out) const {
-    for (const auto& v : vals) {
+  void encode_into(std::span<const Value> vals, EncodedWord* out) const {
+    for (std::size_t e = 0; e < vals.size(); ++e) {
+      const auto& v = vals[e];
       CCA_EXPECTS(v.cap() == cap);
       for (int d = 0; d < cap; ++d)
-        out.push_back(std::bit_cast<EncodedWord>(v.coeff(d)));
+        out[e * static_cast<std::size_t>(cap) + static_cast<std::size_t>(d)] =
+            std::bit_cast<EncodedWord>(v.coeff(d));
     }
   }
-  [[nodiscard]] std::vector<Value> decode_block(const EncodedWord* words,
-                                                std::size_t count) const {
-    std::vector<Value> out;
-    out.reserve(count);
+  /// Decode into scratch entries, reusing each entry's heap-backed
+  /// coefficient storage when its cap already matches (the steady state of
+  /// a reused scratch buffer) — the distance-product / APSP inner loops
+  /// stop allocating per message.
+  void decode_into(const EncodedWord* words, std::size_t count,
+                   Value* out) const {
     for (std::size_t e = 0; e < count; ++e) {
-      CappedPoly p(cap);
+      Value& p = out[e];
+      if (p.cap() != cap) p = CappedPoly(cap);
       for (int d = 0; d < cap; ++d)
         p.coeff(d) = std::bit_cast<std::int64_t>(
             words[e * static_cast<std::size_t>(cap) +
                   static_cast<std::size_t>(d)]);
-      out.push_back(std::move(p));
     }
+  }
+  void encode_block(const std::vector<Value>& vals,
+                    std::vector<EncodedWord>& out) const {
+    const std::size_t base = out.size();
+    out.resize(base + words_for(vals.size()));
+    encode_into(vals, out.data() + base);
+  }
+  [[nodiscard]] std::vector<Value> decode_block(const EncodedWord* words,
+                                                std::size_t count) const {
+    std::vector<Value> out(count);
+    decode_into(words, count, out.data());
     return out;
   }
 };

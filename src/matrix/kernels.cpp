@@ -50,6 +50,61 @@ Matrix<std::uint8_t> multiply_bool_packed(const Matrix<std::uint8_t>& a,
   return out;
 }
 
+Matrix<std::int64_t> multiply_i64_blocked(const Matrix<std::int64_t>& a,
+                                          const Matrix<std::int64_t>& b) {
+  CCA_EXPECTS(a.cols() == b.rows());
+  const int n = a.rows();
+  const int k = a.cols();
+  const int m = b.cols();
+  Matrix<std::int64_t> out(n, m, 0);
+  if (n == 0 || k == 0 || m == 0) return out;
+
+  // Pack B^T once: column j of B becomes the contiguous run bt[j*k .. j*k+k)
+  // so each output entry is a dot product of two contiguous int64 runs.
+  std::vector<std::int64_t> bt(static_cast<std::size_t>(k) *
+                               static_cast<std::size_t>(m));
+  for (int r = 0; r < k; ++r) {
+    const std::int64_t* brow = b.row(r);
+    for (int j = 0; j < m; ++j)
+      bt[static_cast<std::size_t>(j) * static_cast<std::size_t>(k) +
+         static_cast<std::size_t>(r)] = brow[j];
+  }
+
+  // Four output columns at a time: the A row is read once per tile and four
+  // independent accumulators keep the multiply pipeline full.
+  const std::size_t ks = static_cast<std::size_t>(k);
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t* arow = a.row(i);
+    std::int64_t* orow = out.row(i);
+    int j = 0;
+    for (; j + 4 <= m; j += 4) {
+      const std::int64_t* c0 = bt.data() + static_cast<std::size_t>(j) * ks;
+      const std::int64_t* c1 = c0 + ks;
+      const std::int64_t* c2 = c1 + ks;
+      const std::int64_t* c3 = c2 + ks;
+      std::int64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+      for (int r = 0; r < k; ++r) {
+        const std::int64_t air = arow[r];
+        s0 += air * c0[r];
+        s1 += air * c1[r];
+        s2 += air * c2[r];
+        s3 += air * c3[r];
+      }
+      orow[j] = s0;
+      orow[j + 1] = s1;
+      orow[j + 2] = s2;
+      orow[j + 3] = s3;
+    }
+    for (; j < m; ++j) {
+      const std::int64_t* col = bt.data() + static_cast<std::size_t>(j) * ks;
+      std::int64_t acc = 0;
+      for (int r = 0; r < k; ++r) acc += arow[r] * col[r];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
 Matrix<std::int64_t> multiply_minplus_blocked(const Matrix<std::int64_t>& a,
                                               const Matrix<std::int64_t>& b) {
   CCA_EXPECTS(a.cols() == b.rows());

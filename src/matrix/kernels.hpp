@@ -6,7 +6,8 @@
 // semiring: the Boolean semiring runs a bit-packed kernel (64 adjacency
 // entries per machine word, OR-accumulated row-wise — the same word-level
 // trick the PackedBoolCodec uses on the wire), the min-plus semiring runs a
-// cache-blocked tropical kernel, and every other algebra falls back to the
+// cache-blocked tropical kernel, the integer ring runs a transposed-B
+// blocked dot-product kernel, and every other algebra falls back to the
 // generic schoolbook multiply() from ops.hpp.
 //
 // All kernels are EXACTLY result-equivalent to multiply(s, a, b): Boolean
@@ -46,6 +47,17 @@ namespace cca {
 [[nodiscard]] Matrix<std::int64_t> multiply_minplus_blocked(
     const Matrix<std::int64_t>& a, const Matrix<std::int64_t>& b);
 
+/// Integer-ring (Z, +, *) matrix product: B is transposed once into a
+/// contiguous scratch so every inner loop is a dot product over two
+/// contiguous rows, tiled 4 output columns at a time to keep four
+/// accumulators live. Two's-complement + and * are associative and
+/// commutative, so the result is bit-identical to multiply(IntRing{}, a, b)
+/// regardless of accumulation order. This is the node-local kernel of the
+/// fast bilinear path (Section 2.2) and of the integer products behind
+/// cycle counting.
+[[nodiscard]] Matrix<std::int64_t> multiply_i64_blocked(
+    const Matrix<std::int64_t>& a, const Matrix<std::int64_t>& b);
+
 /// Semiring-dispatched local product: specialized kernel when one exists,
 /// generic multiply() otherwise.
 template <Semiring S>
@@ -65,6 +77,12 @@ template <Semiring S>
     const MinPlusSemiring&, const Matrix<std::int64_t>& a,
     const Matrix<std::int64_t>& b) {
   return multiply_minplus_blocked(a, b);
+}
+
+[[nodiscard]] inline Matrix<std::int64_t> local_multiply(
+    const IntRing&, const Matrix<std::int64_t>& a,
+    const Matrix<std::int64_t>& b) {
+  return multiply_i64_blocked(a, b);
 }
 
 }  // namespace cca

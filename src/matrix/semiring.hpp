@@ -77,4 +77,16 @@ static_assert(Ring<IntRing>);
 static_assert(Semiring<BoolSemiring>);
 static_assert(Semiring<MinPlusSemiring>);
 
+/// The semiring element c·1 for c >= 0 (c additions of one(), done ONCE per
+/// coefficient). By distributivity c·x = (c·1)·x in any semiring, so an
+/// integer coefficient applies as one multiply-accumulate per entry instead
+/// of |c| repeated additions per entry. Shared by the bilinear coefficient
+/// machinery (apply_bilinear, mm_fast_bilinear Steps 2/6).
+template <Semiring S>
+[[nodiscard]] typename S::Value scalar_of(const S& s, std::int64_t c) {
+  auto acc = s.zero();
+  for (std::int64_t i = 0; i < c; ++i) acc = s.add(acc, s.one());
+  return acc;
+}
+
 }  // namespace cca

@@ -18,6 +18,25 @@ int parallel_workers() {
   return workers;
 }
 
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// RAII marker for the duration of one chunk execution. Saves and restores
+/// the prior value so a nested parallel_for (including the serial fallback)
+/// does not clear the flag for the remainder of the enclosing chunk.
+struct RegionMark {
+  RegionMark() noexcept : prior(t_in_parallel_region) {
+    t_in_parallel_region = true;
+  }
+  ~RegionMark() noexcept { t_in_parallel_region = prior; }
+  bool prior;
+};
+
+}  // namespace
+
+bool in_parallel_region() noexcept { return t_in_parallel_region; }
+
 namespace detail {
 
 void parallel_for_impl(int begin, int end,
@@ -26,6 +45,7 @@ void parallel_for_impl(int begin, int end,
   if (count <= 0) return;
   const int workers = std::min(parallel_workers(), count);
   if (workers <= 1) {
+    const RegionMark mark;
     chunk(begin, end);
     return;
   }
@@ -43,11 +63,17 @@ void parallel_for_impl(int begin, int end,
     if (w == 0) {
       first_end = at + len;
     } else {
-      group.emplace_back(chunk, at, at + len);
+      group.emplace_back([&chunk](int b, int e) {
+        const RegionMark mark;
+        chunk(b, e);
+      }, at, at + len);
     }
     at += len;
   }
-  chunk(begin, first_end);
+  {
+    const RegionMark mark;
+    chunk(begin, first_end);
+  }
   for (auto& t : group) t.join();
 }
 

@@ -18,6 +18,12 @@ namespace cca {
 /// when set (clamped to >= 1), otherwise std::thread::hardware_concurrency.
 [[nodiscard]] int parallel_workers();
 
+/// True while the calling thread is executing a parallel_for chunk
+/// (including the calling thread's own block). Single-threaded phase-change
+/// operations (Network::deliver) assert on this to catch network mutation
+/// from inside parallel regions.
+[[nodiscard]] bool in_parallel_region() noexcept;
+
 namespace detail {
 
 /// Runs chunk(begin, end) over a block partition of [begin, end).

@@ -1,0 +1,142 @@
+// Zero-copy codec interfaces: encode_into must produce exactly the words
+// encode_block appends (for every codec, at every offset pattern the mm
+// algorithms use), and decode_into must reproduce decode_block without
+// allocating fresh storage for reused scratch (PolyCodec reuses the
+// coefficient buffers of cap-matching scratch entries).
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "matrix/codec.hpp"
+#include "matrix/poly.hpp"
+#include "util/rng.hpp"
+
+namespace cca {
+namespace {
+
+template <typename Codec>
+void expect_encode_into_matches_block(const Codec& codec,
+                                      const std::vector<typename Codec::Value>& vals) {
+  std::vector<EncodedWord> block;
+  codec.encode_block(vals, block);
+  ASSERT_EQ(block.size(), codec.words_for(vals.size()));
+
+  // encode_into must write every word it owns: poison the destination to
+  // catch any read-modify-write dependence on pre-zeroed memory.
+  std::vector<EncodedWord> into(codec.words_for(vals.size()),
+                                0xDEADBEEFDEADBEEFull);
+  codec.encode_into(std::span<const typename Codec::Value>(vals), into.data());
+  EXPECT_EQ(into, block);
+
+  // Round trip through both decode forms.
+  const auto decoded = codec.decode_block(into.data(), vals.size());
+  EXPECT_EQ(decoded, vals);
+  std::vector<typename Codec::Value> scratch(vals.size());
+  codec.decode_into(into.data(), vals.size(), scratch.data());
+  EXPECT_EQ(scratch, vals);
+}
+
+TEST(Codecs, I64EncodeIntoMatchesEncodeBlock) {
+  Rng rng(21);
+  const I64Codec c;
+  for (const std::size_t count : {0u, 1u, 7u, 64u, 129u}) {
+    std::vector<std::int64_t> vals(count);
+    for (auto& v : vals)
+      v = static_cast<std::int64_t>(rng.next());  // full 64-bit patterns
+    expect_encode_into_matches_block(c, vals);
+  }
+}
+
+TEST(Codecs, ByteEncodeIntoMatchesEncodeBlock) {
+  Rng rng(22);
+  const ByteCodec c;
+  for (const std::size_t count : {0u, 1u, 13u, 200u}) {
+    std::vector<std::uint8_t> vals(count);
+    for (auto& v : vals) v = static_cast<std::uint8_t>(rng.next_below(256));
+    expect_encode_into_matches_block(c, vals);
+  }
+}
+
+TEST(Codecs, PackedBoolEncodeIntoMatchesEncodeBlock) {
+  Rng rng(23);
+  const PackedBoolCodec c;
+  // Straddle word boundaries: sub-word, exact-word, word+1 sizes.
+  for (const std::size_t count : {0u, 1u, 63u, 64u, 65u, 130u, 1000u}) {
+    std::vector<std::uint8_t> vals(count);
+    for (auto& v : vals) v = static_cast<std::uint8_t>(rng.next_below(2));
+    expect_encode_into_matches_block(c, vals);
+  }
+}
+
+TEST(Codecs, PolyEncodeIntoMatchesEncodeBlock) {
+  Rng rng(24);
+  const PolyCodec c{5};
+  for (const std::size_t count : {0u, 1u, 4u, 17u}) {
+    std::vector<CappedPoly> vals;
+    for (std::size_t i = 0; i < count; ++i) {
+      CappedPoly p(5);
+      for (int d = 0; d < 5; ++d)
+        p.coeff(d) = static_cast<std::int64_t>(rng.next_in(-1000, 1000));
+      vals.push_back(std::move(p));
+    }
+    expect_encode_into_matches_block(c, vals);
+  }
+}
+
+TEST(Codecs, PolyDecodeIntoReusesScratchStorage) {
+  Rng rng(25);
+  const PolyCodec c{4};
+  std::vector<CappedPoly> vals;
+  for (int i = 0; i < 8; ++i) {
+    CappedPoly p(4);
+    for (int d = 0; d < 4; ++d) p.coeff(d) = rng.next_in(-50, 50);
+    vals.push_back(std::move(p));
+  }
+  std::vector<EncodedWord> words;
+  c.encode_block(vals, words);
+
+  // Scratch with matching caps: the coefficient storage must be written in
+  // place (same heap allocation before and after).
+  std::vector<CappedPoly> scratch(8, CappedPoly(4));
+  const std::int64_t* before = &scratch[0].coeff(0);
+  c.decode_into(words.data(), 8, scratch.data());
+  EXPECT_EQ(&scratch[0].coeff(0), before);
+  EXPECT_EQ(scratch, vals);
+
+  // Decoding over the same scratch again (the steady state of a reused
+  // buffer) stays allocation-stable and correct.
+  const std::int64_t* stable = &scratch[3].coeff(0);
+  c.decode_into(words.data(), 8, scratch.data());
+  EXPECT_EQ(&scratch[3].coeff(0), stable);
+  EXPECT_EQ(scratch, vals);
+
+  // Cap-mismatched scratch (default-constructed, cap 0) is upgraded.
+  std::vector<CappedPoly> fresh(8);
+  c.decode_into(words.data(), 8, fresh.data());
+  EXPECT_EQ(fresh, vals);
+}
+
+TEST(Codecs, EncodeIntoAtBlockOffsets) {
+  // The mm message layout: two blocks in one staged span, the second at
+  // words_for(first block). encode_into at an offset must agree with two
+  // consecutive encode_block appends.
+  Rng rng(26);
+  const PackedBoolCodec c;
+  std::vector<std::uint8_t> a(70), b(70);
+  for (auto& v : a) v = static_cast<std::uint8_t>(rng.next_below(2));
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.next_below(2));
+
+  std::vector<EncodedWord> blocks;
+  c.encode_block(a, blocks);
+  c.encode_block(b, blocks);
+
+  std::vector<EncodedWord> spans(c.words_for(70) * 2, 0xFFFFFFFFFFFFFFFFull);
+  c.encode_into(std::span<const std::uint8_t>(a), spans.data());
+  c.encode_into(std::span<const std::uint8_t>(b),
+                spans.data() + c.words_for(70));
+  EXPECT_EQ(spans, blocks);
+}
+
+}  // namespace
+}  // namespace cca

@@ -103,17 +103,80 @@ TEST(MinPlusBlockedKernel, LocalMultiplyDispatchesToBlockedKernel) {
   EXPECT_EQ(local_multiply(sr, a, b), multiply(sr, a, b));
 }
 
+Matrix<std::int64_t> random_int_matrix(int rows, int cols, Rng& rng) {
+  Matrix<std::int64_t> m(rows, cols, 0);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j) m(i, j) = rng.next_in(-1000, 1000);
+  return m;
+}
+
+TEST(I64BlockedKernel, MatchesSchoolbookOnRandomSquare) {
+  Rng rng(13);
+  const IntRing ring;
+  for (const int n : {1, 2, 3, 4, 5, 16, 63, 64, 65, 100}) {
+    const auto a = random_int_matrix(n, n, rng);
+    const auto b = random_int_matrix(n, n, rng);
+    EXPECT_EQ(multiply_i64_blocked(a, b), multiply(ring, a, b)) << "n=" << n;
+  }
+}
+
+TEST(I64BlockedKernel, MatchesSchoolbookOnRectangles) {
+  Rng rng(14);
+  const IntRing ring;
+  const struct {
+    int n, k, m;
+  } shapes[] = {{3, 70, 5}, {65, 2, 130}, {1, 128, 1}, {20, 1, 64}, {7, 7, 3}};
+  for (const auto& s : shapes) {
+    const auto a = random_int_matrix(s.n, s.k, rng);
+    const auto b = random_int_matrix(s.k, s.m, rng);
+    EXPECT_EQ(multiply_i64_blocked(a, b), multiply(ring, a, b))
+        << s.n << "x" << s.k << "x" << s.m;
+  }
+}
+
+TEST(I64BlockedKernel, SparseAndZeroInputs) {
+  const IntRing ring;
+  Matrix<std::int64_t> a(8, 8, 0);
+  Matrix<std::int64_t> b(8, 8, 0);
+  a(0, 3) = -7;
+  a(7, 7) = 11;
+  b(3, 5) = 9;
+  b(7, 0) = -2;
+  EXPECT_EQ(multiply_i64_blocked(a, b), multiply(ring, a, b));
+  const Matrix<std::int64_t> z(5, 5, 0);
+  EXPECT_EQ(multiply_i64_blocked(z, z), multiply(ring, z, z));
+}
+
+TEST(I64BlockedKernel, LocalMultiplyDispatchesToBlockedKernel) {
+  Rng rng(15);
+  const IntRing ring;
+  const auto a = random_int_matrix(37, 37, rng);
+  const auto b = random_int_matrix(37, 37, rng);
+  EXPECT_EQ(local_multiply(ring, a, b), multiply(ring, a, b));
+  EXPECT_EQ(local_multiply(ring, a, b), multiply_i64_blocked(a, b));
+}
+
+/// A semiring with no kernel specialization (xor as addition, and as
+/// multiplication over 64-bit masks) — exercises the generic fallback.
+struct XorAndSemiring {
+  using Value = std::uint64_t;
+  [[nodiscard]] Value zero() const noexcept { return 0; }
+  [[nodiscard]] Value one() const noexcept { return ~Value{0}; }
+  [[nodiscard]] Value add(Value a, Value b) const noexcept { return a ^ b; }
+  [[nodiscard]] Value mul(Value a, Value b) const noexcept { return a & b; }
+};
+
 TEST(LocalMultiply, GenericSemiringFallsBackToSchoolbook) {
   Rng rng(12);
-  const IntRing ring;
-  Matrix<std::int64_t> a(10, 10, 0);
-  Matrix<std::int64_t> b(10, 10, 0);
+  const XorAndSemiring sr;
+  Matrix<std::uint64_t> a(10, 10, 0);
+  Matrix<std::uint64_t> b(10, 10, 0);
   for (int i = 0; i < 10; ++i)
     for (int j = 0; j < 10; ++j) {
-      a(i, j) = rng.next_in(-9, 9);
-      b(i, j) = rng.next_in(-9, 9);
+      a(i, j) = rng.next();
+      b(i, j) = rng.next();
     }
-  EXPECT_EQ(local_multiply(ring, a, b), multiply(ring, a, b));
+  EXPECT_EQ(local_multiply(sr, a, b), multiply(sr, a, b));
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 
 #include "bench_common.hpp"
 #include "clique/network.hpp"
+#include "core/engine.hpp"
 #include "core/mm.hpp"
 #include "matrix/codec.hpp"
 #include "matrix/ops.hpp"
@@ -99,6 +100,64 @@ int main(int argc, char** argv) {
     }
     if (json.enabled())
       std::printf("(--steps is a diagnostic mode; BENCH json not written)\n");
+    return 0;
+  }
+
+  // --batch: the multi-query engine. B=8 same-shape products through
+  // shared supersteps (IntMmEngine::multiply_batch) against the same 8
+  // products run as independent sequential queries, each on its own
+  // Network — the serving scenario batching targets. Reports rounds and
+  // wall-clock for both; the batch must win both (test_batch.cpp pins the
+  // rounds claim).
+  if (cca::bench::has_flag(argc, argv, "--batch")) {
+    cca::bench::print_header(
+        "Batched multiply: B=8 shared supersteps vs 8 per-query runs");
+    struct Config {
+      MmKind kind;
+      const char* name;
+      int n;
+    };
+    for (const auto& cfg :
+         {Config{MmKind::Semiring3D, "semiring_3d", 125},
+          Config{MmKind::Semiring3D, "semiring_3d", 216},
+          Config{MmKind::Fast, "fast_bilinear", 125},
+          Config{MmKind::Fast, "fast_bilinear", 216}}) {
+      const std::size_t b_count = 8;
+      const IntMmEngine engine(cfg.kind, cfg.n);
+      const int big = engine.clique_n();
+      std::vector<Matrix<std::int64_t>> as, bs;
+      for (std::size_t b = 0; b < b_count; ++b) {
+        as.push_back(pad_matrix(random_matrix(cfg.n, b + 1), big,
+                                std::int64_t{0}));
+        bs.push_back(pad_matrix(random_matrix(cfg.n, b + 100), big,
+                                std::int64_t{0}));
+      }
+      std::int64_t seq_rounds = 0;
+      const auto t0 = cca::bench::now_ns();
+      for (std::size_t b = 0; b < b_count; ++b) {
+        clique::Network net(big);
+        (void)engine.multiply(net, as[b], bs[b]);
+        seq_rounds += net.stats().rounds;
+      }
+      const auto t1 = cca::bench::now_ns();
+      clique::Network net(big);
+      (void)engine.multiply_batch(
+          net, std::span<const Matrix<std::int64_t>>(as),
+          std::span<const Matrix<std::int64_t>>(bs));
+      const auto t2 = cca::bench::now_ns();
+      std::printf(
+          "  %-13s n=%3d (clique %3d)  8 queries: %5lld rounds %7.1f ms   "
+          "batch: %5lld rounds %7.1f ms  (%.2fx wall, %.2fx rounds)\n",
+          cfg.name, cfg.n, big, static_cast<long long>(seq_rounds),
+          static_cast<double>(t1 - t0) / 1e6,
+          static_cast<long long>(net.stats().rounds),
+          static_cast<double>(t2 - t1) / 1e6,
+          static_cast<double>(t1 - t0) / static_cast<double>(t2 - t1),
+          static_cast<double>(seq_rounds) /
+              static_cast<double>(net.stats().rounds));
+    }
+    if (json.enabled())
+      std::printf("(--batch is a diagnostic mode; BENCH json not written)\n");
     return 0;
   }
 
@@ -192,6 +251,16 @@ int main(int argc, char** argv) {
       "work; the remaining ~90% is the Step 3/5 KoenigRelay schedules "
       "(18 and 9 words/pair, odd-dominated), bounded below by the exact "
       "class-sequence volume.");
+  json.note(
+      "--batch finding (PR 3): B=8 products through shared supersteps vs 8 "
+      "per-query networks: 1.1-5.2x wall and 1.03-1.22x fewer rounds "
+      "(semiring_3d n=125: 5.2x wall, 304->250 rounds). Against 8 "
+      "sequential calls on ONE network the batch is roughly par on wall "
+      "(the schedule cache already collapses the repeats) but still "
+      "strictly fewer rounds: batching B-fold word counts multiplies every "
+      "demand by 8=2^3, which both collapses three extra Euler-split "
+      "levels and lets the relay spread blocks over otherwise-idle "
+      "intermediates.");
   json.write();
   return 0;
 }

@@ -1,0 +1,96 @@
+// Multi-query serving demo: the batched multiply engine versus per-query
+// networks.
+//
+// Scenario: a fleet of tenants each asks an analytics question about its
+// own graph — "how many triangles?" and "what are the exact shortest
+// paths?". Served naively, every query spins its own clique computation and
+// pays its own routing schedules. The batch engine instead runs all B
+// same-shape queries through SHARED supersteps (one Koenig schedule per
+// superstep carries the concatenated per-pair messages), and the
+// demand-fingerprint schedule cache makes every repeated superstep shape a
+// scheduling no-op. Build with -DCCA_BUILD_EXAMPLES=ON.
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "clique/network.hpp"
+#include "core/apsp.hpp"
+#include "core/counting.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace cca;
+  const int n = 64;        // nodes per tenant graph
+  const std::size_t tenants = 8;
+
+  std::vector<Graph> graphs;
+  for (std::size_t t = 0; t < tenants; ++t)
+    graphs.push_back(gnp_random_graph(n, 0.2 + 0.05 * static_cast<double>(t),
+                                      1000 + t));
+  const std::span<const Graph> gs(graphs.data(), graphs.size());
+
+  std::printf("serving %zu tenants, %d-node graphs each\n\n", tenants, n);
+
+  // --- Triangle counts ----------------------------------------------------
+  {
+    std::int64_t seq_rounds = 0;
+    const auto t0 = now_ms();
+    std::vector<std::int64_t> seq_counts;
+    for (const auto& g : graphs) {
+      const auto r = core::count_triangles_cc(g, core::MmKind::Semiring3D);
+      seq_counts.push_back(r.count);
+      seq_rounds += r.traffic.rounds;
+    }
+    const auto t1 = now_ms();
+    const auto batch =
+        core::count_triangles_cc_batch(gs, core::MmKind::Semiring3D);
+    const auto t2 = now_ms();
+
+    std::printf("triangle counts  :");
+    for (const auto c : batch.counts) std::printf(" %lld", (long long)c);
+    std::printf("\n");
+    for (std::size_t t = 0; t < tenants; ++t)
+      if (batch.counts[t] != seq_counts[t]) std::printf("  MISMATCH!\n");
+    std::printf("  one query at a time: %5lld rounds  %4lld ms\n",
+                (long long)seq_rounds, (long long)(t1 - t0));
+    std::printf("  batched supersteps : %5lld rounds  %4lld ms  "
+                "(schedule cache: %lld hits / %lld misses)\n\n",
+                (long long)batch.traffic.rounds, (long long)(t2 - t1),
+                (long long)batch.traffic.schedule_hits,
+                (long long)batch.traffic.schedule_misses);
+  }
+
+  // --- Exact APSP with routing tables ------------------------------------
+  {
+    std::int64_t seq_rounds = 0;
+    const auto t0 = now_ms();
+    for (const auto& g : graphs) {
+      const auto r = core::apsp_semiring(g);
+      seq_rounds += r.traffic.rounds;
+    }
+    const auto t1 = now_ms();
+    const auto batch = core::apsp_semiring_batch(gs);
+    const auto t2 = now_ms();
+
+    std::printf("exact APSP (distances + next hops, all tenants)\n");
+    std::printf("  one query at a time: %5lld rounds  %4lld ms\n",
+                (long long)seq_rounds, (long long)(t1 - t0));
+    std::printf("  batched squarings  : %5lld rounds  %4lld ms  "
+                "(schedule cache: %lld hits / %lld misses)\n",
+                (long long)batch.traffic.rounds, (long long)(t2 - t1),
+                (long long)batch.traffic.schedule_hits,
+                (long long)batch.traffic.schedule_misses);
+  }
+  return 0;
+}

@@ -2,6 +2,25 @@
 
 namespace cca::clique {
 
+Word agree_on_seed(Network& net, NodeId src, Word seed) {
+  CCA_EXPECTS(src >= 0 && src < net.n());
+  const int n = net.n();
+  if (n == 1) return seed;
+  for (NodeId v = 0; v < n; ++v)
+    if (v != src) net.send(src, v, seed);
+  // One word per (src, v) link and nothing else staged: the direct
+  // schedule's max link load is exactly 1.
+  net.deliver(Router::Direct);
+  Word agreed = seed;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == src) continue;
+    const auto in = net.inbox(v, src);
+    CCA_ASSERT(in.size() == 1 && in[0] == seed);
+    agreed = in[0];
+  }
+  return agreed;
+}
+
 std::int64_t broadcast_mm_rounds(int n) {
   BroadcastNetwork net(n);
   // Every node announces its 2n input words (row of S and row of T); the

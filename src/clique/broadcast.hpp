@@ -13,9 +13,27 @@
 #include <cstdint>
 #include <vector>
 
+#include "clique/network.hpp"
 #include "util/contracts.hpp"
 
 namespace cca::clique {
+
+/// Seed agreement on the UNICAST clique: node `src` makes one word (the
+/// shared random seed of a Monte Carlo phase) known to every node, with the
+/// traffic actually staged and delivered through the Network. Each of src's
+/// n-1 links carries exactly one word, so the direct schedule costs exactly
+/// 1 round (0 when n == 1) — but unlike a bare charge_rounds(1), the
+/// superstep, the n-1 words, and the per-node send/recv maxima all land in
+/// TrafficStats.
+///
+/// The Monte Carlo algorithms (witness detection, colour-coding k-cycle
+/// detection, girth) previously claimed "one round to agree on the shared
+/// seed" while only charging the round (or, in girth's case, nothing);
+/// test_traffic_regression.cpp pins the corrected accounting. Returns the
+/// agreed word (every node's copy is checked against the staged one).
+/// Must run between supersteps: any other traffic staged at call time
+/// would be flushed through this delivery and mis-scheduled.
+[[nodiscard]] Word agree_on_seed(Network& net, NodeId src, Word seed);
 
 class BroadcastNetwork {
  public:

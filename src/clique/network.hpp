@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "clique/routing.hpp"
 #include "util/rng.hpp"
 
 namespace cca::clique {
@@ -57,6 +58,13 @@ struct TrafficStats {
   std::int64_t total_words = 0;     ///< words moved across the network
   std::int64_t max_node_send = 0;   ///< max words staged by one node, one superstep
   std::int64_t max_node_recv = 0;   ///< max words received by one node, one superstep
+  /// Koenig schedule-cache counters: supersteps whose routing schedule was
+  /// reused from an earlier byte-identical demand list vs computed fresh.
+  /// hits + misses == KoenigRelay supersteps with non-empty demands. The
+  /// counters are wall-clock telemetry only: a hit replays the exact same
+  /// schedule, so rounds/words are unaffected.
+  std::int64_t schedule_hits = 0;
+  std::int64_t schedule_misses = 0;
 
   friend TrafficStats operator-(const TrafficStats& a, const TrafficStats& b) {
     return TrafficStats{a.rounds - b.rounds,
@@ -64,7 +72,9 @@ struct TrafficStats {
                         a.supersteps - b.supersteps,
                         a.total_words - b.total_words,
                         a.max_node_send,
-                        a.max_node_recv};
+                        a.max_node_recv,
+                        a.schedule_hits - b.schedule_hits,
+                        a.schedule_misses - b.schedule_misses};
   }
 
   /// Accumulate another run's statistics (used by multi-phase algorithms
@@ -76,6 +86,8 @@ struct TrafficStats {
     total_words += o.total_words;
     if (o.max_node_send > max_node_send) max_node_send = o.max_node_send;
     if (o.max_node_recv > max_node_recv) max_node_recv = o.max_node_recv;
+    schedule_hits += o.schedule_hits;
+    schedule_misses += o.schedule_misses;
     return *this;
   }
 };
@@ -133,8 +145,33 @@ class Network {
 
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
 
-  /// Reset statistics (topology and staged state must be empty).
+  /// Reset statistics (topology and staged state must be empty). The
+  /// schedule cache is deliberately kept: it holds traffic shapes, not
+  /// accounting state.
   void reset_stats() noexcept { stats_ = TrafficStats{}; }
+
+  /// The Koenig schedule cache (exposed for tests and diagnostics).
+  [[nodiscard]] const ScheduleCache& schedule_cache() const noexcept {
+    return schedule_cache_;
+  }
+  /// Drop every cached schedule (subsequent supersteps recompute).
+  void clear_schedule_cache() { schedule_cache_.clear(); }
+
+  /// Debug generation counters for the span-invalidation contract. The
+  /// per-source staging generation increments on every send / send_words /
+  /// stage call for that source and on deliver(); a span returned by
+  /// stage(src, ...) is valid only while stage_generation(src) keeps the
+  /// value it had when the span was handed out. The inbox generation
+  /// increments on every deliver(): inbox() views are valid only while it
+  /// is unchanged. Under CCA_SANITIZE builds the Network additionally moves
+  /// the backing buffers to freshly allocated storage at every generation
+  /// bump, so code holding a span across its invalidation point faults as a
+  /// hard ASan heap-use-after-free at the offending read/write instead of
+  /// silently aliasing relocated-but-still-mapped memory.
+  [[nodiscard]] std::uint64_t stage_generation(NodeId src) const;
+  [[nodiscard]] std::uint64_t inbox_generation() const noexcept {
+    return inbox_gen_;
+  }
 
  private:
   void check_node(NodeId v) const;
@@ -167,6 +204,17 @@ class Network {
   std::vector<std::size_t> in_len_;
   std::vector<std::size_t> pair_words_;          // scratch: src*n + dst
   TrafficStats stats_;
+
+  // Koenig schedules cached by demand fingerprint (see routing.hpp). Only
+  // the deterministic KoenigRelay discipline consults it; RandomRelay is
+  // seed-dependent and bypasses it by construction.
+  ScheduleCache schedule_cache_;
+
+  // Span-invalidation debug generations (see stage_generation above). The
+  // per-source counter is written only by the thread staging for that
+  // source, which the staging contract already makes exclusive.
+  std::vector<std::uint64_t> stage_gen_;
+  std::uint64_t inbox_gen_ = 0;
 };
 
 /// Measures the rounds consumed by a scoped region of an algorithm.

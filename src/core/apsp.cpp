@@ -93,6 +93,72 @@ ApspOutcome apsp_semiring(const Graph& g) {
   return out;
 }
 
+ApspBatchOutcome apsp_semiring_batch(std::span<const Graph> gs) {
+  const std::size_t batch = gs.size();
+  CCA_EXPECTS(batch >= 1);
+  ApspBatchOutcome out;
+  int max_n = 1;
+  for (const auto& g : gs) max_n = std::max(max_n, g.n());
+  if (max_n <= 1) {
+    for (const auto& g : gs) {
+      auto t = make_trivial(g);
+      out.dist.push_back(std::move(t.dist));
+      out.next_hop.push_back(std::move(t.next_hop));
+    }
+    return out;
+  }
+
+  const int big = semiring_clique_size(max_n);
+  clique::Network net(big);
+
+  // Padded per-graph state; graphs smaller than max_n simply carry inert
+  // infinite rows. Extra squarings past a small graph's own log n are
+  // no-ops (its min-plus matrix is already idempotent), so one shared
+  // iteration count is exact for every graph.
+  std::vector<Matrix<std::int64_t>> d(batch);
+  std::vector<Matrix<int>> next(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    d[b] = pad_matrix(gs[b].weight_matrix(), big, kInf);
+    next[b] = Matrix<int>(gs[b].n(), gs[b].n(), -1);
+    for (int u = 0; u < gs[b].n(); ++u)
+      for (const auto& [v, w] : gs[b].out_arcs(u)) {
+        (void)w;
+        next[b](u, v) = v;
+      }
+  }
+
+  const int iters = squaring_iterations(max_n);
+  for (int it = 0; it < iters; ++it) {
+    // One batched witness-carrying squaring: every graph's (d, d) product
+    // rides the same two supersteps, and the schedule cache replays the
+    // Koenig schedule across iterations.
+    auto sq = dp_semiring_witness_batch(
+        net, std::span<const Matrix<std::int64_t>>(d),
+        std::span<const Matrix<std::int64_t>>(d));
+    for (std::size_t b = 0; b < batch; ++b) {
+      const int n = gs[b].n();
+      const auto& [d2, q] = sq[b];
+      for (int u = 0; u < n; ++u)
+        for (int v = 0; v < n; ++v) {
+          if (d2(u, v) >= d[b](u, v)) continue;
+          const int w = q(u, v);
+          CCA_ASSERT(w >= 0 && w < n && w != u);
+          next[b](u, v) = next[b](u, w);
+        }
+      d[b] = std::move(sq[b].dist);
+    }
+  }
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const int n = gs[b].n();
+    out.dist.push_back(d[b].block(0, 0, n, n));
+    out.next_hop.push_back(std::move(next[b]));
+    for (int v = 0; v < n; ++v) CCA_ENSURES(out.dist.back()(v, v) >= 0);
+  }
+  out.traffic = net.stats();
+  return out;
+}
+
 ApspOutcome apsp_seidel(const Graph& g, MmKind kind, int depth) {
   CCA_EXPECTS(!g.is_directed());
   const int n = g.n();
@@ -303,6 +369,14 @@ ApspOutcome apsp_approx(const Graph& g, double delta, int depth) {
   out.dist = d.block(0, 0, n, n);
   out.traffic = net.stats();
   return out;
+}
+
+ApspOutcome apsp_approx_auto(const Graph& g, int depth) {
+  // The (1+o(1)) delta schedule: delta(n) = 1/ceil(log2 n)^2 gives
+  // (1 + delta)^ceil(log2 n) <= exp(1/ceil(log2 n)) = 1 + o(1).
+  const int log_n = ilog2(std::max(2, g.n() - 1)) + 1;
+  const double delta = 1.0 / (static_cast<double>(log_n) * log_n);
+  return apsp_approx(g, delta, depth);
 }
 
 Matrix<int> routing_table_from_distances(const Graph& g,

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <map>
 
+#include "clique/broadcast.hpp"
 #include "clique/primitives.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
@@ -102,9 +103,10 @@ DetectOutcome detect_k_cycle_cc(const Graph& g, int k, std::uint64_t seed,
     max_trials = static_cast<int>(std::ceil(bound));
   }
 
-  // One round establishes the shared seed for the colouring sequence.
-  if (net.n() > 1) net.charge_rounds(1);
-  Rng rng(seed);
+  // One round establishes the shared seed for the colouring sequence —
+  // staged and delivered through the network so the broadcast's words are
+  // accounted, not just its round.
+  Rng rng(clique::agree_on_seed(net, 0, seed));
 
   DetectOutcome out;
   std::vector<int> colour(static_cast<std::size_t>(n));

@@ -48,6 +48,47 @@ std::int64_t broadcast_and_sum(clique::Network& net,
   return sum;
 }
 
+/// Batched all-to-all announcement: every node contributes one word PER
+/// GRAPH and all B broadcasts share one superstep (each link carries the B
+/// words, so the direct schedule costs exactly B rounds — the same rounds
+/// as B sequential broadcast_all calls, in one delivery, with the words
+/// actually staged). Returns the per-graph sums.
+std::vector<std::int64_t> broadcast_and_sum_batch(
+    clique::Network& net,
+    const std::vector<std::vector<std::int64_t>>& per_graph) {
+  const int n = net.n();
+  const std::size_t batch = per_graph.size();
+  std::vector<std::int64_t> sums(batch, 0);
+  if (n == 1) {
+    for (std::size_t b = 0; b < batch; ++b) sums[b] = per_graph[b][0];
+    return sums;
+  }
+  parallel_for(0, n, [&](int v) {
+    for (int u = 0; u < n; ++u) {
+      if (u == v) continue;
+      const auto msg = net.stage(v, u, batch);
+      for (std::size_t b = 0; b < batch; ++b)
+        msg[b] = static_cast<clique::Word>(
+            per_graph[b][static_cast<std::size_t>(v)]);
+    }
+  });
+  net.deliver(clique::Router::Direct);
+  // Sum the DELIVERED words (as node 0 would), own contribution aside: the
+  // result must depend on what the network carried, so a staging-layout
+  // bug surfaces as a wrong count, not as silently-correct local math.
+  for (int v = 0; v < n; ++v) {
+    if (v == 0) {
+      for (std::size_t b = 0; b < batch; ++b) sums[b] += per_graph[b][0];
+      continue;
+    }
+    const auto in = net.inbox(0, v);
+    CCA_ASSERT(in.size() == batch);
+    for (std::size_t b = 0; b < batch; ++b)
+      sums[b] += static_cast<std::int64_t>(in[b]);
+  }
+  return sums;
+}
+
 }  // namespace
 
 CountOutcome count_triangles_cc(const Graph& g, MmKind kind, int depth) {
@@ -77,6 +118,55 @@ CountOutcome count_triangles_cc(const Graph& g, MmKind kind, int depth) {
   const std::int64_t divisor = g.is_directed() ? 3 : 6;
   CCA_ASSERT(tr % divisor == 0);
   return {tr / divisor, net.stats()};
+}
+
+BatchCountOutcome count_triangles_cc_batch(std::span<const Graph> gs,
+                                           MmKind kind, int depth) {
+  const std::size_t batch = gs.size();
+  CCA_EXPECTS(batch >= 1);
+  int max_n = 1;
+  for (const auto& g : gs) {
+    CCA_EXPECTS(!g.is_directed());
+    max_n = std::max(max_n, g.n());
+  }
+  const IntMmEngine engine(kind, max_n, depth);
+  const int big = engine.clique_n();
+  clique::Network net(big);
+
+  // All B squarings A_b^2 through shared supersteps on the one padded
+  // clique (smaller graphs ride along with inert zero rows).
+  std::vector<Matrix<std::int64_t>> as;
+  as.reserve(batch);
+  for (const auto& g : gs)
+    as.push_back(pad_matrix(g.adjacency(), big, std::int64_t{0}));
+  const auto a2s = engine.multiply_batch(
+      net, std::span<const Matrix<std::int64_t>>(as),
+      std::span<const Matrix<std::int64_t>>(as));
+
+  // tr(A^3) partials are local per node (A symmetric); the B partial-sum
+  // broadcasts share one superstep.
+  std::vector<std::vector<std::int64_t>> partials(
+      batch, std::vector<std::int64_t>(static_cast<std::size_t>(big), 0));
+  for (std::size_t b = 0; b < batch; ++b) {
+    const int n = gs[b].n();
+    const auto& a2 = a2s[b];
+    const auto at = gs[b].adjacency();
+    parallel_for(0, n, [&](int u) {
+      std::int64_t acc = 0;
+      for (int v = 0; v < n; ++v) acc += a2(u, v) * at(u, v);
+      partials[b][static_cast<std::size_t>(u)] = acc;
+    });
+  }
+  const auto traces = broadcast_and_sum_batch(net, partials);
+
+  BatchCountOutcome out;
+  out.counts.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    CCA_ASSERT(traces[b] % 6 == 0);
+    out.counts.push_back(traces[b] / 6);
+  }
+  out.traffic = net.stats();
+  return out;
 }
 
 CountOutcome count_4cycles_cc(const Graph& g, MmKind kind, int depth) {

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "clique/network.hpp"
 #include "core/engine.hpp"
@@ -25,6 +27,24 @@ struct CountOutcome {
   std::int64_t count = 0;
   clique::TrafficStats traffic;  ///< rounds and word counts consumed
 };
+
+/// Outcome of a multi-query counting batch: per-graph counts plus the
+/// SHARED network's total cost (strictly below the sum of independent runs
+/// whenever the single-graph supersteps leave link capacity idle).
+struct BatchCountOutcome {
+  std::vector<std::int64_t> counts;
+  clique::TrafficStats traffic;
+};
+
+/// Triangle counts for B graphs at once — the multi-query form of
+/// count_triangles_cc: all B products A_b^2 run through shared supersteps
+/// (IntMmEngine::multiply_batch) on one clique padded for the largest
+/// graph, and the B partial-sum broadcasts share their supersteps too (each
+/// node announces B words in one go). Counts are identical to per-graph
+/// runs. Undirected graphs only (the per-graph transpose superstep of the
+/// directed path would serialise the batch).
+[[nodiscard]] BatchCountOutcome count_triangles_cc_batch(
+    std::span<const Graph> gs, MmKind kind = MmKind::Fast, int depth = -1);
 
 /// Number of triangles (3-cliques / directed 3-cycles) of g, computed on a
 /// padded clique with the chosen engine. `depth` forces the Strassen tensor

@@ -83,29 +83,56 @@ Matrix<std::int64_t> dp_semiring(clique::Network& net,
 WitnessedProduct dp_semiring_witness(clique::Network& net,
                                      const Matrix<std::int64_t>& s,
                                      const Matrix<std::int64_t>& t) {
-  const int n = s.rows();
-  CCA_EXPECTS(s.cols() == n && t.rows() == n && t.cols() == n);
+  auto res = dp_semiring_witness_batch(
+      net, std::span<const Matrix<std::int64_t>>(&s, 1),
+      std::span<const Matrix<std::int64_t>>(&t, 1));
+  return std::move(res.front());
+}
+
+std::vector<WitnessedProduct> dp_semiring_witness_batch(
+    clique::Network& net, std::span<const Matrix<std::int64_t>> ss,
+    std::span<const Matrix<std::int64_t>> ts) {
+  const std::size_t batch = ss.size();
+  CCA_EXPECTS(batch >= 1 && ts.size() == batch);
+  const int n = ss[0].rows();
+  for (std::size_t b = 0; b < batch; ++b) {
+    CCA_EXPECTS(ss[b].rows() == n && ss[b].cols() == n);
+    CCA_EXPECTS(ts[b].rows() == n && ts[b].cols() == n);
+  }
   // Lift: S entries carry their column index as witness, T entries none
   // (node-local row transforms — run on the worker group).
-  Matrix<WDist> ws(n, n), wt(n, n);
-  parallel_for(0, n, [&](int i) {
-    for (int j = 0; j < n; ++j) {
-      ws(i, j) = {s(i, j), j};
-      wt(i, j) = {t(i, j), -1};
-    }
-  });
+  std::vector<Matrix<WDist>> ws(batch), wt(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    ws[b] = Matrix<WDist>(n, n);
+    wt[b] = Matrix<WDist>(n, n);
+    parallel_for(0, n, [&](int i) {
+      for (int j = 0; j < n; ++j) {
+        ws[b](i, j) = {ss[b](i, j), j};
+        wt[b](i, j) = {ts[b](i, j), -1};
+      }
+    });
+  }
   const WitnessMinPlus sr;
   const WDistCodec codec;
-  const auto prod = mm_semiring_3d(net, sr, codec, ws, wt);
+  const auto prods = mm_semiring_3d_batch(
+      net, sr, codec, std::span<const Matrix<WDist>>(ws),
+      std::span<const Matrix<WDist>>(wt));
 
-  WitnessedProduct out{Matrix<std::int64_t>(n, n, kInf), Matrix<int>(n, n, -1)};
-  parallel_for(0, n, [&](int i) {
-    for (int j = 0; j < n; ++j) {
-      out.dist(i, j) = prod(i, j).d >= kInf ? kInf : prod(i, j).d;
-      out.witness(i, j) =
-          prod(i, j).d >= kInf ? -1 : static_cast<int>(prod(i, j).w);
-    }
-  });
+  std::vector<WitnessedProduct> out;
+  out.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto& prod = prods[b];
+    WitnessedProduct o{Matrix<std::int64_t>(n, n, kInf),
+                       Matrix<int>(n, n, -1)};
+    parallel_for(0, n, [&](int i) {
+      for (int j = 0; j < n; ++j) {
+        o.dist(i, j) = prod(i, j).d >= kInf ? kInf : prod(i, j).d;
+        o.witness(i, j) =
+            prod(i, j).d >= kInf ? -1 : static_cast<int>(prod(i, j).w);
+      }
+    });
+    out.push_back(std::move(o));
+  }
   return out;
 }
 

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "clique/network.hpp"
 #include "matrix/bilinear.hpp"
@@ -40,6 +42,15 @@ struct WitnessedProduct {
 [[nodiscard]] WitnessedProduct dp_semiring_witness(
     clique::Network& net, const Matrix<std::int64_t>& s,
     const Matrix<std::int64_t>& t);
+
+/// B independent witnessed distance products through SHARED supersteps
+/// (mm_semiring_3d_batch under the witness-carrying semiring): one routing
+/// schedule per superstep serves the whole batch. Results are
+/// element-identical to B sequential dp_semiring_witness calls. This is the
+/// engine under the multi-query APSP path (apsp_semiring_batch).
+[[nodiscard]] std::vector<WitnessedProduct> dp_semiring_witness_batch(
+    clique::Network& net, std::span<const Matrix<std::int64_t>> ss,
+    std::span<const Matrix<std::int64_t>> ts);
 
 /// Lemma 18: distance product of matrices with entries in {0,...,M} u {inf}
 /// via the polynomial-ring embedding and the fast bilinear multiplication.

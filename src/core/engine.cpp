@@ -50,4 +50,27 @@ Matrix<std::int64_t> IntMmEngine::multiply(clique::Network& net,
   return {};
 }
 
+std::vector<Matrix<std::int64_t>> IntMmEngine::multiply_batch(
+    clique::Network& net, std::span<const Matrix<std::int64_t>> as,
+    std::span<const Matrix<std::int64_t>> bs) const {
+  CCA_EXPECTS(net.n() == clique_n_);
+  CCA_EXPECTS(!as.empty() && as.size() == bs.size());
+  const IntRing ring;
+  const I64Codec codec;
+  switch (kind_) {
+    case MmKind::Fast:
+      return mm_fast_bilinear_batch(net, ring, codec, alg_, as, bs);
+    case MmKind::Semiring3D:
+      return mm_semiring_3d_batch(net, ring, codec, as, bs);
+    case MmKind::Naive: {
+      std::vector<Matrix<std::int64_t>> out;
+      out.reserve(as.size());
+      for (std::size_t b = 0; b < as.size(); ++b)
+        out.push_back(mm_naive_broadcast(net, ring, 1, as[b], bs[b]));
+      return out;
+    }
+  }
+  return {};
+}
+
 }  // namespace cca::core

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "clique/broadcast.hpp"
 #include "clique/primitives.hpp"
 #include "core/color_coding.hpp"
 #include "core/counting.hpp"
@@ -89,7 +90,15 @@ GirthOutcome girth_undirected_cc(const Graph& g, std::uint64_t seed,
   }
 
   // Dense: the girth is at most ell; detect cycles of length 3, 4, ..., ell.
-  Rng rng(seed);
+  // The per-k Monte Carlo seeds derive from one shared seed, agreed in a
+  // real broadcast round (this charge was previously missing entirely: the
+  // trials consumed `seed` with no round, word, or superstep accounted).
+  Rng rng([&] {
+    clique::Network net(std::max(1, n));
+    const auto agreed = clique::agree_on_seed(net, 0, seed);
+    total += net.stats();
+    return agreed;
+  }());
   for (int k = 3; k <= ell; ++k) {
     bool found = false;
     clique::TrafficStats s{};

@@ -85,18 +85,31 @@ class StepClock {
   std::chrono::steady_clock::time_point last_;
 };
 
+/// Decode a `count`-entry block that starts at word `word_offset` of a
+/// message span into out[0..count), with no allocation. The batch layouts
+/// compute offsets in words directly (block k of a B-group lives at
+/// k * words_for(block_entries)), which stays exact for bit-packing codecs
+/// whose words_for is not additive over entry counts (PackedBoolCodec at
+/// non-64-multiple blocks).
+template <typename Codec, typename V>
+void decode_entries_at(const Codec& codec, std::span<const clique::Word> in,
+                       std::size_t word_offset, std::size_t count, V* out) {
+  CCA_EXPECTS(word_offset + codec.words_for(count) <= in.size());
+  codec.decode_into(in.data() + word_offset, count, out);
+}
+
 /// Decode a `count`-entry block from a word span into out[0..count) with no
 /// allocation. `prior_entries` is the total entry count of the blocks
 /// encoded before it in the same message; every call site sends at most two
 /// blocks per message, so codec.words_for(prior_entries) is exactly the
-/// word offset.
+/// word offset (with three or more packed blocks it would NOT be — use
+/// decode_entries_at with an explicit word offset there; test_codec.cpp
+/// pins both layouts).
 template <typename Codec, typename V>
 void decode_entries_into(const Codec& codec, std::span<const clique::Word> in,
                          std::size_t prior_entries, std::size_t count,
                          V* out) {
-  const auto offset = codec.words_for(prior_entries);
-  CCA_EXPECTS(offset + codec.words_for(count) <= in.size());
-  codec.decode_into(in.data() + offset, count, out);
+  decode_entries_at(codec, in, codec.words_for(prior_entries), count, out);
 }
 
 /// acc[i*w + j] (+|-)= coeff * src(r0+i, c0+j) over an h x w block, where
@@ -173,124 +186,177 @@ void scaled_accumulate_flat(const R& ring, Matrix<typename R::Value>& dst,
 
 }  // namespace detail
 
-/// Section 2.1 — semiring matrix multiplication in O(n^{1/3}) rounds.
+/// Section 2.1, batched — B independent semiring products through SHARED
+/// supersteps. The executable counterpart of running multiple MM instances
+/// at once (Le Gall, "Further Algebraic Algorithms in the Congested
+/// Clique"): every (src, dst) pair's B per-product blocks ride in ONE
+/// staged message ([S-group][T-group] per role, product b's block at word
+/// offset b * block_words inside its group), so the whole batch pays 2
+/// deliveries and ONE routing schedule per superstep instead of 2B. Because
+/// the relay spreads the B-fold blocks over intermediates, batch rounds are
+/// strictly below B sequential runs whenever single-product supersteps
+/// leave links idle (they do: tests pin it).
 ///
-/// Requires net.n() == s.rows() == s.cols() == t.rows() == t.cols() and
-/// net.n() a perfect cube. Returns the full product (row v of which is the
-/// output of node v).
+/// Requires net.n() == every matrix dimension, net.n() a perfect cube, and
+/// as.size() == bs.size() >= 1. Returns the B products in order; the B = 1
+/// instance stages byte-identical traffic to the historical single-product
+/// code path (the traffic-regression suite pins those stats).
 ///
 /// Note: the paper's Step 1 says node v sends T[v, w3**] to the nodes
 /// w in *v2*; for the received pieces to assemble T[v2**, v3**] (rows with
 /// FIRST digit v2, as Step 2 requires) the recipients must be w in *v1*.
-/// We implement the *v1* version; the totals (2 n^{4/3} words per node) are
-/// unchanged.
+/// We implement the *v1* version; the totals (2 n^{4/3} words per node per
+/// product) are unchanged.
 template <Semiring S, typename Codec>
-[[nodiscard]] Matrix<typename S::Value> mm_semiring_3d(
+[[nodiscard]] std::vector<Matrix<typename S::Value>> mm_semiring_3d_batch(
     clique::Network& net, const S& sr, const Codec& codec,
-    const Matrix<typename S::Value>& s, const Matrix<typename S::Value>& t,
+    std::span<const Matrix<typename S::Value>> as,
+    std::span<const Matrix<typename S::Value>> bs,
     MmStepProfile* profile = nullptr) {
   using V = typename S::Value;
   const int n = net.n();
-  CCA_EXPECTS(s.rows() == n && s.cols() == n);
-  CCA_EXPECTS(t.rows() == n && t.cols() == n);
+  const std::size_t batch = as.size();
+  CCA_EXPECTS(batch >= 1 && bs.size() == batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    CCA_EXPECTS(as[b].rows() == n && as[b].cols() == n);
+    CCA_EXPECTS(bs[b].rows() == n && bs[b].cols() == n);
+  }
   CCA_EXPECTS(is_perfect_cube(n));
+  std::vector<Matrix<V>> out;
+  out.reserve(batch);
   if (n == 1) {
-    Matrix<V> out(1, 1, sr.zero());
-    out(0, 0) = sr.mul(s(0, 0), t(0, 0));
+    for (std::size_t b = 0; b < batch; ++b) {
+      Matrix<V> o(1, 1, sr.zero());
+      o(0, 0) = sr.mul(as[b](0, 0), bs[b](0, 0));
+      out.push_back(std::move(o));
+    }
     return out;
   }
   const int c = static_cast<int>(icbrt(n));
   const int c2 = c * c;
   const auto block_entries = static_cast<std::size_t>(c2);
   const auto block_words = codec.words_for(block_entries);
+  const auto group_words = batch * block_words;  // one pair's staged group
   auto d1 = [c2](int v) { return v / c2; };
   auto d2 = [c, c2](int v) { return (v / c) % c; };
   auto d3 = [c](int v) { return v % c; };
   detail::StepClock clock(profile);
 
-  // Step 1: node v scatters pieces of its rows S[v,*] and T[v,*], encoding
-  // the contiguous row slices straight into staged network spans. Senders
-  // are independent (one src per iteration), so the loop runs parallel.
+  // Step 1: node v scatters pieces of its rows S_b[v,*] and T_b[v,*] for
+  // every product b, encoding the contiguous row slices straight into one
+  // staged group per destination. Senders are independent (one src per
+  // iteration), so the loop runs parallel.
   parallel_for(0, n, [&](int v) {
-    // S[v, u2**] to each u in v1** (same first digit as v).
+    // S_b[v, u2**] to each u in v1** (same first digit as v).
     for (int tail = 0; tail < c2; ++tail) {
       const int u = d1(v) * c2 + tail;
-      const auto out = net.stage(v, u, block_words);
-      codec.encode_into(std::span<const V>(s.row(v) + d2(u) * c2,
-                                           block_entries),
-                        out.data());
+      const auto msg = net.stage(v, u, group_words);
+      for (std::size_t b = 0; b < batch; ++b)
+        codec.encode_into(std::span<const V>(as[b].row(v) + d2(u) * c2,
+                                             block_entries),
+                          msg.data() + b * block_words);
     }
-    // T[v, w3**] to each w in *v1* (second digit equals v's first digit).
+    // T_b[v, w3**] to each w in *v1* (second digit equals v's first digit).
     for (int w1 = 0; w1 < c; ++w1)
       for (int w3 = 0; w3 < c; ++w3) {
         const int w = w1 * c2 + d1(v) * c + w3;
-        const auto out = net.stage(v, w, block_words);
-        codec.encode_into(std::span<const V>(t.row(v) + d3(w) * c2,
-                                             block_entries),
-                          out.data());
+        const auto msg = net.stage(v, w, group_words);
+        for (std::size_t b = 0; b < batch; ++b)
+          codec.encode_into(std::span<const V>(bs[b].row(v) + d3(w) * c2,
+                                               block_entries),
+                            msg.data() + b * block_words);
       }
   });
   clock.lap("step1 stage");
   net.deliver();
   clock.lap("step1 deliver");
 
-  // Each node v now assembles S[v1**, v2**] and T[v2**, v3**] and multiplies
-  // them locally (Step 2). Per-node work is independent and reads only
-  // delivered inbox views, so the nodes run on the worker group; blocks are
-  // decoded directly into the assembled matrix rows.
-  std::vector<Matrix<V>> prod(static_cast<std::size_t>(n));
+  // Each node v now assembles S_b[v1**, v2**] and T_b[v2**, v3**] and
+  // multiplies them locally (Step 2), for every b. Per-node work is
+  // independent and reads only delivered inbox views, so the nodes run on
+  // the worker group; blocks are decoded directly into the assembled
+  // matrix rows (sb/tb are reused across b — every row is overwritten).
+  std::vector<Matrix<V>> prod(static_cast<std::size_t>(n) * batch);
   parallel_for(0, n, [&](int v) {
     Matrix<V> sb(c2, c2, sr.zero());
     Matrix<V> tb(c2, c2, sr.zero());
-    for (int tail = 0; tail < c2; ++tail) {
-      const int u = d1(v) * c2 + tail;  // sender of S[u, v2**]
-      detail::decode_entries_into(codec, net.inbox(v, u), 0, block_entries,
-                                  sb.row(tail));
-    }
-    for (int tail = 0; tail < c2; ++tail) {
-      const int w = d2(v) * c2 + tail;  // sender of T[w, v3**]
-      // v received its S piece and/or T piece from w in one inbox; the S
-      // piece (if any) comes first — compute its length to skip it.
-      std::size_t at = 0;
-      if (d1(w) == d1(v)) at = block_entries;  // w also sent S
-      detail::decode_entries_into(codec, net.inbox(v, w), at, block_entries,
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (int tail = 0; tail < c2; ++tail) {
+        const int u = d1(v) * c2 + tail;  // sender of S_b[u, v2**]
+        detail::decode_entries_at(codec, net.inbox(v, u), b * block_words,
+                                  block_entries, sb.row(tail));
+      }
+      for (int tail = 0; tail < c2; ++tail) {
+        const int w = d2(v) * c2 + tail;  // sender of T_b[w, v3**]
+        // v received its S group and/or T group from w in one inbox; the S
+        // group (if any) comes first — skip it in words.
+        const std::size_t at =
+            (d1(w) == d1(v) ? group_words : 0) + b * block_words;
+        detail::decode_entries_at(codec, net.inbox(v, w), at, block_entries,
                                   tb.row(tail));
+      }
+      prod[static_cast<std::size_t>(v) * batch + b] =
+          local_multiply(sr, sb, tb);
     }
-    prod[static_cast<std::size_t>(v)] = local_multiply(sr, sb, tb);
   });
   clock.lap("step2 local product");
 
-  // Step 3: node v sends P^(v2)[u, v3**] to each u in v1** — one contiguous
-  // product row per message, encoded in place.
+  // Step 3: node v sends P_b^(v2)[u, v3**] to each u in v1** — one
+  // contiguous product row per message block, encoded in place.
   parallel_for(0, n, [&](int v) {
-    const auto& pv = prod[static_cast<std::size_t>(v)];
     for (int tail = 0; tail < c2; ++tail) {
       const int u = d1(v) * c2 + tail;
-      const auto out = net.stage(v, u, block_words);
-      codec.encode_into(std::span<const V>(pv.row(tail), block_entries),
-                        out.data());
+      const auto msg = net.stage(v, u, group_words);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const auto& pv = prod[static_cast<std::size_t>(v) * batch + b];
+        codec.encode_into(std::span<const V>(pv.row(tail), block_entries),
+                          msg.data() + b * block_words);
+      }
     }
   });
   clock.lap("step3 stage");
   net.deliver();
   clock.lap("step3 deliver");
 
-  // Step 4: node v sums the received pieces into row v of the product
+  // Step 4: node v sums the received pieces into row v of each product
   // (distinct output rows, so the nodes run concurrently).
-  Matrix<V> out(n, n, sr.zero());
+  for (std::size_t b = 0; b < batch; ++b)
+    out.emplace_back(n, n, sr.zero());
   parallel_for(0, n, [&](int v) {
     std::vector<V> piece(block_entries, sr.zero());
     for (int tail = 0; tail < c2; ++tail) {
-      const int u = d1(v) * c2 + tail;  // sent P^(u2)[v, u3**]
-      detail::decode_entries_into(codec, net.inbox(v, u), 0, block_entries,
+      const int u = d1(v) * c2 + tail;  // sent P_b^(u2)[v, u3**]
+      const auto in = net.inbox(v, u);
+      for (std::size_t b = 0; b < batch; ++b) {
+        detail::decode_entries_at(codec, in, b * block_words, block_entries,
                                   piece.data());
-      auto* orow = out.row(v) + d3(u) * c2;
-      for (int j = 0; j < c2; ++j)
-        orow[j] = sr.add(orow[j], piece[static_cast<std::size_t>(j)]);
+        auto* orow = out[b].row(v) + d3(u) * c2;
+        for (int j = 0; j < c2; ++j)
+          orow[j] = sr.add(orow[j], piece[static_cast<std::size_t>(j)]);
+      }
     }
   });
   clock.lap("step4 combine");
   return out;
+}
+
+/// Section 2.1 — semiring matrix multiplication in O(n^{1/3}) rounds.
+///
+/// Requires net.n() == s.rows() == s.cols() == t.rows() == t.cols() and
+/// net.n() a perfect cube. Returns the full product (row v of which is the
+/// output of node v). This is the batch-of-one instance of
+/// mm_semiring_3d_batch; its staged traffic is byte-identical to the
+/// historical single-product implementation.
+template <Semiring S, typename Codec>
+[[nodiscard]] Matrix<typename S::Value> mm_semiring_3d(
+    clique::Network& net, const S& sr, const Codec& codec,
+    const Matrix<typename S::Value>& s, const Matrix<typename S::Value>& t,
+    MmStepProfile* profile = nullptr) {
+  using V = typename S::Value;
+  auto res = mm_semiring_3d_batch(
+      net, sr, codec, std::span<const Matrix<V>>(&s, 1),
+      std::span<const Matrix<V>>(&t, 1), profile);
+  return std::move(res.front());
 }
 
 /// Parameters of one fast multiplication instance (Section 2.2).
@@ -312,21 +378,33 @@ struct FastPlan {
 [[nodiscard]] FastPlan plan_fast_mm_auto(int n, int base_d = 2,
                                          int base_m = 7);
 
-/// Section 2.2 / Lemma 10 — fast bilinear matrix multiplication.
+/// Section 2.2 / Lemma 10, batched — B independent ring products through
+/// SHARED supersteps (same scheme as mm_semiring_3d_batch: per-pair
+/// messages of the B products concatenate into one staged group, so the
+/// batch pays one routing schedule per superstep). Message layouts put
+/// product b's blocks at word offsets computed in whole blocks — [S_b T_b]
+/// pairs in Steps 1 and 3, b * blk_words groups in Steps 5 and 7 — so
+/// B = 1 is byte-identical to the historical single-product path.
 ///
 /// `alg` must be a bilinear algorithm for d x d matrices with m products,
 /// with d | sqrt(net.n()) and m <= net.n(); tensor_power(strassen, k)
 /// satisfies this for admissible sizes from plan_fast_mm. Runs in
-/// O(n^{1 - 2/sigma}) rounds where m = d^sigma.
+/// O(B n^{1 - 2/sigma}) rounds where m = d^sigma.
 template <Ring R, typename Codec>
-[[nodiscard]] Matrix<typename R::Value> mm_fast_bilinear(
+[[nodiscard]] std::vector<Matrix<typename R::Value>> mm_fast_bilinear_batch(
     clique::Network& net, const R& ring, const Codec& codec,
-    const BilinearAlgorithm& alg, const Matrix<typename R::Value>& s,
-    const Matrix<typename R::Value>& t, MmStepProfile* profile = nullptr) {
+    const BilinearAlgorithm& alg,
+    std::span<const Matrix<typename R::Value>> as,
+    std::span<const Matrix<typename R::Value>> bs_in,
+    MmStepProfile* profile = nullptr) {
   using V = typename R::Value;
   const int n = net.n();
-  CCA_EXPECTS(s.rows() == n && s.cols() == n);
-  CCA_EXPECTS(t.rows() == n && t.cols() == n);
+  const std::size_t batch = as.size();
+  CCA_EXPECTS(batch >= 1 && bs_in.size() == batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    CCA_EXPECTS(as[b].rows() == n && as[b].cols() == n);
+    CCA_EXPECTS(bs_in[b].rows() == n && bs_in[b].cols() == n);
+  }
   CCA_EXPECTS(is_perfect_square(n));
   const int sq = static_cast<int>(isqrt(n));
   const int d = alg.d;
@@ -335,9 +413,14 @@ template <Ring R, typename Codec>
   CCA_EXPECTS(m <= n);
   const int bs = sq / d;        // fine block size (n^{1/2} / d)
   const int big = n / d;        // coarse block size (rows per first digit)
+  std::vector<Matrix<V>> out;
+  out.reserve(batch);
   if (n == 1) {
-    Matrix<V> out(1, 1, ring.zero());
-    out(0, 0) = ring.mul(s(0, 0), t(0, 0));
+    for (std::size_t b = 0; b < batch; ++b) {
+      Matrix<V> o(1, 1, ring.zero());
+      o(0, 0) = ring.mul(as[b](0, 0), bs_in[b](0, 0));
+      out.push_back(std::move(o));
+    }
     return out;
   }
   const auto row_entries = static_cast<std::size_t>(sq);
@@ -357,194 +440,243 @@ template <Ring R, typename Codec>
       for (int off = 0; off < bs; ++off) fn(i * big + x2 * bs + off);
   };
 
-  // Step 1: node v sends S[v, *x2*] and T[v, *x2*] to label (v2, x2), as
-  // two blocks (S piece, then T piece) in one staged span. The columns for
-  // x2 are d contiguous bs-runs, gathered into a per-sender scratch and
-  // encoded straight into network memory.
+  // Step 1: node v sends S_b[v, *x2*] and T_b[v, *x2*] to label (v2, x2) —
+  // the B single-product [S piece, T piece] messages concatenated in one
+  // staged span (product b's pair starts at word 2b * row_words). The
+  // columns for x2 are d contiguous bs-runs, gathered into a per-sender
+  // scratch and encoded straight into network memory.
   parallel_for(0, n, [&](int v) {
     const int v2 = (v / bs) % sq;
     std::vector<V> tmp(row_entries, ring.zero());
     for (int x2 = 0; x2 < sq; ++x2) {
       const int u = label_of(v2, x2);
-      const auto out = net.stage(v, u, 2 * row_words);
-      int lj = 0;
-      for_each_col_x2(x2, [&](int j) { tmp[static_cast<std::size_t>(lj++)] = s(v, j); });
-      codec.encode_into(std::span<const V>(tmp.data(), row_entries),
-                        out.data());
-      lj = 0;
-      for_each_col_x2(x2, [&](int j) { tmp[static_cast<std::size_t>(lj++)] = t(v, j); });
-      codec.encode_into(std::span<const V>(tmp.data(), row_entries),
-                        out.data() + row_words);
+      const auto msg = net.stage(v, u, 2 * batch * row_words);
+      for (std::size_t b = 0; b < batch; ++b) {
+        int lj = 0;
+        for_each_col_x2(x2, [&](int j) {
+          tmp[static_cast<std::size_t>(lj++)] = as[b](v, j);
+        });
+        codec.encode_into(std::span<const V>(tmp.data(), row_entries),
+                          msg.data() + 2 * b * row_words);
+        lj = 0;
+        for_each_col_x2(x2, [&](int j) {
+          tmp[static_cast<std::size_t>(lj++)] = bs_in[b](v, j);
+        });
+        codec.encode_into(std::span<const V>(tmp.data(), row_entries),
+                          msg.data() + (2 * b + 1) * row_words);
+      }
     }
   });
   clock.lap("step1 stage");
   net.deliver();
   clock.lap("step1 deliver");
 
-  // Node u = (x1,x2) assembles the sq x sq local views S[*x1*, *x2*] and
-  // T[*x1*, *x2*]: local row index of sender v is v1*bs + v3; each piece
+  // Node u = (x1,x2) assembles the sq x sq local views S_b[*x1*, *x2*] and
+  // T_b[*x1*, *x2*]: local row index of sender v is v1*bs + v3; each piece
   // decodes directly into the local-view row.
-  std::vector<Matrix<V>> sloc(static_cast<std::size_t>(n));
-  std::vector<Matrix<V>> tloc(static_cast<std::size_t>(n));
+  std::vector<Matrix<V>> sloc(static_cast<std::size_t>(n) * batch);
+  std::vector<Matrix<V>> tloc(static_cast<std::size_t>(n) * batch);
   parallel_for(0, n, [&](int u) {
     const int x1 = u / sq;
-    Matrix<V> sl(sq, sq, ring.zero());
-    Matrix<V> tl(sq, sq, ring.zero());
-    for (int v1 = 0; v1 < d; ++v1)
-      for (int v3 = 0; v3 < bs; ++v3) {
-        const int v = v1 * big + x1 * bs + v3;  // sender with v2 == x1
-        const int lrow = v1 * bs + v3;
-        const auto in = net.inbox(u, v);
-        detail::decode_entries_into(codec, in, 0, row_entries, sl.row(lrow));
-        detail::decode_entries_into(codec, in, row_entries, row_entries,
-                                    tl.row(lrow));
-      }
-    sloc[static_cast<std::size_t>(u)] = std::move(sl);
-    tloc[static_cast<std::size_t>(u)] = std::move(tl);
+    for (std::size_t b = 0; b < batch; ++b) {
+      Matrix<V> sl(sq, sq, ring.zero());
+      Matrix<V> tl(sq, sq, ring.zero());
+      for (int v1 = 0; v1 < d; ++v1)
+        for (int v3 = 0; v3 < bs; ++v3) {
+          const int v = v1 * big + x1 * bs + v3;  // sender with v2 == x1
+          const int lrow = v1 * bs + v3;
+          const auto in = net.inbox(u, v);
+          detail::decode_entries_at(codec, in, 2 * b * row_words,
+                                    row_entries, sl.row(lrow));
+          detail::decode_entries_at(codec, in, (2 * b + 1) * row_words,
+                                    row_entries, tl.row(lrow));
+        }
+      sloc[static_cast<std::size_t>(u) * batch + b] = std::move(sl);
+      tloc[static_cast<std::size_t>(u) * batch + b] = std::move(tl);
+    }
   });
   clock.lap("step1 assemble");
 
-  // Step 2 (local): linear combinations S^(w)[x1*, x2*], T^(w)[x1*, x2*],
-  // built in flat per-sender scratch blocks with one multiply-accumulate
-  // per coefficient (see scaled_accumulate). Step 3: both blocks encode
-  // into one staged span to node w, for every w in [m].
+  // Step 2 (local): linear combinations S_b^(w)[x1*, x2*], T_b^(w)[x1*,
+  // x2*], built in flat per-sender scratch blocks with one
+  // multiply-accumulate per coefficient (see scaled_accumulate). Step 3:
+  // the B [shat, that] pairs encode into one staged span to node w, for
+  // every w in [m].
   parallel_for(0, n, [&](int u) {
-    const auto& sl = sloc[static_cast<std::size_t>(u)];
-    const auto& tl = tloc[static_cast<std::size_t>(u)];
     std::vector<V> shat(blk_entries, ring.zero());
     std::vector<V> that(blk_entries, ring.zero());
     for (int w = 0; w < m; ++w) {
-      std::fill(shat.begin(), shat.end(), ring.zero());
-      std::fill(that.begin(), that.end(), ring.zero());
-      for (const auto& cfc : alg.alpha[static_cast<std::size_t>(w)])
-        detail::scaled_accumulate(ring, shat.data(), bs, bs, sl,
-                                  (cfc.index / d) * bs, (cfc.index % d) * bs,
-                                  cfc.coeff);
-      for (const auto& cfc : alg.beta[static_cast<std::size_t>(w)])
-        detail::scaled_accumulate(ring, that.data(), bs, bs, tl,
-                                  (cfc.index / d) * bs, (cfc.index % d) * bs,
-                                  cfc.coeff);
-      const auto out = net.stage(u, w, 2 * blk_words);
-      codec.encode_into(std::span<const V>(shat.data(), blk_entries),
-                        out.data());
-      codec.encode_into(std::span<const V>(that.data(), blk_entries),
-                        out.data() + blk_words);
+      const auto msg = net.stage(u, w, 2 * batch * blk_words);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const auto& sl = sloc[static_cast<std::size_t>(u) * batch + b];
+        const auto& tl = tloc[static_cast<std::size_t>(u) * batch + b];
+        std::fill(shat.begin(), shat.end(), ring.zero());
+        std::fill(that.begin(), that.end(), ring.zero());
+        for (const auto& cfc : alg.alpha[static_cast<std::size_t>(w)])
+          detail::scaled_accumulate(ring, shat.data(), bs, bs, sl,
+                                    (cfc.index / d) * bs,
+                                    (cfc.index % d) * bs, cfc.coeff);
+        for (const auto& cfc : alg.beta[static_cast<std::size_t>(w)])
+          detail::scaled_accumulate(ring, that.data(), bs, bs, tl,
+                                    (cfc.index / d) * bs,
+                                    (cfc.index % d) * bs, cfc.coeff);
+        codec.encode_into(std::span<const V>(shat.data(), blk_entries),
+                          msg.data() + 2 * b * blk_words);
+        codec.encode_into(std::span<const V>(that.data(), blk_entries),
+                          msg.data() + (2 * b + 1) * blk_words);
+      }
     }
   });
   clock.lap("step2-3 combine+stage");
   net.deliver();
   clock.lap("step3 deliver");
 
-  // Step 4 (local at product nodes): assemble S^(w), T^(w) and multiply.
-  std::vector<Matrix<V>> phat(static_cast<std::size_t>(m));
+  // Step 4 (local at product nodes): assemble S_b^(w), T_b^(w), multiply.
+  std::vector<Matrix<V>> phat(static_cast<std::size_t>(m) * batch);
   parallel_for(0, m, [&](int w) {
-    Matrix<V> sw(big, big, ring.zero());
-    Matrix<V> tw(big, big, ring.zero());
     std::vector<V> sbuf(blk_entries, ring.zero());
     std::vector<V> tbuf(blk_entries, ring.zero());
-    for (int x1 = 0; x1 < sq; ++x1)
-      for (int x2 = 0; x2 < sq; ++x2) {
-        const int u = label_of(x1, x2);
-        const auto in = net.inbox(w, u);
-        detail::decode_entries_into(codec, in, 0, blk_entries, sbuf.data());
-        detail::decode_entries_into(codec, in, blk_entries, blk_entries,
-                                    tbuf.data());
-        for (int i = 0; i < bs; ++i) {
-          const auto* sp = sbuf.data() + static_cast<std::size_t>(i) * bs;
-          const auto* tp = tbuf.data() + static_cast<std::size_t>(i) * bs;
-          auto* swrow = sw.row(x1 * bs + i) + x2 * bs;
-          auto* twrow = tw.row(x1 * bs + i) + x2 * bs;
-          for (int j = 0; j < bs; ++j) {
-            swrow[j] = sp[j];
-            twrow[j] = tp[j];
+    for (std::size_t b = 0; b < batch; ++b) {
+      Matrix<V> sw(big, big, ring.zero());
+      Matrix<V> tw(big, big, ring.zero());
+      for (int x1 = 0; x1 < sq; ++x1)
+        for (int x2 = 0; x2 < sq; ++x2) {
+          const int u = label_of(x1, x2);
+          const auto in = net.inbox(w, u);
+          detail::decode_entries_at(codec, in, 2 * b * blk_words,
+                                    blk_entries, sbuf.data());
+          detail::decode_entries_at(codec, in, (2 * b + 1) * blk_words,
+                                    blk_entries, tbuf.data());
+          for (int i = 0; i < bs; ++i) {
+            const auto* sp = sbuf.data() + static_cast<std::size_t>(i) * bs;
+            const auto* tp = tbuf.data() + static_cast<std::size_t>(i) * bs;
+            auto* swrow = sw.row(x1 * bs + i) + x2 * bs;
+            auto* twrow = tw.row(x1 * bs + i) + x2 * bs;
+            for (int j = 0; j < bs; ++j) {
+              swrow[j] = sp[j];
+              twrow[j] = tp[j];
+            }
           }
         }
-      }
-    phat[static_cast<std::size_t>(w)] = local_multiply(ring, sw, tw);
+      phat[static_cast<std::size_t>(w) * batch + b] =
+          local_multiply(ring, sw, tw);
+    }
   });
   clock.lap("step4 product");
 
-  // Step 5: node w returns P^(w)[x1*, x2*] to label (x1, x2).
+  // Step 5: node w returns P_b^(w)[x1*, x2*] to label (x1, x2), the B
+  // blocks concatenated (product b at word b * blk_words).
   parallel_for(0, m, [&](int w) {
-    const auto& pw = phat[static_cast<std::size_t>(w)];
     std::vector<V> tmp(blk_entries, ring.zero());
     for (int x1 = 0; x1 < sq; ++x1)
       for (int x2 = 0; x2 < sq; ++x2) {
-        for (int i = 0; i < bs; ++i) {
-          const auto* prow = pw.row(x1 * bs + i) + x2 * bs;
-          auto* tp = tmp.data() + static_cast<std::size_t>(i) * bs;
-          for (int j = 0; j < bs; ++j) tp[j] = prow[j];
+        const auto msg = net.stage(w, label_of(x1, x2), batch * blk_words);
+        for (std::size_t b = 0; b < batch; ++b) {
+          const auto& pw = phat[static_cast<std::size_t>(w) * batch + b];
+          for (int i = 0; i < bs; ++i) {
+            const auto* prow = pw.row(x1 * bs + i) + x2 * bs;
+            auto* tp = tmp.data() + static_cast<std::size_t>(i) * bs;
+            for (int j = 0; j < bs; ++j) tp[j] = prow[j];
+          }
+          codec.encode_into(std::span<const V>(tmp.data(), blk_entries),
+                            msg.data() + b * blk_words);
         }
-        const auto out = net.stage(w, label_of(x1, x2), blk_words);
-        codec.encode_into(std::span<const V>(tmp.data(), blk_entries),
-                          out.data());
       }
   });
   clock.lap("step5 stage");
   net.deliver();
   clock.lap("step5 deliver");
 
-  // Step 6 (local): P[ix1*, jx2*] = sum_w lambda_ijw P^(w)[x1*, x2*],
-  // assembled into the sq x sq local view P[*x1*, *x2*]. Pieces decode into
-  // one flat scratch (m consecutive bs x bs blocks) and each lambda
+  // Step 6 (local): P_b[ix1*, jx2*] = sum_w lambda_ijw P_b^(w)[x1*, x2*],
+  // assembled into the sq x sq local view P_b[*x1*, *x2*]. Pieces decode
+  // into one flat scratch (m consecutive bs x bs blocks) and each lambda
   // coefficient applies as a single multiply-accumulate.
-  std::vector<Matrix<V>> ploc(static_cast<std::size_t>(n));
+  std::vector<Matrix<V>> ploc(static_cast<std::size_t>(n) * batch);
   parallel_for(0, n, [&](int u) {
     std::vector<V> pieces(static_cast<std::size_t>(m) * blk_entries,
                           ring.zero());
-    for (int w = 0; w < m; ++w)
-      detail::decode_entries_into(
-          codec, net.inbox(u, w), 0, blk_entries,
-          pieces.data() + static_cast<std::size_t>(w) * blk_entries);
-    Matrix<V> pl(sq, sq, ring.zero());
-    for (int i = 0; i < d; ++i)
-      for (int j = 0; j < d; ++j)
-        for (const auto& cfc :
-             alg.lambda[static_cast<std::size_t>(i * d + j)]) {
-          const auto* piece =
-              pieces.data() + static_cast<std::size_t>(cfc.index) * blk_entries;
-          detail::scaled_accumulate_flat(ring, pl, i * bs, j * bs, piece, bs,
-                                         cfc.coeff);
-        }
-    ploc[static_cast<std::size_t>(u)] = std::move(pl);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (int w = 0; w < m; ++w)
+        detail::decode_entries_at(
+            codec, net.inbox(u, w), b * blk_words, blk_entries,
+            pieces.data() + static_cast<std::size_t>(w) * blk_entries);
+      Matrix<V> pl(sq, sq, ring.zero());
+      for (int i = 0; i < d; ++i)
+        for (int j = 0; j < d; ++j)
+          for (const auto& cfc :
+               alg.lambda[static_cast<std::size_t>(i * d + j)]) {
+            const auto* piece = pieces.data() +
+                                static_cast<std::size_t>(cfc.index) *
+                                    blk_entries;
+            detail::scaled_accumulate_flat(ring, pl, i * bs, j * bs, piece,
+                                           bs, cfc.coeff);
+          }
+      ploc[static_cast<std::size_t>(u) * batch + b] = std::move(pl);
+    }
   });
   clock.lap("step6 recombine");
 
-  // Step 7: node (x1, x2) sends P[r, *x2*] to r for each r in *x1* — one
-  // contiguous local-view row per message, encoded in place.
+  // Step 7: node (x1, x2) sends P_b[r, *x2*] to r for each r in *x1* — the
+  // B contiguous local-view rows concatenated, encoded in place.
   parallel_for(0, sq * sq, [&](int u) {
     const int x1 = u / sq;
-    const auto& pl = ploc[static_cast<std::size_t>(u)];
     for (int r1 = 0; r1 < d; ++r1)
       for (int r3 = 0; r3 < bs; ++r3) {
         const int r = r1 * big + x1 * bs + r3;
-        const auto out = net.stage(u, r, row_words);
-        codec.encode_into(
-            std::span<const V>(pl.row(r1 * bs + r3), row_entries),
-            out.data());
+        const auto msg = net.stage(u, r, batch * row_words);
+        for (std::size_t b = 0; b < batch; ++b) {
+          const auto& pl = ploc[static_cast<std::size_t>(u) * batch + b];
+          codec.encode_into(
+              std::span<const V>(pl.row(r1 * bs + r3), row_entries),
+              msg.data() + b * row_words);
+        }
       }
   });
   clock.lap("step7 stage");
   net.deliver();
   clock.lap("step7 deliver");
 
-  Matrix<V> out(n, n, ring.zero());
+  for (std::size_t b = 0; b < batch; ++b)
+    out.emplace_back(n, n, ring.zero());
   parallel_for(0, n, [&](int r) {
     const int r2 = (r / bs) % sq;
     std::vector<V> entries(row_entries, ring.zero());
     for (int x2 = 0; x2 < sq; ++x2) {
       const int u = label_of(r2, x2);
-      detail::decode_entries_into(codec, net.inbox(r, u), 0, row_entries,
+      const auto in = net.inbox(r, u);
+      for (std::size_t b = 0; b < batch; ++b) {
+        detail::decode_entries_at(codec, in, b * row_words, row_entries,
                                   entries.data());
-      int lj = 0;
-      for_each_col_x2(x2, [&](int j) {
-        out(r, j) = entries[static_cast<std::size_t>(lj)];
-        ++lj;
-      });
+        int lj = 0;
+        for_each_col_x2(x2, [&](int j) {
+          out[b](r, j) = entries[static_cast<std::size_t>(lj)];
+          ++lj;
+        });
+      }
     }
   });
   clock.lap("step8 output");
   return out;
+}
+
+/// Section 2.2 / Lemma 10 — fast bilinear matrix multiplication.
+///
+/// `alg` must be a bilinear algorithm for d x d matrices with m products,
+/// with d | sqrt(net.n()) and m <= net.n(); tensor_power(strassen, k)
+/// satisfies this for admissible sizes from plan_fast_mm. Runs in
+/// O(n^{1 - 2/sigma}) rounds where m = d^sigma. This is the batch-of-one
+/// instance of mm_fast_bilinear_batch; its staged traffic is byte-identical
+/// to the historical single-product implementation.
+template <Ring R, typename Codec>
+[[nodiscard]] Matrix<typename R::Value> mm_fast_bilinear(
+    clique::Network& net, const R& ring, const Codec& codec,
+    const BilinearAlgorithm& alg, const Matrix<typename R::Value>& s,
+    const Matrix<typename R::Value>& t, MmStepProfile* profile = nullptr) {
+  using V = typename R::Value;
+  auto res = mm_fast_bilinear_batch(
+      net, ring, codec, alg, std::span<const Matrix<V>>(&s, 1),
+      std::span<const Matrix<V>>(&t, 1), profile);
+  return std::move(res.front());
 }
 
 /// The trivial baseline: every node broadcasts its rows of both inputs so

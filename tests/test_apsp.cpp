@@ -230,6 +230,71 @@ INSTANTIATE_TEST_SUITE_P(
                       ApproxCase{16, 0.2, 100000, 0.5, 3},
                       ApproxCase{20, 0.3, 9, 0.1, 4}));
 
+TEST(ApspApprox, ImplementedBoundHoldsOnAdversarialWeights) {
+  // The contract is d <= dist <= (1+delta)^ceil(log2 n) d — NOT (1+delta),
+  // and a fixed delta is NOT (1+o(1)): each squaring compounds a Lemma 20
+  // factor. Adversarial instance: exponentially spread weights (3^i defeats
+  // any alignment with the (1+delta)^i scaling grid) on a directed chain,
+  // plus barely-longer shortcuts that tempt the scaled products into
+  // swapping optimal paths, plus a tiny-weight back mesh mixing magnitudes
+  // in one product.
+  const int n = 14;
+  auto g = Graph::directed(n);
+  std::int64_t w = 1;
+  for (int i = 0; i + 1 < n; ++i) {
+    g.add_edge(i, i + 1, w);
+    w *= 3;
+  }
+  std::int64_t acc = 1;
+  for (int i = 0; i + 2 < n; ++i) {
+    // shortcut barely longer than the two chain hops it replaces
+    g.add_edge(i, i + 2, acc + 3 * acc + 1);
+    acc *= 3;
+  }
+  for (int i = 2; i < n; ++i) g.add_edge(i, i % 2, 1);  // tiny back edges
+  const auto want = ref_apsp(g);
+
+  for (const double delta : {0.5, 0.25, 0.1}) {
+    const auto got = apsp_approx(g, delta);
+    const int iters = static_cast<int>(
+        std::ceil(std::log2(std::max(2.0, static_cast<double>(n) - 1))));
+    const double ratio = std::pow(1.0 + delta, iters) + 1e-9;
+    for (int u = 0; u < n; ++u)
+      for (int v = 0; v < n; ++v) {
+        if (want(u, v) >= kInf) {
+          EXPECT_GE(got.dist(u, v), kInf);
+          continue;
+        }
+        EXPECT_GE(got.dist(u, v), want(u, v))
+            << "delta=" << delta << " " << u << "," << v;
+        EXPECT_LE(static_cast<double>(got.dist(u, v)),
+                  static_cast<double>(want(u, v)) * ratio + 1e-9)
+            << "delta=" << delta << " " << u << "," << v;
+      }
+  }
+}
+
+TEST(ApspApprox, AutoDeltaScheduleIsNearExact) {
+  // apsp_approx_auto's delta(n) = 1/ceil(log2 n)^2 must keep the TOTAL
+  // compounded error (1+delta)^ceil(log2 n) <= e^{1/log2 n} — for n = 16
+  // that is at most e^{1/4} ~ 1.284, and it shrinks as n grows (the
+  // (1+o(1)) schedule of Theorem 9).
+  const int n = 16;
+  const auto g = random_weighted_graph(n, 0.3, 1, 100000, 23,
+                                       /*directed=*/true);
+  const auto got = apsp_approx_auto(g);
+  const auto want = ref_apsp(g);
+  const double cap = std::exp(0.25) + 1e-9;
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v) {
+      if (want(u, v) >= kInf) continue;
+      EXPECT_GE(got.dist(u, v), want(u, v));
+      EXPECT_LE(static_cast<double>(got.dist(u, v)),
+                static_cast<double>(want(u, v)) * cap)
+          << u << "," << v;
+    }
+}
+
 TEST(ApspApprox, LargeWeightsCheaperThanExactEmbedding) {
   // The whole point of Theorem 9: with big weights, approximation is far
   // cheaper than the exact Lemma 19 embedding whose cost scales with M.

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "core/mm.hpp"
 #include "matrix/codec.hpp"
 #include "matrix/poly.hpp"
 #include "util/rng.hpp"
@@ -115,6 +116,112 @@ TEST(Codecs, PolyDecodeIntoReusesScratchStorage) {
   std::vector<CappedPoly> fresh(8);
   c.decode_into(words.data(), 8, fresh.data());
   EXPECT_EQ(fresh, vals);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-block message decode offsets. decode_entries_into assumes
+// words_for(prior_entries) is the exact word offset of block 2 — true for
+// every codec at exactly two blocks (the offset IS words_for(block 1)),
+// including PackedBoolCodec at non-64-multiple entry counts, where
+// words_for is NOT additive across three or more blocks. The batched
+// layouts therefore use decode_entries_at with explicit word offsets;
+// both forms are pinned here by randomized round-trips.
+// ---------------------------------------------------------------------------
+
+template <typename Codec, typename Gen>
+void expect_two_block_roundtrip(const Codec& codec, Gen&& gen, std::size_t e1,
+                                std::size_t e2) {
+  using V = typename Codec::Value;
+  std::vector<V> block1(e1), block2(e2);
+  for (auto& v : block1) v = gen();
+  for (auto& v : block2) v = gen();
+
+  // The mm staging layout: both blocks in one span, block 2 at word offset
+  // words_for(e1).
+  std::vector<EncodedWord> msg(codec.words_for(e1) + codec.words_for(e2),
+                               0xABABABABABABABABull);
+  codec.encode_into(std::span<const V>(block1), msg.data());
+  codec.encode_into(std::span<const V>(block2),
+                    msg.data() + codec.words_for(e1));
+
+  // decode_entries_into with prior_entries = e1 (the production call shape
+  // in mm_semiring_3d's step 2 and mm_fast_bilinear's assembly).
+  std::vector<V> got1(e1), got2(e2);
+  const std::span<const EncodedWord> view(msg);
+  core::detail::decode_entries_into(codec, view, 0, e1, got1.data());
+  core::detail::decode_entries_into(codec, view, e1, e2, got2.data());
+  EXPECT_EQ(got1, block1) << "e1=" << e1 << " e2=" << e2;
+  EXPECT_EQ(got2, block2) << "e1=" << e1 << " e2=" << e2;
+
+  // decode_entries_at with the explicit word offset (the batched layouts).
+  std::vector<V> at1(e1), at2(e2);
+  core::detail::decode_entries_at(codec, view, 0, e1, at1.data());
+  core::detail::decode_entries_at(codec, view, codec.words_for(e1), e2,
+                                  at2.data());
+  EXPECT_EQ(at1, block1);
+  EXPECT_EQ(at2, block2);
+}
+
+TEST(Codecs, TwoBlockRoundTripI64) {
+  Rng rng(31);
+  const I64Codec c;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto e1 = static_cast<std::size_t>(rng.next_in(1, 80));
+    const auto e2 = static_cast<std::size_t>(rng.next_in(1, 80));
+    expect_two_block_roundtrip(
+        c, [&] { return static_cast<std::int64_t>(rng.next()); }, e1, e2);
+  }
+}
+
+TEST(Codecs, TwoBlockRoundTripByte) {
+  Rng rng(32);
+  const ByteCodec c;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto e1 = static_cast<std::size_t>(rng.next_in(1, 80));
+    const auto e2 = static_cast<std::size_t>(rng.next_in(1, 80));
+    expect_two_block_roundtrip(
+        c, [&] { return static_cast<std::uint8_t>(rng.next_below(256)); }, e1,
+        e2);
+  }
+}
+
+TEST(Codecs, TwoBlockRoundTripPackedBoolNonWordMultiples) {
+  Rng rng(33);
+  const PackedBoolCodec c;
+  // Deliberately straddle word boundaries: non-64-multiple first blocks
+  // put block 2 at a padded (rounded-up) word offset.
+  for (const std::size_t e1 : {1u, 7u, 49u, 63u, 64u, 65u, 100u, 130u}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto e2 = static_cast<std::size_t>(rng.next_in(1, 150));
+      expect_two_block_roundtrip(
+          c, [&] { return static_cast<std::uint8_t>(rng.next_below(2)); }, e1,
+          e2);
+    }
+  }
+}
+
+TEST(Codecs, TwoBlockRoundTripPoly) {
+  Rng rng(34);
+  const PolyCodec c{3};
+  auto gen = [&] {
+    CappedPoly p(3);
+    for (int d = 0; d < 3; ++d)
+      p.coeff(d) = static_cast<std::int64_t>(rng.next_in(-1000, 1000));
+    return p;
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto e1 = static_cast<std::size_t>(rng.next_in(1, 20));
+    const auto e2 = static_cast<std::size_t>(rng.next_in(1, 20));
+    expect_two_block_roundtrip(c, gen, e1, e2);
+  }
+}
+
+TEST(Codecs, PackedBoolWordsForIsNotAdditive) {
+  // The documented reason three-or-more packed blocks need explicit word
+  // offsets: words_for(a + b) < words_for(a) + words_for(b) at non-64
+  // multiples, so "prior entries" under-computes the third block's offset.
+  const PackedBoolCodec c;
+  EXPECT_LT(c.words_for(70 + 70), c.words_for(70) + c.words_for(70));
 }
 
 TEST(Codecs, EncodeIntoAtBlockOffsets) {

@@ -186,6 +186,139 @@ TEST(Schedules, HashRelayDeterministic) {
 }
 
 // ---------------------------------------------------------------------------
+// Reusable schedules and the demand-fingerprint cache.
+// ---------------------------------------------------------------------------
+
+TEST(Schedules, ScheduleObjectMatchesRoundsFunction) {
+  Rng rng(7);
+  const int n = 20;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Demand> demands;
+    for (int i = 0; i < 60; ++i) {
+      const int s = static_cast<int>(rng.next_below(n));
+      int d = static_cast<int>(rng.next_below(n));
+      if (s == d) d = (d + 1) % n;
+      demands.push_back({s, d, rng.next_in(1, 30)});
+    }
+    const auto sched = schedule_koenig_relay(n, demands);
+    EXPECT_EQ(sched.rounds, rounds_koenig_relay(n, demands));
+    EXPECT_GT(sched.classes, 0);
+    std::int64_t words = 0;
+    for (const auto& d : demands) words += d.words;
+    EXPECT_EQ(sched.words, words);
+  }
+}
+
+TEST(Schedules, FingerprintIsShapeSensitive) {
+  const std::vector<Demand> a{{0, 1, 5}, {2, 3, 7}};
+  const std::vector<Demand> same{{0, 1, 5}, {2, 3, 7}};
+  const std::vector<Demand> words_differ{{0, 1, 5}, {2, 3, 8}};
+  const std::vector<Demand> pair_differs{{0, 1, 5}, {2, 4, 7}};
+  const std::vector<Demand> order_differs{{2, 3, 7}, {0, 1, 5}};
+  EXPECT_EQ(demand_fingerprint(8, a), demand_fingerprint(8, same));
+  EXPECT_NE(demand_fingerprint(8, a), demand_fingerprint(8, words_differ));
+  EXPECT_NE(demand_fingerprint(8, a), demand_fingerprint(8, pair_differs));
+  EXPECT_NE(demand_fingerprint(8, a), demand_fingerprint(8, order_differs));
+  EXPECT_NE(demand_fingerprint(8, a), demand_fingerprint(9, a));
+}
+
+TEST(Schedules, CacheHitReturnsIdenticalSchedule) {
+  ScheduleCache cache;
+  Rng rng(9);
+  const int n = 16;
+  std::vector<Demand> demands;
+  for (int i = 0; i < 40; ++i) {
+    const int s = static_cast<int>(rng.next_below(n));
+    int d = static_cast<int>(rng.next_below(n));
+    if (s == d) d = (d + 1) % n;
+    demands.push_back({s, d, rng.next_in(1, 20)});
+  }
+  const auto first = cache.get(n, demands);  // copy: get() may invalidate
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 0);
+  const auto& second = cache.get(n, demands);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(second.rounds, first.rounds);
+  EXPECT_EQ(second.classes, first.classes);
+  EXPECT_EQ(second.words, first.words);
+  EXPECT_EQ(second.rounds, rounds_koenig_relay(n, demands));
+  // A different shape misses and computes its own schedule.
+  auto other = demands;
+  other[0].words += 1;
+  (void)cache.get(n, other);
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.entries(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.stats().misses, 0);
+}
+
+TEST(Network, ScheduleCacheCountersTrackRepeatedShapes) {
+  Network net(9);
+  auto superstep = [&] {
+    for (int v = 0; v < 9; ++v)
+      for (int u = 0; u < 9; ++u)
+        if (u != v) net.send(v, u, 42);
+    net.deliver();
+  };
+  superstep();
+  EXPECT_EQ(net.stats().schedule_misses, 1);
+  EXPECT_EQ(net.stats().schedule_hits, 0);
+  const auto r1 = net.stats().rounds;
+  superstep();
+  superstep();
+  EXPECT_EQ(net.stats().schedule_misses, 1);
+  EXPECT_EQ(net.stats().schedule_hits, 2);
+  // Replayed schedules charge bit-identical rounds.
+  EXPECT_EQ(net.stats().rounds, 3 * r1);
+  // A new shape misses again.
+  net.send(0, 1, 7);
+  net.deliver();
+  EXPECT_EQ(net.stats().schedule_misses, 2);
+}
+
+TEST(Network, RandomRelayBypassesScheduleCache) {
+  Network net(8, Router::RandomRelay);
+  for (int i = 0; i < 3; ++i) {
+    net.send(0, 5, 1);
+    net.send(3, 2, 4);
+    net.deliver();
+  }
+  EXPECT_EQ(net.stats().schedule_hits, 0);
+  EXPECT_EQ(net.stats().schedule_misses, 0);
+  EXPECT_EQ(net.schedule_cache().entries(), 0u);
+}
+
+TEST(Network, DirectRouterBypassesScheduleCache) {
+  Network net(8, Router::Direct);
+  net.send(0, 5, 1);
+  net.deliver();
+  EXPECT_EQ(net.stats().schedule_hits + net.stats().schedule_misses, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Staged-span / inbox-view generation counters (the silent-relocation
+// hazard: under CCA_SANITIZE the buffers are force-relocated at every bump,
+// so ASan faults any span held across these points).
+// ---------------------------------------------------------------------------
+
+TEST(Network, StageGenerationAdvancesPerSourceAndOnDeliver) {
+  Network net(4);
+  const auto g0 = net.stage_generation(0);
+  const auto g1 = net.stage_generation(1);
+  (void)net.stage(0, 1, 3);  // invalidates earlier spans from src 0 only
+  EXPECT_EQ(net.stage_generation(0), g0 + 1);
+  EXPECT_EQ(net.stage_generation(1), g1);
+  net.send(0, 2, 9);
+  EXPECT_EQ(net.stage_generation(0), g0 + 2);
+  const auto gi = net.inbox_generation();
+  net.deliver();  // invalidates every staged span and every inbox view
+  EXPECT_EQ(net.stage_generation(0), g0 + 3);
+  EXPECT_EQ(net.stage_generation(1), g1 + 1);
+  EXPECT_EQ(net.inbox_generation(), gi + 1);
+}
+
+// ---------------------------------------------------------------------------
 // Primitives.
 // ---------------------------------------------------------------------------
 

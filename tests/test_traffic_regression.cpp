@@ -13,13 +13,16 @@
 
 #include "clique/network.hpp"
 #include "core/apsp.hpp"
+#include "core/color_coding.hpp"
 #include "core/counting.hpp"
 #include "core/distance_product.hpp"
 #include "core/engine.hpp"
 #include "core/girth.hpp"
 #include "core/mm.hpp"
+#include "core/witness.hpp"
 #include "graph/generators.hpp"
 #include "matrix/codec.hpp"
+#include "matrix/semiring.hpp"
 #include "util/rng.hpp"
 
 namespace cca {
@@ -98,8 +101,12 @@ TEST(TrafficRegression, DistanceProduct) {
 
 TEST(TrafficRegression, ApspSemiring) {
   const auto g = random_weighted_graph(20, 0.3, 1, 50, 7);
-  expect_stats(core::apsp_semiring(g).traffic, {190, 90, 10, 59940, 306, 306},
-               "apsp semiring n=20");
+  const auto traffic = core::apsp_semiring(g).traffic;
+  expect_stats(traffic, {190, 90, 10, 59940, 306, 306}, "apsp semiring n=20");
+  // Schedule-cache telemetry: the 5 squarings stage byte-identical shapes,
+  // so only the first iteration's two supersteps compute schedules.
+  EXPECT_EQ(traffic.schedule_misses, 2);
+  EXPECT_EQ(traffic.schedule_hits, 8);
 }
 
 TEST(TrafficRegression, ApspSeidel) {
@@ -113,8 +120,51 @@ TEST(TrafficRegression, GirthUndirected) {
   const auto r = core::girth_undirected_cc(g, 123, MmKind::Semiring3D, -1, 1);
   EXPECT_EQ(r.girth, 3);
   EXPECT_FALSE(r.used_sparse_path);
-  expect_stats(r.traffic, {26, 14, 2, 46848, 496, 496},
+  // Seed-agreement audit: the dense path's Monte Carlo seed was consumed
+  // with NO accounting at all in the seed implementation. agree_on_seed now
+  // stages a real broadcast superstep: +1 round, +1 bound round, +1
+  // superstep, +(n-1)=39 words over the old {26, 14, 2, 46848, ...} pin.
+  expect_stats(r.traffic, {27, 15, 3, 46887, 496, 496},
                "girth undirected n=40");
+}
+
+// ---------------------------------------------------------------------------
+// Seed-agreement accounting. The Monte Carlo entry points each claim "one
+// round to agree on the shared seed"; the seed implementation charged the
+// round without moving a word (witnesses, colour coding) or skipped the
+// charge entirely (girth). agree_on_seed now stages the broadcast for
+// real; these pins are the corrected counts.
+// ---------------------------------------------------------------------------
+
+TEST(TrafficRegression, WitnessSeedAgreement) {
+  const int n = 8;
+  const auto s = random_matrix(n, 41);
+  const auto t = random_matrix(n, 42);
+  const MinPlusSemiring sr;
+  const auto p = multiply(sr, s, t);
+  clique::Network net(n);
+  const core::DpOracle oracle = [](const Matrix<std::int64_t>& a,
+                                   const Matrix<std::int64_t>& b) {
+    return multiply(MinPlusSemiring{}, a, b);
+  };
+  // Isolate the seed-agreement cost: a free (local) oracle leaves only the
+  // broadcast superstep plus the verify_witnesses supersteps.
+  const auto before = net.stats();
+  (void)core::dp_witnesses(net, s, t, p, oracle, 123, 1);
+  const auto delta = net.stats() - before;
+  // The former implementation charged 1 round / 0 words / 0 supersteps for
+  // the seed; the broadcast now accounts 1 round, 1 superstep, n-1 = 7
+  // words on top of the verification traffic.
+  expect_stats(delta, {61, 26, 16, 1407, 21, 21}, "dp_witnesses seed n=8");
+}
+
+TEST(TrafficRegression, ColourCodingSeedAgreement) {
+  const auto g = planted_cycle_graph(27, 5, 0.0, 3);
+  const auto r = core::detect_k_cycle_cc(g, 5, 99, 2, MmKind::Semiring3D);
+  // One broadcast superstep (1 round, 26 words) precedes the trials; the
+  // remainder is the colour-coding products of the 2 trials.
+  expect_stats(r.traffic, {5043, 2163, 481, 1438586, 153, 153},
+               "detect 5-cycle n=27 trials=2");
 }
 
 TEST(TrafficRegression, CycleCounting) {

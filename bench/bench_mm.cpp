@@ -31,6 +31,38 @@ Matrix<std::int64_t> random_matrix(int n, std::uint64_t seed) {
   return m;
 }
 
+Matrix<std::int64_t> random_sparse_matrix(int n, std::int64_t nnz,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<std::int64_t> m(n, n, 0);
+  std::int64_t placed = 0;
+  while (placed < nnz) {
+    const int i = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const int j = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (m(i, j) != 0) continue;
+    m(i, j) = rng.next_in(1, 1000);
+    ++placed;
+  }
+  return m;
+}
+
+clique::TrafficStats run_sparse(int n, std::int64_t nnz) {
+  clique::Network net(n);
+  const auto a = random_sparse_matrix(n, nnz, 1);
+  const auto b = random_sparse_matrix(n, nnz, 2);
+  (void)mm_semiring_sparse(net, IntRing{}, I64Codec{}, a, b);
+  return net.stats();
+}
+
+clique::TrafficStats run_auto(int n, std::int64_t nnz) {
+  const IntMmEngine engine(MmKind::Auto, n);
+  clique::Network net(engine.clique_n());
+  const auto a = random_sparse_matrix(n, nnz, 1);
+  const auto b = random_sparse_matrix(n, nnz, 2);
+  (void)engine.multiply(net, a, b);
+  return net.stats();
+}
+
 clique::TrafficStats run_semiring(int n, MmStepProfile* profile = nullptr) {
   clique::Network net(n);
   const IntRing ring;
@@ -161,6 +193,47 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // --sparse: density sweep at fixed n — where is the sparse/dense
+  // crossover? Diagnostic companion of the committed mm_sparse series.
+  if (cca::bench::has_flag(argc, argv, "--sparse")) {
+    cca::bench::print_header(
+        "Sparse crossover: rounds vs density at n=216 (dense 3D = 42)");
+    const int n = 216;
+    clique::Network dense_net(n);
+    (void)mm_semiring_3d(dense_net, IntRing{}, I64Codec{},
+                         random_matrix(n, 1), random_matrix(n, 2));
+    const auto dense_rounds = dense_net.stats().rounds;
+    std::printf("  %-14s %10s %10s %10s  (dense 3D: %lld rounds)\n", "nnz",
+                "sparse", "auto", "auto picks", static_cast<long long>(dense_rounds));
+    const auto n64 = static_cast<std::int64_t>(n);
+    for (const auto nnz :
+         {n64, 3 * n64, n64 * 14 /* ~n^1.5 */, n64 * 40, n64 * 80,
+          n64 * 120, n64 * 160, n64 * (n64 - 1) / 3}) {
+      const auto t0 = cca::bench::now_ns();
+      const auto s = run_sparse(n, nnz);
+      const auto t1 = cca::bench::now_ns();
+      const auto a = run_auto(n, nnz);
+      const auto t2 = cca::bench::now_ns();
+      const bool picked_sparse = a.rounds == s.rounds;
+      std::printf("  nnz=%9lld %10lld %10lld %10s   (%6.1f / %6.1f ms)\n",
+                  static_cast<long long>(nnz),
+                  static_cast<long long>(s.rounds),
+                  static_cast<long long>(a.rounds),
+                  picked_sparse ? "sparse" : "dense+1",
+                  static_cast<double>(t1 - t0) / 1e6,
+                  static_cast<double>(t2 - t1) / 1e6);
+    }
+    std::printf(
+        "\nThe crossover sits where the contribute volume ~1.5 T / n^2 "
+        "meets the dense engine's ~6 n^{1/3}: measured at nnz ~ 40n at "
+        "n=216 (density ~0.19, where sparse's 43 rounds tie dense+1); "
+        "below it Auto charges exactly the sparse rounds, above it dense "
+        "plus the 1 announcement round.\n");
+    if (json.enabled())
+      std::printf("(--sparse is a diagnostic mode; BENCH json not written)\n");
+    return 0;
+  }
+
   // --smoke: tiny sizes only, for CI (asserts the perf path still runs and
   // emits valid JSON; no thresholds).
   const bool smoke = cca::bench::has_flag(argc, argv, "--smoke");
@@ -234,6 +307,31 @@ int main(int argc, char** argv) {
   cca::bench::print_series_table({fixed});
   cca::bench::print_fit(fixed, "O(n) at fixed depth (epsilon-tail of Thm 1)");
 
+  std::printf(
+      "\nSparse engine at nnz ~ n^{3/2} (the paper's sparsity-sensitive "
+      "regime) and nnz-adaptive Auto dispatch:\n");
+  Series sparse{"sparse (rho=n^1.5)", {}, {}};
+  Series autoe{"auto dispatch", {}, {}};
+  const std::vector<int> sparse_sizes =
+      smoke ? std::vector<int>{27, 64} : std::vector<int>{27, 64, 125, 216,
+                                                          343};
+  for (const int n : sparse_sizes) {
+    const auto nnz = static_cast<std::int64_t>(n) * isqrt(n);
+    const auto t0 = cca::bench::now_ns();
+    const auto s = run_sparse(n, nnz);
+    const auto t1 = cca::bench::now_ns();
+    const auto a = run_auto(n, nnz);
+    const auto t2 = cca::bench::now_ns();
+    json.add("mm_sparse", n, s.rounds, t1 - t0);
+    json.add("mm_auto", n, a.rounds, t2 - t1);
+    sparse.add(n, static_cast<double>(s.rounds));
+    autoe.add(n, static_cast<double>(a.rounds));
+  }
+  cca::bench::print_series_table({sparse, autoe});
+  cca::bench::print_fit(sparse,
+                        "O((rho_A rho_B)^{1/3}/n + 1) -> near-flat at this "
+                        "density (vs 3D's n^{1/3})");
+
   std::printf("\nNote: absolute crossover fast-vs-semiring requires n beyond "
               "laptop simulation for sigma=2.807; the reproduced claim is "
               "the exponent ordering 0.288 < 0.333 < 1 (see EXPERIMENTS.md).\n");
@@ -251,6 +349,29 @@ int main(int argc, char** argv) {
       "work; the remaining ~90% is the Step 3/5 KoenigRelay schedules "
       "(18 and 9 words/pair, odd-dominated), bounded below by the exact "
       "class-sequence volume.");
+  json.note(
+      "mm_sparse / mm_auto series (PR 4): random matrices with rho = n^{1.5} "
+      "nonzeros each. The sparse engine's rounds are near-constant at this "
+      "density (announce 2 + gather ~2 + distribute ~2 + contribute, the "
+      "last shrinking relative to n as the triple volume T ~ rho^2/n grows "
+      "slower than n^2), versus the dense 3D engine's ~6 n^{1/3}: >=2x "
+      "fewer rounds from n=125 (15 vs 38) widening to ~4.4x at n=343 (12 "
+      "vs 53). mm_auto == mm_sparse rounds at every benched density (the "
+      "dispatch announcement IS the sparse algorithm's step 0, and the "
+      "planner schedules the exact demand lists the engines stage, so the "
+      "choice is never wrong). Measured crossover (bench_mm --sparse, "
+      "n=216): sparse wins until nnz ~ 40n (density ~0.19, avg degree ~40 "
+      "— far above realistic sparse workloads); at 80n it is 139 vs 43 "
+      "rounds and Auto has switched to dense+1.");
+  json.note(
+      "odd-word pad (PR 4): mm_semiring_3d step 1 pads odd per-pair groups "
+      ">= 17 words by one zero word, restoring the identical-halves "
+      "collapse the ROADMAP's clique_n=343 finding identified (49 -> 50 = "
+      "2 * 25 words/pair). Rounds pinned unchanged (53 at 343: the padded "
+      "step-1 schedule costs the same 34 rounds; step 3 stays unpadded "
+      "because ITS padded schedule measures one round worse there), wall "
+      "546 -> ~340 ms. Step-1 scheduling alone halves (379 -> 189 ms), "
+      "and the n=729 step-1 split drops 2321 -> 1186 ms.");
   json.note(
       "--batch finding (PR 3): B=8 products through shared supersteps vs 8 "
       "per-query networks: 1.1-5.2x wall and 1.03-1.22x fewer rounds "

@@ -66,6 +66,30 @@ int main() {
                 static_cast<long long>(r.traffic.rounds));
   }
 
+  cca::bench::print_header(
+      "Sparse workloads: triangle counting with the nnz-adaptive engine");
+
+  // Power-law graphs at ~2n edges — the regime real social workloads live
+  // in, where the dense engines pay their full n^rho regardless while the
+  // Auto engine's announcement routes everything through the sparse path.
+  Series spa_auto{"auto (sparse path)", {}, {}};
+  Series spa_fast{"fast (dense)", {}, {}};
+  Series spa_semi{"3D (dense)", {}, {}};
+  for (const int n : {27, 64, 125, 216, 343}) {
+    const auto g = power_law_graph(n, 2 * static_cast<std::int64_t>(n), 2.3,
+                                   31 + static_cast<std::uint64_t>(n));
+    spa_auto.add(n, static_cast<double>(
+                        count_triangles_cc(g, MmKind::Auto).traffic.rounds));
+    spa_fast.add(n, static_cast<double>(
+                        count_triangles_cc(g, MmKind::Fast).traffic.rounds));
+    spa_semi.add(n, static_cast<double>(
+                        count_triangles_cc(g, MmKind::Semiring3D).traffic.rounds));
+  }
+  cca::bench::print_series_table({spa_auto, spa_fast, spa_semi});
+  cca::bench::print_fit(spa_auto, "near-flat: rounds follow nnz, not n");
+  cca::bench::print_fit(spa_fast, "O(n^rho) regardless of density");
+  cca::bench::print_fit(spa_semi, "O(n^{1/3}) regardless of density");
+
   std::printf(
       "\nMedium density (p = 0.05): the prior baseline's cost grows with the "
       "edge volume while Theorem 4 stays flat:\n");

@@ -99,6 +99,11 @@ std::span<Word> Network::stage(NodeId src, NodeId dst, std::size_t nwords) {
   return {data.data() + base, nwords};
 }
 
+std::int64_t Network::prepare_schedule(const std::vector<Demand>& demands) {
+  if (demands.empty()) return 0;
+  return schedule_cache_.get(n_, demands).rounds;
+}
+
 void Network::deliver() { deliver(default_router_); }
 
 void Network::deliver(Router router) {

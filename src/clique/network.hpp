@@ -125,6 +125,18 @@ class Network {
   [[nodiscard]] std::span<Word> stage(NodeId src, NodeId dst,
                                       std::size_t nwords);
 
+  /// Plan: the exact KoenigRelay rounds a superstep with this demand list
+  /// would be charged, WITHOUT staging or delivering anything. `demands`
+  /// must be in the canonical (src, dst)-ascending order deliver() emits
+  /// (self-pairs and zero-word entries excluded). The computed schedule is
+  /// inserted into the schedule cache, so a dispatcher that plans a
+  /// superstep and then actually runs it pays the Euler split once — the
+  /// planning hook behind MmKind::Auto's engine selection. No TrafficStats
+  /// field moves (planning is free local computation in the clique model;
+  /// the hit/miss telemetry counts delivered supersteps only).
+  [[nodiscard]] std::int64_t prepare_schedule(
+      const std::vector<Demand>& demands);
+
   /// Deliver every staged word using the default router; charges rounds.
   void deliver();
 

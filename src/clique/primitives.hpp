@@ -23,9 +23,15 @@ namespace cca::clique {
 /// Node src makes `words` known to every node.
 /// Schedule: src scatters the words round-robin over the other n-1 nodes
 /// (ceil(k/(n-1)) rounds, each link carries at most that many words), then
-/// every helper sends each word it holds to all nodes (again at most
-/// ceil(k/(n-1)) words per link). Cost: 0 if k == 0, 1 if k == 1, otherwise
-/// 2 * ceil(k/(n-1)) rounds.
+/// every helper sends each word it holds to every node that does not
+/// already hold it — all nodes except src and the helper itself (at most
+/// ceil(k/(n-1)) words per link). Cost: 0 if k == 0, 1 if k == 1,
+/// otherwise 2 * ceil(k/(n-1)) rounds — EXCEPT n == 2, where the scatter
+/// already delivered everything to the only other node and the rebroadcast
+/// phase has nobody left to serve, so the cost is ceil(k/(n-1)) = k. (The
+/// seed implementation charged the phantom rebroadcast anyway, a 2x
+/// overcharge at n == 2; the staged-reference audit in
+/// test_traffic_regression.cpp pins the corrected schedule.)
 void broadcast_from(Network& net, NodeId src, std::int64_t num_words);
 
 /// Every node v contributes a list of words; afterwards every node knows the
@@ -33,10 +39,21 @@ void broadcast_from(Network& net, NodeId src, std::int64_t num_words);
 /// graph" when it is sparse (girth algorithm, Theorem 15).
 ///
 /// Schedule: (1) every node announces its count — 1 round; (2) words are
-/// relayed to balance holders (word with global index g goes to node g mod n)
-/// — measured relay cost, about 2*ceil(W/n) rounds for W total words;
-/// (3) every holder sends each of its at most ceil(W/n) words to all nodes —
-/// max-share rounds. All charges are exact for these schedules.
+/// relayed to balance holders (word with global index g goes to node g mod
+/// n; self-sends are free, so a contributor that is its own holder moves
+/// nothing) — measured relay cost, about 2*ceil(W/n) rounds for W total
+/// words; (3) every holder sends each of its at most ceil(W/n) words to
+/// every node that does not already hold it — everyone except the word's
+/// contributor and the holder itself. The phase-3 charge is the EXACT
+/// maximum link load of that schedule: link (h, u) carries h's share minus
+/// the words u itself contributed to it, so the cost is
+/// max_{h, u != h} (share_h - contrib_h(u)). For spread-out contributor
+/// patterns that equals the classical ceil(W/n); when a holder's share
+/// comes entirely from the few nodes it would serve (the adversarial g
+/// mod n alignments — most visibly n == 2, where the seed implementation
+/// overcharged ceil(W/2) for a phase with nothing left to move) it is
+/// strictly less. The staged-reference audit in
+/// test_traffic_regression.cpp pins charge == measured schedule.
 [[nodiscard]] std::vector<Word> disseminate(
     Network& net, const std::vector<std::vector<Word>>& per_node);
 

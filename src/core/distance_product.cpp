@@ -80,6 +80,14 @@ Matrix<std::int64_t> dp_semiring(clique::Network& net,
   return mm_semiring_3d(net, sr, codec, s, t);
 }
 
+Matrix<std::int64_t> dp_semiring_auto(clique::Network& net,
+                                      const Matrix<std::int64_t>& s,
+                                      const Matrix<std::int64_t>& t) {
+  const MinPlusSemiring sr;
+  const I64Codec codec;
+  return mm_semiring_auto(net, sr, codec, s, t);
+}
+
 WitnessedProduct dp_semiring_witness(clique::Network& net,
                                      const Matrix<std::int64_t>& s,
                                      const Matrix<std::int64_t>& t) {

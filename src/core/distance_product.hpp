@@ -32,6 +32,18 @@ namespace cca::core {
                                                const Matrix<std::int64_t>& s,
                                                const Matrix<std::int64_t>& t);
 
+/// Sparsity-sensitive exact distance product: finite entries are the
+/// min-plus nonzeros, so a graph with few edges (most pairs at infinity)
+/// announces its per-row finite counts in one round and dispatches to the
+/// sparse engine when its planned rounds beat the dense 3D path — the
+/// engine-level hook that makes the output of the first few APSP squarings
+/// (still mostly infinite) cheap before the distance matrix fills in.
+/// Admits ANY net.n() == dimension (the 3D candidate needs a cube; the
+/// sparse and naive candidates do not).
+[[nodiscard]] Matrix<std::int64_t> dp_semiring_auto(
+    clique::Network& net, const Matrix<std::int64_t>& s,
+    const Matrix<std::int64_t>& t);
+
 struct WitnessedProduct {
   Matrix<std::int64_t> dist;
   /// witness(u,v) = k with dist(u,v) = S(u,k) + T(k,v); -1 if dist is inf.

@@ -20,6 +20,14 @@ enum class MmKind {
   Fast,         ///< Section 2.2 with a Strassen tensor power (O(n^{0.288}))
   Semiring3D,   ///< Section 2.1 (O(n^{1/3}))
   Naive,        ///< everyone learns everything (O(n))
+  /// nnz-adaptive dispatch: one announcement round, then whichever of the
+  /// sparse engine / Semiring3D / Fast (when the padded clique admits it) /
+  /// Naive has the fewest planned rounds for the ANNOUNCED nonzero counts
+  /// runs (see mm_semiring_auto). The sparse choice reuses the announcement
+  /// as its own step 0, so sparse inputs cost exactly mm_semiring_sparse;
+  /// dense inputs cost the best dense engine plus the single announcement
+  /// round.
+  Auto,
 };
 
 /// Engine for integer (ring) products of n x n matrices on a clique.
@@ -35,6 +43,10 @@ class IntMmEngine {
   /// Admissible clique (and padded matrix) dimension.
   [[nodiscard]] int clique_n() const noexcept { return clique_n_; }
   /// The engine's round exponent sigma-derived rho (for girth's threshold).
+  /// Auto reports its density-independent worst case, 1/3: whatever the
+  /// announced nnz, it never plans more rounds than Semiring3D plus the one
+  /// announcement round, and the sparse dispatch can only improve on that —
+  /// so girth's ell = ceil(2 + 2/rho) threshold stays valid as stated.
   [[nodiscard]] double rho() const noexcept;
 
   /// Product of clique_n() x clique_n() integer matrices.
@@ -55,9 +67,14 @@ class IntMmEngine {
       std::span<const Matrix<std::int64_t>> bs) const;
 
  private:
+  [[nodiscard]] std::vector<Matrix<std::int64_t>> multiply_batch_auto(
+      clique::Network& net, std::span<const Matrix<std::int64_t>> as,
+      std::span<const Matrix<std::int64_t>> bs) const;
+
   MmKind kind_;
   int clique_n_;
-  BilinearAlgorithm alg_;  // only used by MmKind::Fast
+  BilinearAlgorithm alg_;   // used by MmKind::Fast and Auto's fast candidate
+  bool fast_ok_ = false;    // Auto: alg_ is admissible at clique_n_
 };
 
 }  // namespace cca::core

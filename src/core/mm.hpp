@@ -35,11 +35,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <span>
 #include <vector>
 
 #include "clique/network.hpp"
+#include "clique/primitives.hpp"
 #include "matrix/bilinear.hpp"
+#include "matrix/codec.hpp"
 #include "matrix/kernels.hpp"
 #include "matrix/matrix.hpp"
 #include "matrix/ops.hpp"
@@ -84,6 +88,25 @@ class StepClock {
   MmStepProfile* profile_;
   std::chrono::steady_clock::time_point last_;
 };
+
+/// Odd-word-count scheduler cliff (ROADMAP `bench_mm --steps` finding): a
+/// superstep whose per-pair word count is odd defeats the Euler split's
+/// identical-halves collapse, so its KoenigRelay schedule is built at word
+/// granularity — the semiring_3d wall-clock spike at clique_n=343
+/// (49 words/pair) versus 512 (64 = 2^6, six collapsed levels). Large odd
+/// per-pair groups are therefore padded by ONE trailing zero word at stage
+/// time; decode offsets are unchanged (receivers simply never read the pad
+/// word), so any codec permits it. Small groups are left alone: their class
+/// logs are cheap, and the extra word would be pure traffic inflation (for
+/// the 1-word PackedBool groups it would double the message). The pinned
+/// traffic regressions and the committed BENCH baselines demonstrate the
+/// padded sizes' rounds stay no worse.
+constexpr std::size_t kOddPadMinWords = 17;
+
+[[nodiscard]] constexpr std::size_t padded_group_words(
+    std::size_t words) noexcept {
+  return words + (words % 2 != 0 && words >= kOddPadMinWords ? 1 : 0);
+}
 
 /// Decode a `count`-entry block that starts at word `word_offset` of a
 /// message span into out[0..count), with no allocation. The batch layouts
@@ -200,7 +223,10 @@ void scaled_accumulate_flat(const R& ring, Matrix<typename R::Value>& dst,
 /// Requires net.n() == every matrix dimension, net.n() a perfect cube, and
 /// as.size() == bs.size() >= 1. Returns the B products in order; the B = 1
 /// instance stages byte-identical traffic to the historical single-product
-/// code path (the traffic-regression suite pins those stats).
+/// code path (the traffic-regression suite pins those stats), except that
+/// large odd per-pair groups gain one trailing pad word (see
+/// detail::padded_group_words — a wall-clock fix for the odd-word
+/// scheduler cliff whose rounds are pinned no worse).
 ///
 /// Note: the paper's Step 1 says node v sends T[v, w3**] to the nodes
 /// w in *v2*; for the received pieces to assemble T[v2**, v3**] (rows with
@@ -237,6 +263,14 @@ template <Semiring S, typename Codec>
   const auto block_entries = static_cast<std::size_t>(c2);
   const auto block_words = codec.words_for(block_entries);
   const auto group_words = batch * block_words;  // one pair's staged group
+  // Step 1's staged size may exceed the payload by one zero pad word (see
+  // detail::padded_group_words); all decode offsets below use the payload
+  // layout, so the pad is invisible to receivers. Step 3 stays unpadded:
+  // its demand graph (one c2-destination group per node, half the volume)
+  // measurably absorbs the extra word less often — at clique_n = 343 the
+  // padded step 3 costs one extra round while the padded step 1 is free —
+  // and its odd schedule is the cheaper of the two to build anyway.
+  const auto staged_words = detail::padded_group_words(group_words);
   auto d1 = [c2](int v) { return v / c2; };
   auto d2 = [c, c2](int v) { return (v / c) % c; };
   auto d3 = [c](int v) { return v % c; };
@@ -250,7 +284,7 @@ template <Semiring S, typename Codec>
     // S_b[v, u2**] to each u in v1** (same first digit as v).
     for (int tail = 0; tail < c2; ++tail) {
       const int u = d1(v) * c2 + tail;
-      const auto msg = net.stage(v, u, group_words);
+      const auto msg = net.stage(v, u, staged_words);
       for (std::size_t b = 0; b < batch; ++b)
         codec.encode_into(std::span<const V>(as[b].row(v) + d2(u) * c2,
                                              block_entries),
@@ -260,7 +294,7 @@ template <Semiring S, typename Codec>
     for (int w1 = 0; w1 < c; ++w1)
       for (int w3 = 0; w3 < c; ++w3) {
         const int w = w1 * c2 + d1(v) * c + w3;
-        const auto msg = net.stage(v, w, group_words);
+        const auto msg = net.stage(v, w, staged_words);
         for (std::size_t b = 0; b < batch; ++b)
           codec.encode_into(std::span<const V>(bs[b].row(v) + d3(w) * c2,
                                                block_entries),
@@ -289,9 +323,10 @@ template <Semiring S, typename Codec>
       for (int tail = 0; tail < c2; ++tail) {
         const int w = d2(v) * c2 + tail;  // sender of T_b[w, v3**]
         // v received its S group and/or T group from w in one inbox; the S
-        // group (if any) comes first — skip it in words.
+        // group (if any) comes first — skip it in STAGED words (the group
+        // plus its possible pad word).
         const std::size_t at =
-            (d1(w) == d1(v) ? group_words : 0) + b * block_words;
+            (d1(w) == d1(v) ? staged_words : 0) + b * block_words;
         detail::decode_entries_at(codec, net.inbox(v, w), at, block_entries,
                                   tb.row(tail));
       }
@@ -694,6 +729,597 @@ template <Semiring S>
   if (n > 1)
     net.charge_rounds(2 * static_cast<std::int64_t>(n) * words_per_entry);
   return multiply(sr, s, t);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse multiplication (the paper's sparsity-sensitive regime; Le Gall,
+// OPODIS'16 sharpens the same rectangular/sparse setting).
+// ---------------------------------------------------------------------------
+//
+// mm_semiring_sparse multiplies matrices with rho_S, rho_T nonzeros in
+// rounds governed by the nonzero volume instead of n:
+//
+//   1. announce     — every node broadcasts its per-row nnz of S and T,
+//                     packed into one word (1 round, Theorem-1-style
+//                     dissemination of the load profile);
+//   2. gather       — node i relays each off-diagonal nonzero S[i,k] to the
+//                     column holder k (value only: the row index is the
+//                     sender id). KoenigRelay spreads the rho_S words;
+//   3. announce     — column holders broadcast their column nnz (1 round),
+//                     after which EVERY node can compute the same balanced
+//                     partition of the T = sum_k colS(k) * rowT(k) nonzero
+//                     triples: intermediate k gets g_k ~ ceil(t_k n / T)
+//                     workers (clique::disseminate-style g-mod-n balancing,
+//                     with node k itself as worker 0 so the balanced common
+//                     case moves nothing);
+//   4. distribute   — holder k ships each extra worker a chunk of column k
+//                     plus row k of T as SparseCodec blocks;
+//   5. contribute   — workers multiply their triples, merge contributions
+//                     per output row across their intermediates, and send
+//                     node i its row-i contributions as a SparseCodec
+//                     block; receivers fold with the semiring add.
+//
+// At rho ~ n^{3/2} the measured rounds beat the dense 3D engine by >= 2x
+// (BENCH_mm.json pins it); at full density the triple volume makes it
+// useless, which is what MmKind::Auto's dispatch is for. Results are
+// element-identical to mm_semiring_3d for every semiring whose zero is an
+// additive identity AND a multiplicative annihilator (the documented
+// Semiring contract — see semiring.hpp; skipping zero operands is exactly
+// the ops.hpp `multiply` zero-skip, audited in test_matrix.cpp).
+//
+// Unlike the dense engines, ANY net.n() == dimension >= 1 is admissible (no
+// cube/square constraint): the balanced partition does not need a grid.
+
+/// Per-row sorted nonzero column indices — the value-independent shape the
+/// announcements move and the planner consumes.
+using SparsePattern = std::vector<std::vector<int>>;
+
+/// Value-independent plan of one sparse multiplication: the balanced triple
+/// partition and the exact per-superstep demand lists (canonical (src, dst)
+/// ascending — the order Network::deliver emits, so planned schedules are
+/// cache hits for the staged run). Built by build_sparse_mm_structure; the
+/// executor (mm_semiring_sparse) and the dispatcher (mm_semiring_auto /
+/// IntMmEngine Auto) consume the SAME structure, which is what makes the
+/// dispatcher's planned rounds exactly the rounds the sparse path charges.
+struct SparseMmStructure {
+  bool trivial = false;      ///< rho_s == 0 or rho_t == 0: product is zero
+  std::int64_t rho_s = 0;    ///< global nnz of S
+  std::int64_t rho_t = 0;    ///< global nnz of T
+  std::int64_t triples = 0;  ///< T = sum_k colS(k) * rowT(k)
+  /// Column pattern of S: s_cols[k] = ascending row ids with S[i,k] != 0.
+  std::vector<std::vector<int>> s_cols;
+  /// Workers per intermediate (0 when t_k == 0, else in [1, colS(k)]).
+  std::vector<int> group_size;
+  /// extras[k] = the g_k - 1 extra worker node ids (worker 0 is node k).
+  std::vector<std::vector<int>> extras;
+  /// Per worker: its extra-chunk assignments (intermediate k, chunk index r
+  /// in [1, g_k)), ascending by k.
+  std::vector<std::vector<std::pair<int, int>>> worker_extras;
+  /// Per worker: ascending (output row i, merged contribution entry count),
+  /// including the worker's own row (i == w, which moves no words).
+  std::vector<std::vector<std::pair<int, int>>> contrib;
+  /// Canonical demand lists of the three staged supersteps.
+  std::vector<clique::Demand> gather, distribute, contribute;
+};
+
+/// Chunk r (0-based) of a cnt-entry column split over g workers:
+/// [first, last) with sizes as equal as possible, larger chunks first.
+[[nodiscard]] std::pair<int, int> sparse_chunk_bounds(int cnt, int g, int r);
+
+/// Nonzero pattern of a matrix under the semiring's zero.
+template <Semiring S>
+[[nodiscard]] SparsePattern sparse_pattern(const S& sr,
+                                           const Matrix<typename S::Value>& m) {
+  SparsePattern rows(static_cast<std::size_t>(m.rows()));
+  for (int i = 0; i < m.rows(); ++i)
+    for (int j = 0; j < m.cols(); ++j)
+      if (!(m(i, j) == sr.zero()))
+        rows[static_cast<std::size_t>(i)].push_back(j);
+  return rows;
+}
+
+/// Build the full sparse plan. `value_words(c)` must be the wrapped value
+/// codec's words_for(c) (SparseCodec adds the packed index words itself).
+/// Cost: O(rho_s + rho_t + T + n) local work — the symbolic counterpart of
+/// the multiplication, which is why the Auto dispatcher bounds T before
+/// planning.
+[[nodiscard]] SparseMmStructure build_sparse_mm_structure(
+    int n, const SparsePattern& s_rows, const SparsePattern& t_rows,
+    const std::function<std::size_t(std::size_t)>& value_words);
+
+/// Exact triple count T = sum_k colS(k) * rowT(k) straight from the
+/// patterns — the O(rho + n) pre-filter the dispatcher runs before paying
+/// for the full structure.
+[[nodiscard]] std::int64_t sparse_triple_count(int n,
+                                               const SparsePattern& s_rows,
+                                               const SparsePattern& t_rows);
+
+/// The exact step-1 / step-3 demand lists mm_semiring_3d (batch B) stages
+/// on an n-clique with block_words words per per-product block, including
+/// the step-1 odd-group pad — canonical order, ready for
+/// Network::prepare_schedule.
+[[nodiscard]] std::pair<std::vector<clique::Demand>,
+                        std::vector<clique::Demand>>
+semiring3d_superstep_demands(int n, std::size_t block_words,
+                             std::size_t batch = 1);
+
+/// Planned KoenigRelay rounds of mm_semiring_3d (batch B): schedules the
+/// demand lists above through net's cache, so a subsequent real run
+/// replays the schedules. Excludes nothing — the 3D algorithm charges only
+/// its two deliveries.
+[[nodiscard]] std::int64_t semiring3d_planned_rounds(clique::Network& net,
+                                                     int n,
+                                                     std::size_t block_words,
+                                                     std::size_t batch = 1);
+
+/// The four superstep demand lists of mm_fast_bilinear (batch 1) for `alg`
+/// on an n-clique with the given codec widths (row_words =
+/// words_for(sqrt(n)), blk_words = words_for((sqrt(n)/d)^2)).
+[[nodiscard]] std::vector<std::vector<clique::Demand>>
+fast_bilinear_superstep_demands(int n, const BilinearAlgorithm& alg,
+                                std::size_t row_words, std::size_t blk_words);
+
+/// Planned KoenigRelay rounds of mm_fast_bilinear (batch 1) for `alg`.
+[[nodiscard]] std::int64_t fast_bilinear_planned_rounds(
+    clique::Network& net, int n, const BilinearAlgorithm& alg,
+    std::size_t row_words, std::size_t blk_words);
+
+/// Schedule-independent lower bound on the two-phase relay's rounds for a
+/// demand list: every word must leave its source and reach its destination
+/// through the n per-phase ports (the relay counts the self-loop hop as
+/// free capacity, so the divisor is n, not n-1). Building a demand list is
+/// cheap; the Euler split is not — the Auto dispatcher uses this bound to
+/// SKIP scheduling a dense candidate that provably cannot beat the sparse
+/// plan (sound: the actual schedule is never below the bound, so the
+/// skipped engine never had the fewest rounds; ties go to the sparse
+/// preference order anyway). test_sparse.cpp pins bound <= measured on the
+/// real engine shapes.
+[[nodiscard]] std::int64_t relay_round_lower_bound(
+    int n, const std::vector<clique::Demand>& demands);
+
+/// Triple-volume ceiling (~4 n^{7/3}) above which the Auto dispatcher does
+/// not even build the sparse plan: past it the contribute phase dwarfs the
+/// dense engines and the O(T) symbolic merge would be wasted work.
+[[nodiscard]] std::int64_t sparse_plan_cap(int n);
+
+/// Planned rounds of the staged sparse phases for a built structure
+/// (column announcement + the three scheduled supersteps; 0 when trivial),
+/// through net's schedule cache — shared by the single-product and batch
+/// Auto dispatchers so their cost models cannot drift apart.
+[[nodiscard]] std::int64_t sparse_planned_rounds(clique::Network& net,
+                                                 const SparseMmStructure& st);
+
+namespace detail {
+
+/// The staged phases of the sparse algorithm AFTER the row-nnz announcement
+/// (gather -> column-count announcement -> distribute -> contribute), so a
+/// dispatcher that already announced can run the remainder without paying
+/// the announcement twice. Charges exactly
+///   (trivial ? 0 : 1 + sched(gather) + sched(distribute) + sched(contribute))
+/// rounds — the same value the planner computes from the structure.
+template <Semiring S, typename Codec>
+[[nodiscard]] Matrix<typename S::Value> mm_semiring_sparse_staged(
+    clique::Network& net, const S& sr, const Codec& codec,
+    const Matrix<typename S::Value>& s, const Matrix<typename S::Value>& t,
+    const SparseMmStructure& st, MmStepProfile* profile = nullptr) {
+  using V = typename S::Value;
+  using SC = SparseCodec<Codec>;
+  using Index = typename SC::Index;
+  const SC scodec{codec};
+  const int n = net.n();
+  Matrix<V> out(n, n, sr.zero());
+  if (st.trivial) return out;
+  const auto vw1 = codec.words_for(1);
+  detail::StepClock clock(profile);
+
+  // Gather: every off-diagonal nonzero S[i,k] travels to column holder k as
+  // a bare value (the row index is the sender id) — except entries of
+  // columns whose T row is empty: the step-0 announcement already told
+  // every node those intermediates form no triple, so their values stay
+  // put (matching the plan's gather demands). Senders own distinct
+  // outboxes, so the staging loop is parallel-over-senders.
+  std::vector<std::uint8_t> t_row_alive(static_cast<std::size_t>(n), 0);
+  parallel_for(0, n, [&](int k) {
+    for (int j = 0; j < n; ++j)
+      if (!(t(k, j) == sr.zero())) {
+        t_row_alive[static_cast<std::size_t>(k)] = 1;
+        break;
+      }
+  });
+  parallel_for(0, n, [&](int i) {
+    for (int k = 0; k < n; ++k) {
+      if (k == i || t_row_alive[static_cast<std::size_t>(k)] == 0 ||
+          s(i, k) == sr.zero())
+        continue;
+      const auto msg = net.stage(i, k, vw1);
+      codec.encode_into(std::span<const V>(&s(i, k), 1), msg.data());
+    }
+  });
+  clock.lap("gather stage");
+  net.deliver();
+  clock.lap("gather deliver");
+
+  // Column holders decode their columns (distinct k per iteration). Dead
+  // columns (t_k == 0, nothing gathered) keep no values — no chunk ever
+  // references them.
+  std::vector<std::vector<V>> colvals(static_cast<std::size_t>(n));
+  parallel_for(0, n, [&](int k) {
+    if (st.group_size[static_cast<std::size_t>(k)] == 0) return;
+    const auto& rows = st.s_cols[static_cast<std::size_t>(k)];
+    auto& vals = colvals[static_cast<std::size_t>(k)];
+    vals.assign(rows.size(), sr.zero());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const int i = rows[r];
+      if (i == k) {
+        vals[r] = s(k, k);
+        continue;
+      }
+      const auto in = net.inbox(k, i);
+      CCA_ASSERT(in.size() == vw1);
+      codec.decode_into(in.data(), 1, &vals[r]);
+    }
+  });
+  clock.lap("gather decode");
+
+  // Column-count announcement: with the row counts from the first
+  // announcement this gives every node the t_k profile, hence the same
+  // balanced worker partition the structure encodes.
+  {
+    std::vector<clique::Word> counts(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k)
+      counts[static_cast<std::size_t>(k)] =
+          st.s_cols[static_cast<std::size_t>(k)].size();
+    (void)clique::broadcast_all(net, std::move(counts));
+  }
+
+  // Sparse views of the T rows (needed by distribute and by local work).
+  std::vector<std::vector<Index>> trow_idx(static_cast<std::size_t>(n));
+  std::vector<std::vector<V>> trow_val(static_cast<std::size_t>(n));
+  parallel_for(0, n, [&](int k) {
+    auto& idx = trow_idx[static_cast<std::size_t>(k)];
+    auto& val = trow_val[static_cast<std::size_t>(k)];
+    for (int j = 0; j < n; ++j) {
+      if (t(k, j) == sr.zero()) continue;
+      idx.push_back(static_cast<Index>(j));
+      val.push_back(t(k, j));
+    }
+  });
+
+  // Distribute: holder k ships chunk r of its column plus its T row to each
+  // extra worker, as [a_cnt][b_cnt] header words followed by two
+  // SparseCodec blocks.
+  parallel_for(0, n, [&](int k) {
+    const auto ks = static_cast<std::size_t>(k);
+    const int g = st.group_size[ks];
+    const auto& rows = st.s_cols[ks];
+    std::vector<Index> aidx;
+    for (int r = 1; r < g; ++r) {
+      const int w = st.extras[ks][static_cast<std::size_t>(r - 1)];
+      const auto [lo, hi] =
+          sparse_chunk_bounds(static_cast<int>(rows.size()), g, r);
+      const auto a_cnt = static_cast<std::size_t>(hi - lo);
+      const auto b_cnt = trow_idx[ks].size();
+      const auto a_words = scodec.words_for(a_cnt);
+      const auto msg =
+          net.stage(k, w, 2 + a_words + scodec.words_for(b_cnt));
+      msg[0] = a_cnt;
+      msg[1] = b_cnt;
+      aidx.clear();
+      for (int x = lo; x < hi; ++x)
+        aidx.push_back(static_cast<Index>(rows[static_cast<std::size_t>(x)]));
+      scodec.encode_into(
+          aidx,
+          std::span<const V>(colvals[ks].data() + lo, a_cnt),
+          msg.data() + 2);
+      scodec.encode_into(trow_idx[ks], trow_val[ks],
+                         msg.data() + 2 + a_words);
+    }
+  });
+  clock.lap("distribute stage");
+  net.deliver();
+  clock.lap("distribute deliver");
+
+  // Contribute: every worker multiplies its triples, merging contributions
+  // per output row across its intermediates (union of the T-row patterns —
+  // entries are sent when TOUCHED, value zero or not, so the message sizes
+  // are exactly the structure's value-independent counts). The worker's own
+  // row folds locally; every other row ships as [cnt] + SparseCodec block.
+  parallel_for(0, n, [&](int w) {
+    const auto ws = static_cast<std::size_t>(w);
+    // Work items: (a-row id, a-value, intermediate k) triples from the own
+    // chunk plus every received chunk, grouped per output row.
+    struct Item {
+      int k;
+      const std::vector<Index>* bidx;
+      const std::vector<V>* bval;
+    };
+    std::vector<Item> items;
+    std::vector<std::vector<std::pair<std::size_t, V>>> per_row;  // item, a
+    auto row_slot = [&](int i) -> std::vector<std::pair<std::size_t, V>>& {
+      return per_row[static_cast<std::size_t>(i)];
+    };
+    per_row.resize(static_cast<std::size_t>(n));
+    std::vector<int> rows_touched;
+    auto add_entry = [&](int i, std::size_t item, const V& aval) {
+      if (row_slot(i).empty()) rows_touched.push_back(i);
+      row_slot(i).push_back({item, aval});
+    };
+    // Own chunk (worker 0 of intermediate w).
+    if (st.group_size[ws] >= 1) {
+      const auto& rows = st.s_cols[ws];
+      const auto [lo, hi] = sparse_chunk_bounds(static_cast<int>(rows.size()),
+                                                st.group_size[ws], 0);
+      items.push_back({w, &trow_idx[ws], &trow_val[ws]});
+      for (int x = lo; x < hi; ++x)
+        add_entry(rows[static_cast<std::size_t>(x)], items.size() - 1,
+                  colvals[ws][static_cast<std::size_t>(x)]);
+    }
+    // Received chunks, ascending by intermediate. Decoded blocks must
+    // outlive the loop, so they land in stable per-item storage.
+    const auto& ext = st.worker_extras[ws];
+    std::vector<std::vector<Index>> dec_aidx(ext.size()), dec_bidx(ext.size());
+    std::vector<std::vector<V>> dec_aval(ext.size()), dec_bval(ext.size());
+    for (std::size_t e = 0; e < ext.size(); ++e) {
+      const int k = ext[e].first;
+      const auto in = net.inbox(w, k);
+      CCA_ASSERT(in.size() >= 2);
+      const auto a_cnt = static_cast<std::size_t>(in[0]);
+      const auto b_cnt = static_cast<std::size_t>(in[1]);
+      dec_aidx[e].resize(a_cnt);
+      dec_aval[e].resize(a_cnt, sr.zero());
+      dec_bidx[e].resize(b_cnt);
+      dec_bval[e].resize(b_cnt, sr.zero());
+      scodec.decode_into(in.data() + 2, a_cnt, dec_aidx[e].data(),
+                         dec_aval[e].data());
+      scodec.decode_into(in.data() + 2 + scodec.words_for(a_cnt), b_cnt,
+                         dec_bidx[e].data(), dec_bval[e].data());
+      items.push_back({k, &dec_bidx[e], &dec_bval[e]});
+      for (std::size_t x = 0; x < a_cnt; ++x)
+        add_entry(static_cast<int>(dec_aidx[e][x]), items.size() - 1,
+                  dec_aval[e][x]);
+    }
+    std::sort(rows_touched.begin(), rows_touched.end());
+
+    // Per output row: accumulate over the row's (item, a-value) pairs.
+    std::vector<V> acc(static_cast<std::size_t>(n), sr.zero());
+    std::vector<std::uint8_t> touched(static_cast<std::size_t>(n), 0);
+    std::vector<Index> jlist;
+    std::vector<V> vlist;
+    std::size_t contrib_at = 0;
+    for (const int i : rows_touched) {
+      jlist.clear();
+      for (const auto& [item, aval] : row_slot(i)) {
+        const auto& bidx = *items[item].bidx;
+        const auto& bval = *items[item].bval;
+        for (std::size_t x = 0; x < bidx.size(); ++x) {
+          const auto j = bidx[x];
+          const auto prod = sr.mul(aval, bval[x]);
+          if (touched[j] == 0) {
+            touched[j] = 1;
+            jlist.push_back(j);
+            acc[j] = prod;
+          } else {
+            acc[j] = sr.add(acc[j], prod);
+          }
+        }
+      }
+      std::sort(jlist.begin(), jlist.end());
+      // The plan's symbolic merge must agree with the numeric one.
+      CCA_ASSERT(contrib_at < st.contrib[ws].size());
+      CCA_ASSERT(st.contrib[ws][contrib_at].first == i);
+      CCA_ASSERT(st.contrib[ws][contrib_at].second ==
+                 static_cast<int>(jlist.size()));
+      ++contrib_at;
+      if (i == w) {
+        auto* orow = out.row(w);
+        for (const auto j : jlist)
+          orow[j] = sr.add(orow[j], acc[j]);
+      } else {
+        const auto msg =
+            net.stage(w, i, 1 + scodec.words_for(jlist.size()));
+        msg[0] = jlist.size();
+        vlist.clear();
+        for (const auto j : jlist) vlist.push_back(acc[j]);
+        scodec.encode_into(jlist, vlist, msg.data() + 1);
+      }
+      for (const auto j : jlist) {
+        touched[j] = 0;
+        acc[j] = sr.zero();
+      }
+    }
+    CCA_ASSERT(contrib_at == st.contrib[ws].size());
+  });
+  clock.lap("contribute stage");
+  net.deliver();
+  clock.lap("contribute deliver");
+
+  // Fold the delivered contributions into the output rows (distinct row per
+  // iteration).
+  parallel_for(0, n, [&](int i) {
+    std::vector<Index> jbuf;
+    std::vector<V> vbuf;
+    auto* orow = out.row(i);
+    for (int w = 0; w < n; ++w) {
+      if (w == i) continue;
+      const auto in = net.inbox(i, w);
+      if (in.empty()) continue;
+      const auto cnt = static_cast<std::size_t>(in[0]);
+      CCA_ASSERT(in.size() == 1 + scodec.words_for(cnt));
+      jbuf.resize(cnt);
+      vbuf.assign(cnt, sr.zero());
+      scodec.decode_into(in.data() + 1, cnt, jbuf.data(), vbuf.data());
+      for (std::size_t x = 0; x < cnt; ++x)
+        orow[jbuf[x]] = sr.add(orow[jbuf[x]], vbuf[x]);
+    }
+  });
+  clock.lap("contribute fold");
+  return out;
+}
+
+/// Pack the two per-row nnz counts into the announcement word.
+[[nodiscard]] inline clique::Word pack_nnz_pair(std::size_t a,
+                                                std::size_t b) noexcept {
+  return (static_cast<clique::Word>(a) << 32) | static_cast<clique::Word>(b);
+}
+
+/// The 1-round per-row nnz announcement shared by mm_semiring_sparse and
+/// the Auto dispatcher: node v broadcasts (nnzS(row v), nnzT(row v)).
+inline void sparse_nnz_announce(clique::Network& net,
+                                const SparsePattern& s_rows,
+                                const SparsePattern& t_rows) {
+  const int n = net.n();
+  std::vector<clique::Word> packed(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    packed[static_cast<std::size_t>(v)] =
+        pack_nnz_pair(s_rows[static_cast<std::size_t>(v)].size(),
+                      t_rows[static_cast<std::size_t>(v)].size());
+  (void)clique::broadcast_all(net, std::move(packed));
+}
+
+}  // namespace detail
+
+/// Sparsity-sensitive semiring multiplication (see the section comment
+/// above). Requires net.n() == dimensions of s, t; ANY n >= 1 is
+/// admissible. Result-identical to mm_semiring_3d under the Semiring zero
+/// contract; rounds scale with the nonzero volume.
+template <Semiring S, typename Codec>
+[[nodiscard]] Matrix<typename S::Value> mm_semiring_sparse(
+    clique::Network& net, const S& sr, const Codec& codec,
+    const Matrix<typename S::Value>& s, const Matrix<typename S::Value>& t,
+    MmStepProfile* profile = nullptr) {
+  using V = typename S::Value;
+  const int n = net.n();
+  CCA_EXPECTS(s.rows() == n && s.cols() == n);
+  CCA_EXPECTS(t.rows() == n && t.cols() == n);
+  if (n == 1) {
+    Matrix<V> o(1, 1, sr.zero());
+    o(0, 0) = sr.mul(s(0, 0), t(0, 0));
+    return o;
+  }
+  const auto s_rows = sparse_pattern(sr, s);
+  const auto t_rows = sparse_pattern(sr, t);
+  detail::sparse_nnz_announce(net, s_rows, t_rows);
+  const auto st = build_sparse_mm_structure(
+      n, s_rows, t_rows,
+      [&](std::size_t c) { return codec.words_for(c); });
+  return detail::mm_semiring_sparse_staged(net, sr, codec, s, t, st, profile);
+}
+
+/// Which engine mm_semiring_auto / IntMmEngine's Auto mode selected.
+enum class AutoEngineChoice { Sparse, Semiring3D, Fast, Naive };
+
+/// nnz-adaptive dispatch: one real announcement round, then the engine with
+/// the fewest PLANNED rounds runs (plans are exact — they schedule the very
+/// demand lists the engines stage, through the net's schedule cache, so a
+/// plan is never wrong and never wasted). The sparse plan reuses the
+/// announcement as its own step 0, so Auto-chosen-sparse charges exactly
+/// mm_semiring_sparse's rounds; a dense choice pays its engine plus the one
+/// announcement round. Planning itself is free local computation, in the
+/// same sense the routing layer's schedule construction is; the sparse plan
+/// is only attempted while the triple volume T stays under ~4 n^{7/3}
+/// (beyond it the contribute phase alone dwarfs the dense engines, and the
+/// O(T) symbolic merge would be wasted work).
+///
+/// `fast_alg` optionally adds the Section 2.2 engine as a candidate (rings
+/// only; it must be admissible for n). The Semiring3D candidate requires n
+/// to be a perfect cube; Sparse and Naive are always available, so any
+/// n >= 1 works. Assumes the net's default router is KoenigRelay (the
+/// planner schedules with it).
+template <Semiring S, typename Codec>
+[[nodiscard]] Matrix<typename S::Value> mm_semiring_auto(
+    clique::Network& net, const S& sr, const Codec& codec,
+    const Matrix<typename S::Value>& s, const Matrix<typename S::Value>& t,
+    const BilinearAlgorithm* fast_alg = nullptr,
+    AutoEngineChoice* chosen = nullptr, MmStepProfile* profile = nullptr) {
+  using V = typename S::Value;
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  const int n = net.n();
+  CCA_EXPECTS(s.rows() == n && s.cols() == n);
+  CCA_EXPECTS(t.rows() == n && t.cols() == n);
+  if (n == 1) {
+    if (chosen != nullptr) *chosen = AutoEngineChoice::Sparse;
+    Matrix<V> o(1, 1, sr.zero());
+    o(0, 0) = sr.mul(s(0, 0), t(0, 0));
+    return o;
+  }
+  const auto s_rows = sparse_pattern(sr, s);
+  const auto t_rows = sparse_pattern(sr, t);
+  detail::sparse_nnz_announce(net, s_rows, t_rows);
+
+  // Candidate costs AFTER the shared announcement.
+  SparseMmStructure st;
+  std::int64_t sparse_cost = kMax;
+  if (sparse_triple_count(n, s_rows, t_rows) <= sparse_plan_cap(n)) {
+    st = build_sparse_mm_structure(
+        n, s_rows, t_rows,
+        [&](std::size_t c) { return codec.words_for(c); });
+    sparse_cost = sparse_planned_rounds(net, st);
+  }
+  // Dense candidates: building their demand lists is cheap, but the Euler
+  // split is the simulator's wall-clock hot spot — so a candidate is only
+  // SCHEDULED when its relay lower bound beats the best cost so far (the
+  // skip is sound: actual rounds never undercut the bound, and ties keep
+  // the sparse preference). When a dense engine IS scheduled and chosen,
+  // the planning was free anyway: the real run replays the cached
+  // schedules.
+  const std::int64_t wpe = static_cast<std::int64_t>(codec.words_for(1));
+  std::int64_t semi3d_cost = kMax;
+  if (is_perfect_cube(n)) {
+    const auto c2 = static_cast<std::size_t>(icbrt(n) * icbrt(n));
+    const auto steps = semiring3d_superstep_demands(n, codec.words_for(c2));
+    if (relay_round_lower_bound(n, steps.first) +
+            relay_round_lower_bound(n, steps.second) <
+        sparse_cost)
+      semi3d_cost = net.prepare_schedule(steps.first) +
+                    net.prepare_schedule(steps.second);
+  }
+  std::int64_t fast_cost = kMax;
+  if constexpr (Ring<S>) {
+    if (fast_alg != nullptr) {
+      const auto steps = fast_bilinear_superstep_demands(
+          n, *fast_alg, codec.words_for(static_cast<std::size_t>(isqrt(n))),
+          codec.words_for(static_cast<std::size_t>(
+              (isqrt(n) / fast_alg->d) * (isqrt(n) / fast_alg->d))));
+      std::int64_t bound = 0;
+      for (const auto& step : steps)
+        bound += relay_round_lower_bound(n, step);
+      if (bound < std::min(sparse_cost, semi3d_cost)) {
+        fast_cost = 0;
+        for (const auto& step : steps) fast_cost += net.prepare_schedule(step);
+      }
+    }
+  }
+  const std::int64_t naive_cost = 2 * static_cast<std::int64_t>(n) * wpe;
+
+  AutoEngineChoice pick = AutoEngineChoice::Sparse;
+  std::int64_t best = sparse_cost;
+  if (semi3d_cost < best) {
+    best = semi3d_cost;
+    pick = AutoEngineChoice::Semiring3D;
+  }
+  if (fast_cost < best) {
+    best = fast_cost;
+    pick = AutoEngineChoice::Fast;
+  }
+  if (naive_cost < best) {
+    best = naive_cost;
+    pick = AutoEngineChoice::Naive;
+  }
+  if (chosen != nullptr) *chosen = pick;
+  switch (pick) {
+    case AutoEngineChoice::Sparse:
+      return detail::mm_semiring_sparse_staged(net, sr, codec, s, t, st,
+                                               profile);
+    case AutoEngineChoice::Semiring3D:
+      return mm_semiring_3d(net, sr, codec, s, t, profile);
+    case AutoEngineChoice::Fast:
+      if constexpr (Ring<S>)
+        return mm_fast_bilinear(net, sr, codec, *fast_alg, s, t, profile);
+      break;
+    case AutoEngineChoice::Naive:
+      return mm_naive_broadcast(net, sr, static_cast<int>(wpe), s, t);
+  }
+  return {};
 }
 
 /// Pad a square matrix to dimension `to`, filling new cells with `fill`

@@ -1,6 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "util/contracts.hpp"
@@ -93,6 +94,63 @@ Graph grid_graph(int a, int b) {
     for (int j = 0; j < b; ++j) {
       if (i + 1 < a) g.add_edge(id(i, j), id(i + 1, j));
       if (j + 1 < b) g.add_edge(id(i, j), id(i, j + 1));
+    }
+  return g;
+}
+
+Graph random_sparse_graph(int n, std::int64_t m, std::uint64_t seed) {
+  CCA_EXPECTS(n >= 0);
+  const std::int64_t max_m = static_cast<std::int64_t>(n) * (n - 1) / 2;
+  CCA_EXPECTS(m >= 0 && m <= max_m);
+  Rng rng(seed);
+  auto g = Graph::undirected(n);
+  // Dense targets invert the sampling (pick the complement) so the loop
+  // stays expected O(m) draws either way.
+  if (2 * m <= max_m) {
+    while (g.num_edges() < m) {
+      const int u = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+      const int v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+      if (u == v || g.has_arc(u, v)) continue;
+      g.add_edge(u, v);
+    }
+    return g;
+  }
+  while (g.num_edges() < max_m - m) {  // sample the complement's edges
+    const int u = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const int v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v || g.has_arc(u, v)) continue;
+    g.add_edge(u, v);
+  }
+  auto inverted = Graph::undirected(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (!g.has_arc(u, v)) inverted.add_edge(u, v);
+  return inverted;
+}
+
+Graph power_law_graph(int n, std::int64_t m_target, double alpha,
+                      std::uint64_t seed) {
+  CCA_EXPECTS(n >= 0 && m_target >= 0 && alpha > 2.0);
+  Rng rng(seed);
+  auto g = Graph::undirected(n);
+  if (n < 2 || m_target == 0) return g;
+  // Chung–Lu weights w_i = (i+1)^{-1/(alpha-1)}, scaled so sum_i w_i = 2m.
+  std::vector<double> w(static_cast<std::size_t>(n));
+  double sum = 0.0;
+  const double exponent = -1.0 / (alpha - 1.0);
+  for (int i = 0; i < n; ++i) {
+    w[static_cast<std::size_t>(i)] = std::pow(static_cast<double>(i + 1), exponent);
+    sum += w[static_cast<std::size_t>(i)];
+  }
+  const double scale = 2.0 * static_cast<double>(m_target) / sum;
+  for (auto& x : w) x *= scale;
+  const double total = 2.0 * static_cast<double>(m_target);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) {
+      const double p = std::min(
+          1.0, w[static_cast<std::size_t>(u)] * w[static_cast<std::size_t>(v)] /
+                   total);
+      if (rng.next_double() < p) g.add_edge(u, v);
     }
   return g;
 }

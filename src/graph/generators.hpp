@@ -49,6 +49,21 @@ namespace cca {
 /// a x b grid graph (girth 4 when a, b >= 2).
 [[nodiscard]] Graph grid_graph(int a, int b);
 
+/// Uniform random undirected graph with EXACTLY m edges (G(n, m)): the
+/// sparse-workload generator — edge count, not probability, is the knob the
+/// sparsity-sensitive engines dispatch on. Requires 0 <= m <= n(n-1)/2.
+[[nodiscard]] Graph random_sparse_graph(int n, std::int64_t m,
+                                        std::uint64_t seed);
+
+/// Chung–Lu power-law graph: expected node degrees proportional to
+/// (i+1)^{-1/(alpha-1)} (degree exponent alpha > 2), scaled so the expected
+/// edge count is ~m_target. The heavy-tailed degree profile real social /
+/// web workloads show — a few dense columns among many near-empty ones —
+/// which is exactly the imbalance the sparse engine's worker groups exist
+/// to absorb. The realized edge count is random around m_target.
+[[nodiscard]] Graph power_law_graph(int n, std::int64_t m_target,
+                                    double alpha, std::uint64_t seed);
+
 /// Random graph with a planted k-cycle on randomly chosen nodes, plus
 /// G(n, p) noise edges. The planted cycle guarantees a k-cycle exists; it
 /// does NOT guarantee k is the girth (tests use reference algorithms or

@@ -137,6 +137,62 @@ struct PackedBoolCodec {
   }
 };
 
+/// Sparse coordinate blocks: a block is a list of (index, value) pairs with
+/// the indices packed two per word (32 bits each — enough for any in-clique
+/// row/column index) followed by the values encoded as ONE block of the
+/// wrapped value codec. Wrapping PackedBoolCodec therefore packs the value
+/// stream 64 entries per word exactly as the dense path does, so the sparse
+/// engine inherits every "/ log n" saving of Table 1's prior-work rows on
+/// Boolean inputs. `words_for(nnz)` is the exact encoded size of an
+/// nnz-pair block; the pair count itself travels out-of-band (the sparse
+/// multiplication messages carry explicit count header words, because a
+/// receiver cannot always invert words -> pairs for bit-packing codecs).
+///
+/// Zero-copy contract (PR 2): encode_into writes every word it owns — the
+/// half-filled tail of an odd index word is stored whole with the upper 32
+/// bits zero — so staged spans need no pre-zeroing; decode_into never
+/// allocates beyond what the wrapped codec's decode_into does.
+template <typename ValueCodec>
+struct SparseCodec {
+  using Value = typename ValueCodec::Value;
+  using Index = std::uint32_t;
+  ValueCodec values{};
+
+  /// Words for the packed index stream alone.
+  [[nodiscard]] static std::size_t index_words(std::size_t nnz) noexcept {
+    return (nnz + 1) / 2;
+  }
+  [[nodiscard]] std::size_t words_for(std::size_t nnz) const noexcept {
+    return index_words(nnz) + values.words_for(nnz);
+  }
+  void encode_into(std::span<const Index> idx, std::span<const Value> vals,
+                   EncodedWord* out) const {
+    CCA_EXPECTS(idx.size() == vals.size());
+    const std::size_t iw = index_words(idx.size());
+    for (std::size_t w = 0; w < iw; ++w) {
+      EncodedWord word = static_cast<EncodedWord>(idx[2 * w]);
+      if (2 * w + 1 < idx.size())
+        word |= static_cast<EncodedWord>(idx[2 * w + 1]) << 32;
+      out[w] = word;
+    }
+    values.encode_into(vals, out + iw);
+  }
+  void decode_into(const EncodedWord* words, std::size_t nnz, Index* idx,
+                   Value* vals) const {
+    for (std::size_t i = 0; i < nnz; ++i)
+      idx[i] = static_cast<Index>((words[i / 2] >> (32 * (i % 2))) &
+                                  0xffffffffu);
+    values.decode_into(words + index_words(nnz), nnz, vals);
+  }
+  void encode_block(const std::vector<Index>& idx,
+                    const std::vector<Value>& vals,
+                    std::vector<EncodedWord>& out) const {
+    const std::size_t base = out.size();
+    out.resize(base + words_for(idx.size()));
+    encode_into(idx, vals, out.data() + base);
+  }
+};
+
 /// Capped polynomials: `cap` words per entry (one per coefficient).
 struct PolyCodec {
   using Value = CappedPoly;

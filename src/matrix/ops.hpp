@@ -42,7 +42,15 @@ template <Semiring S>
     const auto* a_row = a.row(i);
     for (int k = 0; k < a.cols(); ++k) {
       const auto aik = a_row[k];
-      if (aik == s.zero()) continue;  // harmless skip; big win on sparse inputs
+      // Sound because the Semiring contract makes zero() a two-sided
+      // annihilator AND the additive identity: every skipped term would
+      // have been add(acc, mul(zero, b)) == add(acc, zero) == acc. A mul
+      // that wrapped instead of annihilating (e.g. a min-plus evaluating
+      // inf + w for negative w) would make this skip UNSOUND on exactly
+      // the entries it never evaluates — which is why the contract is
+      // pinned against a no-skip reference in test_matrix.cpp, and why the
+      // sparse engine may drop zeros from the wire wholesale.
+      if (aik == s.zero()) continue;  // big win on sparse inputs
       const auto* b_row = b.row(k);
       for (int j = 0; j < b.cols(); ++j)
         out_row[j] = s.add(out_row[j], s.mul(aik, b_row[j]));

@@ -15,6 +15,21 @@
 
 namespace cca {
 
+/// Semantic contract (beyond the syntactic requirements below): add is
+/// associative and commutative with identity zero(), mul is associative
+/// with identity one() and distributes over add, and zero() is a TWO-SIDED
+/// MULTIPLICATIVE ANNIHILATOR: mul(zero(), x) == mul(x, zero()) == zero()
+/// for every representable x — including values outside the "canonical"
+/// range (a saturating min-plus mul must return infinity for
+/// mul(finite, inf) even when the finite operand is negative, never the
+/// wrapped sum inf + w). The annihilator law is load-bearing, not a
+/// nicety: the schoolbook multiply() skips zero left operands
+/// (ops.hpp:multiply), and the sparse engine (mm_semiring_sparse) drops
+/// zero entries from the wire entirely, so a semiring whose zero fails to
+/// annihilate would make those paths disagree with the no-skip sum.
+/// tests/test_matrix.cpp pins the law and the skip/no-skip equivalence for
+/// every semiring in the repo, with adversarial negative-weight and
+/// infinity mixes for the tropical ones.
 template <typename S>
 concept Semiring = requires(const S s, typename S::Value a, typename S::Value b) {
   typename S::Value;

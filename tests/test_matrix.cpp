@@ -95,6 +95,165 @@ TEST(Ops, TraceSumsDiagonal) {
   EXPECT_EQ(trace(ring, m), 6);
 }
 
+// ---------------------------------------------------------------------------
+// Zero-skip soundness audit. multiply() skips left operands equal to
+// zero(), and the sparse engine drops zero entries from the wire; both are
+// sound only because zero() is a two-sided multiplicative annihilator in
+// every semiring (the documented Semiring contract). The reference below
+// evaluates EVERY term, skip-free; the randomized suites pin equivalence
+// for each semiring, with the adversarial mixes the contract calls out —
+// negative weights against infinities in the tropical semirings, where a
+// mul that wrapped (inf + w < inf for w < 0) would corrupt exactly the
+// skipped terms.
+// ---------------------------------------------------------------------------
+
+template <typename S>
+Matrix<typename S::Value> multiply_no_skip(const S& s,
+                                           const Matrix<typename S::Value>& a,
+                                           const Matrix<typename S::Value>& b) {
+  Matrix<typename S::Value> out(a.rows(), b.cols(), s.zero());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < b.cols(); ++j)
+      for (int k = 0; k < a.cols(); ++k)
+        out(i, j) = s.add(out(i, j), s.mul(a(i, k), b(k, j)));
+  return out;
+}
+
+/// Mirror of the witness-carrying min-plus semiring dp_semiring_witness
+/// multiplies under (distance, witness) with lexicographic min — audited
+/// here because its zero {inf, -1} must annihilate even against entries
+/// {inf, w} with a planted witness, which compare UNEQUAL to zero.
+struct WitnessMinPlusAudit {
+  struct Value {
+    std::int64_t d = MinPlusSemiring::kInf;
+    std::int64_t w = -1;
+    friend bool operator==(const Value&, const Value&) = default;
+  };
+  [[nodiscard]] Value zero() const noexcept {
+    return {MinPlusSemiring::kInf, -1};
+  }
+  [[nodiscard]] Value one() const noexcept { return {0, -1}; }
+  [[nodiscard]] Value add(const Value& a, const Value& b) const noexcept {
+    if (a.d != b.d) return a.d < b.d ? a : b;
+    return a.w <= b.w ? a : b;
+  }
+  [[nodiscard]] Value mul(const Value& a, const Value& b) const noexcept {
+    if (a.d >= MinPlusSemiring::kInf || b.d >= MinPlusSemiring::kInf)
+      return {MinPlusSemiring::kInf, -1};
+    return {a.d + b.d, a.w};
+  }
+};
+
+TEST(ZeroSkipAudit, ZeroAnnihilatesInEverySemiring) {
+  const IntRing zint;
+  EXPECT_EQ(zint.mul(zint.zero(), -7), zint.zero());
+  EXPECT_EQ(zint.mul(-7, zint.zero()), zint.zero());
+  const BoolSemiring zb;
+  EXPECT_EQ(zb.mul(zb.zero(), 1), zb.zero());
+  EXPECT_EQ(zb.mul(1, zb.zero()), zb.zero());
+  // The contract's named hazard: saturating min-plus with NEGATIVE weights.
+  // mul(-w, inf) must be inf, not the wrapped inf - w (which would compare
+  // less than infinity and win mins it has no business winning).
+  const MinPlusSemiring zm;
+  for (const std::int64_t w : {-1000, -1, 0, 1, 1000}) {
+    EXPECT_EQ(zm.mul(w, zm.zero()), zm.zero());
+    EXPECT_EQ(zm.mul(zm.zero(), w), zm.zero());
+  }
+  const PolyRing zp{5};
+  EXPECT_EQ(zp.mul(zp.zero(), CappedPoly::monomial(5, 2)), zp.zero());
+  EXPECT_EQ(zp.mul(CappedPoly::monomial(5, 2), zp.zero()), zp.zero());
+  const WitnessMinPlusAudit zw;
+  // {inf, w} carries a planted witness and compares UNEQUAL to zero, yet
+  // must still annihilate through mul.
+  const WitnessMinPlusAudit::Value lifted_inf{MinPlusSemiring::kInf, 7};
+  EXPECT_EQ(zw.mul(lifted_inf, zw.one()), zw.zero());
+  EXPECT_EQ(zw.mul(zw.one(), lifted_inf), zw.zero());
+  EXPECT_EQ(zw.mul(zw.zero(), WitnessMinPlusAudit::Value{-5, 3}), zw.zero());
+  EXPECT_EQ(zw.mul(WitnessMinPlusAudit::Value{-5, 3}, zw.zero()), zw.zero());
+}
+
+TEST(ZeroSkipAudit, IntRingSkipEquivalence) {
+  const IntRing ring;
+  Rng rng(601);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 1 + static_cast<int>(rng.next_below(12));
+    Matrix<std::int64_t> a(n, n, 0), b(n, n, 0);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) {
+        if (rng.chance(1, 2)) a(i, j) = rng.next_in(-100, 100);
+        if (rng.chance(1, 2)) b(i, j) = rng.next_in(-100, 100);
+      }
+    EXPECT_EQ(multiply(ring, a, b), multiply_no_skip(ring, a, b));
+  }
+}
+
+TEST(ZeroSkipAudit, MinPlusSkipEquivalenceWithNegativeWeights) {
+  const MinPlusSemiring sr;
+  constexpr auto inf = MinPlusSemiring::kInf;
+  Rng rng(602);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 1 + static_cast<int>(rng.next_below(12));
+    Matrix<std::int64_t> a(n, n, inf), b(n, n, inf);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) {
+        if (rng.chance(2, 3)) a(i, j) = rng.next_in(-50, 50);
+        if (rng.chance(2, 3)) b(i, j) = rng.next_in(-50, 50);
+      }
+    EXPECT_EQ(multiply(sr, a, b), multiply_no_skip(sr, a, b));
+  }
+}
+
+TEST(ZeroSkipAudit, BooleanSkipEquivalence) {
+  const BoolSemiring sr;
+  Rng rng(603);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 1 + static_cast<int>(rng.next_below(16));
+    Matrix<std::uint8_t> a(n, n, 0), b(n, n, 0);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) {
+        a(i, j) = rng.chance(1, 3) ? 1 : 0;
+        b(i, j) = rng.chance(1, 3) ? 1 : 0;
+      }
+    EXPECT_EQ(multiply(sr, a, b), multiply_no_skip(sr, a, b));
+  }
+}
+
+TEST(ZeroSkipAudit, WitnessMinPlusSkipEquivalence) {
+  const WitnessMinPlusAudit sr;
+  constexpr auto inf = MinPlusSemiring::kInf;
+  Rng rng(604);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 1 + static_cast<int>(rng.next_below(10));
+    Matrix<WitnessMinPlusAudit::Value> a(n, n, sr.zero());
+    Matrix<WitnessMinPlusAudit::Value> b(n, n, sr.zero());
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) {
+        // The dp lift plants witness j on EVERY S entry, finite or not, so
+        // infinite entries with non-(-1) witnesses are realistic inputs.
+        a(i, j) = {rng.chance(2, 3) ? rng.next_in(-40, 40) : inf, j};
+        if (rng.chance(2, 3)) b(i, j) = {rng.next_in(-40, 40), -1};
+      }
+    EXPECT_EQ(multiply(sr, a, b), multiply_no_skip(sr, a, b));
+  }
+}
+
+TEST(ZeroSkipAudit, PolyRingSkipEquivalence) {
+  const PolyRing ring{6};
+  Rng rng(605);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 1 + static_cast<int>(rng.next_below(8));
+    Matrix<CappedPoly> a(n, n, ring.zero()), b(n, n, ring.zero());
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) {
+        if (rng.chance(1, 2))
+          a(i, j) = CappedPoly::monomial(6, static_cast<int>(rng.next_below(6)));
+        if (rng.chance(1, 2))
+          b(i, j) = CappedPoly::monomial(6, static_cast<int>(rng.next_below(6)));
+      }
+    EXPECT_EQ(multiply(ring, a, b), multiply_no_skip(ring, a, b));
+  }
+}
+
 TEST(Semirings, MinPlusLaws) {
   const MinPlusSemiring s;
   const auto inf = MinPlusSemiring::kInf;

@@ -357,6 +357,14 @@ TEST(Primitives, BroadcastFromCosts) {
     broadcast_from(net, 0, 90);  // ceil(90/9) = 10 per phase
     EXPECT_EQ(net.stats().rounds, 20);
   }
+  {
+    // n == 2: the scatter already delivers everything to the only other
+    // node — no rebroadcast phase to charge (the round-charge audit's
+    // corrected drift; the seed implementation said 10).
+    Network net(2);
+    broadcast_from(net, 0, 5);
+    EXPECT_EQ(net.stats().rounds, 5);
+  }
 }
 
 TEST(Primitives, DisseminateReturnsUnionInOrder) {

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "clique/network.hpp"
+#include "clique/primitives.hpp"
 #include "core/apsp.hpp"
 #include "core/color_coding.hpp"
 #include "core/counting.hpp"
@@ -165,6 +166,155 @@ TEST(TrafficRegression, ColourCodingSeedAgreement) {
   // remainder is the colour-coding products of the 2 trials.
   expect_stats(r.traffic, {5043, 2163, 481, 1438586, 153, 153},
                "detect 5-cycle n=27 trials=2");
+}
+
+// ---------------------------------------------------------------------------
+// Round-charge audit: broadcast_from / disseminate. The primitives charge
+// analytical round counts for documented schedules without staging the
+// payload; the references below STAGE those exact schedules word by word
+// (Direct router: rounds == max link load) and the tests assert charge ==
+// measured, over adversarial word distributions. Two drifts were found and
+// corrected: broadcast_from charged the rebroadcast phase at n == 2 where
+// it moves nothing (2x overcharge), and disseminate's phase 3 charged
+// ceil(W/n) even when the heaviest holders' shares were contributed by the
+// very nodes they serve (the adversarial g-mod-n alignments).
+// ---------------------------------------------------------------------------
+
+/// Stage broadcast_from's documented schedule for real and return the
+/// measured rounds: scatter round-robin, then helpers serve every node
+/// that does not already hold the word (all but src and themselves).
+std::int64_t staged_broadcast_from(int n, int src, std::int64_t k) {
+  clique::Network net(n);
+  if (n == 1 || k == 0) return 0;
+  if (k == 1) {  // documented k == 1 schedule: direct broadcast
+    for (int u = 0; u < n; ++u)
+      if (u != src) net.send(src, u, 1);
+    net.deliver(clique::Router::Direct);
+    return net.stats().rounds;
+  }
+  const int helpers = n - 1;
+  // Scatter: word j goes to helper (j mod (n-1)), skipping src.
+  std::vector<std::vector<clique::Word>> held(static_cast<std::size_t>(n));
+  for (std::int64_t j = 0; j < k; ++j) {
+    int h = static_cast<int>(j % helpers);
+    if (h >= src) ++h;
+    net.send(src, h, static_cast<clique::Word>(j));
+    held[static_cast<std::size_t>(h)].push_back(static_cast<clique::Word>(j));
+  }
+  net.deliver(clique::Router::Direct);
+  // Rebroadcast: helper -> every node except src and itself.
+  bool any = false;
+  for (int h = 0; h < n; ++h)
+    for (const auto w : held[static_cast<std::size_t>(h)])
+      for (int u = 0; u < n; ++u) {
+        if (u == src || u == h) continue;
+        net.send(h, u, w);
+        any = true;
+      }
+  if (any) net.deliver(clique::Router::Direct);
+  return net.stats().rounds;
+}
+
+TEST(TrafficRegression, BroadcastFromChargeMatchesStagedSchedule) {
+  struct Case {
+    int n;
+    std::int64_t k;
+  };
+  for (const auto& c :
+       {Case{2, 1}, Case{2, 2}, Case{2, 7}, Case{3, 2}, Case{5, 1},
+        Case{5, 4}, Case{5, 5}, Case{10, 9}, Case{10, 90}, Case{10, 91}}) {
+    clique::Network net(c.n);
+    clique::broadcast_from(net, 0, c.k);
+    EXPECT_EQ(net.stats().rounds, staged_broadcast_from(c.n, 0, c.k))
+        << "n=" << c.n << " k=" << c.k;
+  }
+  // The corrected n == 2 drift, pinned: the seed charge was 2*ceil(k/1).
+  {
+    clique::Network net(2);
+    clique::broadcast_from(net, 0, 7);
+    EXPECT_EQ(net.stats().rounds, 7);  // was 14
+  }
+}
+
+/// Stage disseminate's documented phase-3 schedule for real (every holder
+/// serves each held word to everyone but its contributor and itself) and
+/// return the measured rounds of that superstep alone.
+std::int64_t staged_disseminate_phase3(
+    int n, const std::vector<std::vector<clique::Word>>& per_node) {
+  clique::Network net(n);
+  std::int64_t g = 0;
+  std::vector<std::vector<std::pair<int, clique::Word>>> held(
+      static_cast<std::size_t>(n));  // holder -> (contributor, word)
+  for (int v = 0; v < n; ++v)
+    for (const auto w : per_node[static_cast<std::size_t>(v)]) {
+      held[static_cast<std::size_t>(g % n)].push_back({v, w});
+      ++g;
+    }
+  bool any = false;
+  for (int h = 0; h < n; ++h)
+    for (const auto& [v, w] : held[static_cast<std::size_t>(h)])
+      for (int u = 0; u < n; ++u) {
+        if (u == h || u == v) continue;
+        net.send(h, u, w);
+        any = true;
+      }
+  if (any) net.deliver(clique::Router::Direct);
+  return net.stats().rounds;
+}
+
+TEST(TrafficRegression, DisseminateChargeMatchesStagedSchedule) {
+  struct Case {
+    const char* what;
+    int n;
+    std::vector<std::vector<clique::Word>> lists;
+  };
+  const Case cases[] = {
+      {"single word, foreign holder (n=2)", 2, {{}, {9}}},
+      {"all words from node 0 (n=2)", 2, {{1, 2, 3, 4, 5}, {}}},
+      {"adversarial alignment (n=3)", 3, {{}, {7}, {8, 9, 10}}},
+      {"every contributor its own holder (n=4)", 4, {{1}, {2}, {3}, {4}}},
+      {"one heavy contributor (n=5)", 5, {{}, {}, {1, 2, 3, 4, 5, 6, 7}, {}, {}}},
+      {"uniform (n=6)", 6, {{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}, {11, 12}}},
+  };
+  for (const auto& c : cases) {
+    // Total measured = phase1 (1 round) + phase2 (the primitive's own
+    // staged relay, replayed identically here) + phase3 reference.
+    clique::Network net(c.n);
+    const auto all = clique::disseminate(net, c.lists);
+    std::size_t want_size = 0;
+    for (const auto& l : c.lists) want_size += l.size();
+    EXPECT_EQ(all.size(), want_size);
+    clique::Network relay(c.n);
+    std::int64_t g = 0;
+    for (int v = 0; v < c.n; ++v)
+      for (const auto w : c.lists[static_cast<std::size_t>(v)]) {
+        relay.send(v, static_cast<int>(g % c.n), w);
+        ++g;
+      }
+    if (g > 0) relay.deliver();
+    const auto want = 1 + relay.stats().rounds +
+                      staged_disseminate_phase3(c.n, c.lists);
+    EXPECT_EQ(net.stats().rounds, want) << c.what;
+  }
+  // The corrected drifts, pinned. Adversarial alignment at n=3: holder 0's
+  // 2-word share comes one each from nodes 1 and 2, so no phase-3 link
+  // carries more than 1 word — the seed charge said ceil(4/3) = 2.
+  {
+    clique::Network net(3);
+    (void)clique::disseminate(net, {{}, {7}, {8, 9, 10}});
+    EXPECT_EQ(net.stats().rounds, 1 + 2 + 1);  // counts + relay + phase3
+  }
+  // n=2 with the only word already at its holder's audience: phase 3 moves
+  // nothing (the seed charge said ceil(1/2) = 1).
+  {
+    clique::Network net(2);
+    (void)clique::disseminate(net, {{}, {9}});
+    const auto r = net.stats().rounds;
+    clique::Network relay(2);
+    relay.send(1, 0, 9);
+    relay.deliver();
+    EXPECT_EQ(r, 1 + relay.stats().rounds);  // no phase-3 charge at all
+  }
 }
 
 TEST(TrafficRegression, CycleCounting) {

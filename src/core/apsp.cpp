@@ -28,13 +28,28 @@ int squaring_iterations(int n) {
 
 /// One broadcast round teaches every node the global maximum finite entry
 /// (each node contributes its row maximum).
+///
+/// Unsigned round-trip audit: the maxima travel as raw Words, so a
+/// NEGATIVE entry would be corrupted twice over — max-folded against the
+/// 0 initialiser (silently clamped) and, had it won, reinterpreted as a
+/// huge unsigned value by the receivers' fold. That cannot happen here:
+/// the only caller is apsp_approx, whose entry contract
+/// (CCA_EXPECTS(w >= 0) on every arc) keeps every finite entry of every
+/// iterate non-negative. The assert pins that PER ENTRY, where a negative
+/// value would actually appear — asserting on row_max would be vacuous,
+/// since the fold starts at 0. Negative-weight APSP goes through
+/// apsp_semiring, whose witness codec bit-casts entries instead
+/// (regression in test_apsp.cpp).
 std::int64_t broadcast_max_finite(clique::Network& net,
                                   const Matrix<std::int64_t>& d, int n) {
   std::vector<clique::Word> words(static_cast<std::size_t>(net.n()), 0);
   for (int u = 0; u < n; ++u) {
     std::int64_t row_max = 0;
     for (int v = 0; v < d.cols(); ++v)
-      if (d(u, v) < kInf) row_max = std::max(row_max, d(u, v));
+      if (d(u, v) < kInf) {
+        CCA_ASSERT(d(u, v) >= 0);  // would alias as an unsigned maximum
+        row_max = std::max(row_max, d(u, v));
+      }
     words[static_cast<std::size_t>(u)] = static_cast<clique::Word>(row_max);
   }
   const auto all = clique::broadcast_all(net, std::move(words));
@@ -55,7 +70,8 @@ ApspOutcome make_trivial(const Graph& g) {
 
 }  // namespace
 
-ApspOutcome apsp_semiring(const Graph& g) {
+ApspOutcome apsp_semiring(const Graph& g, MmKind kind) {
+  CCA_EXPECTS(kind == MmKind::Auto || kind == MmKind::Semiring3D);
   const int n = g.n();
   if (n <= 1) return make_trivial(g);
 
@@ -70,12 +86,26 @@ ApspOutcome apsp_semiring(const Graph& g) {
       next(u, v) = v;
     }
 
+  // Upper bound on the squarings ever needed; the convergence vote below
+  // exits as soon as an iterate stops improving. The dispatch context
+  // carries the per-iteration nnz dispatch (Auto): sparse rounds while the
+  // iterate is mostly infinite, a locked dense engine once it fills in.
   const int iters = squaring_iterations(n);
+  MmDispatchContext ctx;
   for (int it = 0; it < iters; ++it) {
-    auto [d2, q] = dp_semiring_witness(net, d, d);
+    auto [d2, q] = kind == MmKind::Auto
+                       ? dp_semiring_witness_auto(net, d, d, &ctx)
+                       : dp_semiring_witness(net, d, d);
+    // Improvement flags feed the convergence vote; entries outside the
+    // real n x n corner are inert (padded rows are all-infinite), so
+    // scanning the real rows is exact.
+    std::vector<clique::Word> improved_row(static_cast<std::size_t>(big), 0);
+    bool improved = false;
     for (int u = 0; u < n; ++u)
       for (int v = 0; v < n; ++v) {
         if (d2(u, v) >= d(u, v)) continue;
+        improved = true;
+        improved_row[static_cast<std::size_t>(u)] = 1;
         const int w = q(u, v);
         CCA_ASSERT(w >= 0 && w < n && w != u);
         // The witness w splits the improved path; its first hop is already
@@ -83,6 +113,15 @@ ApspOutcome apsp_semiring(const Graph& g) {
         next(u, v) = next(u, w);
       }
     d = std::move(d2);
+    if (it + 1 == iters) break;  // hop bound reached: nothing to decide
+    // Convergence vote, charged for real like agree_on_seed: every node
+    // announces "did any entry of my row improve" (one word per link, 1
+    // round) and everyone exits together when nobody improved — min-plus
+    // squaring is monotone, so a fixed point stays fixed. The seed ran
+    // all squaring_iterations(n) squarings regardless, paying full dense
+    // supersteps to square an already-idempotent matrix.
+    (void)clique::broadcast_all(net, std::move(improved_row));
+    if (!improved) break;
   }
 
   ApspOutcome out;
@@ -90,10 +129,13 @@ ApspOutcome apsp_semiring(const Graph& g) {
   out.next_hop = std::move(next);
   for (int v = 0; v < n; ++v) CCA_ENSURES(out.dist(v, v) >= 0);
   out.traffic = net.stats();
+  out.engine_trace = std::move(ctx.trace);
   return out;
 }
 
-ApspBatchOutcome apsp_semiring_batch(std::span<const Graph> gs) {
+ApspBatchOutcome apsp_semiring_batch(std::span<const Graph> gs,
+                                     MmKind kind) {
+  CCA_EXPECTS(kind == MmKind::Auto || kind == MmKind::Semiring3D);
   const std::size_t batch = gs.size();
   CCA_EXPECTS(batch >= 1);
   ApspBatchOutcome out;
@@ -128,25 +170,43 @@ ApspBatchOutcome apsp_semiring_batch(std::span<const Graph> gs) {
   }
 
   const int iters = squaring_iterations(max_n);
+  MmDispatchContext ctx;
   for (int it = 0; it < iters; ++it) {
     // One batched witness-carrying squaring: every graph's (d, d) product
-    // rides the same two supersteps, and the schedule cache replays the
-    // Koenig schedule across iterations.
-    auto sq = dp_semiring_witness_batch(
-        net, std::span<const Matrix<std::int64_t>>(d),
-        std::span<const Matrix<std::int64_t>>(d));
+    // rides the same two supersteps (nnz-dispatched as a batch under
+    // Auto), and the schedule cache replays the Koenig schedule across
+    // iterations.
+    auto sq = kind == MmKind::Auto
+                  ? dp_semiring_witness_batch_auto(
+                        net, std::span<const Matrix<std::int64_t>>(d),
+                        std::span<const Matrix<std::int64_t>>(d), &ctx)
+                  : dp_semiring_witness_batch(
+                        net, std::span<const Matrix<std::int64_t>>(d),
+                        std::span<const Matrix<std::int64_t>>(d));
+    std::vector<clique::Word> improved_row(static_cast<std::size_t>(big), 0);
+    bool improved = false;
     for (std::size_t b = 0; b < batch; ++b) {
       const int n = gs[b].n();
       const auto& [d2, q] = sq[b];
       for (int u = 0; u < n; ++u)
         for (int v = 0; v < n; ++v) {
           if (d2(u, v) >= d[b](u, v)) continue;
+          improved = true;
+          improved_row[static_cast<std::size_t>(u)] = 1;
           const int w = q(u, v);
           CCA_ASSERT(w >= 0 && w < n && w != u);
           next[b](u, v) = next[b](u, w);
         }
       d[b] = std::move(sq[b].dist);
     }
+    if (it + 1 == iters) break;
+    // Shared convergence vote: one round, exiting only when EVERY graph's
+    // iterate stopped improving. Members that converge earlier ride along
+    // unchanged (min-plus squaring is idempotent past convergence), which
+    // is the same shared-iteration-count argument as the padding above —
+    // so one vote word per node stays correct for early-exiting members.
+    (void)clique::broadcast_all(net, std::move(improved_row));
+    if (!improved) break;
   }
 
   for (std::size_t b = 0; b < batch; ++b) {
@@ -156,6 +216,7 @@ ApspBatchOutcome apsp_semiring_batch(std::span<const Graph> gs) {
     for (int v = 0; v < n; ++v) CCA_ENSURES(out.dist.back()(v, v) >= 0);
   }
   out.traffic = net.stats();
+  out.engine_trace = std::move(ctx.trace);
   return out;
 }
 
@@ -170,13 +231,17 @@ ApspOutcome apsp_seidel(const Graph& g, MmKind kind, int depth) {
 
   // Recursive Seidel over 0/1 adjacency matrices (padded nodes isolated).
   // Distances use kInf for disconnected pairs; squared-graph stabilisation
-  // replaces the paper's connectivity assumption.
+  // replaces the paper's connectivity assumption. One dispatch context
+  // serves every level's products: the downward squarings densify the
+  // adjacency monotonically, and by the time the upward D2 * A products
+  // run the iterate is dense, so the hysteresis lock is already in place.
+  MmDispatchContext ctx;
   auto seidel = [&](auto&& self, const Matrix<std::int64_t>& a,
                     int depth_guard) -> Matrix<std::int64_t> {
     CCA_EXPECTS(depth_guard < 2 * ilog2(std::max(2, n)) + 4);
 
     // Adjacency of G^2: A2 = A*A over Z, then boolean OR with A (local).
-    auto a2 = engine.multiply(net, a, a);
+    auto a2 = engine.multiply(net, a, a, &ctx);
     Matrix<std::int64_t> c(big, big, 0);
     bool stable = true;
     for (int i = 0; i < big; ++i)
@@ -208,7 +273,7 @@ ApspOutcome apsp_seidel(const Graph& g, MmKind kind, int depth) {
     for (int i = 0; i < big; ++i)
       for (int j = 0; j < big; ++j)
         if (d2(i, j) < kInf) d2z(i, j) = d2(i, j);
-    const auto s = engine.multiply(net, d2z, a);
+    const auto s = engine.multiply(net, d2z, a, &ctx);
 
     // One broadcast round teaches every node all degrees of this level.
     net.charge_rounds(1);
@@ -241,16 +306,21 @@ ApspOutcome apsp_seidel(const Graph& g, MmKind kind, int depth) {
   ApspOutcome out;
   out.dist = dist.block(0, 0, n, n);
   out.traffic = net.stats();
+  out.engine_trace = std::move(ctx.trace);
   return out;
 }
 
 namespace {
 
-/// Lemma 19 core: iterated bounded squaring on an existing clique.
+/// Lemma 19 core: iterated bounded squaring on an existing clique. `ctx`
+/// (optional) routes every embedded product through the nnz-adaptive
+/// dispatcher — the clamped iterate densifies monotonically, so the
+/// context's hysteresis is sound across the squarings.
 Matrix<std::int64_t> bounded_squaring(clique::Network& net,
                                       const BilinearAlgorithm& alg,
                                       Matrix<std::int64_t> d, int n,
-                                      std::int64_t m_bound) {
+                                      std::int64_t m_bound,
+                                      MmDispatchContext* ctx = nullptr) {
   auto clamp = [&](Matrix<std::int64_t>& x) {
     for (int i = 0; i < x.rows(); ++i)
       for (int j = 0; j < x.cols(); ++j)
@@ -259,7 +329,7 @@ Matrix<std::int64_t> bounded_squaring(clique::Network& net,
   clamp(d);
   const int iters = squaring_iterations(n);
   for (int it = 0; it < iters; ++it) {
-    d = dp_ring_embedded(net, alg, d, d, m_bound);
+    d = dp_ring_embedded(net, alg, d, d, m_bound, ctx);
     clamp(d);
   }
   return d;
@@ -283,11 +353,13 @@ ApspOutcome apsp_bounded(const Graph& g, std::int64_t m_bound, int depth) {
   clique::Network net(plan.clique_n);
 
   const auto w0 = pad_matrix(g.weight_matrix(), plan.clique_n, kInf);
-  const auto d = bounded_squaring(net, alg, w0, n, m_bound);
+  MmDispatchContext ctx;
+  const auto d = bounded_squaring(net, alg, w0, n, m_bound, &ctx);
 
   ApspOutcome out;
   out.dist = d.block(0, 0, n, n);
   out.traffic = net.stats();
+  out.engine_trace = std::move(ctx.trace);
   return out;
 }
 
@@ -360,14 +432,20 @@ ApspOutcome apsp_approx(const Graph& g, double delta, int depth) {
 
   auto d = pad_matrix(g.weight_matrix(), plan.clique_n, kInf);
   const int iters = squaring_iterations(n);
+  // One context across all iterations AND approximation levels: the
+  // admission windows widen level over level and the distances only
+  // decrease iteration over iteration, so the embedded products' nonzero
+  // patterns grow monotonically — the hysteresis precondition.
+  MmDispatchContext ctx;
   for (int it = 0; it < iters; ++it) {
     const auto m_cur = broadcast_max_finite(net, d, n);
-    d = dp_approx(net, alg, d, d, m_cur, delta);
+    d = dp_approx(net, alg, d, d, m_cur, delta, &ctx);
   }
 
   ApspOutcome out;
   out.dist = d.block(0, 0, n, n);
   out.traffic = net.stats();
+  out.engine_trace = std::move(ctx.trace);
   return out;
 }
 

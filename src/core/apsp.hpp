@@ -45,14 +45,33 @@ struct ApspOutcome {
   /// build routing tables (empty matrix otherwise).
   Matrix<int> next_hop;
   clique::TrafficStats traffic;
+  /// Per-multiplication engine choices of the nnz-adaptive dispatcher, in
+  /// call order (empty for fixed-engine runs). For the iterated squarings
+  /// the densification flip — sparse rounds while the iterate is mostly
+  /// infinite, dense once squaring has filled it in — is the first
+  /// Sparse -> dense transition; bench_apsp --sparse prints it.
+  std::vector<AutoEngineChoice> engine_trace;
 };
 
 /// Corollary 6: exact APSP for directed graphs with integer weights
 /// (negative weights allowed when no negative cycle exists). Builds routing
-/// tables. O(n^{1/3} log n) rounds. The log n squarings stage
-/// byte-identical traffic shapes, so the Network's schedule cache computes
-/// each superstep's Koenig schedule once and replays it thereafter.
-[[nodiscard]] ApspOutcome apsp_semiring(const Graph& g);
+/// tables. O(n^{1/3} log n) rounds worst case; each squaring goes through
+/// the witness-carrying product and a 1-round convergence vote exits the
+/// loop as soon as the iterate stops improving (min-plus squaring is
+/// monotone, so a fixed point stays fixed — the fixed iteration count of
+/// the seed kept squaring an idempotent matrix).
+///
+/// `kind` selects the per-squaring engine: MmKind::Auto (default)
+/// re-dispatches EVERY iteration from the current iterate's finite-entry
+/// announcement — sparse graphs pay sparse rounds until squaring densifies
+/// the distance matrix, then the dispatch context's hysteresis locks the
+/// dense 3D engine (see MmDispatchContext; the choices land in
+/// ApspOutcome::engine_trace). MmKind::Semiring3D forces the fixed dense
+/// path of the seed. Distances and routing tables are element-identical
+/// either way. Dense iterations replay cached Koenig schedules (the
+/// shapes repeat), so the schedule cache still collapses the Euler split.
+[[nodiscard]] ApspOutcome apsp_semiring(const Graph& g,
+                                        MmKind kind = MmKind::Auto);
 
 /// Multi-query exact APSP: the outcomes of apsp_semiring(gs[i]) for B
 /// graphs (padded to one shared clique), with every squaring iteration
@@ -64,13 +83,19 @@ struct ApspBatchOutcome {
   std::vector<Matrix<std::int64_t>> dist;
   std::vector<Matrix<int>> next_hop;
   clique::TrafficStats traffic;
+  /// Shared per-iteration engine choices (one entry per batched squaring).
+  std::vector<AutoEngineChoice> engine_trace;
 };
-[[nodiscard]] ApspBatchOutcome apsp_semiring_batch(std::span<const Graph> gs);
+[[nodiscard]] ApspBatchOutcome apsp_semiring_batch(std::span<const Graph> gs,
+                                                   MmKind kind = MmKind::Auto);
 
 /// Corollary 7: exact APSP for unweighted undirected graphs via Seidel's
-/// algorithm; distances only. O~(n^rho) rounds.
+/// algorithm; distances only. O~(n^rho) rounds. The default Auto engine
+/// threads one dispatch context through every level's products, so sparse
+/// adjacency levels run the sparse engine and the recursion's densifying
+/// squarings flip to a locked dense engine (ApspOutcome::engine_trace).
 [[nodiscard]] ApspOutcome apsp_seidel(const Graph& g,
-                                      MmKind kind = MmKind::Fast,
+                                      MmKind kind = MmKind::Auto,
                                       int depth = -1);
 
 /// Lemma 19: distances up to `m_bound` (larger distances become inf) for

@@ -220,8 +220,12 @@ CountOutcome count_5cycles_cc(const Graph& g, MmKind kind, int depth) {
   clique::Network net(big);
 
   const auto a = pad_matrix(g.adjacency(), big, std::int64_t{0});
-  const auto a2 = engine.multiply(net, a, a);
-  const auto a3 = engine.multiply(net, a2, a);
+  // One dispatch context over both products: A^2's pattern contains every
+  // length-2 reachability, so if A * A already went dense the A^2 * A
+  // product replays the locked engine with no second announcement.
+  MmDispatchContext ctx;
+  const auto a2 = engine.multiply(net, a, a, &ctx);
+  const auto a3 = engine.multiply(net, a2, a, &ctx);
 
   // For symmetric A, A^3 is symmetric, so tr(A^5) = sum_{u,v} A^2[u,v]
   // A^3[v,u] = sum_{u,v} A^2[u,v] A^3[u,v] needs no transpose: node u owns

@@ -44,18 +44,18 @@ struct BatchCountOutcome {
 /// runs. Undirected graphs only (the per-graph transpose superstep of the
 /// directed path would serialise the batch).
 [[nodiscard]] BatchCountOutcome count_triangles_cc_batch(
-    std::span<const Graph> gs, MmKind kind = MmKind::Fast, int depth = -1);
+    std::span<const Graph> gs, MmKind kind = MmKind::Auto, int depth = -1);
 
 /// Number of triangles (3-cliques / directed 3-cycles) of g, computed on a
 /// padded clique with the chosen engine. `depth` forces the Strassen tensor
 /// power for MmKind::Fast (-1 = auto).
 [[nodiscard]] CountOutcome count_triangles_cc(const Graph& g,
-                                              MmKind kind = MmKind::Fast,
+                                              MmKind kind = MmKind::Auto,
                                               int depth = -1);
 
 /// Number of simple 4-cycles (directed 4-cycles for digraphs).
 [[nodiscard]] CountOutcome count_4cycles_cc(const Graph& g,
-                                            MmKind kind = MmKind::Fast,
+                                            MmKind kind = MmKind::Auto,
                                             int depth = -1);
 
 /// Number of simple 5-cycles in an UNDIRECTED graph. The paper notes that
@@ -68,7 +68,7 @@ struct BatchCountOutcome {
 /// sum_{u,v} A^2[u,v] A^3[u,v] is local per row for symmetric A, and the
 /// diagonal/degree terms are local — so the cost stays O(n^rho).
 [[nodiscard]] CountOutcome count_5cycles_cc(const Graph& g,
-                                            MmKind kind = MmKind::Fast,
+                                            MmKind kind = MmKind::Auto,
                                             int depth = -1);
 
 }  // namespace cca::core

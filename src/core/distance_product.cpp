@@ -70,6 +70,47 @@ struct WDistCodec {
   }
 };
 
+/// Lift S entries to carry their column index as witness. Infinite entries
+/// lift to the EXACT semiring zero {kInf, -1} — not {kInf, j} — so the
+/// sparse engine's pattern scan (and the Auto dispatcher's announcement)
+/// sees them as zeros. Element-identical to the historical lift: every
+/// product term passes through mul, which annihilates any d >= kInf to
+/// {kInf, -1} before it can reach an output entry.
+Matrix<WDist> lift_with_witness(const Matrix<std::int64_t>& m) {
+  const int n = m.rows();
+  Matrix<WDist> out(n, n);
+  parallel_for(0, n, [&](int i) {
+    for (int j = 0; j < n; ++j)
+      out(i, j) = {m(i, j), m(i, j) >= kInf ? -1 : j};
+  });
+  return out;
+}
+
+/// Lift T entries witness-less ({d, -1}); infinite entries are the exact
+/// semiring zero.
+Matrix<WDist> lift_plain(const Matrix<std::int64_t>& m) {
+  const int n = m.rows();
+  Matrix<WDist> out(n, n);
+  parallel_for(0, n, [&](int i) {
+    for (int j = 0; j < n; ++j) out(i, j) = {m(i, j), -1};
+  });
+  return out;
+}
+
+/// Project a witness-semiring product back to (distances, witnesses).
+WitnessedProduct unpack_witnessed(const Matrix<WDist>& prod) {
+  const int n = prod.rows();
+  WitnessedProduct o{Matrix<std::int64_t>(n, n, kInf), Matrix<int>(n, n, -1)};
+  parallel_for(0, n, [&](int i) {
+    for (int j = 0; j < n; ++j) {
+      o.dist(i, j) = prod(i, j).d >= kInf ? kInf : prod(i, j).d;
+      o.witness(i, j) =
+          prod(i, j).d >= kInf ? -1 : static_cast<int>(prod(i, j).w);
+    }
+  });
+  return o;
+}
+
 }  // namespace
 
 Matrix<std::int64_t> dp_semiring(clique::Network& net,
@@ -86,6 +127,56 @@ Matrix<std::int64_t> dp_semiring_auto(clique::Network& net,
   const MinPlusSemiring sr;
   const I64Codec codec;
   return mm_semiring_auto(net, sr, codec, s, t);
+}
+
+Matrix<std::int64_t> dp_semiring_sparse(clique::Network& net,
+                                        const Matrix<std::int64_t>& s,
+                                        const Matrix<std::int64_t>& t) {
+  const MinPlusSemiring sr;
+  const I64Codec codec;
+  return mm_semiring_sparse(net, sr, codec, s, t);
+}
+
+WitnessedProduct dp_semiring_witness_sparse(clique::Network& net,
+                                            const Matrix<std::int64_t>& s,
+                                            const Matrix<std::int64_t>& t) {
+  const WitnessMinPlus sr;
+  const WDistCodec codec;
+  return unpack_witnessed(
+      mm_semiring_sparse(net, sr, codec, lift_with_witness(s), lift_plain(t)));
+}
+
+WitnessedProduct dp_semiring_witness_auto(clique::Network& net,
+                                          const Matrix<std::int64_t>& s,
+                                          const Matrix<std::int64_t>& t,
+                                          MmDispatchContext* ctx) {
+  const WitnessMinPlus sr;
+  const WDistCodec codec;
+  return unpack_witnessed(mm_semiring_auto(net, sr, codec,
+                                           lift_with_witness(s), lift_plain(t),
+                                           nullptr, nullptr, nullptr, ctx));
+}
+
+std::vector<WitnessedProduct> dp_semiring_witness_batch_auto(
+    clique::Network& net, std::span<const Matrix<std::int64_t>> ss,
+    std::span<const Matrix<std::int64_t>> ts, MmDispatchContext* ctx) {
+  const std::size_t batch = ss.size();
+  CCA_EXPECTS(batch >= 1 && ts.size() == batch);
+  const WitnessMinPlus sr;
+  const WDistCodec codec;
+  std::vector<Matrix<WDist>> ws(batch), wt(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    ws[b] = lift_with_witness(ss[b]);
+    wt[b] = lift_plain(ts[b]);
+  }
+  const auto prods = mm_semiring_auto_batch(
+      net, sr, codec, std::span<const Matrix<WDist>>(ws),
+      std::span<const Matrix<WDist>>(wt), ctx);
+  std::vector<WitnessedProduct> out;
+  out.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b)
+    out.push_back(unpack_witnessed(prods[b]));
+  return out;
 }
 
 WitnessedProduct dp_semiring_witness(clique::Network& net,
@@ -111,14 +202,8 @@ std::vector<WitnessedProduct> dp_semiring_witness_batch(
   // (node-local row transforms — run on the worker group).
   std::vector<Matrix<WDist>> ws(batch), wt(batch);
   for (std::size_t b = 0; b < batch; ++b) {
-    ws[b] = Matrix<WDist>(n, n);
-    wt[b] = Matrix<WDist>(n, n);
-    parallel_for(0, n, [&](int i) {
-      for (int j = 0; j < n; ++j) {
-        ws[b](i, j) = {ss[b](i, j), j};
-        wt[b](i, j) = {ts[b](i, j), -1};
-      }
-    });
+    ws[b] = lift_with_witness(ss[b]);
+    wt[b] = lift_plain(ts[b]);
   }
   const WitnessMinPlus sr;
   const WDistCodec codec;
@@ -128,19 +213,8 @@ std::vector<WitnessedProduct> dp_semiring_witness_batch(
 
   std::vector<WitnessedProduct> out;
   out.reserve(batch);
-  for (std::size_t b = 0; b < batch; ++b) {
-    const auto& prod = prods[b];
-    WitnessedProduct o{Matrix<std::int64_t>(n, n, kInf),
-                       Matrix<int>(n, n, -1)};
-    parallel_for(0, n, [&](int i) {
-      for (int j = 0; j < n; ++j) {
-        o.dist(i, j) = prod(i, j).d >= kInf ? kInf : prod(i, j).d;
-        o.witness(i, j) =
-            prod(i, j).d >= kInf ? -1 : static_cast<int>(prod(i, j).w);
-      }
-    });
-    out.push_back(std::move(o));
-  }
+  for (std::size_t b = 0; b < batch; ++b)
+    out.push_back(unpack_witnessed(prods[b]));
   return out;
 }
 
@@ -148,7 +222,8 @@ Matrix<std::int64_t> dp_ring_embedded(clique::Network& net,
                                       const BilinearAlgorithm& alg,
                                       const Matrix<std::int64_t>& s,
                                       const Matrix<std::int64_t>& t,
-                                      std::int64_t m_bound) {
+                                      std::int64_t m_bound,
+                                      MmDispatchContext* ctx) {
   CCA_EXPECTS(m_bound >= 0);
   const int n = s.rows();
   CCA_EXPECTS(s.cols() == n && t.rows() == n && t.cols() == n);
@@ -170,7 +245,17 @@ Matrix<std::int64_t> dp_ring_embedded(clique::Network& net,
     return out;
   };
 
-  const auto prod = mm_fast_bilinear(net, ring, codec, alg, embed(s), embed(t));
+  // ctx routes the embedded product through the nnz-adaptive dispatcher
+  // (zero polynomials — infinite distances — are the ring zeros, so a
+  // mostly-infinite iterate pays sparse rounds); ctx == nullptr keeps the
+  // historical fixed bilinear engine bit-identical.
+  const auto es = embed(s);
+  const auto et = embed(t);
+  const auto prod =
+      ctx != nullptr
+          ? mm_semiring_auto(net, ring, codec, es, et, &alg, nullptr, nullptr,
+                             ctx)
+          : mm_fast_bilinear(net, ring, codec, alg, es, et);
 
   Matrix<std::int64_t> out(n, n, kInf);
   parallel_for(0, n, [&](int i) {
@@ -186,7 +271,8 @@ Matrix<std::int64_t> dp_approx(clique::Network& net,
                                const BilinearAlgorithm& alg,
                                const Matrix<std::int64_t>& s,
                                const Matrix<std::int64_t>& t,
-                               std::int64_t m_bound, double delta) {
+                               std::int64_t m_bound, double delta,
+                               MmDispatchContext* ctx) {
   CCA_EXPECTS(delta > 0);
   CCA_EXPECTS(m_bound >= 0);
   const int n = s.rows();
@@ -231,7 +317,7 @@ Matrix<std::int64_t> dp_approx(clique::Network& net,
       return out;
     };
     const auto pi =
-        dp_ring_embedded(net, alg, build(s), build(t), scaled_bound);
+        dp_ring_embedded(net, alg, build(s), build(t), scaled_bound, ctx);
     for (int a = 0; a < n; ++a)
       for (int b = 0; b < n; ++b) {
         if (pi(a, b) >= kInf) continue;

@@ -26,11 +26,21 @@
 
 namespace cca::core {
 
+struct MmDispatchContext;  // core/mm.hpp — iterated-dispatch state
+
 /// Exact distance product P = S * T (min-plus) in O(n^{1/3}) rounds.
 /// Requires net.n() == dimension of S, T and a perfect cube.
 [[nodiscard]] Matrix<std::int64_t> dp_semiring(clique::Network& net,
                                                const Matrix<std::int64_t>& s,
                                                const Matrix<std::int64_t>& t);
+
+/// Exact distance product via the FIXED sparse engine: finite entries are
+/// the min-plus nonzeros (kInf is the annihilating semiring zero the
+/// documented Semiring contract licenses skipping), so rounds scale with
+/// the finite-entry volume. Any net.n() == dimension is admissible.
+[[nodiscard]] Matrix<std::int64_t> dp_semiring_sparse(
+    clique::Network& net, const Matrix<std::int64_t>& s,
+    const Matrix<std::int64_t>& t);
 
 /// Sparsity-sensitive exact distance product: finite entries are the
 /// min-plus nonzeros, so a graph with few edges (most pairs at infinity)
@@ -55,6 +65,31 @@ struct WitnessedProduct {
     clique::Network& net, const Matrix<std::int64_t>& s,
     const Matrix<std::int64_t>& t);
 
+/// Witness-carrying distance product via the fixed sparse engine — the
+/// sparse engine lifted to the min-plus-with-witness semiring, whose zero
+/// {inf, -1} is an additive identity AND two-sided annihilator (infinite
+/// entries lift to exactly that zero), so finite entries are the nonzeros
+/// just as in dp_semiring_sparse. Distances AND witnesses are
+/// element-identical to dp_semiring_witness: the lexicographic witness add
+/// is a total-order min, so no merge order can change the chosen witness —
+/// but callers should rely only on the documented witness contract
+/// (dist(u,v) = S(u,Q(u,v)) + T(Q(u,v),v)), which is what the tests
+/// assert. Any net.n() == dimension is admissible.
+[[nodiscard]] WitnessedProduct dp_semiring_witness_sparse(
+    clique::Network& net, const Matrix<std::int64_t>& s,
+    const Matrix<std::int64_t>& t);
+
+/// nnz-adaptive witnessed product: one announcement of per-row finite
+/// counts, then whichever of the sparse / 3D witness engines plans fewer
+/// rounds runs (mm_semiring_auto under the witness semiring). `ctx`
+/// (optional) carries the densification hysteresis and engine trace across
+/// iterated squarings — the hook apsp_semiring uses for per-iteration
+/// dispatch: sparse rounds while the iterate is mostly infinite, a single
+/// flip to the dense engine once squaring has filled it in.
+[[nodiscard]] WitnessedProduct dp_semiring_witness_auto(
+    clique::Network& net, const Matrix<std::int64_t>& s,
+    const Matrix<std::int64_t>& t, MmDispatchContext* ctx = nullptr);
+
 /// B independent witnessed distance products through SHARED supersteps
 /// (mm_semiring_3d_batch under the witness-carrying semiring): one routing
 /// schedule per superstep serves the whole batch. Results are
@@ -64,23 +99,44 @@ struct WitnessedProduct {
     clique::Network& net, std::span<const Matrix<std::int64_t>> ss,
     std::span<const Matrix<std::int64_t>> ts);
 
+/// Batched nnz-adaptive witnessed products through SHARED supersteps
+/// (mm_semiring_auto_batch under the witness semiring): one B-word
+/// announcement superstep, then either the batched sparse engine or the
+/// batched 3D engine for the whole batch. Element-identical to B
+/// dp_semiring_witness calls; the engine under apsp_semiring_batch.
+[[nodiscard]] std::vector<WitnessedProduct> dp_semiring_witness_batch_auto(
+    clique::Network& net, std::span<const Matrix<std::int64_t>> ss,
+    std::span<const Matrix<std::int64_t>> ts,
+    MmDispatchContext* ctx = nullptr);
+
 /// Lemma 18: distance product of matrices with entries in {0,...,M} u {inf}
 /// via the polynomial-ring embedding and the fast bilinear multiplication.
 /// Entries greater than M (other than inf) are treated as inf.
 /// Requires an admissible net for `alg` (see mm_fast_bilinear).
+///
+/// With `ctx` the embedded product goes through the nnz-adaptive
+/// dispatcher instead of the fixed bilinear engine: zero polynomials (=
+/// infinite distances) are the ring zeros, so a mostly-infinite iterate
+/// pays sparse rounds until it densifies, with the context's hysteresis
+/// across calls — the hook behind apsp_bounded / apsp_approx. ctx ==
+/// nullptr keeps the historical fixed-engine path bit-identical.
 [[nodiscard]] Matrix<std::int64_t> dp_ring_embedded(
     clique::Network& net, const BilinearAlgorithm& alg,
     const Matrix<std::int64_t>& s, const Matrix<std::int64_t>& t,
-    std::int64_t m_bound);
+    std::int64_t m_bound, MmDispatchContext* ctx = nullptr);
 
 /// Lemma 20: matrix P~ with P <= P~ <= (1+delta) P entrywise, where
 /// P = S * T, for entries in {0,...,M} u {inf}. Uses
 /// O(log_{1+delta} M) calls to dp_ring_embedded with entry bound O(1/delta).
+/// `ctx` (optional) threads the per-product nnz dispatch through every
+/// level's embedded product (admission windows widen level over level, so
+/// the hysteresis stays monotone).
 [[nodiscard]] Matrix<std::int64_t> dp_approx(clique::Network& net,
                                              const BilinearAlgorithm& alg,
                                              const Matrix<std::int64_t>& s,
                                              const Matrix<std::int64_t>& t,
                                              std::int64_t m_bound,
-                                             double delta);
+                                             double delta,
+                                             MmDispatchContext* ctx = nullptr);
 
 }  // namespace cca::core

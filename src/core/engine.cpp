@@ -49,7 +49,8 @@ double IntMmEngine::rho() const noexcept {
 
 Matrix<std::int64_t> IntMmEngine::multiply(clique::Network& net,
                                            const Matrix<std::int64_t>& a,
-                                           const Matrix<std::int64_t>& b) const {
+                                           const Matrix<std::int64_t>& b,
+                                           MmDispatchContext* ctx) const {
   CCA_EXPECTS(net.n() == clique_n_);
   const IntRing ring;
   const I64Codec codec;
@@ -62,14 +63,16 @@ Matrix<std::int64_t> IntMmEngine::multiply(clique::Network& net,
       return mm_naive_broadcast(net, ring, 1, a, b);
     case MmKind::Auto:
       return mm_semiring_auto(net, ring, codec, a, b,
-                              fast_ok_ ? &alg_ : nullptr);
+                              fast_ok_ ? &alg_ : nullptr, nullptr, nullptr,
+                              ctx);
   }
   return {};
 }
 
 std::vector<Matrix<std::int64_t>> IntMmEngine::multiply_batch(
     clique::Network& net, std::span<const Matrix<std::int64_t>> as,
-    std::span<const Matrix<std::int64_t>> bs) const {
+    std::span<const Matrix<std::int64_t>> bs,
+    MmDispatchContext* ctx) const {
   CCA_EXPECTS(net.n() == clique_n_);
   CCA_EXPECTS(!as.empty() && as.size() == bs.size());
   const IntRing ring;
@@ -87,83 +90,10 @@ std::vector<Matrix<std::int64_t>> IntMmEngine::multiply_batch(
       return out;
     }
     case MmKind::Auto:
-      return multiply_batch_auto(net, as, bs);
+      return mm_semiring_auto_batch(net, ring, codec, as, bs, ctx,
+                                    fast_ok_ ? &alg_ : nullptr);
   }
   return {};
-}
-
-std::vector<Matrix<std::int64_t>> IntMmEngine::multiply_batch_auto(
-    clique::Network& net, std::span<const Matrix<std::int64_t>> as,
-    std::span<const Matrix<std::int64_t>> bs) const {
-  const IntRing ring;
-  const I64Codec codec;
-  const int n = clique_n_;
-  const std::size_t batch = as.size();
-  if (batch == 1 || n == 1) {
-    std::vector<Matrix<std::int64_t>> out;
-    out.reserve(batch);
-    for (std::size_t b = 0; b < batch; ++b)
-      out.push_back(multiply(net, as[b], bs[b]));
-    return out;
-  }
-
-  // Shared announcement superstep: every node ships the B packed per-row
-  // nnz pairs over every link (direct schedule, B rounds) so the whole
-  // batch dispatches at once.
-  std::vector<SparsePattern> s_rows, t_rows;
-  s_rows.reserve(batch);
-  t_rows.reserve(batch);
-  for (std::size_t b = 0; b < batch; ++b) {
-    s_rows.push_back(sparse_pattern(ring, as[b]));
-    t_rows.push_back(sparse_pattern(ring, bs[b]));
-  }
-  parallel_for(0, n, [&](int v) {
-    const auto vs = static_cast<std::size_t>(v);
-    for (int u = 0; u < n; ++u) {
-      if (u == v) continue;
-      const auto msg = net.stage(v, u, batch);
-      for (std::size_t b = 0; b < batch; ++b)
-        msg[b] = detail::pack_nnz_pair(s_rows[b][vs].size(),
-                                       t_rows[b][vs].size());
-    }
-  });
-  net.deliver(clique::Router::Direct);
-
-  // Sparse plans for every product, against the shared batched 3D engine.
-  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
-  std::vector<SparseMmStructure> sts(batch);
-  std::int64_t sparse_total = 0;
-  for (std::size_t b = 0; b < batch && sparse_total < kMax; ++b) {
-    if (sparse_triple_count(n, s_rows[b], t_rows[b]) > sparse_plan_cap(n)) {
-      sparse_total = kMax;
-      break;
-    }
-    sts[b] = build_sparse_mm_structure(
-        n, s_rows[b], t_rows[b],
-        [&](std::size_t c) { return codec.words_for(c); });
-    sparse_total += sparse_planned_rounds(net, sts[b]);
-  }
-  const int c = static_cast<int>(icbrt(n));
-  const auto steps = semiring3d_superstep_demands(
-      n, codec.words_for(static_cast<std::size_t>(c) * c), batch);
-  std::int64_t batch3d = kMax;
-  if (relay_round_lower_bound(n, steps.first) +
-          relay_round_lower_bound(n, steps.second) <
-      sparse_total)
-    batch3d = net.prepare_schedule(steps.first) +
-              net.prepare_schedule(steps.second);
-
-  std::vector<Matrix<std::int64_t>> out;
-  out.reserve(batch);
-  // Ties prefer the sparse path, matching mm_semiring_auto (and the skip
-  // gate's soundness argument, which assumes exactly that).
-  if (sparse_total <= batch3d) {
-    for (std::size_t b = 0; b < batch; ++b)
-      out.push_back(detail::mm_semiring_sparse_staged(net, ring, codec,
-                                                      as[b], bs[b], sts[b]));
-    return out;
-  }
-  return mm_semiring_3d_batch(net, ring, codec, as, bs);
 }
 
 }  // namespace cca::core

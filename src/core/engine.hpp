@@ -49,10 +49,15 @@ class IntMmEngine {
   /// so girth's ell = ceil(2 + 2/rho) threshold stays valid as stated.
   [[nodiscard]] double rho() const noexcept;
 
-  /// Product of clique_n() x clique_n() integer matrices.
+  /// Product of clique_n() x clique_n() integer matrices. `ctx` (optional,
+  /// Auto only) threads the per-iteration dispatch state of an ITERATED
+  /// caller (Seidel levels, girth doubling, APSP squarings) through
+  /// mm_semiring_auto: each call re-plans from the CURRENT iterate's nnz
+  /// announcement, and the context's hysteresis stops re-announcing once a
+  /// dense engine has won (see MmDispatchContext).
   [[nodiscard]] Matrix<std::int64_t> multiply(
       clique::Network& net, const Matrix<std::int64_t>& a,
-      const Matrix<std::int64_t>& b) const;
+      const Matrix<std::int64_t>& b, MmDispatchContext* ctx = nullptr) const;
 
   /// B independent products as[i] * bs[i] through SHARED supersteps (the
   /// multi-instance engine: one routing schedule per superstep carries all
@@ -64,13 +69,10 @@ class IntMmEngine {
   /// links) and degrades to the sequential loop.
   [[nodiscard]] std::vector<Matrix<std::int64_t>> multiply_batch(
       clique::Network& net, std::span<const Matrix<std::int64_t>> as,
-      std::span<const Matrix<std::int64_t>> bs) const;
+      std::span<const Matrix<std::int64_t>> bs,
+      MmDispatchContext* ctx = nullptr) const;
 
  private:
-  [[nodiscard]] std::vector<Matrix<std::int64_t>> multiply_batch_auto(
-      clique::Network& net, std::span<const Matrix<std::int64_t>> as,
-      std::span<const Matrix<std::int64_t>> bs) const;
-
   MmKind kind_;
   int clique_n_;
   BilinearAlgorithm alg_;   // used by MmKind::Fast and Auto's fast candidate

@@ -34,13 +34,13 @@ struct GirthOutcome {
 /// for k >= 5 (the default suffices with high probability for test sizes).
 [[nodiscard]] GirthOutcome girth_undirected_cc(const Graph& g,
                                                std::uint64_t seed,
-                                               MmKind kind = MmKind::Fast,
+                                               MmKind kind = MmKind::Auto,
                                                int depth = -1,
                                                int trial_factor = 1);
 
 /// Corollary 16.
 [[nodiscard]] GirthOutcome girth_directed_cc(const Graph& g,
-                                             MmKind kind = MmKind::Fast,
+                                             MmKind kind = MmKind::Auto,
                                              int depth = -1);
 
 }  // namespace cca::core

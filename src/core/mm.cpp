@@ -324,6 +324,50 @@ std::int64_t sparse_planned_rounds(clique::Network& net,
          net.prepare_schedule(st.contribute);
 }
 
+namespace {
+
+/// Merge per-product canonical demand lists into the canonical list of the
+/// SHARED batched superstep: the per-pair blocks concatenate on the wire,
+/// so words add per (src, dst) — exactly the list Network::deliver derives
+/// from the batched staging.
+std::vector<clique::Demand> merge_demands(
+    std::span<const SparseMmStructure> sts,
+    std::vector<clique::Demand> SparseMmStructure::* phase) {
+  std::vector<clique::Demand> all;
+  for (const auto& st : sts)
+    if (!st.trivial)
+      all.insert(all.end(), (st.*phase).begin(), (st.*phase).end());
+  std::sort(all.begin(), all.end(),
+            [](const clique::Demand& a, const clique::Demand& b) {
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
+  std::vector<clique::Demand> out;
+  out.reserve(all.size());
+  for (const auto& d : all) {
+    if (!out.empty() && out.back().src == d.src && out.back().dst == d.dst)
+      out.back().words += d.words;
+    else
+      out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::int64_t sparse_planned_rounds_batch(
+    clique::Network& net, std::span<const SparseMmStructure> sts) {
+  std::int64_t live = 0;
+  for (const auto& st : sts)
+    if (!st.trivial) ++live;
+  if (live == 0) return 0;
+  return live +
+         net.prepare_schedule(merge_demands(sts, &SparseMmStructure::gather)) +
+         net.prepare_schedule(
+             merge_demands(sts, &SparseMmStructure::distribute)) +
+         net.prepare_schedule(
+             merge_demands(sts, &SparseMmStructure::contribute));
+}
+
 int semiring_clique_size(int n) {
   CCA_EXPECTS(n >= 1);
   return static_cast<int>(next_cube(n));

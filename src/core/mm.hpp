@@ -889,12 +889,363 @@ fast_bilinear_superstep_demands(int n, const BilinearAlgorithm& alg,
 [[nodiscard]] std::int64_t sparse_planned_rounds(clique::Network& net,
                                                  const SparseMmStructure& st);
 
+/// Batched planned rounds of the staged sparse phases for B built
+/// structures sharing every superstep (the mm_semiring_sparse_batch /
+/// batched-Auto cost model): live column-count announcements (one word per
+/// link per non-trivial product, one shared superstep) plus the schedules
+/// of the three MERGED demand lists — per-product canonical demands summed
+/// per (src, dst), exactly what Network::deliver derives from the batched
+/// staging. Shared with the executor so the cost models cannot drift.
+[[nodiscard]] std::int64_t sparse_planned_rounds_batch(
+    clique::Network& net, std::span<const SparseMmStructure> sts);
+
 namespace detail {
 
 /// The staged phases of the sparse algorithm AFTER the row-nnz announcement
-/// (gather -> column-count announcement -> distribute -> contribute), so a
-/// dispatcher that already announced can run the remainder without paying
+/// (gather -> column-count announcement -> distribute -> contribute), for a
+/// BATCH of B products sharing every superstep: product b's per-pair block
+/// follows product b-1's inside the same staged message (block membership
+/// and sizes come from the structures, which every node derives from the
+/// announcements), so the whole batch pays ONE routing schedule per phase.
+/// A dispatcher that already announced can run the remainder without paying
 /// the announcement twice. Charges exactly
+///   live + sched(merged gather) + sched(merged distribute)
+///        + sched(merged contribute)
+/// rounds, where live = #non-trivial products (their column-count
+/// announcements share one superstep, one word per link each) — the same
+/// value sparse_planned_rounds_batch computes from the structures. The
+/// batch-of-one instance stages byte-identical traffic to the historical
+/// single-product implementation (pinned in test_sparse.cpp).
+template <Semiring S, typename Codec>
+[[nodiscard]] std::vector<Matrix<typename S::Value>>
+mm_semiring_sparse_staged_batch(
+    clique::Network& net, const S& sr, const Codec& codec,
+    std::span<const Matrix<typename S::Value>> ss,
+    std::span<const Matrix<typename S::Value>> ts,
+    std::span<const SparseMmStructure> sts,
+    MmStepProfile* profile = nullptr) {
+  using V = typename S::Value;
+  using SC = SparseCodec<Codec>;
+  using Index = typename SC::Index;
+  const SC scodec{codec};
+  const int n = net.n();
+  const std::size_t batch = ss.size();
+  CCA_EXPECTS(ts.size() == batch && sts.size() == batch);
+  std::vector<Matrix<V>> out;
+  out.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b) out.emplace_back(n, n, sr.zero());
+  std::int64_t live = 0;
+  for (const auto& st : sts)
+    if (!st.trivial) ++live;
+  if (live == 0) return out;
+  const auto vw1 = codec.words_for(1);
+  detail::StepClock clock(profile);
+
+  // Gather: every off-diagonal nonzero S_b[i,k] travels to column holder k
+  // as a bare value (the row index is the sender id) — except entries of
+  // columns whose T_b row is empty: the step-0 announcement already told
+  // every node those intermediates form no triple, so their values stay
+  // put (matching the plans' gather demands). Senders own distinct
+  // outboxes, so the staging loop is parallel-over-senders; a pair's
+  // per-product values concatenate in product order.
+  std::vector<std::vector<std::uint8_t>> t_row_alive(
+      batch, std::vector<std::uint8_t>(static_cast<std::size_t>(n), 0));
+  parallel_for(0, n, [&](int k) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (sts[b].trivial) continue;
+      for (int j = 0; j < n; ++j)
+        if (!(ts[b](k, j) == sr.zero())) {
+          t_row_alive[b][static_cast<std::size_t>(k)] = 1;
+          break;
+        }
+    }
+  });
+  parallel_for(0, n, [&](int i) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (sts[b].trivial) continue;
+      for (int k = 0; k < n; ++k) {
+        if (k == i || t_row_alive[b][static_cast<std::size_t>(k)] == 0 ||
+            ss[b](i, k) == sr.zero())
+          continue;
+        const auto msg = net.stage(i, k, vw1);
+        codec.encode_into(std::span<const V>(&ss[b](i, k), 1), msg.data());
+      }
+    }
+  });
+  clock.lap("gather stage");
+  net.deliver();
+  clock.lap("gather deliver");
+
+  // Column holders decode their columns (distinct k per iteration), the
+  // per-sender word offset advancing across products. Dead columns
+  // (t_k == 0, nothing gathered) keep no values — no chunk ever references
+  // them.
+  std::vector<std::vector<std::vector<V>>> colvals(
+      batch, std::vector<std::vector<V>>(static_cast<std::size_t>(n)));
+  parallel_for(0, n, [&](int k) {
+    const auto ks = static_cast<std::size_t>(k);
+    std::vector<std::size_t> off(static_cast<std::size_t>(n), 0);
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (sts[b].trivial || sts[b].group_size[ks] == 0) continue;
+      const auto& rows = sts[b].s_cols[ks];
+      auto& vals = colvals[b][ks];
+      vals.assign(rows.size(), sr.zero());
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        const int i = rows[r];
+        if (i == k) {
+          vals[r] = ss[b](k, k);
+          continue;
+        }
+        const auto in = net.inbox(k, i);
+        auto& at = off[static_cast<std::size_t>(i)];
+        CCA_ASSERT(at + vw1 <= in.size());
+        codec.decode_into(in.data() + at, 1, &vals[r]);
+        at += vw1;
+      }
+    }
+    // Every gathered word must be consumed — the structures and the
+    // staging loop derive the same per-pair volumes (the batch analogue of
+    // the single-product in.size() == vw1 assert).
+    for (int i = 0; i < n; ++i)
+      CCA_ASSERT(off[static_cast<std::size_t>(i)] ==
+                 net.inbox(k, i).size());
+  });
+  clock.lap("gather decode");
+
+  // Column-count announcement: with the row counts from the first
+  // announcement this gives every node every live product's t_k profile,
+  // hence the same balanced worker partitions the structures encode. The
+  // live products' counts ride one superstep (one word per link each), so
+  // the charge is broadcast_all's 1 round per live product.
+  if (n > 1) net.charge_rounds(live);
+
+  // Sparse views of the T rows (needed by distribute and by local work).
+  std::vector<std::vector<std::vector<Index>>> trow_idx(
+      batch, std::vector<std::vector<Index>>(static_cast<std::size_t>(n)));
+  std::vector<std::vector<std::vector<V>>> trow_val(
+      batch, std::vector<std::vector<V>>(static_cast<std::size_t>(n)));
+  parallel_for(0, n, [&](int k) {
+    const auto ks = static_cast<std::size_t>(k);
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (sts[b].trivial) continue;
+      auto& idx = trow_idx[b][ks];
+      auto& val = trow_val[b][ks];
+      for (int j = 0; j < n; ++j) {
+        if (ts[b](k, j) == sr.zero()) continue;
+        idx.push_back(static_cast<Index>(j));
+        val.push_back(ts[b](k, j));
+      }
+    }
+  });
+
+  // Distribute: holder k ships chunk r of its column plus its T row to each
+  // extra worker, as [a_cnt][b_cnt] header words followed by two
+  // SparseCodec blocks; per-pair messages concatenate in product order.
+  parallel_for(0, n, [&](int k) {
+    const auto ks = static_cast<std::size_t>(k);
+    std::vector<Index> aidx;
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (sts[b].trivial) continue;
+      const auto& st = sts[b];
+      const int g = st.group_size[ks];
+      const auto& rows = st.s_cols[ks];
+      for (int r = 1; r < g; ++r) {
+        const int w = st.extras[ks][static_cast<std::size_t>(r - 1)];
+        const auto [lo, hi] =
+            sparse_chunk_bounds(static_cast<int>(rows.size()), g, r);
+        const auto a_cnt = static_cast<std::size_t>(hi - lo);
+        const auto b_cnt = trow_idx[b][ks].size();
+        const auto a_words = scodec.words_for(a_cnt);
+        const auto msg =
+            net.stage(k, w, 2 + a_words + scodec.words_for(b_cnt));
+        msg[0] = a_cnt;
+        msg[1] = b_cnt;
+        aidx.clear();
+        for (int x = lo; x < hi; ++x)
+          aidx.push_back(
+              static_cast<Index>(rows[static_cast<std::size_t>(x)]));
+        scodec.encode_into(
+            aidx, std::span<const V>(colvals[b][ks].data() + lo, a_cnt),
+            msg.data() + 2);
+        scodec.encode_into(trow_idx[b][ks], trow_val[b][ks],
+                           msg.data() + 2 + a_words);
+      }
+    }
+  });
+  clock.lap("distribute stage");
+  net.deliver();
+  clock.lap("distribute deliver");
+
+  // Contribute: every worker multiplies its triples per product, merging
+  // contributions per output row across its intermediates (union of the
+  // T-row patterns — entries are sent when TOUCHED, value zero or not, so
+  // the message sizes are exactly the structures' value-independent
+  // counts). The worker's own row folds locally; every other row ships as
+  // [cnt] + SparseCodec block, product b's blocks after product b-1's.
+  parallel_for(0, n, [&](int w) {
+    const auto ws = static_cast<std::size_t>(w);
+    std::vector<std::size_t> doff(static_cast<std::size_t>(n), 0);
+    // Work items: (a-row id, a-value, intermediate k) triples from the
+    // own chunk plus every received chunk, grouped per output row. The
+    // n-sized scratch is shared across the products (each product's row
+    // loop restores acc/touched to zero and clears its row slots), so the
+    // per-superstep allocation stays O(n), not O(B n).
+    struct Item {
+      int k;
+      const std::vector<Index>* bidx;
+      const std::vector<V>* bval;
+    };
+    std::vector<Item> items;
+    std::vector<std::vector<std::pair<std::size_t, V>>> per_row(
+        static_cast<std::size_t>(n));
+    auto row_slot = [&](int i) -> std::vector<std::pair<std::size_t, V>>& {
+      return per_row[static_cast<std::size_t>(i)];
+    };
+    std::vector<int> rows_touched;
+    auto add_entry = [&](int i, std::size_t item, const V& aval) {
+      if (row_slot(i).empty()) rows_touched.push_back(i);
+      row_slot(i).push_back({item, aval});
+    };
+    std::vector<V> acc(static_cast<std::size_t>(n), sr.zero());
+    std::vector<std::uint8_t> touched(static_cast<std::size_t>(n), 0);
+    std::vector<Index> jlist;
+    std::vector<V> vlist;
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (sts[b].trivial) continue;
+      const auto& st = sts[b];
+      items.clear();
+      // Own chunk (worker 0 of intermediate w).
+      if (st.group_size[ws] >= 1) {
+        const auto& rows = st.s_cols[ws];
+        const auto [lo, hi] = sparse_chunk_bounds(
+            static_cast<int>(rows.size()), st.group_size[ws], 0);
+        items.push_back({w, &trow_idx[b][ws], &trow_val[b][ws]});
+        for (int x = lo; x < hi; ++x)
+          add_entry(rows[static_cast<std::size_t>(x)], items.size() - 1,
+                    colvals[b][ws][static_cast<std::size_t>(x)]);
+      }
+      // Received chunks, ascending by intermediate, read at the pair's
+      // running word offset (earlier products' chunks precede). Decoded
+      // blocks must outlive the loop, so they land in stable per-item
+      // storage.
+      const auto& ext = st.worker_extras[ws];
+      std::vector<std::vector<Index>> dec_aidx(ext.size()),
+          dec_bidx(ext.size());
+      std::vector<std::vector<V>> dec_aval(ext.size()), dec_bval(ext.size());
+      for (std::size_t e = 0; e < ext.size(); ++e) {
+        const int k = ext[e].first;
+        const auto in = net.inbox(w, k);
+        auto& at = doff[static_cast<std::size_t>(k)];
+        CCA_ASSERT(at + 2 <= in.size());
+        const auto a_cnt = static_cast<std::size_t>(in[at]);
+        const auto b_cnt = static_cast<std::size_t>(in[at + 1]);
+        dec_aidx[e].resize(a_cnt);
+        dec_aval[e].resize(a_cnt, sr.zero());
+        dec_bidx[e].resize(b_cnt);
+        dec_bval[e].resize(b_cnt, sr.zero());
+        scodec.decode_into(in.data() + at + 2, a_cnt, dec_aidx[e].data(),
+                           dec_aval[e].data());
+        scodec.decode_into(in.data() + at + 2 + scodec.words_for(a_cnt),
+                           b_cnt, dec_bidx[e].data(), dec_bval[e].data());
+        at += 2 + scodec.words_for(a_cnt) + scodec.words_for(b_cnt);
+        items.push_back({k, &dec_bidx[e], &dec_bval[e]});
+        for (std::size_t x = 0; x < a_cnt; ++x)
+          add_entry(static_cast<int>(dec_aidx[e][x]), items.size() - 1,
+                    dec_aval[e][x]);
+      }
+      std::sort(rows_touched.begin(), rows_touched.end());
+
+      // Per output row: accumulate over the row's (item, a-value) pairs.
+      std::size_t contrib_at = 0;
+      for (const int i : rows_touched) {
+        jlist.clear();
+        for (const auto& [item, aval] : row_slot(i)) {
+          const auto& bidx = *items[item].bidx;
+          const auto& bval = *items[item].bval;
+          for (std::size_t x = 0; x < bidx.size(); ++x) {
+            const auto j = bidx[x];
+            const auto prod = sr.mul(aval, bval[x]);
+            if (touched[j] == 0) {
+              touched[j] = 1;
+              jlist.push_back(j);
+              acc[j] = prod;
+            } else {
+              acc[j] = sr.add(acc[j], prod);
+            }
+          }
+        }
+        std::sort(jlist.begin(), jlist.end());
+        // The plan's symbolic merge must agree with the numeric one.
+        CCA_ASSERT(contrib_at < st.contrib[ws].size());
+        CCA_ASSERT(st.contrib[ws][contrib_at].first == i);
+        CCA_ASSERT(st.contrib[ws][contrib_at].second ==
+                   static_cast<int>(jlist.size()));
+        ++contrib_at;
+        if (i == w) {
+          auto* orow = out[b].row(w);
+          for (const auto j : jlist)
+            orow[j] = sr.add(orow[j], acc[j]);
+        } else {
+          const auto msg =
+              net.stage(w, i, 1 + scodec.words_for(jlist.size()));
+          msg[0] = jlist.size();
+          vlist.clear();
+          for (const auto j : jlist) vlist.push_back(acc[j]);
+          scodec.encode_into(jlist, vlist, msg.data() + 1);
+        }
+        for (const auto j : jlist) {
+          touched[j] = 0;
+          acc[j] = sr.zero();
+        }
+        row_slot(i).clear();
+      }
+      CCA_ASSERT(contrib_at == st.contrib[ws].size());
+      rows_touched.clear();
+    }
+  });
+  clock.lap("contribute stage");
+  net.deliver();
+  clock.lap("contribute deliver");
+
+  // Fold the delivered contributions into the output rows (distinct row per
+  // iteration); each sender's message parses product by product, block
+  // membership coming from the structures' sorted contrib lists.
+  parallel_for(0, n, [&](int i) {
+    std::vector<Index> jbuf;
+    std::vector<V> vbuf;
+    for (int w = 0; w < n; ++w) {
+      if (w == i) continue;
+      const auto in = net.inbox(i, w);
+      if (in.empty()) continue;
+      std::size_t at = 0;
+      for (std::size_t b = 0; b < batch; ++b) {
+        if (sts[b].trivial) continue;
+        const auto& cl = sts[b].contrib[static_cast<std::size_t>(w)];
+        const auto it = std::lower_bound(
+            cl.begin(), cl.end(), i,
+            [](const std::pair<int, int>& p, int x) { return p.first < x; });
+        if (it == cl.end() || it->first != i) continue;
+        const auto cnt = static_cast<std::size_t>(in[at]);
+        CCA_ASSERT(cnt == static_cast<std::size_t>(it->second));
+        CCA_ASSERT(at + 1 + scodec.words_for(cnt) <= in.size());
+        jbuf.resize(cnt);
+        vbuf.assign(cnt, sr.zero());
+        scodec.decode_into(in.data() + at + 1, cnt, jbuf.data(),
+                           vbuf.data());
+        auto* orow = out[b].row(i);
+        for (std::size_t x = 0; x < cnt; ++x)
+          orow[jbuf[x]] = sr.add(orow[jbuf[x]], vbuf[x]);
+        at += 1 + scodec.words_for(cnt);
+      }
+      CCA_ASSERT(at == in.size());
+    }
+  });
+  clock.lap("contribute fold");
+  return out;
+}
+
+/// Batch-of-one wrapper: the historical single-product staged phases.
+/// Charges exactly
 ///   (trivial ? 0 : 1 + sched(gather) + sched(distribute) + sched(contribute))
 /// rounds — the same value the planner computes from the structure.
 template <Semiring S, typename Codec>
@@ -903,257 +1254,11 @@ template <Semiring S, typename Codec>
     const Matrix<typename S::Value>& s, const Matrix<typename S::Value>& t,
     const SparseMmStructure& st, MmStepProfile* profile = nullptr) {
   using V = typename S::Value;
-  using SC = SparseCodec<Codec>;
-  using Index = typename SC::Index;
-  const SC scodec{codec};
-  const int n = net.n();
-  Matrix<V> out(n, n, sr.zero());
-  if (st.trivial) return out;
-  const auto vw1 = codec.words_for(1);
-  detail::StepClock clock(profile);
-
-  // Gather: every off-diagonal nonzero S[i,k] travels to column holder k as
-  // a bare value (the row index is the sender id) — except entries of
-  // columns whose T row is empty: the step-0 announcement already told
-  // every node those intermediates form no triple, so their values stay
-  // put (matching the plan's gather demands). Senders own distinct
-  // outboxes, so the staging loop is parallel-over-senders.
-  std::vector<std::uint8_t> t_row_alive(static_cast<std::size_t>(n), 0);
-  parallel_for(0, n, [&](int k) {
-    for (int j = 0; j < n; ++j)
-      if (!(t(k, j) == sr.zero())) {
-        t_row_alive[static_cast<std::size_t>(k)] = 1;
-        break;
-      }
-  });
-  parallel_for(0, n, [&](int i) {
-    for (int k = 0; k < n; ++k) {
-      if (k == i || t_row_alive[static_cast<std::size_t>(k)] == 0 ||
-          s(i, k) == sr.zero())
-        continue;
-      const auto msg = net.stage(i, k, vw1);
-      codec.encode_into(std::span<const V>(&s(i, k), 1), msg.data());
-    }
-  });
-  clock.lap("gather stage");
-  net.deliver();
-  clock.lap("gather deliver");
-
-  // Column holders decode their columns (distinct k per iteration). Dead
-  // columns (t_k == 0, nothing gathered) keep no values — no chunk ever
-  // references them.
-  std::vector<std::vector<V>> colvals(static_cast<std::size_t>(n));
-  parallel_for(0, n, [&](int k) {
-    if (st.group_size[static_cast<std::size_t>(k)] == 0) return;
-    const auto& rows = st.s_cols[static_cast<std::size_t>(k)];
-    auto& vals = colvals[static_cast<std::size_t>(k)];
-    vals.assign(rows.size(), sr.zero());
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      const int i = rows[r];
-      if (i == k) {
-        vals[r] = s(k, k);
-        continue;
-      }
-      const auto in = net.inbox(k, i);
-      CCA_ASSERT(in.size() == vw1);
-      codec.decode_into(in.data(), 1, &vals[r]);
-    }
-  });
-  clock.lap("gather decode");
-
-  // Column-count announcement: with the row counts from the first
-  // announcement this gives every node the t_k profile, hence the same
-  // balanced worker partition the structure encodes.
-  {
-    std::vector<clique::Word> counts(static_cast<std::size_t>(n));
-    for (int k = 0; k < n; ++k)
-      counts[static_cast<std::size_t>(k)] =
-          st.s_cols[static_cast<std::size_t>(k)].size();
-    (void)clique::broadcast_all(net, std::move(counts));
-  }
-
-  // Sparse views of the T rows (needed by distribute and by local work).
-  std::vector<std::vector<Index>> trow_idx(static_cast<std::size_t>(n));
-  std::vector<std::vector<V>> trow_val(static_cast<std::size_t>(n));
-  parallel_for(0, n, [&](int k) {
-    auto& idx = trow_idx[static_cast<std::size_t>(k)];
-    auto& val = trow_val[static_cast<std::size_t>(k)];
-    for (int j = 0; j < n; ++j) {
-      if (t(k, j) == sr.zero()) continue;
-      idx.push_back(static_cast<Index>(j));
-      val.push_back(t(k, j));
-    }
-  });
-
-  // Distribute: holder k ships chunk r of its column plus its T row to each
-  // extra worker, as [a_cnt][b_cnt] header words followed by two
-  // SparseCodec blocks.
-  parallel_for(0, n, [&](int k) {
-    const auto ks = static_cast<std::size_t>(k);
-    const int g = st.group_size[ks];
-    const auto& rows = st.s_cols[ks];
-    std::vector<Index> aidx;
-    for (int r = 1; r < g; ++r) {
-      const int w = st.extras[ks][static_cast<std::size_t>(r - 1)];
-      const auto [lo, hi] =
-          sparse_chunk_bounds(static_cast<int>(rows.size()), g, r);
-      const auto a_cnt = static_cast<std::size_t>(hi - lo);
-      const auto b_cnt = trow_idx[ks].size();
-      const auto a_words = scodec.words_for(a_cnt);
-      const auto msg =
-          net.stage(k, w, 2 + a_words + scodec.words_for(b_cnt));
-      msg[0] = a_cnt;
-      msg[1] = b_cnt;
-      aidx.clear();
-      for (int x = lo; x < hi; ++x)
-        aidx.push_back(static_cast<Index>(rows[static_cast<std::size_t>(x)]));
-      scodec.encode_into(
-          aidx,
-          std::span<const V>(colvals[ks].data() + lo, a_cnt),
-          msg.data() + 2);
-      scodec.encode_into(trow_idx[ks], trow_val[ks],
-                         msg.data() + 2 + a_words);
-    }
-  });
-  clock.lap("distribute stage");
-  net.deliver();
-  clock.lap("distribute deliver");
-
-  // Contribute: every worker multiplies its triples, merging contributions
-  // per output row across its intermediates (union of the T-row patterns —
-  // entries are sent when TOUCHED, value zero or not, so the message sizes
-  // are exactly the structure's value-independent counts). The worker's own
-  // row folds locally; every other row ships as [cnt] + SparseCodec block.
-  parallel_for(0, n, [&](int w) {
-    const auto ws = static_cast<std::size_t>(w);
-    // Work items: (a-row id, a-value, intermediate k) triples from the own
-    // chunk plus every received chunk, grouped per output row.
-    struct Item {
-      int k;
-      const std::vector<Index>* bidx;
-      const std::vector<V>* bval;
-    };
-    std::vector<Item> items;
-    std::vector<std::vector<std::pair<std::size_t, V>>> per_row;  // item, a
-    auto row_slot = [&](int i) -> std::vector<std::pair<std::size_t, V>>& {
-      return per_row[static_cast<std::size_t>(i)];
-    };
-    per_row.resize(static_cast<std::size_t>(n));
-    std::vector<int> rows_touched;
-    auto add_entry = [&](int i, std::size_t item, const V& aval) {
-      if (row_slot(i).empty()) rows_touched.push_back(i);
-      row_slot(i).push_back({item, aval});
-    };
-    // Own chunk (worker 0 of intermediate w).
-    if (st.group_size[ws] >= 1) {
-      const auto& rows = st.s_cols[ws];
-      const auto [lo, hi] = sparse_chunk_bounds(static_cast<int>(rows.size()),
-                                                st.group_size[ws], 0);
-      items.push_back({w, &trow_idx[ws], &trow_val[ws]});
-      for (int x = lo; x < hi; ++x)
-        add_entry(rows[static_cast<std::size_t>(x)], items.size() - 1,
-                  colvals[ws][static_cast<std::size_t>(x)]);
-    }
-    // Received chunks, ascending by intermediate. Decoded blocks must
-    // outlive the loop, so they land in stable per-item storage.
-    const auto& ext = st.worker_extras[ws];
-    std::vector<std::vector<Index>> dec_aidx(ext.size()), dec_bidx(ext.size());
-    std::vector<std::vector<V>> dec_aval(ext.size()), dec_bval(ext.size());
-    for (std::size_t e = 0; e < ext.size(); ++e) {
-      const int k = ext[e].first;
-      const auto in = net.inbox(w, k);
-      CCA_ASSERT(in.size() >= 2);
-      const auto a_cnt = static_cast<std::size_t>(in[0]);
-      const auto b_cnt = static_cast<std::size_t>(in[1]);
-      dec_aidx[e].resize(a_cnt);
-      dec_aval[e].resize(a_cnt, sr.zero());
-      dec_bidx[e].resize(b_cnt);
-      dec_bval[e].resize(b_cnt, sr.zero());
-      scodec.decode_into(in.data() + 2, a_cnt, dec_aidx[e].data(),
-                         dec_aval[e].data());
-      scodec.decode_into(in.data() + 2 + scodec.words_for(a_cnt), b_cnt,
-                         dec_bidx[e].data(), dec_bval[e].data());
-      items.push_back({k, &dec_bidx[e], &dec_bval[e]});
-      for (std::size_t x = 0; x < a_cnt; ++x)
-        add_entry(static_cast<int>(dec_aidx[e][x]), items.size() - 1,
-                  dec_aval[e][x]);
-    }
-    std::sort(rows_touched.begin(), rows_touched.end());
-
-    // Per output row: accumulate over the row's (item, a-value) pairs.
-    std::vector<V> acc(static_cast<std::size_t>(n), sr.zero());
-    std::vector<std::uint8_t> touched(static_cast<std::size_t>(n), 0);
-    std::vector<Index> jlist;
-    std::vector<V> vlist;
-    std::size_t contrib_at = 0;
-    for (const int i : rows_touched) {
-      jlist.clear();
-      for (const auto& [item, aval] : row_slot(i)) {
-        const auto& bidx = *items[item].bidx;
-        const auto& bval = *items[item].bval;
-        for (std::size_t x = 0; x < bidx.size(); ++x) {
-          const auto j = bidx[x];
-          const auto prod = sr.mul(aval, bval[x]);
-          if (touched[j] == 0) {
-            touched[j] = 1;
-            jlist.push_back(j);
-            acc[j] = prod;
-          } else {
-            acc[j] = sr.add(acc[j], prod);
-          }
-        }
-      }
-      std::sort(jlist.begin(), jlist.end());
-      // The plan's symbolic merge must agree with the numeric one.
-      CCA_ASSERT(contrib_at < st.contrib[ws].size());
-      CCA_ASSERT(st.contrib[ws][contrib_at].first == i);
-      CCA_ASSERT(st.contrib[ws][contrib_at].second ==
-                 static_cast<int>(jlist.size()));
-      ++contrib_at;
-      if (i == w) {
-        auto* orow = out.row(w);
-        for (const auto j : jlist)
-          orow[j] = sr.add(orow[j], acc[j]);
-      } else {
-        const auto msg =
-            net.stage(w, i, 1 + scodec.words_for(jlist.size()));
-        msg[0] = jlist.size();
-        vlist.clear();
-        for (const auto j : jlist) vlist.push_back(acc[j]);
-        scodec.encode_into(jlist, vlist, msg.data() + 1);
-      }
-      for (const auto j : jlist) {
-        touched[j] = 0;
-        acc[j] = sr.zero();
-      }
-    }
-    CCA_ASSERT(contrib_at == st.contrib[ws].size());
-  });
-  clock.lap("contribute stage");
-  net.deliver();
-  clock.lap("contribute deliver");
-
-  // Fold the delivered contributions into the output rows (distinct row per
-  // iteration).
-  parallel_for(0, n, [&](int i) {
-    std::vector<Index> jbuf;
-    std::vector<V> vbuf;
-    auto* orow = out.row(i);
-    for (int w = 0; w < n; ++w) {
-      if (w == i) continue;
-      const auto in = net.inbox(i, w);
-      if (in.empty()) continue;
-      const auto cnt = static_cast<std::size_t>(in[0]);
-      CCA_ASSERT(in.size() == 1 + scodec.words_for(cnt));
-      jbuf.resize(cnt);
-      vbuf.assign(cnt, sr.zero());
-      scodec.decode_into(in.data() + 1, cnt, jbuf.data(), vbuf.data());
-      for (std::size_t x = 0; x < cnt; ++x)
-        orow[jbuf[x]] = sr.add(orow[jbuf[x]], vbuf[x]);
-    }
-  });
-  clock.lap("contribute fold");
-  return out;
+  auto res = mm_semiring_sparse_staged_batch(
+      net, sr, codec, std::span<const Matrix<V>>(&s, 1),
+      std::span<const Matrix<V>>(&t, 1),
+      std::span<const SparseMmStructure>(&st, 1), profile);
+  return std::move(res.front());
 }
 
 /// Pack the two per-row nnz counts into the announcement word.
@@ -1205,8 +1310,78 @@ template <Semiring S, typename Codec>
   return detail::mm_semiring_sparse_staged(net, sr, codec, s, t, st, profile);
 }
 
+/// Sparsity-sensitive BATCHED multiplication: B products through SHARED
+/// sparse supersteps (gather / distribute / contribute each pay one routing
+/// schedule for the whole batch, per-pair blocks concatenated in product
+/// order). The row-nnz announcements ride one superstep — B packed words
+/// per link, i.e. broadcast_all's 1-round accounting once per product — so
+/// the B = 1 instance charges and stages byte-identical traffic to
+/// mm_semiring_sparse (pinned in test_sparse.cpp); B > 1 runs in strictly
+/// fewer rounds than B sequential calls whenever the single-product
+/// supersteps leave links idle.
+template <Semiring S, typename Codec>
+[[nodiscard]] std::vector<Matrix<typename S::Value>> mm_semiring_sparse_batch(
+    clique::Network& net, const S& sr, const Codec& codec,
+    std::span<const Matrix<typename S::Value>> as,
+    std::span<const Matrix<typename S::Value>> bs,
+    MmStepProfile* profile = nullptr) {
+  using V = typename S::Value;
+  const int n = net.n();
+  const std::size_t batch = as.size();
+  CCA_EXPECTS(batch >= 1 && bs.size() == batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    CCA_EXPECTS(as[b].rows() == n && as[b].cols() == n);
+    CCA_EXPECTS(bs[b].rows() == n && bs[b].cols() == n);
+  }
+  if (n == 1) {
+    std::vector<Matrix<V>> out;
+    out.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      Matrix<V> o(1, 1, sr.zero());
+      o(0, 0) = sr.mul(as[b](0, 0), bs[b](0, 0));
+      out.push_back(std::move(o));
+    }
+    return out;
+  }
+  std::vector<SparseMmStructure> sts(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto s_rows = sparse_pattern(sr, as[b]);
+    const auto t_rows = sparse_pattern(sr, bs[b]);
+    sts[b] = build_sparse_mm_structure(
+        n, s_rows, t_rows,
+        [&](std::size_t c) { return codec.words_for(c); });
+  }
+  net.charge_rounds(static_cast<std::int64_t>(batch));  // B-word announcement
+  return detail::mm_semiring_sparse_staged_batch(
+      net, sr, codec, as, bs, std::span<const SparseMmStructure>(sts),
+      profile);
+}
+
 /// Which engine mm_semiring_auto / IntMmEngine's Auto mode selected.
 enum class AutoEngineChoice { Sparse, Semiring3D, Fast, Naive };
+
+/// Persistent dispatch state for ITERATED multiplications on one network
+/// (APSP squarings, Seidel levels, girth's Boolean doubling, bounded /
+/// approximate distance iterations): carries the densification hysteresis
+/// and a per-call engine trace across calls to mm_semiring_auto /
+/// mm_semiring_auto_batch (and the IntMmEngine wrappers that forward it).
+///
+/// Hysteresis: these workloads square an iterate whose nonzero pattern only
+/// ever GROWS (min-plus squaring and Boolean doubling are monotone in the
+/// pattern; the approximate products' admission windows widen level over
+/// level), so once a dense engine plans fewer rounds than the sparse plan
+/// it keeps winning. Every node derives that verdict from the same
+/// announcements, so from the next call on the planner stops re-announcing
+/// and replays the locked dense choice directly — locked iterations charge
+/// exactly the dense engine's rounds, with NO announcement round. `trace`
+/// records every call's choice in order; the densification flip is the
+/// first Sparse -> dense transition (bench_apsp --sparse prints it, and
+/// test_sparse.cpp pins the flip index on a power-law input).
+struct MmDispatchContext {
+  bool dense_locked = false;  ///< a dense engine has won once — stay dense
+  AutoEngineChoice locked_choice = AutoEngineChoice::Semiring3D;
+  std::vector<AutoEngineChoice> trace;  ///< per-call engine choices
+};
 
 /// nnz-adaptive dispatch: one real announcement round, then the engine with
 /// the fewest PLANNED rounds runs (plans are exact — they schedule the very
@@ -1224,13 +1399,17 @@ enum class AutoEngineChoice { Sparse, Semiring3D, Fast, Naive };
 /// only; it must be admissible for n). The Semiring3D candidate requires n
 /// to be a perfect cube; Sparse and Naive are always available, so any
 /// n >= 1 works. Assumes the net's default router is KoenigRelay (the
-/// planner schedules with it).
+/// planner schedules with it). `ctx` (optional) makes the dispatch
+/// PER-ITERATION: the context's hysteresis skips announcement and planning
+/// once a dense engine has won (see MmDispatchContext), and its trace
+/// records this call's choice.
 template <Semiring S, typename Codec>
 [[nodiscard]] Matrix<typename S::Value> mm_semiring_auto(
     clique::Network& net, const S& sr, const Codec& codec,
     const Matrix<typename S::Value>& s, const Matrix<typename S::Value>& t,
     const BilinearAlgorithm* fast_alg = nullptr,
-    AutoEngineChoice* chosen = nullptr, MmStepProfile* profile = nullptr) {
+    AutoEngineChoice* chosen = nullptr, MmStepProfile* profile = nullptr,
+    MmDispatchContext* ctx = nullptr) {
   using V = typename S::Value;
   constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
   const int n = net.n();
@@ -1238,9 +1417,36 @@ template <Semiring S, typename Codec>
   CCA_EXPECTS(t.rows() == n && t.cols() == n);
   if (n == 1) {
     if (chosen != nullptr) *chosen = AutoEngineChoice::Sparse;
+    if (ctx != nullptr) ctx->trace.push_back(AutoEngineChoice::Sparse);
     Matrix<V> o(1, 1, sr.zero());
     o(0, 0) = sr.mul(s(0, 0), t(0, 0));
     return o;
+  }
+  // Single mapping from a dense pick to its engine, shared by the
+  // hysteresis replay and the fresh dispatch below so the two cannot
+  // drift apart.
+  auto run_dense = [&](AutoEngineChoice pick) -> Matrix<V> {
+    if (pick == AutoEngineChoice::Naive)
+      return mm_naive_broadcast(net, sr,
+                                static_cast<int>(codec.words_for(1)), s, t);
+    if constexpr (Ring<S>) {
+      if (pick == AutoEngineChoice::Fast) {
+        CCA_EXPECTS(fast_alg != nullptr);
+        return mm_fast_bilinear(net, sr, codec, *fast_alg, s, t, profile);
+      }
+    }
+    CCA_EXPECTS(pick == AutoEngineChoice::Semiring3D);
+    return mm_semiring_3d(net, sr, codec, s, t, profile);
+  };
+  if (ctx != nullptr && ctx->dense_locked) {
+    // Densification hysteresis: the locked dense engine replays directly,
+    // with no announcement round and no pattern scan (see
+    // MmDispatchContext — every node reached the same lock from the same
+    // announcements, so nobody needs to announce again).
+    const auto pick = ctx->locked_choice;
+    ctx->trace.push_back(pick);
+    if (chosen != nullptr) *chosen = pick;
+    return run_dense(pick);
   }
   const auto s_rows = sparse_pattern(sr, s);
   const auto t_rows = sparse_pattern(sr, t);
@@ -1306,20 +1512,153 @@ template <Semiring S, typename Codec>
     pick = AutoEngineChoice::Naive;
   }
   if (chosen != nullptr) *chosen = pick;
-  switch (pick) {
-    case AutoEngineChoice::Sparse:
-      return detail::mm_semiring_sparse_staged(net, sr, codec, s, t, st,
-                                               profile);
-    case AutoEngineChoice::Semiring3D:
-      return mm_semiring_3d(net, sr, codec, s, t, profile);
-    case AutoEngineChoice::Fast:
-      if constexpr (Ring<S>)
-        return mm_fast_bilinear(net, sr, codec, *fast_alg, s, t, profile);
-      break;
-    case AutoEngineChoice::Naive:
-      return mm_naive_broadcast(net, sr, static_cast<int>(wpe), s, t);
+  if (ctx != nullptr) {
+    ctx->trace.push_back(pick);
+    if (pick != AutoEngineChoice::Sparse) {
+      // The iterate densifies monotonically, so a dense winner stays the
+      // winner: lock it and stop re-announcing.
+      ctx->dense_locked = true;
+      ctx->locked_choice = pick;
+    }
   }
-  return {};
+  if (pick == AutoEngineChoice::Sparse)
+    return detail::mm_semiring_sparse_staged(net, sr, codec, s, t, st,
+                                             profile);
+  return run_dense(pick);
+}
+
+/// Batched nnz-adaptive dispatch — the batch counterpart of
+/// mm_semiring_auto, and the engine under IntMmEngine::multiply_batch's
+/// Auto mode and the multi-graph APSP path. One shared announcement
+/// superstep (B packed per-row-nnz words per link, direct schedule — B
+/// rounds, actually staged), then whichever of the BATCHED sparse engine
+/// (all B products through shared sparse supersteps, costed on the merged
+/// demand lists) and the batched 3D engine plans fewer rounds runs. Ties
+/// prefer the sparse path, matching mm_semiring_auto (and the skip gate's
+/// soundness argument, which assumes exactly that). `ctx` carries the same
+/// densification hysteresis: once a dense choice wins, later calls skip
+/// the announcement and replay the batched 3D engine directly. `fast_alg`
+/// only participates in the batch-of-one delegation (the batched dense
+/// candidate is the 3D engine — the bilinear path has no batched sparse
+/// rival worth planning against here).
+template <Semiring S, typename Codec>
+[[nodiscard]] std::vector<Matrix<typename S::Value>> mm_semiring_auto_batch(
+    clique::Network& net, const S& sr, const Codec& codec,
+    std::span<const Matrix<typename S::Value>> as,
+    std::span<const Matrix<typename S::Value>> bs,
+    MmDispatchContext* ctx = nullptr,
+    const BilinearAlgorithm* fast_alg = nullptr) {
+  using V = typename S::Value;
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  const int n = net.n();
+  const std::size_t batch = as.size();
+  CCA_EXPECTS(batch >= 1 && bs.size() == batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    CCA_EXPECTS(as[b].rows() == n && as[b].cols() == n);
+    CCA_EXPECTS(bs[b].rows() == n && bs[b].cols() == n);
+  }
+  if (batch == 1 || n == 1) {
+    std::vector<Matrix<V>> out;
+    out.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b)
+      out.push_back(mm_semiring_auto(net, sr, codec, as[b], bs[b], fast_alg,
+                                     nullptr, nullptr, ctx));
+    return out;
+  }
+  if (ctx != nullptr && ctx->dense_locked) {
+    // Hysteresis replay with no announcement. The batch dispatcher's only
+    // dense candidate is the batched 3D engine, so a Fast/Naive lock from
+    // an earlier single-product call also lands here (3D is the
+    // batch-shaped dense engine). On a non-cube clique the batched 3D
+    // engine is inadmissible: replay through the single-product locked
+    // path instead (still announcement-free — one trace entry per
+    // product), so a locked context NEVER re-announces or re-plans.
+    if (is_perfect_cube(n)) {
+      ctx->trace.push_back(AutoEngineChoice::Semiring3D);
+      return mm_semiring_3d_batch(net, sr, codec, as, bs);
+    }
+    // One trace entry per batched call (matching the cube branch), so
+    // trace length == iteration count regardless of clique shape; the
+    // scratch context reproduces the lock without double-recording.
+    MmDispatchContext replay;
+    replay.dense_locked = true;
+    replay.locked_choice = ctx->locked_choice;
+    ctx->trace.push_back(ctx->locked_choice);
+    std::vector<Matrix<V>> out;
+    out.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b)
+      out.push_back(mm_semiring_auto(net, sr, codec, as[b], bs[b], fast_alg,
+                                     nullptr, nullptr, &replay));
+    return out;
+  }
+
+  // Shared announcement superstep: every node ships the B packed per-row
+  // nnz pairs over every link (direct schedule, B rounds) so the whole
+  // batch dispatches at once.
+  std::vector<SparsePattern> s_rows, t_rows;
+  s_rows.reserve(batch);
+  t_rows.reserve(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    s_rows.push_back(sparse_pattern(sr, as[b]));
+    t_rows.push_back(sparse_pattern(sr, bs[b]));
+  }
+  parallel_for(0, n, [&](int v) {
+    const auto vs = static_cast<std::size_t>(v);
+    for (int u = 0; u < n; ++u) {
+      if (u == v) continue;
+      const auto msg = net.stage(v, u, batch);
+      for (std::size_t b = 0; b < batch; ++b)
+        msg[b] = detail::pack_nnz_pair(s_rows[b][vs].size(),
+                                       t_rows[b][vs].size());
+    }
+  });
+  net.deliver(clique::Router::Direct);
+
+  // Sparse plan: per-product structures, costed as the SHARED staged
+  // supersteps they will actually run (merged demand lists).
+  std::vector<SparseMmStructure> sts(batch);
+  std::int64_t sparse_total = kMax;
+  bool sparse_ok = true;
+  for (std::size_t b = 0; b < batch; ++b)
+    if (sparse_triple_count(n, s_rows[b], t_rows[b]) > sparse_plan_cap(n)) {
+      sparse_ok = false;
+      break;
+    }
+  auto build_all = [&] {
+    for (std::size_t b = 0; b < batch; ++b)
+      sts[b] = build_sparse_mm_structure(
+          n, s_rows[b], t_rows[b],
+          [&](std::size_t c) { return codec.words_for(c); });
+    sparse_total = sparse_planned_rounds_batch(
+        net, std::span<const SparseMmStructure>(sts));
+  };
+  if (sparse_ok) build_all();
+  std::int64_t batch3d = kMax;
+  if (is_perfect_cube(n)) {
+    const int c = static_cast<int>(icbrt(n));
+    const auto steps = semiring3d_superstep_demands(
+        n, codec.words_for(static_cast<std::size_t>(c) * c), batch);
+    if (relay_round_lower_bound(n, steps.first) +
+            relay_round_lower_bound(n, steps.second) <
+        sparse_total)
+      batch3d = net.prepare_schedule(steps.first) +
+                net.prepare_schedule(steps.second);
+  }
+  // No dense candidate at all (non-cube clique) and a hopeless triple
+  // volume: correctness wins — build the sparse plan anyway.
+  if (!sparse_ok && batch3d == kMax) build_all();
+
+  if (sparse_total <= batch3d) {
+    if (ctx != nullptr) ctx->trace.push_back(AutoEngineChoice::Sparse);
+    return detail::mm_semiring_sparse_staged_batch(
+        net, sr, codec, as, bs, std::span<const SparseMmStructure>(sts));
+  }
+  if (ctx != nullptr) {
+    ctx->trace.push_back(AutoEngineChoice::Semiring3D);
+    ctx->dense_locked = true;
+    ctx->locked_choice = AutoEngineChoice::Semiring3D;
+  }
+  return mm_semiring_3d_batch(net, sr, codec, as, bs);
 }
 
 /// Pad a square matrix to dimension `to`, filling new cells with `fill`

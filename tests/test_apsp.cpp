@@ -81,6 +81,70 @@ TEST(ApspSemiring, NegativeWeightsOnDag) {
   EXPECT_EQ(got.dist, ref_apsp(g));
 }
 
+TEST(ApspSemiring, NegativeWeightsThroughSparseAutoPath) {
+  // Negative-weight regression for the nnz-adaptive path (the
+  // broadcast_max_finite audit's companion): a SPARSE negative-weight DAG
+  // forces the first squarings onto the sparse witness engine, whose codec
+  // bit-casts entries — negative distances must survive the wire format,
+  // and the routing tables must still route optimally.
+  const auto g = random_weighted_dag(24, 0.08, -5, 10, 17);
+  const auto got = apsp_semiring(g);
+  EXPECT_EQ(got.dist, ref_apsp(g));
+  ASSERT_FALSE(got.engine_trace.empty());
+  EXPECT_EQ(got.engine_trace[0], AutoEngineChoice::Sparse);
+  for (int u = 0; u < g.n(); ++u)
+    for (int v = 0; v < g.n(); ++v) {
+      if (u == v || got.dist(u, v) >= kInf) continue;
+      EXPECT_EQ(walk_route(g, got.next_hop, u, v), got.dist(u, v))
+          << u << "->" << v;
+    }
+  // Element-identical to the fixed dense path, witnesses included.
+  const auto fixed = apsp_semiring(g, MmKind::Semiring3D);
+  EXPECT_EQ(got.dist, fixed.dist);
+  EXPECT_EQ(got.next_hop, fixed.next_hop);
+}
+
+TEST(ApspSemiring, SparseAutoBeats3dAt216WithIdenticalResults) {
+  // The PR acceptance shape: n = 216 (a cube — no padding), nnz ~ 8n
+  // finite off-diagonal entries (m = 4n undirected edges). The Auto path
+  // must run STRICTLY fewer total rounds than the fixed Semiring3D path,
+  // with element-identical distances and routing tables that route.
+  const int n = 216;
+  const auto g = random_sparse_graph(n, 4 * n, 33);
+  const auto auto_r = apsp_semiring(g);
+  const auto fixed_r = apsp_semiring(g, MmKind::Semiring3D);
+  EXPECT_LT(auto_r.traffic.rounds, fixed_r.traffic.rounds);
+  EXPECT_EQ(auto_r.dist, fixed_r.dist);
+  EXPECT_EQ(auto_r.next_hop, fixed_r.next_hop);
+  ASSERT_FALSE(auto_r.engine_trace.empty());
+  EXPECT_EQ(auto_r.engine_trace[0], AutoEngineChoice::Sparse);
+  // Routing tables must actually route (sampled: the full n^2 walk is the
+  // per-pair sweep above at small n; here every 7th pair keeps it fast).
+  for (int u = 0; u < n; u += 7)
+    for (int v = 0; v < n; ++v) {
+      if (u == v || auto_r.dist(u, v) >= kInf) continue;
+      EXPECT_EQ(walk_route(g, auto_r.next_hop, u, v), auto_r.dist(u, v))
+          << u << "->" << v;
+    }
+}
+
+TEST(ApspSemiring, ConvergenceVoteExitsAfterFirstIdempotentSquaring) {
+  // Unit-weight complete graph: the weight matrix is already the distance
+  // matrix, so the FIRST squaring improves nothing and the convergence
+  // vote must end the loop — the seed ran all squaring_iterations(n)
+  // squarings on the idempotent iterate.
+  const int n = 20;
+  auto g = Graph::undirected(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) g.add_edge(u, v, 1);
+  const auto r = apsp_semiring(g);
+  EXPECT_EQ(r.dist, ref_apsp(g));
+  EXPECT_EQ(r.engine_trace.size(), 1u);  // one squaring, then the exit vote
+  const auto fixed = apsp_semiring(g, MmKind::Semiring3D);
+  EXPECT_EQ(fixed.dist, r.dist);
+  EXPECT_EQ(fixed.traffic.supersteps, 2);  // the single squaring's 2 steps
+}
+
 TEST(ApspSemiring, DisconnectedPairsInfinity) {
   auto g = Graph::undirected(8);
   g.add_edge(0, 1, 3);

@@ -1,6 +1,9 @@
 // Tests for distributed girth computation (Theorem 15 / Corollary 16).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+
 #include "core/girth.hpp"
 #include "graph/generators.hpp"
 #include "graph/reference.hpp"
@@ -38,9 +41,44 @@ TEST_P(GirthRandomSweep, MatchesReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GirthRandomSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
 
+TEST(GirthUndirected, OddEllThresholdUsesExactMooreExponent) {
+  // Theorem 15's dichotomy at l = ceil(2 + 2/rho) is stated at the uniform
+  // threshold n^{1 + 2/l} + n. The seed computed the exponent as
+  // 1 + 1/(l/2) with INTEGER division — n^{1 + 1/floor(l/2)}, which
+  // coincides for even l but keeps a wider sparse side for odd l (the
+  // Fast engine's l = 9: n^{1.25} instead of n^{1 + 2/9}). A graph with m
+  // in (n^{1+2/9} + n, n^{1.25} + n] flips: the seed learned it outright,
+  // the theorem-form threshold takes the dense detection path (answers
+  // are identical either way — the cascade + fallback is exact — so this
+  // pins the DISPATCH, which is what the theorem's round bound rests on).
+  const int n = 40;
+  auto g = random_sparse_graph(n, 133, 11);
+  // Plant a triangle so the dense path resolves at k = 3 (exact counting).
+  if (!g.has_arc(0, 1)) g.add_edge(0, 1);
+  if (!g.has_arc(1, 2)) g.add_edge(1, 2);
+  if (!g.has_arc(0, 2)) g.add_edge(0, 2);
+  std::int64_t m = 0;
+  for (int v = 0; v < n; ++v) m += g.out_degree(v);
+  m /= 2;
+  const double nn = static_cast<double>(n);
+  ASSERT_GT(static_cast<double>(m), std::pow(nn, 1.0 + 2.0 / 9.0) + n)
+      << "graph must sit above the exact Moore threshold";
+  ASSERT_LE(static_cast<double>(m), std::pow(nn, 1.25) + n)
+      << "and below the truncated one, or the case pins nothing";
+  const auto r = girth_undirected_cc(g, 3, MmKind::Fast);
+  EXPECT_EQ(r.girth, 3);
+  EXPECT_FALSE(r.used_sparse_path) << "dichotomy must flip to dense for odd l";
+  // Control: below the exact threshold the sparse learn-everything path
+  // still applies.
+  const auto sparse_g = random_sparse_graph(n, 110, 12);
+  const auto sparse_r = girth_undirected_cc(sparse_g, 4, MmKind::Fast);
+  EXPECT_EQ(sparse_r.girth, ref_girth(sparse_g));
+  EXPECT_TRUE(sparse_r.used_sparse_path);
+}
+
 TEST(GirthUndirected, DenseGraphTakesDetectionPath) {
-  // Dense: more than n^{1+1/floor(l/2)} + n edges forces the cycle
-  // detection path; complete graphs have girth 3 found by exact counting.
+  // Dense: more than n^{1+2/l} + n edges forces the cycle detection
+  // path; complete graphs have girth 3 found by exact counting.
   const auto g = complete_graph(64);
   const auto r = girth_undirected_cc(g, 7);
   EXPECT_EQ(r.girth, 3);

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "clique/network.hpp"
+#include "core/apsp.hpp"
 #include "core/counting.hpp"
 #include "core/distance_product.hpp"
 #include "core/engine.hpp"
@@ -538,6 +540,212 @@ TEST(SparseApplications, GirthThresholdDispatchWorksWithAuto) {
   const auto g = petersen_graph();
   const auto r = core::girth_undirected_cc(g, 5, MmKind::Auto);
   EXPECT_EQ(r.girth, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Witness products on the sparse engine: the min-plus-with-witness semiring
+// (zero {inf, -1}, a genuine additive identity and two-sided annihilator)
+// lifted onto the sparse path must agree with the dense 3D witness product.
+// ---------------------------------------------------------------------------
+
+Matrix<std::int64_t> random_minplus_matrix(int n, int finite_one_in,
+                                           std::uint64_t seed,
+                                           std::int64_t lo = 1,
+                                           std::int64_t hi = 40) {
+  constexpr auto inf = MinPlusSemiring::kInf;
+  Rng rng(seed);
+  Matrix<std::int64_t> m(n, n, inf);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (rng.chance(1, static_cast<std::uint64_t>(finite_one_in)))
+        m(i, j) = rng.next_in(lo, hi);
+  return m;
+}
+
+TEST(SparseWitness, SparseAndDenseWitnessProductsAgree) {
+  // Distances must be element-identical. Witness TIES could in principle
+  // differ between engines, so the contract asserted for the witnesses is
+  // the documented one: every returned witness must reconstruct an optimal
+  // split, S(u, q) + T(q, v) == dist(u, v).
+  constexpr auto inf = MinPlusSemiring::kInf;
+  const int n = 27;
+  for (const std::uint64_t seed : {201ull, 202ull}) {
+    const auto s = random_minplus_matrix(n, 5, seed);
+    const auto t = random_minplus_matrix(n, 5, seed + 50);
+    clique::Network net_sparse(n), net_dense(n);
+    const auto sp = core::dp_semiring_witness_sparse(net_sparse, s, t);
+    const auto de = core::dp_semiring_witness(net_dense, s, t);
+    EXPECT_EQ(sp.dist, de.dist);
+    for (const auto* r : {&sp, &de})
+      for (int u = 0; u < n; ++u)
+        for (int v = 0; v < n; ++v) {
+          if (r->dist(u, v) >= inf) {
+            EXPECT_EQ(r->witness(u, v), -1);
+            continue;
+          }
+          const int q = r->witness(u, v);
+          ASSERT_GE(q, 0);
+          ASSERT_LT(q, n);
+          ASSERT_LT(s(u, q), inf);
+          ASSERT_LT(t(q, v), inf);
+          EXPECT_EQ(s(u, q) + t(q, v), r->dist(u, v)) << u << "," << v;
+        }
+    // At this sparsity the witness product is strictly cheaper sparse.
+    EXPECT_LT(net_sparse.stats().rounds, net_dense.stats().rounds);
+  }
+}
+
+TEST(SparseWitness, NegativeWeightsRoundTripThroughSparseEngine) {
+  // The witness codec bit-casts entries, so negative tropical weights must
+  // survive the sparse wire format too. (n is a cube so the dense witness
+  // comparator is admissible; the sparse engine itself takes any n.)
+  const int n = 27;
+  const auto s = random_minplus_matrix(n, 4, 301, -30, 30);
+  const auto t = random_minplus_matrix(n, 4, 302, -30, 30);
+  clique::Network net1(n), net2(n);
+  const auto sp = core::dp_semiring_witness_sparse(net1, s, t);
+  const auto de = core::dp_semiring_witness(net2, s, t);
+  EXPECT_EQ(sp.dist, de.dist);
+  EXPECT_EQ(sp.dist, multiply(MinPlusSemiring{}, s, t));
+}
+
+// ---------------------------------------------------------------------------
+// Batched sparse engine.
+// ---------------------------------------------------------------------------
+
+TEST(SparseBatch, BatchOfOneIsTrafficIdenticalToSingleProduct) {
+  const int n = 24;
+  const auto a = random_sparse_matrix(n, 80, 401);
+  const auto b = random_sparse_matrix(n, 90, 402);
+  clique::Network net1(n), net2(n);
+  const auto single = core::mm_semiring_sparse(net1, IntRing{}, I64Codec{},
+                                               a, b);
+  const auto batch = core::mm_semiring_sparse_batch(
+      net2, IntRing{}, I64Codec{},
+      std::span<const Matrix<std::int64_t>>(&a, 1),
+      std::span<const Matrix<std::int64_t>>(&b, 1));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], single);
+  EXPECT_EQ(net1.stats().rounds, net2.stats().rounds);
+  EXPECT_EQ(net1.stats().bound_rounds, net2.stats().bound_rounds);
+  EXPECT_EQ(net1.stats().supersteps, net2.stats().supersteps);
+  EXPECT_EQ(net1.stats().total_words, net2.stats().total_words);
+  EXPECT_EQ(net1.stats().max_node_send, net2.stats().max_node_send);
+  EXPECT_EQ(net1.stats().max_node_recv, net2.stats().max_node_recv);
+}
+
+TEST(SparseBatch, BatchOf8MatchesSequentialWithStrictlyFewerRounds) {
+  const int n = 26;
+  const std::size_t batch = 8;
+  std::vector<Matrix<std::int64_t>> as, bs;
+  for (std::size_t b = 0; b < batch; ++b) {
+    as.push_back(random_sparse_matrix(n, 70, 500 + b));
+    bs.push_back(random_sparse_matrix(n, 80, 520 + b));
+  }
+  std::int64_t seq_rounds = 0;
+  std::vector<Matrix<std::int64_t>> seq;
+  for (std::size_t b = 0; b < batch; ++b) {
+    clique::Network net(n);
+    seq.push_back(
+        core::mm_semiring_sparse(net, IntRing{}, I64Codec{}, as[b], bs[b]));
+    seq_rounds += net.stats().rounds;
+  }
+  clique::Network net(n);
+  const auto got = core::mm_semiring_sparse_batch(
+      net, IntRing{}, I64Codec{}, std::span<const Matrix<std::int64_t>>(as),
+      std::span<const Matrix<std::int64_t>>(bs));
+  ASSERT_EQ(got.size(), batch);
+  for (std::size_t b = 0; b < batch; ++b)
+    EXPECT_EQ(got[b], seq[b]) << "product " << b;
+  // Shared supersteps spread the merged demand over otherwise-idle links:
+  // strictly fewer rounds than the 8 sequential runs.
+  EXPECT_LT(net.stats().rounds, seq_rounds);
+}
+
+TEST(SparseBatch, PlannedRoundsMatchMeasuredBatchRun) {
+  const int n = 22;
+  const std::size_t batch = 3;
+  std::vector<Matrix<std::int64_t>> as, bs;
+  std::vector<core::SparseMmStructure> sts(batch);
+  const I64Codec codec;
+  for (std::size_t b = 0; b < batch; ++b) {
+    as.push_back(random_sparse_matrix(n, 60, 600 + b));
+    bs.push_back(random_sparse_matrix(n, 66, 620 + b));
+    sts[b] = core::build_sparse_mm_structure(
+        n, pattern_of(as[b]), pattern_of(bs[b]),
+        [&](std::size_t c) { return codec.words_for(c); });
+  }
+  clique::Network net(n);
+  const auto planned =
+      static_cast<std::int64_t>(batch) +
+      core::sparse_planned_rounds_batch(
+          net, std::span<const core::SparseMmStructure>(sts));
+  (void)core::mm_semiring_sparse_batch(
+      net, IntRing{}, codec, std::span<const Matrix<std::int64_t>>(as),
+      std::span<const Matrix<std::int64_t>>(bs));
+  EXPECT_EQ(net.stats().rounds, planned);
+  EXPECT_EQ(net.stats().schedule_misses, 0);
+}
+
+TEST(SparseBatch, TrivialMembersRideAlongForFree) {
+  const int n = 16;
+  const Matrix<std::int64_t> zero(n, n, 0);
+  const auto a = random_sparse_matrix(n, 40, 701);
+  const auto b = random_sparse_matrix(n, 44, 702);
+  std::vector<Matrix<std::int64_t>> as{a, zero};
+  std::vector<Matrix<std::int64_t>> bs{b, b};
+  clique::Network net(n);
+  const auto got = core::mm_semiring_sparse_batch(
+      net, IntRing{}, I64Codec{}, std::span<const Matrix<std::int64_t>>(as),
+      std::span<const Matrix<std::int64_t>>(bs));
+  EXPECT_EQ(got[0], multiply(IntRing{}, a, b));
+  EXPECT_EQ(got[1], zero);
+}
+
+// ---------------------------------------------------------------------------
+// Per-iteration dispatch: the densification flip.
+// ---------------------------------------------------------------------------
+
+TEST(DensificationTrace, PowerLawApspFlipsSparseToDenseOnce) {
+  // Heavy-tailed degrees, m ~ 2.5n: the weight matrix is sparse, its square
+  // fills in fast. The per-iteration dispatcher must run the FIRST squaring
+  // sparse and flip to the locked dense engine at iteration index 1 —
+  // never to return (hysteresis), because min-plus squaring densifies
+  // monotonically.
+  auto g = power_law_graph(60, 150, 2.2, 7);
+  const auto r = core::apsp_semiring(g);
+  ASSERT_GE(r.engine_trace.size(), 2u);
+  EXPECT_EQ(r.engine_trace[0], core::AutoEngineChoice::Sparse);
+  EXPECT_EQ(r.engine_trace[1], core::AutoEngineChoice::Semiring3D);
+  for (std::size_t i = 2; i < r.engine_trace.size(); ++i)
+    EXPECT_EQ(r.engine_trace[i], core::AutoEngineChoice::Semiring3D)
+        << "hysteresis must keep the dense lock at iteration " << i;
+}
+
+TEST(DensificationTrace, HysteresisSkipsTheAnnouncementRound) {
+  // Two identical dense products through one context: the first pays the
+  // announcement (dense engine + 1), the second replays the locked engine
+  // with no announcement — exactly the fixed engine's rounds.
+  const int n = 27;
+  Rng rng(83);
+  Matrix<std::int64_t> a(n, n, 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) a(i, j) = rng.next_in(1, 9);
+  clique::Network net(n), net_fixed(n);
+  core::MmDispatchContext ctx;
+  const I64Codec codec;
+  (void)core::mm_semiring_auto(net, IntRing{}, codec, a, a, nullptr, nullptr,
+                               nullptr, &ctx);
+  const auto first = net.stats().rounds;
+  (void)core::mm_semiring_auto(net, IntRing{}, codec, a, a, nullptr, nullptr,
+                               nullptr, &ctx);
+  const auto second = net.stats().rounds - first;
+  (void)core::mm_semiring_3d(net_fixed, IntRing{}, codec, a, a);
+  EXPECT_EQ(first, net_fixed.stats().rounds + 1);
+  EXPECT_EQ(second, net_fixed.stats().rounds);
+  ASSERT_EQ(ctx.trace.size(), 2u);
+  EXPECT_EQ(ctx.trace[0], core::AutoEngineChoice::Semiring3D);
+  EXPECT_EQ(ctx.trace[1], core::AutoEngineChoice::Semiring3D);
 }
 
 }  // namespace

@@ -101,13 +101,35 @@ TEST(TrafficRegression, DistanceProduct) {
 }
 
 TEST(TrafficRegression, ApspSemiring) {
+  // The seed pin was {190, 90, 10, 59940, 306, 306}: 5 scheduled squarings
+  // of 38 rounds each, even though this graph's distances converge after
+  // the third. Two deliberate changes moved it: (1) the convergence vote
+  // (1 round per undecided iteration) exits after the 4th squaring shows
+  // no improvement — 4 squarings + 4 votes on the fixed dense path; (2)
+  // the default Auto engine runs the FIRST squaring (mostly-infinite
+  // iterate) on the sparse engine, then flips dense under hysteresis.
   const auto g = random_weighted_graph(20, 0.3, 1, 50, 7);
-  const auto traffic = core::apsp_semiring(g).traffic;
-  expect_stats(traffic, {190, 90, 10, 59940, 306, 306}, "apsp semiring n=20");
-  // Schedule-cache telemetry: the 5 squarings stage byte-identical shapes,
-  // so only the first iteration's two supersteps compute schedules.
-  EXPECT_EQ(traffic.schedule_misses, 2);
-  EXPECT_EQ(traffic.schedule_hits, 8);
+  const auto auto_run = core::apsp_semiring(g);
+  expect_stats(auto_run.traffic, {143, 73, 9, 38725, 306, 306},
+               "apsp semiring auto n=20");
+  // Auto plans every candidate through prepare_schedule (cache-warming,
+  // counted as neither hit nor miss), so the staged supersteps all replay.
+  EXPECT_EQ(auto_run.traffic.schedule_misses, 0);
+  EXPECT_EQ(auto_run.traffic.schedule_hits, 9);
+  ASSERT_EQ(auto_run.engine_trace.size(), 4u);
+  EXPECT_EQ(auto_run.engine_trace[0], core::AutoEngineChoice::Sparse);
+  EXPECT_EQ(auto_run.engine_trace[1], core::AutoEngineChoice::Semiring3D);
+
+  const auto fixed_run = core::apsp_semiring(g, MmKind::Semiring3D);
+  expect_stats(fixed_run.traffic, {156, 76, 8, 47952, 306, 306},
+               "apsp semiring 3d n=20");
+  // 4 iterations x 2 supersteps; the first iteration computes the two
+  // schedules, the rest replay (votes are charge-only broadcasts).
+  EXPECT_EQ(fixed_run.traffic.schedule_misses, 2);
+  EXPECT_EQ(fixed_run.traffic.schedule_hits, 6);
+  // Dispatch must never change results.
+  EXPECT_EQ(auto_run.dist, fixed_run.dist);
+  EXPECT_EQ(auto_run.next_hop, fixed_run.next_hop);
 }
 
 TEST(TrafficRegression, ApspSeidel) {

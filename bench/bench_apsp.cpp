@@ -6,6 +6,8 @@
 // the perf trajectory of the APSP path is tracked per PR alongside
 // BENCH_mm.json; `--smoke` restricts to tiny sizes for the CI smoke step.
 #include <cstdio>
+#include <limits>
+#include <utility>
 
 #include "bench_common.hpp"
 #include "core/apsp.hpp"
@@ -61,21 +63,53 @@ int main(int argc, char** argv) {
     Series fix{"fixed Semiring3D", {}, {}};
     const std::vector<int> sparse_sizes =
         smoke ? std::vector<int>{27, 64} : std::vector<int>{27, 64, 125, 216};
+    // One untimed warmup then min-of-3 timed reps per engine: single-op
+    // cold measurements on this series fluctuate +-15% (allocator and page
+    // warmup dominate the first run), which previously made the committed
+    // wall columns irreproducible. Rounds are deterministic — asserted
+    // identical across reps.
+    const int kReps = 3;
+    auto measure = [&](const Graph& g, MmKind kind) {
+      auto best = apsp_semiring(g, kind);  // warmup (untimed)
+      std::int64_t min_wall = std::numeric_limits<std::int64_t>::max();
+      for (int r = 0; r < kReps; ++r) {
+        const auto t0 = cca::bench::now_ns();
+        auto res = apsp_semiring(g, kind);
+        const auto t1 = cca::bench::now_ns();
+        CCA_ASSERT(res.traffic.rounds == best.traffic.rounds);
+        if (t1 - t0 < min_wall) {
+          min_wall = t1 - t0;
+          best = std::move(res);
+        }
+      }
+      return std::pair{std::move(best), min_wall};
+    };
     for (const int n : sparse_sizes) {
       const auto g = random_weighted_graph(n, 8.0 / n, 1, 50,
                                            5 + static_cast<std::uint64_t>(n));
-      const auto t0 = cca::bench::now_ns();
-      const auto ra = apsp_semiring(g);
-      const auto t1 = cca::bench::now_ns();
-      const auto rf = apsp_semiring(g, MmKind::Semiring3D);
-      const auto t2 = cca::bench::now_ns();
-      json.add("apsp_auto_sparse", n, ra.traffic.rounds, t1 - t0);
-      json.add("apsp_3d_sparse", n, rf.traffic.rounds, t2 - t1);
+      const auto [ra, wa] = measure(g, MmKind::Auto);
+      const auto [rf, wf] = measure(g, MmKind::Semiring3D);
+      json.add("apsp_auto_sparse", n, ra.traffic.rounds, wa);
+      json.add("apsp_3d_sparse", n, rf.traffic.rounds, wf);
       aut.add(n, static_cast<double>(ra.traffic.rounds));
       fix.add(n, static_cast<double>(rf.traffic.rounds));
-      std::printf("  n=%3d  auto=%5lld  3d=%5lld  ", n,
-                  static_cast<long long>(ra.traffic.rounds),
-                  static_cast<long long>(rf.traffic.rounds));
+      // sched = host ns inside the relay scheduler (TrafficStats::
+      // schedule_wall_ns); hits/misses = schedule-cache counters. The pair
+      // of sched columns is the wall-clock story of this series: planning
+      // cost is what separated auto from 3d before the parallel split,
+      // demand quantisation and message alignment.
+      std::printf(
+          "  n=%3d  auto=%5lld (%6.2f ms, sched %5.2f, hit %lld/%lld)  "
+          "3d=%5lld (%6.2f ms, sched %5.2f)  ",
+          n, static_cast<long long>(ra.traffic.rounds),
+          static_cast<double>(wa) * 1e-6,
+          static_cast<double>(ra.traffic.schedule_wall_ns) * 1e-6,
+          static_cast<long long>(ra.traffic.schedule_hits),
+          static_cast<long long>(ra.traffic.schedule_hits +
+                                 ra.traffic.schedule_misses),
+          static_cast<long long>(rf.traffic.rounds),
+          static_cast<double>(wf) * 1e-6,
+          static_cast<double>(rf.traffic.schedule_wall_ns) * 1e-6);
       print_trace(ra.engine_trace);
       std::printf("\n");
     }
@@ -221,6 +255,21 @@ int main(int argc, char** argv) {
       "bugfix stops the squaring loop at the fixed point instead of running "
       "all log n iterations, and apsp_bounded/apsp_approx/apsp_seidel now "
       "dispatch per iteration too.");
+  json.note(
+      "scheduler wall-clock (PR 6): the sparse-series wall columns are now "
+      "min-of-3 after one warmup (cold single-op walls fluctuated +-15%). "
+      "The auto-vs-3d wall gap closed from 3.6x at n=216 to parity: the "
+      "dispatcher evaluates dense candidates first and aborts sparse plans "
+      "against the concrete dense cost with per-phase volume lower bounds, "
+      "and the sparse distribute/contribute messages align to 4 (contribute "
+      "8 from n >= 200) words so the Euler split's identical-halves "
+      "collapse prunes the first levels of every aligned phase. Rounds "
+      "moved only by the charged padding (auto still wins every sparse row "
+      "from n = 64 up; n = 27 keeps its documented +-1-round exception). "
+      "The remaining n = 64 auto wall premium (~1 ms/op) is structural: "
+      "rounds-first dispatch must pick sparse at 17-vs-24 rounds, and the "
+      "sparse plan's Euler split + execution costs more host time than the "
+      "dense engine's cached schedule at that size.");
   json.note(
       "schedule-cache finding (PR 3): every iterated-squaring workload here "
       "stages byte-identical demand shapes per iteration, so the Koenig "

@@ -1,6 +1,7 @@
 #include "clique/network.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "clique/routing.hpp"
@@ -10,6 +11,12 @@
 namespace cca::clique {
 
 namespace {
+
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Under CCA_SANITIZE, move a buffer's contents to freshly allocated
 /// storage. Every staging call and every deliver() runs this on the buffers
@@ -101,7 +108,10 @@ std::span<Word> Network::stage(NodeId src, NodeId dst, std::size_t nwords) {
 
 std::int64_t Network::prepare_schedule(const std::vector<Demand>& demands) {
   if (demands.empty()) return 0;
-  return schedule_cache_.get(n_, demands).rounds;
+  const auto t0 = wall_now_ns();
+  const auto rounds = schedule_cache_.get(n_, demands, schedule_policy_).rounds;
+  stats_.schedule_wall_ns += wall_now_ns() - t0;
+  return rounds;
 }
 
 void Network::deliver() { deliver(default_router_); }
@@ -164,7 +174,10 @@ void Network::deliver(Router router) {
       // O(words * log maxdeg) class sequence once per shape.
       if (!demands.empty()) {
         bool hit = false;
-        rounds = schedule_cache_.get(n_, demands, &hit).rounds;
+        const auto t0 = wall_now_ns();
+        rounds =
+            schedule_cache_.get(n_, demands, schedule_policy_, &hit).rounds;
+        stats_.schedule_wall_ns += wall_now_ns() - t0;
         if (hit)
           ++stats_.schedule_hits;
         else

@@ -65,6 +65,11 @@ struct TrafficStats {
   /// schedule, so rounds/words are unaffected.
   std::int64_t schedule_hits = 0;
   std::int64_t schedule_misses = 0;
+  /// Host wall-clock nanoseconds spent INSIDE the relay scheduler (cache
+  /// lookups included) by deliver() and prepare_schedule(). Pure telemetry —
+  /// it measures the simulator's own planning cost, never the simulated
+  /// rounds — and the one TrafficStats field that is machine-dependent.
+  std::int64_t schedule_wall_ns = 0;
 
   friend TrafficStats operator-(const TrafficStats& a, const TrafficStats& b) {
     return TrafficStats{a.rounds - b.rounds,
@@ -74,7 +79,8 @@ struct TrafficStats {
                         a.max_node_send,
                         a.max_node_recv,
                         a.schedule_hits - b.schedule_hits,
-                        a.schedule_misses - b.schedule_misses};
+                        a.schedule_misses - b.schedule_misses,
+                        a.schedule_wall_ns - b.schedule_wall_ns};
   }
 
   /// Accumulate another run's statistics (used by multi-phase algorithms
@@ -88,6 +94,7 @@ struct TrafficStats {
     if (o.max_node_recv > max_node_recv) max_node_recv = o.max_node_recv;
     schedule_hits += o.schedule_hits;
     schedule_misses += o.schedule_misses;
+    schedule_wall_ns += o.schedule_wall_ns;
     return *this;
   }
 };
@@ -162,6 +169,21 @@ class Network {
   /// accounting state.
   void reset_stats() noexcept { stats_ = TrafficStats{}; }
 
+  /// Relay scheduling policy for KoenigRelay supersteps (and for
+  /// prepare_schedule planning). ExactKoenig — the default, and what every
+  /// round-pinned test runs — charges the Euler-split's near-optimal round
+  /// counts. Greedy swaps in the first-fit colouring: documented <= 2x the
+  /// optimal class count for an O(words) scheduling pass — the rounds
+  /// charged are still the EXACT cost of the concrete (looser) schedule.
+  /// Changing policy mid-run is legal; cache entries are policy-tagged, so
+  /// schedules never leak across policies.
+  void set_schedule_policy(SchedulePolicy policy) noexcept {
+    schedule_policy_ = policy;
+  }
+  [[nodiscard]] SchedulePolicy schedule_policy() const noexcept {
+    return schedule_policy_;
+  }
+
   /// The Koenig schedule cache (exposed for tests and diagnostics).
   [[nodiscard]] const ScheduleCache& schedule_cache() const noexcept {
     return schedule_cache_;
@@ -195,6 +217,7 @@ class Network {
 
   int n_;
   Router default_router_;
+  SchedulePolicy schedule_policy_ = SchedulePolicy::ExactKoenig;
   Rng rng_;
 
   // Staged words, one flat append-only buffer per source. A segment records

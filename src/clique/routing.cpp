@@ -6,6 +6,7 @@
 
 #include "util/contracts.hpp"
 #include "util/math.hpp"
+#include "util/parallel.hpp"
 
 namespace cca::clique {
 
@@ -93,13 +94,30 @@ struct Edge {
   std::int64_t count;
 };
 
-/// Recursively colour the demand multigraph. Colour classes are produced in
-/// leaf (DFS) order; consecutive classes share split ancestry and hence have
-/// near-disjoint edge sets, so contiguous BLOCKS of classes are assigned to
-/// the same intermediate: class t of C goes through node floor(t*n/C). The
-/// total class count is needed before any class can be assigned, so the
-/// split recursion logs the class sequence into a flat buffer and the load
-/// assignment replays the log once the count is known.
+/// One node of the split recursion handed to a worker: a concrete
+/// half-multigraph (general counted edges or the packed all-count-1 form)
+/// at its recursion depth.
+struct SplitTask {
+  std::vector<Edge> edges;                 ///< general node (when !packed)
+  std::vector<std::uint32_t> packed_edges; ///< packed node (when packed)
+  bool packed = false;
+  int depth = 0;
+};
+
+/// One slot of the expanded frontier, in DFS order. A concrete slot names a
+/// task; a dup slot replays the merged log produced by slots
+/// [dup_begin, this) — the frontier-level form of the identical-halves
+/// subtree duplication.
+struct SplitSlot {
+  int task = -1;
+  std::size_t dup_begin = 0;
+  bool dup = false;
+};
+
+/// The split recursion machinery with its scratch and class log. One engine
+/// per task (and one for the serial path / the frontier expansion): the
+/// scratch fully resets between recursion nodes, so engines running disjoint
+/// subtrees emit exactly the class sequences the serial recursion would.
 ///
 /// Observations that keep the schedule exactly as specified while avoiding
 /// the naive implementation's Theta(classes * n) blowup:
@@ -113,23 +131,15 @@ struct Edge {
 ///    edges; adjacency and cursor scratch is reused across recursion nodes
 ///    and reset per touched vertex, never per clique node.
 ///  * The log stores one packed 32-bit (src, dst) word per class edge, with
-///    the exact footprint (the superstep's total word count) reserved up
+///    the exact footprint (the subtree's total word count) reserved up
 ///    front, so logging is sequential stores and subtree duplication is one
 ///    memcpy-sized range copy.
-///  * Both load matrices are intermediate-major (load_a[mid][src],
-///    load_b[mid][dst]). All edges of one class share one mid, so a class
-///    replay touches exactly two rows — resident in L1 — instead of
-///    striding across the whole n^2 arrays per edge. The load MULTISET is
-///    unchanged, hence so are the maxima and the round total.
 ///  * Split scratch vectors recycle through a small pool (the recursion
 ///    allocates nothing in steady state).
-class KoenigColouring {
+class SplitEngine {
  public:
-  KoenigColouring(int n, std::vector<std::int64_t>& load_a,
-                  std::vector<std::int64_t>& load_b)
+  explicit SplitEngine(int n)
       : n_(n),
-        load_a_(load_a),
-        load_b_(load_b),
         head_(static_cast<std::size_t>(2 * n), -1),
         mark_((static_cast<std::size_t>(2 * n) + 63) / 64, 0),
         oddb_((static_cast<std::size_t>(2 * n) + 63) / 64, 0),
@@ -140,45 +150,87 @@ class KoenigColouring {
     CCA_EXPECTS(n <= 0xffff);
   }
 
-  [[nodiscard]] std::int64_t total_colours() const noexcept {
-    return total_colours_;
-  }
-
-  void colour(const std::vector<Edge>& edges) {
-    // Single split traversal: the DFS leaf order of colour classes goes
-    // into a flat log (class t = edges [log_bounds_[t], log_bounds_[t+1])).
-    // The class count needed for the block assignment is the log length,
-    // so no separate counting pass re-runs the splits.
-    std::int64_t total_words = 0;
-    for (const auto& e : edges) total_words += e.count;
+  void reset_log(std::int64_t expected_words) {
     log_edges_.clear();
-    log_edges_.reserve(static_cast<std::size_t>(total_words));
+    log_edges_.reserve(static_cast<std::size_t>(expected_words));
     log_bounds_.clear();
-    split_walk(copy_of(edges), 0);
-    total_colours_ = static_cast<std::int64_t>(log_bounds_.size());
-    if (total_colours_ == 0) return;
-    for (std::int64_t t = 0; t < total_colours_; ++t) {
-      const auto mid = static_cast<std::size_t>(t * n_ / total_colours_);
-      const std::size_t begin = log_bounds_[static_cast<std::size_t>(t)];
-      const std::size_t finish =
-          t + 1 < total_colours_ ? log_bounds_[static_cast<std::size_t>(t + 1)]
-                                 : log_edges_.size();
-      auto* la = load_a_.data() + mid * static_cast<std::size_t>(n_);
-      auto* lb = load_b_.data() + mid * static_cast<std::size_t>(n_);
-      for (std::size_t i = begin; i < finish; ++i) {
-        const auto e = log_edges_[i];
-        ++la[e >> 16];
-        ++lb[e & 0xffffu];
-      }
-    }
   }
 
- private:
+  [[nodiscard]] const std::vector<std::uint32_t>& log_edges() const noexcept {
+    return log_edges_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& log_bounds() const noexcept {
+    return log_bounds_;
+  }
+
   [[nodiscard]] static std::uint32_t pack(int src, int dst) noexcept {
     return (static_cast<std::uint32_t>(src) << 16) |
            static_cast<std::uint32_t>(dst);
   }
 
+  [[nodiscard]] std::vector<Edge> copy_of(const std::vector<Edge>& edges) {
+    auto v = acquire();
+    v.assign(edges.begin(), edges.end());
+    return v;
+  }
+
+  /// Run one task's whole subtree into this engine's log.
+  void run(SplitTask&& task) {
+    if (task.packed)
+      split_walk_packed(std::move(task.packed_edges), task.depth);
+    else
+      split_walk(std::move(task.edges), task.depth);
+  }
+
+  /// Serially reproduce the TOP of the split recursion down to at most
+  /// `max_depth` levels, emitting the still-unsplit subtrees as concrete
+  /// tasks (owned edge lists) and identical-halves duplications as dup
+  /// slots — both in the recursion's DFS order, so running the tasks and
+  /// concatenating their logs (dup slots replaying the just-merged range)
+  /// reproduces the serial class log bit for bit.
+  void expand(std::vector<Edge> edges, int depth, int max_depth,
+              std::vector<SplitTask>& tasks, std::vector<SplitSlot>& slots) {
+    if (edges.empty()) {
+      release(std::move(edges));
+      return;
+    }
+    if (depth >= max_depth || depth > 64) {
+      emit_task(std::move(edges), depth, tasks, slots);
+      return;
+    }
+    if (max_degree(edges) <= 1) {
+      emit_task(std::move(edges), depth, tasks, slots);
+      return;
+    }
+    auto lo = acquire();
+    auto hi = acquire();
+    const bool identical = euler_split(edges, lo, hi);
+    const bool simple_children = max_half_ <= 1;
+    release(std::move(edges));
+    auto descend = [&](std::vector<Edge>&& child) {
+      if (simple_children) {
+        auto p = acquire_packed();
+        p.reserve(child.size());
+        for (const auto& e : child) p.push_back(pack(e.src, e.dst));
+        release(std::move(child));
+        expand_packed(std::move(p), depth + 1, max_depth, tasks, slots);
+      } else {
+        expand(std::move(child), depth + 1, max_depth, tasks, slots);
+      }
+    };
+    if (!identical) {
+      descend(std::move(lo));
+      descend(std::move(hi));
+      return;
+    }
+    release(std::move(hi));
+    const std::size_t mark_slot = slots.size();
+    descend(std::move(lo));
+    if (slots.size() > mark_slot)
+      slots.push_back({-1, mark_slot, true});
+  }
+
+ private:
   /// Pool-backed copy/acquire of edge scratch vectors: the recursion reuses
   /// vectors instead of allocating one pair per node.
   [[nodiscard]] std::vector<Edge> acquire() {
@@ -189,11 +241,6 @@ class KoenigColouring {
     return v;
   }
   void release(std::vector<Edge>&& v) { pool_.push_back(std::move(v)); }
-  [[nodiscard]] std::vector<Edge> copy_of(const std::vector<Edge>& edges) {
-    auto v = acquire();
-    v.assign(edges.begin(), edges.end());
-    return v;
-  }
   [[nodiscard]] std::vector<std::uint32_t> acquire_packed() {
     if (packed_pool_.empty()) return {};
     auto v = std::move(packed_pool_.back());
@@ -203,6 +250,43 @@ class KoenigColouring {
   }
   void release_packed(std::vector<std::uint32_t>&& v) {
     packed_pool_.push_back(std::move(v));
+  }
+
+  void emit_task(std::vector<Edge>&& edges, int depth,
+                 std::vector<SplitTask>& tasks, std::vector<SplitSlot>& slots) {
+    slots.push_back({static_cast<int>(tasks.size()), 0, false});
+    tasks.push_back({std::move(edges), {}, false, depth});
+  }
+  void emit_task_packed(std::vector<std::uint32_t>&& es, int depth,
+                        std::vector<SplitTask>& tasks,
+                        std::vector<SplitSlot>& slots) {
+    slots.push_back({static_cast<int>(tasks.size()), 0, false});
+    tasks.push_back({{}, std::move(es), true, depth});
+  }
+
+  void expand_packed(std::vector<std::uint32_t> es, int depth, int max_depth,
+                     std::vector<SplitTask>& tasks,
+                     std::vector<SplitSlot>& slots) {
+    if (es.empty()) {
+      release_packed(std::move(es));
+      return;
+    }
+    if (depth >= max_depth || depth > 64) {
+      emit_task_packed(std::move(es), depth, tasks, slots);
+      return;
+    }
+    build_slots(es);
+    if (node_deg_ <= 1) {
+      unbuild_slots();
+      emit_task_packed(std::move(es), depth, tasks, slots);
+      return;
+    }
+    auto lo = acquire_packed();
+    auto hi = acquire_packed();
+    trail_split_packed(es, lo, hi);
+    release_packed(std::move(es));
+    expand_packed(std::move(lo), depth + 1, max_depth, tasks, slots);
+    expand_packed(std::move(hi), depth + 1, max_depth, tasks, slots);
   }
 
   /// One edge occurrence in a vertex's adjacency list: slot 2i is the src
@@ -564,9 +648,6 @@ class KoenigColouring {
   }
 
   int n_;
-  std::int64_t total_colours_ = 0;
-  std::vector<std::int64_t>& load_a_;  ///< intermediate-major: [mid][src]
-  std::vector<std::int64_t>& load_b_;  ///< intermediate-major: [mid][dst]
 
   // Scratch reused across recursion nodes.
   std::vector<int> head_;            ///< per vertex: first unused slot, -1 idle
@@ -587,6 +668,275 @@ class KoenigColouring {
   std::vector<std::uint32_t> log_edges_;
   std::vector<std::size_t> log_bounds_;
 };
+
+/// Default Euler-split task count: serial when the worker group is one
+/// thread (the CCA_THREADS=1 CI leg runs the pure-serial recursion), a few
+/// tasks per worker otherwise so the block partition stays balanced even
+/// when subtree sizes skew.
+int default_split_tasks() {
+  const int workers = parallel_workers();
+  if (workers <= 1) return 1;
+  return std::min(64, 2 * workers);
+}
+
+/// Smallest expansion depth whose full frontier holds >= `tasks` subtrees.
+int expansion_depth_for(int tasks) {
+  int depth = 0;
+  int width = 1;
+  while (width < tasks && depth < 6) {
+    width *= 2;
+    ++depth;
+  }
+  return depth;
+}
+
+/// Drives the split (serial or task-parallel), merges the per-task class
+/// logs in DFS order, and replays the merged log onto the load matrices.
+/// Colour classes are produced in leaf (DFS) order; consecutive classes
+/// share split ancestry and hence have near-disjoint edge sets, so
+/// contiguous BLOCKS of classes are assigned to the same intermediate:
+/// class t of C goes through node floor(t*n/C). The total class count is
+/// needed before any class can be assigned, so the split logs the class
+/// sequence and the load assignment replays the log once the count is
+/// known.
+///
+/// Both load matrices are intermediate-major (load_a[mid][src],
+/// load_b[mid][dst]). All edges of one class share one mid, so a class
+/// replay touches exactly two rows — resident in L1 — instead of striding
+/// across the whole n^2 arrays per edge. The load MULTISET is unchanged,
+/// hence so are the maxima and the round total.
+class KoenigColouring {
+ public:
+  KoenigColouring(int n, std::vector<std::int64_t>& load_a,
+                  std::vector<std::int64_t>& load_b)
+      : n_(n), load_a_(load_a), load_b_(load_b), root_(n) {}
+
+  [[nodiscard]] std::int64_t total_colours() const noexcept {
+    return total_colours_;
+  }
+
+  /// The merged class log (valid after colour()): class t covers packed
+  /// edges [bounds()[t], bounds()[t+1]) of edges().
+  [[nodiscard]] const std::vector<std::uint32_t>& edges() const noexcept {
+    return *edges_view_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& bounds() const noexcept {
+    return *bounds_view_;
+  }
+
+  void colour(const std::vector<Edge>& edges, int split_tasks) {
+    std::int64_t total_words = 0;
+    for (const auto& e : edges) total_words += e.count;
+
+    if (split_tasks <= 1) {
+      // Pure serial path: one engine walks the whole recursion. This is
+      // the reference sequence every parallel run must reproduce.
+      root_.reset_log(total_words);
+      root_.run({root_.copy_of(edges), {}, false, 0});
+      edges_view_ = &root_.log_edges();
+      bounds_view_ = &root_.log_bounds();
+    } else {
+      // Expand the top of the recursion serially into independent subtree
+      // tasks (plus dup slots for identical-halves collapses), run every
+      // concrete task on its own engine under parallel_for, and merge the
+      // logs in DFS slot order. Each engine's scratch starts clean and the
+      // expansion performs the exact splits the serial recursion would, so
+      // the merged log is bit-identical to the serial one for ANY task
+      // count (pinned by tests/test_routing.cpp).
+      std::vector<SplitTask> tasks;
+      std::vector<SplitSlot> slots;
+      root_.expand(root_.copy_of(edges), 0, expansion_depth_for(split_tasks),
+                   tasks, slots);
+      std::vector<SplitEngine> engines;
+      engines.reserve(tasks.size());
+      for (std::size_t t = 0; t < tasks.size(); ++t) engines.emplace_back(n_);
+      parallel_for(0, static_cast<int>(tasks.size()), [&](int t) {
+        const auto ts = static_cast<std::size_t>(t);
+        std::int64_t words = 0;
+        if (tasks[ts].packed)
+          words = static_cast<std::int64_t>(tasks[ts].packed_edges.size());
+        else
+          for (const auto& e : tasks[ts].edges) words += e.count;
+        engines[ts].reset_log(words);
+        engines[ts].run(std::move(tasks[ts]));
+      });
+
+      merged_edges_.clear();
+      merged_edges_.reserve(static_cast<std::size_t>(total_words));
+      merged_bounds_.clear();
+      std::vector<std::size_t> slot_b(slots.size()), slot_e(slots.size());
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        slot_b[i] = merged_bounds_.size();
+        slot_e[i] = merged_edges_.size();
+        if (!slots[i].dup) {
+          const auto& eng = engines[static_cast<std::size_t>(slots[i].task)];
+          const std::size_t base = merged_edges_.size();
+          for (const auto b : eng.log_bounds())
+            merged_bounds_.push_back(b + base);
+          merged_edges_.insert(merged_edges_.end(), eng.log_edges().begin(),
+                               eng.log_edges().end());
+        } else {
+          // Replay the merged output of the duplicated sibling subtree —
+          // the same arithmetic as the serial identical-halves collapse,
+          // applied to the merged ranges.
+          const std::size_t mb = slot_b[slots[i].dup_begin];
+          const std::size_t me = slot_e[slots[i].dup_begin];
+          const std::size_t end_b = merged_bounds_.size();
+          const std::size_t end_e = merged_edges_.size();
+          const std::size_t delta = end_e - me;
+          merged_bounds_.reserve(end_b + (end_b - mb));
+          for (std::size_t b = mb; b < end_b; ++b)
+            merged_bounds_.push_back(merged_bounds_[b] + delta);
+          merged_edges_.resize(end_e + delta);
+          std::copy(merged_edges_.begin() + static_cast<std::ptrdiff_t>(me),
+                    merged_edges_.begin() + static_cast<std::ptrdiff_t>(end_e),
+                    merged_edges_.begin() + static_cast<std::ptrdiff_t>(end_e));
+        }
+      }
+      edges_view_ = &merged_edges_;
+      bounds_view_ = &merged_bounds_;
+    }
+
+    // Replay the class log onto the load matrices.
+    const auto& log_edges = *edges_view_;
+    const auto& log_bounds = *bounds_view_;
+    total_colours_ = static_cast<std::int64_t>(log_bounds.size());
+    if (total_colours_ == 0) return;
+    for (std::int64_t t = 0; t < total_colours_; ++t) {
+      const auto mid = static_cast<std::size_t>(t * n_ / total_colours_);
+      const std::size_t begin = log_bounds[static_cast<std::size_t>(t)];
+      const std::size_t finish =
+          t + 1 < total_colours_ ? log_bounds[static_cast<std::size_t>(t + 1)]
+                                 : log_edges.size();
+      auto* la = load_a_.data() + mid * static_cast<std::size_t>(n_);
+      auto* lb = load_b_.data() + mid * static_cast<std::size_t>(n_);
+      for (std::size_t i = begin; i < finish; ++i) {
+        const auto e = log_edges[i];
+        ++la[e >> 16];
+        ++lb[e & 0xffffu];
+      }
+    }
+  }
+
+ private:
+  int n_;
+  std::int64_t total_colours_ = 0;
+  std::vector<std::int64_t>& load_a_;  ///< intermediate-major: [mid][src]
+  std::vector<std::int64_t>& load_b_;  ///< intermediate-major: [mid][dst]
+  SplitEngine root_;
+  std::vector<std::uint32_t> merged_edges_;
+  std::vector<std::size_t> merged_bounds_;
+  const std::vector<std::uint32_t>* edges_view_ = nullptr;
+  const std::vector<std::size_t>* bounds_view_ = nullptr;
+};
+
+std::vector<Edge> demand_edges(int n, const std::vector<Demand>& demands,
+                               std::int64_t* total_words) {
+  std::vector<Edge> edges;
+  edges.reserve(demands.size());
+  std::int64_t words = 0;
+  for (const auto& d : demands) {
+    CCA_EXPECTS(d.src >= 0 && d.src < n && d.dst >= 0 && d.dst < n);
+    CCA_EXPECTS(d.words >= 0);
+    if (d.words > 0) {
+      edges.push_back({d.src, d.dst, d.words});
+      words += d.words;
+    }
+  }
+  if (total_words != nullptr) *total_words = words;
+  return edges;
+}
+
+// ---------------------------------------------------------------------------
+// Greedy first-fit edge colouring (SchedulePolicy::Greedy).
+// ---------------------------------------------------------------------------
+
+/// Assign every demanded word the LOWEST level (colour) unused at both its
+/// endpoints: per level each src sends at most one word and each dst
+/// receives at most one, so every level is a partial matching on ports by
+/// construction. A word of (s, d) only ever sees levels blocked by s's own
+/// words or d's own words, so its level is < deg(s) + deg(d) - 1
+/// <= 2*maxdeg - 1 — under twice the optimal (chromatic index >= maxdeg)
+/// colour count, the Misra–Gries bound shape. One linear scan over per-
+/// vertex level bitsets (with first-free hints) replaces the Euler split's
+/// O(words * log maxdeg) class construction.
+///
+/// Levels map to intermediates exactly like Koenig classes (level t of C
+/// goes through node floor(t*n/C)) and the rounds are the same exact
+/// max-load sum over the CONCRETE plan — the accounting stays honest; only
+/// the plan is up to ~2x looser.
+Schedule greedy_relay_impl(int n, const std::vector<Demand>& demands,
+                           std::vector<std::uint32_t>* levels_out,
+                           std::int64_t* classes_out) {
+  CCA_EXPECTS(n >= 1);
+  Schedule sched;
+  std::int64_t total_words = 0;
+  for (const auto& d : demands) {
+    CCA_EXPECTS(d.src >= 0 && d.src < n && d.dst >= 0 && d.dst < n);
+    CCA_EXPECTS(d.words >= 0);
+    total_words += d.words;
+  }
+  sched.words = total_words;
+  if (total_words == 0) return sched;
+
+  const auto un = static_cast<std::size_t>(n);
+  std::vector<std::vector<std::uint64_t>> send_used(un), recv_used(un);
+  std::vector<std::size_t> send_hint(un, 0), recv_hint(un, 0);
+  std::vector<std::uint32_t> levels;
+  levels.reserve(static_cast<std::size_t>(total_words));
+  std::uint32_t max_level = 0;
+
+  for (const auto& d : demands) {
+    if (d.words == 0) continue;
+    auto& su = send_used[static_cast<std::size_t>(d.src)];
+    auto& ru = recv_used[static_cast<std::size_t>(d.dst)];
+    std::size_t w = std::max(send_hint[static_cast<std::size_t>(d.src)],
+                             recv_hint[static_cast<std::size_t>(d.dst)]);
+    std::int64_t remaining = d.words;
+    while (remaining > 0) {
+      if (w >= su.size()) su.resize(w + 1, 0);
+      if (w >= ru.size()) ru.resize(w + 1, 0);
+      std::uint64_t free = ~(su[w] | ru[w]);
+      while (free != 0 && remaining > 0) {
+        const int bit = std::countr_zero(free);
+        free &= free - 1;
+        su[w] |= std::uint64_t{1} << bit;
+        ru[w] |= std::uint64_t{1} << bit;
+        const auto level =
+            static_cast<std::uint32_t>(w * 64 + static_cast<std::size_t>(bit));
+        levels.push_back(level);
+        if (level > max_level) max_level = level;
+        --remaining;
+      }
+      ++w;
+    }
+    auto& sh = send_hint[static_cast<std::size_t>(d.src)];
+    while (sh < su.size() && su[sh] == ~std::uint64_t{0}) ++sh;
+    auto& rh = recv_hint[static_cast<std::size_t>(d.dst)];
+    while (rh < ru.size() && ru[rh] == ~std::uint64_t{0}) ++rh;
+  }
+
+  const std::int64_t classes = static_cast<std::int64_t>(max_level) + 1;
+  sched.classes = classes;
+
+  const auto nn = un * un;
+  std::vector<std::int64_t> load_a(nn, 0), load_b(nn, 0);
+  std::size_t at = 0;
+  for (const auto& d : demands) {
+    for (std::int64_t wds = 0; wds < d.words; ++wds) {
+      const auto mid = static_cast<std::size_t>(
+          static_cast<std::int64_t>(levels[at++]) * n / classes);
+      ++load_a[mid * un + static_cast<std::size_t>(d.src)];
+      ++load_b[mid * un + static_cast<std::size_t>(d.dst)];
+    }
+  }
+  const auto max_a = *std::max_element(load_a.begin(), load_a.end());
+  const auto max_b = *std::max_element(load_b.begin(), load_b.end());
+  sched.rounds = max_a + max_b;
+  if (levels_out != nullptr) *levels_out = std::move(levels);
+  if (classes_out != nullptr) *classes_out = classes;
+  return sched;
+}
 
 }  // namespace
 
@@ -634,32 +984,73 @@ std::int64_t rounds_koenig_relay(int n, const std::vector<Demand>& demands) {
   return schedule_koenig_relay(n, demands).rounds;
 }
 
+std::int64_t rounds_greedy_relay(int n, const std::vector<Demand>& demands) {
+  return schedule_greedy_relay(n, demands).rounds;
+}
+
 Schedule schedule_koenig_relay(int n, const std::vector<Demand>& demands) {
+  return schedule_koenig_relay(n, demands, default_split_tasks());
+}
+
+Schedule schedule_koenig_relay(int n, const std::vector<Demand>& demands,
+                               int split_tasks) {
   CCA_EXPECTS(n >= 1);
   Schedule sched;
-  std::vector<Edge> edges;
-  edges.reserve(demands.size());
-  for (const auto& d : demands) {
-    CCA_EXPECTS(d.src >= 0 && d.src < n && d.dst >= 0 && d.dst < n);
-    CCA_EXPECTS(d.words >= 0);
-    if (d.words > 0) {
-      edges.push_back({d.src, d.dst, d.words});
-      sched.words += d.words;
-    }
-  }
+  const auto edges = demand_edges(n, demands, &sched.words);
   if (edges.empty()) return sched;
 
   const auto nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
   std::vector<std::int64_t> load_a(nn);
   std::vector<std::int64_t> load_b(nn);
   KoenigColouring colouring(n, load_a, load_b);
-  colouring.colour(edges);
+  colouring.colour(edges, split_tasks);
 
   const auto max_a = *std::max_element(load_a.begin(), load_a.end());
   const auto max_b = *std::max_element(load_b.begin(), load_b.end());
   sched.rounds = max_a + max_b;
   sched.classes = colouring.total_colours();
   return sched;
+}
+
+Schedule schedule_greedy_relay(int n, const std::vector<Demand>& demands) {
+  return greedy_relay_impl(n, demands, nullptr, nullptr);
+}
+
+std::vector<std::vector<std::pair<int, int>>> koenig_relay_classes(
+    int n, const std::vector<Demand>& demands, int split_tasks) {
+  CCA_EXPECTS(n >= 1);
+  const auto edges = demand_edges(n, demands, nullptr);
+  if (edges.empty()) return {};
+  const auto nn = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  std::vector<std::int64_t> load_a(nn), load_b(nn);
+  KoenigColouring colouring(n, load_a, load_b);
+  colouring.colour(edges, split_tasks <= 0 ? default_split_tasks()
+                                           : split_tasks);
+  const auto& log_edges = colouring.edges();
+  const auto& log_bounds = colouring.bounds();
+  std::vector<std::vector<std::pair<int, int>>> classes(log_bounds.size());
+  for (std::size_t t = 0; t < log_bounds.size(); ++t) {
+    const std::size_t finish =
+        t + 1 < log_bounds.size() ? log_bounds[t + 1] : log_edges.size();
+    for (std::size_t i = log_bounds[t]; i < finish; ++i)
+      classes[t].emplace_back(static_cast<int>(log_edges[i] >> 16),
+                              static_cast<int>(log_edges[i] & 0xffffu));
+  }
+  return classes;
+}
+
+std::vector<std::vector<std::pair<int, int>>> greedy_relay_classes(
+    int n, const std::vector<Demand>& demands) {
+  std::vector<std::uint32_t> levels;
+  std::int64_t classes_n = 0;
+  (void)greedy_relay_impl(n, demands, &levels, &classes_n);
+  std::vector<std::vector<std::pair<int, int>>> classes(
+      static_cast<std::size_t>(classes_n));
+  std::size_t at = 0;
+  for (const auto& d : demands)
+    for (std::int64_t w = 0; w < d.words; ++w)
+      classes[levels[at++]].emplace_back(d.src, d.dst);
+  return classes;
 }
 
 std::uint64_t demand_fingerprint(int n, const std::vector<Demand>& demands) {
@@ -679,40 +1070,61 @@ std::uint64_t demand_fingerprint(int n, const std::vector<Demand>& demands) {
 }
 
 const Schedule& ScheduleCache::get(int n, const std::vector<Demand>& demands,
-                                   bool* hit) {
+                                   SchedulePolicy policy, bool* hit) {
   const auto key = demand_fingerprint(n, demands);
   if (const auto it = map_.find(key); it != map_.end()) {
-    for (const auto& e : it->second)
-      if (e.n == n && e.demands == demands) {
+    for (const auto eit : it->second)
+      if (eit->n == n && eit->policy == policy && eit->demands == demands) {
         ++stats_.hits;
+        ++eit->reuse;
+        lru_.splice(lru_.begin(), lru_, eit);
         if (hit != nullptr) *hit = true;
-        return e.schedule;
+        return eit->schedule;
       }
   }
   ++stats_.misses;
   if (hit != nullptr) *hit = false;
 
-  // Footprint cap: iterated workloads cycle through a handful of shapes, so
-  // a wholesale reset on overflow (rather than LRU bookkeeping) costs at
-  // most one extra split per live shape.
-  constexpr std::size_t kMaxCachedDemands = std::size_t{1} << 22;
-  if (cached_demands_ + demands.size() > kMaxCachedDemands) {
-    map_.clear();
-    entries_ = 0;
-    cached_demands_ = 0;
-  }
+  evict_to_fit(demands.size());
 
-  Schedule sched = schedule_koenig_relay(n, demands);
+  Schedule sched = policy == SchedulePolicy::Greedy
+                       ? schedule_greedy_relay(n, demands)
+                       : schedule_koenig_relay(n, demands);
   cached_demands_ += demands.size();
-  ++entries_;
-  auto& chain = map_[key];
-  chain.push_back({n, demands, sched});
-  return chain.back().schedule;
+  lru_.push_front(Entry{n, policy, demands, sched, 0, key});
+  map_[key].push_back(lru_.begin());
+  return lru_.front().schedule;
+}
+
+void ScheduleCache::evict_to_fit(std::size_t incoming_demands) {
+  while (!lru_.empty() && cached_demands_ + incoming_demands > capacity_) {
+    const auto victim = std::prev(lru_.end());
+    const auto cit = map_.find(victim->key);
+    CCA_ASSERT(cit != map_.end());
+    auto& chain = cit->second;
+    chain.erase(std::find(chain.begin(), chain.end(), victim));
+    if (chain.empty()) map_.erase(cit);
+    cached_demands_ -= victim->demands.size();
+    lru_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+std::int64_t ScheduleCache::total_reuse() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& e : lru_) total += e.reuse;
+  return total;
+}
+
+std::int64_t ScheduleCache::max_entry_reuse() const noexcept {
+  std::int64_t best = 0;
+  for (const auto& e : lru_) best = std::max(best, e.reuse);
+  return best;
 }
 
 void ScheduleCache::clear() {
+  lru_.clear();
   map_.clear();
-  entries_ = 0;
   cached_demands_ = 0;
   stats_ = Stats{};
 }

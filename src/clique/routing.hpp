@@ -18,13 +18,20 @@
 //                schedules for arbitrary demands — the executable counterpart
 //                of Lenzen's routing theorem [46] and of the oblivious routing
 //                of Dolev et al. [24, Lemma 1].
+//      - greedy: first-fit edge colouring (Misra–Gries-flavoured bound): each
+//                word takes the lowest level free at both its endpoints, so
+//                the class count is at most deg(src)+deg(dst)-1 <= 2*maxdeg-1
+//                < 2x the optimal (Vizing/Koenig) colour count. One linear
+//                pass instead of the Euler split's O(words * log maxdeg).
 //
 // These functions are exposed separately from Network so that tests can probe
 // the schedules directly and the routing benchmark can compare disciplines.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -40,6 +47,18 @@ struct Demand {
   friend bool operator==(const Demand&, const Demand&) = default;
 };
 
+/// Which scheduler a Network (or the cache) runs for relay supersteps.
+///
+///  * ExactKoenig — the Euler-split colouring: exact near-optimal rounds,
+///    O(words * log maxdeg) scheduling wall. The default, and the only
+///    policy round-pinned tests may rely on.
+///  * Greedy — first-fit colouring: <= 2x the optimal class count (hence
+///    ~2x rounds, measured well under that on the bench series) for one
+///    O(words) scheduling pass. Opt-in for wall-focused runs; rounds stay
+///    exact FOR THE SCHEDULE IT BUILDS (the simulator still counts real
+///    rounds of a real relay plan — only the plan is cheaper and looser).
+enum class SchedulePolicy { ExactKoenig, Greedy };
+
 /// Rounds for direct delivery: max over ordered links of the word count.
 [[nodiscard]] std::int64_t rounds_direct(int n,
                                          const std::vector<Demand>& demands);
@@ -54,6 +73,10 @@ struct Demand {
 
 /// Rounds for the Euler-split (Koenig) relay schedule.
 [[nodiscard]] std::int64_t rounds_koenig_relay(
+    int n, const std::vector<Demand>& demands);
+
+/// Rounds for the greedy first-fit relay schedule (<= ~2x koenig).
+[[nodiscard]] std::int64_t rounds_greedy_relay(
     int n, const std::vector<Demand>& demands);
 
 // ---------------------------------------------------------------------------
@@ -74,7 +97,7 @@ struct Demand {
 // recompute, never to a wrong round count. The random-relay discipline is
 // seed-dependent and must bypass the cache (Network::deliver does).
 
-/// The reusable outcome of one Koenig Euler-split run.
+/// The reusable outcome of one relay-schedule computation.
 struct Schedule {
   std::int64_t rounds = 0;   ///< phase-A + phase-B relay rounds
   std::int64_t classes = 0;  ///< colour classes of the decomposition
@@ -83,8 +106,35 @@ struct Schedule {
 
 /// Run the Euler-split colouring and return the full Schedule (the
 /// `rounds` member is exactly rounds_koenig_relay's value).
+///
+/// The split recursion runs as `split_tasks` independent subtree tasks under
+/// cca::parallel_for (after a serial frontier expansion that reproduces the
+/// top of the recursion), with the per-task class logs merged in DFS order —
+/// the colour classes, and therefore the rounds, are BIT-IDENTICAL for every
+/// task count, including the pure-serial split_tasks <= 1 path (pinned by
+/// tests/test_routing.cpp). The parameterless overload picks the task count
+/// from cca::parallel_workers() (1 worker => serial).
 [[nodiscard]] Schedule schedule_koenig_relay(int n,
                                              const std::vector<Demand>& demands);
+[[nodiscard]] Schedule schedule_koenig_relay(int n,
+                                             const std::vector<Demand>& demands,
+                                             int split_tasks);
+
+/// Run the greedy first-fit colouring (SchedulePolicy::Greedy). Classes
+/// <= deg(src)+deg(dst)-1 <= 2*maxdeg-1, i.e. under 2x the optimal count.
+[[nodiscard]] Schedule schedule_greedy_relay(
+    int n, const std::vector<Demand>& demands);
+
+/// Test/diagnostic introspection: the concrete colour classes of a relay
+/// schedule, each class a list of (src, dst) word-ports. A legal schedule
+/// has every class a partial matching on ports (no src and no dst twice
+/// within a class) and delivers every demanded word exactly once; the
+/// schedule-validity property test asserts exactly that for both policies.
+[[nodiscard]] std::vector<std::vector<std::pair<int, int>>>
+koenig_relay_classes(int n, const std::vector<Demand>& demands,
+                     int split_tasks = 0);
+[[nodiscard]] std::vector<std::vector<std::pair<int, int>>>
+greedy_relay_classes(int n, const std::vector<Demand>& demands);
 
 /// Order-sensitive 64-bit fingerprint of a canonical demand list. Callers
 /// must pass demands in a canonical order ((src, dst) ascending, as
@@ -92,40 +142,67 @@ struct Schedule {
 [[nodiscard]] std::uint64_t demand_fingerprint(
     int n, const std::vector<Demand>& demands);
 
-/// Cache of Koenig schedules keyed by demand fingerprint. Hits verify the
-/// stored demand list element-wise (exactness over speed: a 64-bit
-/// collision degrades to a chained recompute). The cache self-bounds its
-/// footprint: when the stored demand entries exceed an internal cap it
-/// resets wholesale and repopulates (hit/miss counters survive the reset).
+/// Cache of relay schedules keyed by demand fingerprint, with entries tagged
+/// by the SchedulePolicy that computed them (an exact and a greedy schedule
+/// of the same shape are distinct entries). Hits verify the stored demand
+/// list element-wise (exactness over speed: a 64-bit collision degrades to
+/// a chained recompute). The cache bounds its footprint with true LRU
+/// eviction: when the stored demand elements would exceed the capacity, the
+/// least-recently-used entries are evicted one at a time — eviction can only
+/// ever cause a recompute of the SAME deterministic schedule, never a
+/// different round count (pinned by tests/test_routing.cpp).
 class ScheduleCache {
  public:
   struct Stats {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
+    std::int64_t evictions = 0;
   };
 
-  /// The schedule for this demand list; computed and inserted on miss.
-  /// The reference stays valid until the next get() call. When `hit` is
-  /// non-null it receives whether this lookup was served from the cache
-  /// (the same fact the internal stats counters record).
+  /// The schedule for this demand list under `policy`; computed and
+  /// inserted on miss. The reference stays valid until the next get() call.
+  /// When `hit` is non-null it receives whether this lookup was served from
+  /// the cache (the same fact the internal stats counters record).
   const Schedule& get(int n, const std::vector<Demand>& demands,
+                      SchedulePolicy policy = SchedulePolicy::ExactKoenig,
                       bool* hit = nullptr);
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
+  [[nodiscard]] std::size_t entries() const noexcept { return lru_.size(); }
   void clear();
+
+  /// LRU capacity in stored Demand elements (default 1 << 22). Lowering it
+  /// below the current footprint evicts immediately on the next get().
+  void set_capacity(std::size_t max_cached_demands) noexcept {
+    capacity_ = max_cached_demands;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Per-entry reuse observability: how often live entries were served from
+  /// the cache since insertion (an entry's count dies with its eviction).
+  [[nodiscard]] std::int64_t total_reuse() const noexcept;
+  [[nodiscard]] std::int64_t max_entry_reuse() const noexcept;
 
  private:
   struct Entry {
     int n = 0;
+    SchedulePolicy policy = SchedulePolicy::ExactKoenig;
     std::vector<Demand> demands;
     Schedule schedule;
+    std::int64_t reuse = 0;  ///< hits served by this entry
+    std::uint64_t key = 0;   ///< back-reference for O(1) eviction
   };
-  // Fingerprint -> chain of exact entries (chains absorb collisions).
-  std::unordered_map<std::uint64_t, std::vector<Entry>> map_;
+  using EntryIt = std::list<Entry>::iterator;
+
+  void evict_to_fit(std::size_t incoming_demands);
+
+  // LRU list (front = most recent) + fingerprint -> chain of iterators
+  // (chains absorb collisions).
+  std::list<Entry> lru_;
+  std::unordered_map<std::uint64_t, std::vector<EntryIt>> map_;
   Stats stats_;
-  std::size_t entries_ = 0;          ///< cached Entry count
-  std::size_t cached_demands_ = 0;   ///< total stored Demand elements
+  std::size_t cached_demands_ = 0;  ///< total stored Demand elements
+  std::size_t capacity_ = std::size_t{1} << 22;
 };
 
 }  // namespace cca::clique

@@ -26,6 +26,68 @@ std::int64_t sparse_triple_count(int n, const SparsePattern& s_rows,
   return triples;
 }
 
+namespace {
+
+/// The worker partition of the sparse plan, computed from QUANTISED count
+/// profiles (sparse_count_bucket): intermediate k's weight is
+/// bucket(colS(k)) * bucket(rowT(k)), so iterates whose per-row counts
+/// drift within their buckets keep the IDENTICAL partition — the structural
+/// prerequisite for the distribute / contribute demand lists to repeat
+/// across squarings and hit the ScheduleCache. Shared by
+/// build_sparse_mm_structure and the build-free lower bound so the gate can
+/// never disagree with the plan it is gating.
+struct SparseWorkerPartition {
+  std::vector<int> group_size;
+  std::vector<std::vector<int>> extras;
+  std::vector<std::vector<std::pair<int, int>>> worker_extras;
+};
+
+SparseWorkerPartition sparse_worker_partition(
+    int n, const std::vector<std::int64_t>& col_s,
+    const std::vector<std::int64_t>& row_t) {
+  SparseWorkerPartition p;
+  p.group_size.assign(static_cast<std::size_t>(n), 0);
+  p.extras.resize(static_cast<std::size_t>(n));
+  p.worker_extras.resize(static_cast<std::size_t>(n));
+  std::int64_t qtriples = 0;
+  for (int k = 0; k < n; ++k)
+    qtriples += sparse_count_bucket(col_s[static_cast<std::size_t>(k)]) *
+                sparse_count_bucket(row_t[static_cast<std::size_t>(k)]);
+  if (qtriples == 0) return p;
+  int pointer = 0;
+  for (int k = 0; k < n; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    const auto t_k =
+        sparse_count_bucket(col_s[ks]) * sparse_count_bucket(row_t[ks]);
+    if (t_k == 0) continue;
+    const auto ideal = ceil_div(t_k * n, qtriples);
+    const auto cnt = col_s[ks];
+    // Replication-efficiency cap: every extra worker receives the FULL T
+    // row (b_k entries) alongside its a-chunk, so splitting past ~sqrt(cnt)
+    // workers pumps more replicated words out of the holder than it shaves
+    // off any worker's contribute load (holder out grows as g * b_k while
+    // the per-worker product volume shrinks as cnt * b_k / g — the max of
+    // the two is minimized at g = sqrt(cnt)). Power-law hubs are exactly
+    // where this bites: deg^2 triples at one intermediate would otherwise
+    // demand ~n workers and re-ship the hub row to each of them. The cap
+    // too reads the bucketed count; only the cnt bound is exact (chunks
+    // must stay nonempty).
+    const auto rep_cap = isqrt(sparse_count_bucket(cnt)) + 1;
+    const int g =
+        static_cast<int>(std::min<std::int64_t>({ideal, rep_cap, cnt, n}));
+    p.group_size[ks] = g;
+    for (int r = 1; r < g; ++r) {
+      if (pointer == k) pointer = (pointer + 1) % n;
+      p.extras[ks].push_back(pointer);
+      p.worker_extras[static_cast<std::size_t>(pointer)].push_back({k, r});
+      pointer = (pointer + 1) % n;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
 SparseMmStructure build_sparse_mm_structure(
     int n, const SparsePattern& s_rows, const SparsePattern& t_rows,
     const std::function<std::size_t(std::size_t)>& value_words) {
@@ -45,52 +107,38 @@ SparseMmStructure build_sparse_mm_structure(
     return st;
   }
 
-  // SparseCodec message size for a c-pair block.
+  // SparseCodec message size for a c-pair block — exact, and its QUANTISED
+  // frame variant (see sparse_count_bucket): the distribute / contribute
+  // messages are sized by the bucketed counts so shapes repeat across
+  // iterations whose counts drift within their buckets.
   auto sparse_words = [&](std::size_t c) {
     return (c + 1) / 2 + value_words(c);
   };
+  auto sparse_frame = [&](std::size_t c) {
+    return sparse_words(static_cast<std::size_t>(
+        sparse_count_bucket(static_cast<std::int64_t>(c))));
+  };
   const auto vw1 = static_cast<std::int64_t>(value_words(1));
 
-  // Balanced triple partition: intermediate k owns t_k = colS(k) * rowT(k)
-  // triples and gets g_k ~ ceil(t_k n / T) workers, node k first (the
-  // common balanced case moves nothing). Extra workers come from a rolling
-  // pointer over the node ids — the same g-mod-n flavour of balancing
-  // clique::disseminate uses for its word relocation.
-  st.group_size.assign(static_cast<std::size_t>(n), 0);
-  st.extras.resize(static_cast<std::size_t>(n));
-  st.worker_extras.resize(static_cast<std::size_t>(n));
+  // Balanced triple partition over the bucketed count profiles: intermediate
+  // k weighs bucket(colS(k)) * bucket(rowT(k)) and gets ~proportional
+  // workers, node k first (the common balanced case moves nothing). Extra
+  // workers come from a rolling pointer over the node ids — the same
+  // g-mod-n flavour of balancing clique::disseminate uses for its word
+  // relocation. (st.triples stays the EXACT count: the dispatcher's volume
+  // cap reads it.)
+  std::vector<std::int64_t> col_s(static_cast<std::size_t>(n)),
+      row_t(static_cast<std::size_t>(n));
   for (int k = 0; k < n; ++k) {
     const auto ks = static_cast<std::size_t>(k);
-    st.triples += static_cast<std::int64_t>(st.s_cols[ks].size()) *
-                  static_cast<std::int64_t>(t_rows[ks].size());
+    col_s[ks] = static_cast<std::int64_t>(st.s_cols[ks].size());
+    row_t[ks] = static_cast<std::int64_t>(t_rows[ks].size());
+    st.triples += col_s[ks] * row_t[ks];
   }
-  int pointer = 0;
-  for (int k = 0; k < n; ++k) {
-    const auto ks = static_cast<std::size_t>(k);
-    const auto t_k = static_cast<std::int64_t>(st.s_cols[ks].size()) *
-                     static_cast<std::int64_t>(t_rows[ks].size());
-    if (t_k == 0) continue;
-    const auto ideal = ceil_div(t_k * n, st.triples);
-    const auto cnt = static_cast<std::int64_t>(st.s_cols[ks].size());
-    // Replication-efficiency cap: every extra worker receives the FULL T
-    // row (b_k entries) alongside its a-chunk, so splitting past ~sqrt(cnt)
-    // workers pumps more replicated words out of the holder than it shaves
-    // off any worker's contribute load (holder out grows as g * b_k while
-    // the per-worker product volume shrinks as cnt * b_k / g — the max of
-    // the two is minimized at g = sqrt(cnt)). Power-law hubs are exactly
-    // where this bites: deg^2 triples at one intermediate would otherwise
-    // demand ~n workers and re-ship the hub row to each of them.
-    const auto rep_cap = isqrt(cnt) + 1;
-    const int g =
-        static_cast<int>(std::min<std::int64_t>({ideal, rep_cap, cnt, n}));
-    st.group_size[ks] = g;
-    for (int r = 1; r < g; ++r) {
-      if (pointer == k) pointer = (pointer + 1) % n;
-      st.extras[ks].push_back(pointer);
-      st.worker_extras[static_cast<std::size_t>(pointer)].push_back({k, r});
-      pointer = (pointer + 1) % n;
-    }
-  }
+  auto part = sparse_worker_partition(n, col_s, row_t);
+  st.group_size = std::move(part.group_size);
+  st.extras = std::move(part.extras);
+  st.worker_extras = std::move(part.worker_extras);
 
   // Gather demands: every off-diagonal nonzero S[i,k] is one value message
   // i -> k — EXCEPT entries of columns whose T row is empty: the step-0
@@ -113,9 +161,11 @@ SparseMmStructure build_sparse_mm_structure(
     for (int r = 1; r < g; ++r) {
       const auto [lo, hi] =
           sparse_chunk_bounds(static_cast<int>(st.s_cols[ks].size()), g, r);
-      const auto words = static_cast<std::int64_t>(
-          2 + sparse_words(static_cast<std::size_t>(hi - lo)) +
-          sparse_words(b_cnt));
+      const auto words = sparse_msg_align(
+          static_cast<std::int64_t>(
+              2 + sparse_frame(static_cast<std::size_t>(hi - lo)) +
+              sparse_frame(b_cnt)),
+          kSparseDistributeAlign);
       msgs.push_back({st.extras[ks][static_cast<std::size_t>(r - 1)], words});
     }
     std::sort(msgs.begin(), msgs.end());
@@ -166,8 +216,10 @@ SparseMmStructure build_sparse_mm_structure(
       if (i != w)
         st.contribute.push_back(
             {w, i,
-             static_cast<std::int64_t>(
-                 1 + sparse_words(static_cast<std::size_t>(cnt)))});
+             sparse_msg_align(
+                 static_cast<std::int64_t>(
+                     1 + sparse_frame(static_cast<std::size_t>(cnt))),
+                 sparse_contribute_align(n))});
       for (const int j : seen_list) seen[static_cast<std::size_t>(j)] = 0;
       seen_list.clear();
       a = b;
@@ -312,16 +364,167 @@ std::int64_t relay_round_lower_bound(int n,
   return a + b;
 }
 
+std::int64_t relay_volume_lower_bound(int n,
+                                      const std::vector<std::int64_t>& out,
+                                      const std::vector<std::int64_t>& in) {
+  if (n <= 1) return 0;
+  std::int64_t a = 0, b = 0;
+  for (int v = 0; v < n; ++v) {
+    a = std::max(a, ceil_div(out[static_cast<std::size_t>(v)], n));
+    b = std::max(b, ceil_div(in[static_cast<std::size_t>(v)], n));
+  }
+  return a + b;
+}
+
+void add_sparse_volume_lower_bound(
+    int n, const SparsePattern& s_rows, const SparsePattern& t_rows,
+    const std::function<std::size_t(std::size_t)>& value_words,
+    SparsePhaseVolumes& acc) {
+  CCA_EXPECTS(static_cast<int>(s_rows.size()) == n &&
+              static_cast<int>(t_rows.size()) == n);
+  auto sparse_words = [&](std::size_t c) {
+    return static_cast<std::int64_t>((c + 1) / 2 + value_words(c));
+  };
+  auto sparse_frame = [&](std::size_t c) {
+    return sparse_words(static_cast<std::size_t>(
+        sparse_count_bucket(static_cast<std::int64_t>(c))));
+  };
+  const auto vw1 = static_cast<std::int64_t>(value_words(1));
+
+  // Count profiles and the column pattern — O(nnz + n), the whole budget.
+  std::vector<std::int64_t> col_s(static_cast<std::size_t>(n), 0),
+      row_t(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> s_cols(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    for (const int k : s_rows[static_cast<std::size_t>(i)]) {
+      ++col_s[static_cast<std::size_t>(k)];
+      s_cols[static_cast<std::size_t>(k)].push_back(i);
+    }
+  for (int k = 0; k < n; ++k)
+    row_t[static_cast<std::size_t>(k)] =
+        static_cast<std::int64_t>(t_rows[static_cast<std::size_t>(k)].size());
+
+  // Gather volumes are exact: one vw1 message per off-diagonal S nonzero
+  // whose column has a live T row.
+  for (int i = 0; i < n; ++i)
+    for (const int k : s_rows[static_cast<std::size_t>(i)])
+      if (k != i && row_t[static_cast<std::size_t>(k)] > 0) {
+        acc.gather_out[static_cast<std::size_t>(i)] += vw1;
+        acc.gather_in[static_cast<std::size_t>(k)] += vw1;
+      }
+
+  // The builder's own (quantised) partition: distribute volumes follow
+  // exactly, no structure needed.
+  const auto part = sparse_worker_partition(n, col_s, row_t);
+  for (int k = 0; k < n; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    const int g = part.group_size[ks];
+    if (g < 2) continue;
+    const auto b_frame =
+        sparse_frame(static_cast<std::size_t>(row_t[ks]));
+    for (int r = 1; r < g; ++r) {
+      const auto [lo, hi] =
+          sparse_chunk_bounds(static_cast<int>(col_s[ks]), g, r);
+      const auto words = sparse_msg_align(
+          2 + sparse_frame(static_cast<std::size_t>(hi - lo)) + b_frame,
+          kSparseDistributeAlign);
+      acc.distribute_out[ks] += words;
+      acc.distribute_in[static_cast<std::size_t>(
+          part.extras[ks][static_cast<std::size_t>(r - 1)])] += words;
+    }
+  }
+
+  // Contribute lower bound. The real phase ships, per distinct
+  // (worker, output row) pair with row != worker, ONE message of
+  // 1 + frame(|union of contributing T-row patterns|) words. The union is
+  // at least as large as the largest contributing T row, the frame at
+  // least the exact words — so charging 1 + sparse_words(max rowT) per
+  // pair never overestimates. Enumerating the pairs is an O(nnz) sweep:
+  // position x of column k lands at chunk r (the sparse_chunk_bounds
+  // inverse), worker r == 0 ? k : extras[k][r-1].
+  struct Pair {
+    int w;
+    int i;
+    std::int64_t b;
+  };
+  std::vector<Pair> pairs;
+  for (int k = 0; k < n; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    const int g = part.group_size[ks];
+    if (g == 0) continue;
+    const auto& rows = s_cols[ks];
+    for (int r = 0; r < g; ++r) {
+      const auto [lo, hi] =
+          sparse_chunk_bounds(static_cast<int>(rows.size()), g, r);
+      const int w = r == 0 ? k : part.extras[ks][static_cast<std::size_t>(r - 1)];
+      for (int x = lo; x < hi; ++x) {
+        const int i = rows[static_cast<std::size_t>(x)];
+        if (i != w) pairs.push_back({w, i, row_t[ks]});
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    return a.w != b.w ? a.w < b.w : (a.i != b.i ? a.i < b.i : a.b < b.b);
+  });
+  for (std::size_t a = 0; a < pairs.size();) {
+    std::size_t b = a;
+    std::int64_t maxb = 0;
+    for (; b < pairs.size() && pairs[b].w == pairs[a].w &&
+           pairs[b].i == pairs[a].i;
+         ++b)
+      maxb = std::max(maxb, pairs[b].b);
+    // Alignment is monotone, so aligning the per-pair underestimate stays
+    // below the real (aligned) message size.
+    const auto words = sparse_msg_align(
+        1 + sparse_words(static_cast<std::size_t>(maxb)),
+        sparse_contribute_align(n));
+    acc.contribute_out[static_cast<std::size_t>(pairs[a].w)] += words;
+    acc.contribute_in[static_cast<std::size_t>(pairs[a].i)] += words;
+    a = b;
+  }
+}
+
+std::int64_t sparse_round_lower_bound(
+    int n, const SparsePattern& s_rows, const SparsePattern& t_rows,
+    const std::function<std::size_t(std::size_t)>& value_words) {
+  std::int64_t rho_s = 0, rho_t = 0;
+  for (const auto& row : s_rows) rho_s += static_cast<std::int64_t>(row.size());
+  for (const auto& row : t_rows) rho_t += static_cast<std::int64_t>(row.size());
+  if (rho_s == 0 || rho_t == 0) return 0;  // trivial product plans 0 rounds
+  SparsePhaseVolumes vols(n);
+  add_sparse_volume_lower_bound(n, s_rows, t_rows, value_words, vols);
+  return 1 + relay_volume_lower_bound(n, vols.gather_out, vols.gather_in) +
+         relay_volume_lower_bound(n, vols.distribute_out, vols.distribute_in) +
+         relay_volume_lower_bound(n, vols.contribute_out, vols.contribute_in);
+}
+
 std::int64_t sparse_plan_cap(int n) {
   return 4 * static_cast<std::int64_t>(n) * n * icbrt(n);
 }
 
 std::int64_t sparse_planned_rounds(clique::Network& net,
-                                   const SparseMmStructure& st) {
+                                   const SparseMmStructure& st,
+                                   std::int64_t abort_above) {
   if (st.trivial) return 0;
-  return 1 + net.prepare_schedule(st.gather) +
-         net.prepare_schedule(st.distribute) +
-         net.prepare_schedule(st.contribute);
+  // Volume bounds of the not-yet-scheduled phases gate each Euler split:
+  // an abort returns (exact scheduled prefix) + (volume bounds of the
+  // rest) — still a lower bound on the true total, and already above the
+  // threshold, so the caller's comparison is unchanged while the losing
+  // plan skips its remaining (host-expensive) splits. These bounds read
+  // the BUILT phase lists, so they are tighter than the build-free
+  // sparse_round_lower_bound the dispatcher used for the admission skip.
+  const int n = net.n();
+  const std::int64_t lb_d = relay_round_lower_bound(n, st.distribute);
+  const std::int64_t lb_c = relay_round_lower_bound(n, st.contribute);
+  std::int64_t acc = 1;
+  if (acc + relay_round_lower_bound(n, st.gather) + lb_d + lb_c >
+      abort_above)
+    return acc + relay_round_lower_bound(n, st.gather) + lb_d + lb_c;
+  acc += net.prepare_schedule(st.gather);
+  if (acc + lb_d + lb_c > abort_above) return acc + lb_d + lb_c;
+  acc += net.prepare_schedule(st.distribute);
+  if (acc + lb_c > abort_above) return acc + lb_c;
+  return acc + net.prepare_schedule(st.contribute);
 }
 
 namespace {
@@ -355,17 +558,28 @@ std::vector<clique::Demand> merge_demands(
 }  // namespace
 
 std::int64_t sparse_planned_rounds_batch(
-    clique::Network& net, std::span<const SparseMmStructure> sts) {
+    clique::Network& net, std::span<const SparseMmStructure> sts,
+    std::int64_t abort_above) {
   std::int64_t live = 0;
   for (const auto& st : sts)
     if (!st.trivial) ++live;
   if (live == 0) return 0;
-  return live +
-         net.prepare_schedule(merge_demands(sts, &SparseMmStructure::gather)) +
-         net.prepare_schedule(
-             merge_demands(sts, &SparseMmStructure::distribute)) +
-         net.prepare_schedule(
-             merge_demands(sts, &SparseMmStructure::contribute));
+  // Same per-phase volume gating as sparse_planned_rounds: abort values
+  // are exact-prefix + remaining volume bounds, sound and above threshold.
+  const int n = net.n();
+  const auto gather = merge_demands(sts, &SparseMmStructure::gather);
+  const auto distribute = merge_demands(sts, &SparseMmStructure::distribute);
+  const auto contribute = merge_demands(sts, &SparseMmStructure::contribute);
+  const std::int64_t lb_d = relay_round_lower_bound(n, distribute);
+  const std::int64_t lb_c = relay_round_lower_bound(n, contribute);
+  std::int64_t acc = live;
+  if (acc + relay_round_lower_bound(n, gather) + lb_d + lb_c > abort_above)
+    return acc + relay_round_lower_bound(n, gather) + lb_d + lb_c;
+  acc += net.prepare_schedule(gather);
+  if (acc + lb_d + lb_c > abort_above) return acc + lb_d + lb_c;
+  acc += net.prepare_schedule(distribute);
+  if (acc + lb_c > abort_above) return acc + lb_c;
+  return acc + net.prepare_schedule(contribute);
 }
 
 int semiring_clique_size(int n) {

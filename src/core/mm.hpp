@@ -806,6 +806,56 @@ struct SparseMmStructure {
 /// [first, last) with sizes as equal as possible, larger chunks first.
 [[nodiscard]] std::pair<int, int> sparse_chunk_bounds(int cnt, int g, int r);
 
+/// Demand-shape quantisation bucket for the sparse plan: counts <= 8 stay
+/// exact, larger counts round up to the next power of two. The planner
+/// sizes the distribute / contribute messages (and the worker partition)
+/// from BUCKETED counts and the executor pads each block to its bucket, so
+/// consecutive squarings whose per-row counts drift WITHIN their buckets
+/// emit byte-identical demand lists and replay the previous iteration's
+/// routing schedule from the ScheduleCache instead of re-running the Euler
+/// split. Padding bound: a bucketed block is < 2x its exact size (counts
+/// <= 8 are exact; above 8 the next power of two is < 2c and every codec's
+/// words_for is monotone with words_for(2c) <= 2 words_for(c)), and the
+/// padded rounds are still charged for real — the accounting never
+/// understates. The gather phase deliberately stays exact (one value per
+/// nonzero; there is no block to pad), so gather misses the cache whenever
+/// the pattern itself grows — the documented limitation of shape
+/// quantisation.
+[[nodiscard]] constexpr std::int64_t sparse_count_bucket(
+    std::int64_t c) noexcept {
+  if (c <= 8) return c;
+  std::int64_t p = 16;
+  while (p < c) p *= 2;
+  return p;
+}
+
+/// Message-size alignment for the staged distribute / contribute messages:
+/// each per-pair message rounds up to a multiple of the phase's alignment
+/// (zero-filled by stage()). The motivation is the HOST cost of the Euler
+/// split: with every per-pair demand divisible by 2^k, the split's first k
+/// levels produce element-identical halves and the scheduler traverses ONE
+/// subtree per level (the identical-halves collapse), duplicating the class
+/// log instead of re-walking word-granularity trails. The contribute phase
+/// carries the bulk of the sparse plan's words in the most ragged shapes,
+/// so it aligns to 8 from n >= 200 (measured ~5x less scheduling wall at
+/// n=216 for < 17% extra words, with round counts unchanged there) and to
+/// 4 below (at n = 64 and n = 125 the 8-word padding measurably costs
+/// relay rounds — the padded volume is a larger fraction of n-1 ports —
+/// so smaller cliques keep the cheaper alignment); distribute aligns to 4
+/// at every size. The
+/// padding is charged for real (at most align-1 extra words per pair per
+/// phase, on top of the < 2x bucket bound); the gather phase stays exact —
+/// its messages are a single value wide, where alignment would multiply
+/// the volume for no collapse benefit.
+inline constexpr std::int64_t kSparseDistributeAlign = 4;
+[[nodiscard]] constexpr std::int64_t sparse_contribute_align(int n) noexcept {
+  return n >= 200 ? 8 : 4;
+}
+[[nodiscard]] constexpr std::int64_t sparse_msg_align(std::int64_t w,
+                                                      std::int64_t a) noexcept {
+  return (w + a - 1) / a * a;
+}
+
 /// Nonzero pattern of a matrix under the semiring's zero.
 template <Semiring S>
 [[nodiscard]] SparsePattern sparse_pattern(const S& sr,
@@ -877,6 +927,53 @@ fast_bilinear_superstep_demands(int n, const BilinearAlgorithm& alg,
 [[nodiscard]] std::int64_t relay_round_lower_bound(
     int n, const std::vector<clique::Demand>& demands);
 
+/// Per-node volume accumulators for the build-free sparse lower bound: one
+/// (out, in) pair per staged sparse superstep. The batch dispatcher
+/// accumulates several products into one instance (merged supersteps add
+/// volumes per node) before taking one bound per phase.
+struct SparsePhaseVolumes {
+  explicit SparsePhaseVolumes(int n)
+      : gather_out(static_cast<std::size_t>(n), 0),
+        gather_in(static_cast<std::size_t>(n), 0),
+        distribute_out(static_cast<std::size_t>(n), 0),
+        distribute_in(static_cast<std::size_t>(n), 0),
+        contribute_out(static_cast<std::size_t>(n), 0),
+        contribute_in(static_cast<std::size_t>(n), 0) {}
+  std::vector<std::int64_t> gather_out, gather_in;
+  std::vector<std::int64_t> distribute_out, distribute_in;
+  std::vector<std::int64_t> contribute_out, contribute_in;
+};
+
+/// relay_round_lower_bound straight from per-node volume arrays (same
+/// divide-by-n soundness argument, no demand list materialised).
+[[nodiscard]] std::int64_t relay_volume_lower_bound(
+    int n, const std::vector<std::int64_t>& out,
+    const std::vector<std::int64_t>& in);
+
+/// Accumulate one product's per-node volume LOWER BOUNDS for the three
+/// staged sparse supersteps WITHOUT building the O(T) structure — O(nnz + n)
+/// work. Gather and distribute volumes are exact (they follow from the
+/// count profiles and the shared quantised partition); contribute is a
+/// sound underestimate: each distinct (worker, output row) pair ships one
+/// merged message whose entry count is at least the largest contributing
+/// T-row count (the union can only be larger, and the bucketed frame can
+/// only pad further). This is the tier-1 gate that lets the Auto dispatcher
+/// skip building and scheduling a sparse plan that provably cannot win —
+/// the densified iterations of an APSP run drop from three Euler splits
+/// over millions of plan-words to a sub-millisecond volume scan.
+void add_sparse_volume_lower_bound(
+    int n, const SparsePattern& s_rows, const SparsePattern& t_rows,
+    const std::function<std::size_t(std::size_t)>& value_words,
+    SparsePhaseVolumes& acc);
+
+/// Build-free lower bound on sparse_planned_rounds for one product:
+/// 1 (column-count announcement) + the three phase bounds; 0 when the
+/// product is trivial. Sound: never exceeds the planned (hence charged)
+/// rounds — pinned by test_sparse.cpp.
+[[nodiscard]] std::int64_t sparse_round_lower_bound(
+    int n, const SparsePattern& s_rows, const SparsePattern& t_rows,
+    const std::function<std::size_t(std::size_t)>& value_words);
+
 /// Triple-volume ceiling (~4 n^{7/3}) above which the Auto dispatcher does
 /// not even build the sparse plan: past it the contribute phase dwarfs the
 /// dense engines and the O(T) symbolic merge would be wasted work.
@@ -885,9 +982,14 @@ fast_bilinear_superstep_demands(int n, const BilinearAlgorithm& alg,
 /// Planned rounds of the staged sparse phases for a built structure
 /// (column announcement + the three scheduled supersteps; 0 when trivial),
 /// through net's schedule cache — shared by the single-product and batch
-/// Auto dispatchers so their cost models cannot drift apart.
-[[nodiscard]] std::int64_t sparse_planned_rounds(clique::Network& net,
-                                                 const SparseMmStructure& st);
+/// Auto dispatchers so their cost models cannot drift apart. When the
+/// partial sum already exceeds `abort_above`, the remaining phases are NOT
+/// scheduled and the (partial, already > abort_above) sum returns — sound
+/// for the dispatcher's strict comparisons because the full plan can only
+/// be larger, and it saves the losing candidate's residual Euler splits.
+[[nodiscard]] std::int64_t sparse_planned_rounds(
+    clique::Network& net, const SparseMmStructure& st,
+    std::int64_t abort_above = std::numeric_limits<std::int64_t>::max());
 
 /// Batched planned rounds of the staged sparse phases for B built
 /// structures sharing every superstep (the mm_semiring_sparse_batch /
@@ -897,7 +999,8 @@ fast_bilinear_superstep_demands(int n, const BilinearAlgorithm& alg,
 /// per (src, dst), exactly what Network::deliver derives from the batched
 /// staging. Shared with the executor so the cost models cannot drift.
 [[nodiscard]] std::int64_t sparse_planned_rounds_batch(
-    clique::Network& net, std::span<const SparseMmStructure> sts);
+    clique::Network& net, std::span<const SparseMmStructure> sts,
+    std::int64_t abort_above = std::numeric_limits<std::int64_t>::max());
 
 namespace detail {
 
@@ -1041,6 +1144,24 @@ mm_semiring_sparse_staged_batch(
   // Distribute: holder k ships chunk r of its column plus its T row to each
   // extra worker, as [a_cnt][b_cnt] header words followed by two
   // SparseCodec blocks; per-pair messages concatenate in product order.
+  // Frames are sized by the QUANTISED counts (sparse_count_bucket) while
+  // the headers carry the real counts, so both sides derive the same
+  // padded offsets — matching the planner's quantised demand words. The
+  // pad words are stage()'s zero fill.
+  const auto frame_words = [&scodec](std::size_t c) {
+    return scodec.words_for(static_cast<std::size_t>(
+        sparse_count_bucket(static_cast<std::int64_t>(c))));
+  };
+  // Whole-message alignment (see sparse_msg_align): both sides derive the
+  // same aligned stride, the tail pad words are stage()'s zero fill.
+  const auto dist_align = [](std::size_t w) {
+    return static_cast<std::size_t>(sparse_msg_align(
+        static_cast<std::int64_t>(w), kSparseDistributeAlign));
+  };
+  const auto contrib_align = [n](std::size_t w) {
+    return static_cast<std::size_t>(sparse_msg_align(
+        static_cast<std::int64_t>(w), sparse_contribute_align(n)));
+  };
   parallel_for(0, n, [&](int k) {
     const auto ks = static_cast<std::size_t>(k);
     std::vector<Index> aidx;
@@ -1055,9 +1176,9 @@ mm_semiring_sparse_staged_batch(
             sparse_chunk_bounds(static_cast<int>(rows.size()), g, r);
         const auto a_cnt = static_cast<std::size_t>(hi - lo);
         const auto b_cnt = trow_idx[b][ks].size();
-        const auto a_words = scodec.words_for(a_cnt);
+        const auto a_frame = frame_words(a_cnt);
         const auto msg =
-            net.stage(k, w, 2 + a_words + scodec.words_for(b_cnt));
+            net.stage(k, w, dist_align(2 + a_frame + frame_words(b_cnt)));
         msg[0] = a_cnt;
         msg[1] = b_cnt;
         aidx.clear();
@@ -1068,7 +1189,7 @@ mm_semiring_sparse_staged_batch(
             aidx, std::span<const V>(colvals[b][ks].data() + lo, a_cnt),
             msg.data() + 2);
         scodec.encode_into(trow_idx[b][ks], trow_val[b][ks],
-                           msg.data() + 2 + a_words);
+                           msg.data() + 2 + a_frame);
       }
     }
   });
@@ -1143,11 +1264,14 @@ mm_semiring_sparse_staged_batch(
         dec_aval[e].resize(a_cnt, sr.zero());
         dec_bidx[e].resize(b_cnt);
         dec_bval[e].resize(b_cnt, sr.zero());
+        // Blocks sit at quantised-frame offsets (see the distribute
+        // staging); the real header counts bound what is decoded.
+        const auto a_frame = frame_words(a_cnt);
         scodec.decode_into(in.data() + at + 2, a_cnt, dec_aidx[e].data(),
                            dec_aval[e].data());
-        scodec.decode_into(in.data() + at + 2 + scodec.words_for(a_cnt),
-                           b_cnt, dec_bidx[e].data(), dec_bval[e].data());
-        at += 2 + scodec.words_for(a_cnt) + scodec.words_for(b_cnt);
+        scodec.decode_into(in.data() + at + 2 + a_frame, b_cnt,
+                           dec_bidx[e].data(), dec_bval[e].data());
+        at += dist_align(2 + a_frame + frame_words(b_cnt));
         items.push_back({k, &dec_bidx[e], &dec_bval[e]});
         for (std::size_t x = 0; x < a_cnt; ++x)
           add_entry(static_cast<int>(dec_aidx[e][x]), items.size() - 1,
@@ -1187,7 +1311,7 @@ mm_semiring_sparse_staged_batch(
             orow[j] = sr.add(orow[j], acc[j]);
         } else {
           const auto msg =
-              net.stage(w, i, 1 + scodec.words_for(jlist.size()));
+              net.stage(w, i, contrib_align(1 + frame_words(jlist.size())));
           msg[0] = jlist.size();
           vlist.clear();
           for (const auto j : jlist) vlist.push_back(acc[j]);
@@ -1227,7 +1351,7 @@ mm_semiring_sparse_staged_batch(
         if (it == cl.end() || it->first != i) continue;
         const auto cnt = static_cast<std::size_t>(in[at]);
         CCA_ASSERT(cnt == static_cast<std::size_t>(it->second));
-        CCA_ASSERT(at + 1 + scodec.words_for(cnt) <= in.size());
+        CCA_ASSERT(at + contrib_align(1 + frame_words(cnt)) <= in.size());
         jbuf.resize(cnt);
         vbuf.assign(cnt, sr.zero());
         scodec.decode_into(in.data() + at + 1, cnt, jbuf.data(),
@@ -1235,7 +1359,7 @@ mm_semiring_sparse_staged_batch(
         auto* orow = out[b].row(i);
         for (std::size_t x = 0; x < cnt; ++x)
           orow[jbuf[x]] = sr.add(orow[jbuf[x]], vbuf[x]);
-        at += 1 + scodec.words_for(cnt);
+        at += contrib_align(1 + frame_words(cnt));
       }
       CCA_ASSERT(at == in.size());
     }
@@ -1452,64 +1576,128 @@ template <Semiring S, typename Codec>
   const auto t_rows = sparse_pattern(sr, t);
   detail::sparse_nnz_announce(net, s_rows, t_rows);
 
-  // Candidate costs AFTER the shared announcement.
-  SparseMmStructure st;
-  std::int64_t sparse_cost = kMax;
-  if (sparse_triple_count(n, s_rows, t_rows) <= sparse_plan_cap(n)) {
-    st = build_sparse_mm_structure(
-        n, s_rows, t_rows,
-        [&](std::size_t c) { return codec.words_for(c); });
-    sparse_cost = sparse_planned_rounds(net, st);
-  }
-  // Dense candidates: building their demand lists is cheap, but the Euler
-  // split is the simulator's wall-clock hot spot — so a candidate is only
-  // SCHEDULED when its relay lower bound beats the best cost so far (the
-  // skip is sound: actual rounds never undercut the bound, and ties keep
-  // the sparse preference). When a dense engine IS scheduled and chosen,
-  // the planning was free anyway: the real run replays the cached
-  // schedules.
+  // Candidate costs AFTER the shared announcement. Planning is free in the
+  // clique model but NOT on the host: the Euler split is the simulator's
+  // wall-clock hot spot, and even BUILDING the O(T) sparse structure is
+  // real work on densified iterates. So under the exact policy every
+  // candidate first gets a cheap lower bound — the sparse one build-free
+  // (sparse_round_lower_bound) — and candidates are then costed for real
+  // in ascending-bound order, skipping any whose bound cannot beat (or,
+  // on a tie, out-prefer) the best actual so far, with the sparse plan's
+  // remaining phases aborted as soon as its partial sum loses. The skips
+  // are sound (actual rounds never undercut the bound) and preference-
+  // preserving, so the pick is provably the one the unabridged comparison
+  // makes; when a scheduled candidate IS chosen, the planning was free
+  // anyway — the real run replays the cached schedules. Under the Greedy
+  // policy scheduling is O(words), gating would save nothing, and the
+  // looser greedy rounds ARE the run's real cost — so every candidate is
+  // costed for real and Auto's model weighs the greedy scheduler's output
+  // directly.
+  const bool gate =
+      net.schedule_policy() == clique::SchedulePolicy::ExactKoenig;
+  const auto vw = [&](std::size_t c) { return codec.words_for(c); };
   const std::int64_t wpe = static_cast<std::int64_t>(codec.words_for(1));
-  std::int64_t semi3d_cost = kMax;
+  const std::int64_t naive_cost = 2 * static_cast<std::int64_t>(n) * wpe;
+
+  SparseMmStructure st;
+  const bool sparse_adm =
+      sparse_triple_count(n, s_rows, t_rows) <= sparse_plan_cap(n);
+  const std::int64_t sparse_lb =
+      sparse_adm ? (gate ? sparse_round_lower_bound(n, s_rows, t_rows, vw)
+                         : 0)
+                 : kMax;
+  std::pair<std::vector<clique::Demand>, std::vector<clique::Demand>>
+      steps3d;
+  std::int64_t semi3d_lb = kMax;
   if (is_perfect_cube(n)) {
     const auto c2 = static_cast<std::size_t>(icbrt(n) * icbrt(n));
-    const auto steps = semiring3d_superstep_demands(n, codec.words_for(c2));
-    if (relay_round_lower_bound(n, steps.first) +
-            relay_round_lower_bound(n, steps.second) <
-        sparse_cost)
-      semi3d_cost = net.prepare_schedule(steps.first) +
-                    net.prepare_schedule(steps.second);
+    steps3d = semiring3d_superstep_demands(n, codec.words_for(c2));
+    semi3d_lb = gate ? relay_round_lower_bound(n, steps3d.first) +
+                           relay_round_lower_bound(n, steps3d.second)
+                     : 0;
   }
-  std::int64_t fast_cost = kMax;
+  std::vector<std::vector<clique::Demand>> stepsf;
+  std::int64_t fast_lb = kMax;
   if constexpr (Ring<S>) {
     if (fast_alg != nullptr) {
-      const auto steps = fast_bilinear_superstep_demands(
+      stepsf = fast_bilinear_superstep_demands(
           n, *fast_alg, codec.words_for(static_cast<std::size_t>(isqrt(n))),
           codec.words_for(static_cast<std::size_t>(
               (isqrt(n) / fast_alg->d) * (isqrt(n) / fast_alg->d))));
-      std::int64_t bound = 0;
-      for (const auto& step : steps)
-        bound += relay_round_lower_bound(n, step);
-      if (bound < std::min(sparse_cost, semi3d_cost)) {
-        fast_cost = 0;
-        for (const auto& step : steps) fast_cost += net.prepare_schedule(step);
-      }
+      fast_lb = 0;
+      if (gate)
+        for (const auto& step : stepsf)
+          fast_lb += relay_round_lower_bound(n, step);
     }
   }
-  const std::int64_t naive_cost = 2 * static_cast<std::int64_t>(n) * wpe;
 
-  AutoEngineChoice pick = AutoEngineChoice::Sparse;
-  std::int64_t best = sparse_cost;
-  if (semi3d_cost < best) {
-    best = semi3d_cost;
-    pick = AutoEngineChoice::Semiring3D;
-  }
-  if (fast_cost < best) {
-    best = fast_cost;
-    pick = AutoEngineChoice::Fast;
-  }
-  if (naive_cost < best) {
-    best = naive_cost;
-    pick = AutoEngineChoice::Naive;
+  // Candidates are costed in ascending (bound, preference) order — the
+  // branch-and-bound heuristic: the lowest bound is the likeliest winner,
+  // and once a winner's ACTUAL cost is known every remaining candidate
+  // whose bound cannot beat it is skipped without scheduling a single
+  // demand list. Evaluation order never affects the pick (every candidate
+  // is either costed exactly, aborted at a value provably above the final
+  // best, or skipped because its bound cannot win) — but it decides how
+  // much losing plans cost on the host. A one-shot sparse-winning multiply
+  // at n = 343 is the extreme case: sparse's actual (~18 rounds) is below
+  // the dense bounds, so the dense engines' n^2-demand Euler splits
+  // (hundreds of host ms, useless to the sparse run) are never computed.
+  // Costing a candidate that the ITERATED workloads later run is free
+  // either way: its schedules land in the ScheduleCache and the real run
+  // replays them. Ties keep the preference order Sparse > Semiring3D >
+  // Fast > Naive, matching the historical dispatch.
+  std::int64_t best = kMax;
+  AutoEngineChoice pick = AutoEngineChoice::Naive;
+  int best_pref = 4;
+  struct Cand {
+    AutoEngineChoice choice;
+    int pref;
+    std::int64_t lb;
+  };
+  Cand cands[4] = {{AutoEngineChoice::Sparse, 0, sparse_lb},
+                   {AutoEngineChoice::Semiring3D, 1, semi3d_lb},
+                   {AutoEngineChoice::Fast, 2, fast_lb},
+                   {AutoEngineChoice::Naive, 3, naive_cost}};
+  std::sort(std::begin(cands), std::end(cands),
+            [](const Cand& a, const Cand& b) {
+              return a.lb != b.lb ? a.lb < b.lb : a.pref < b.pref;
+            });
+  for (const auto& cand : cands) {
+    if (cand.lb == kMax) continue;  // inadmissible
+    if (cand.lb > best || (cand.lb == best && cand.pref > best_pref))
+      continue;  // cannot win: actual >= bound, and ties keep preference
+    std::int64_t actual = kMax;
+    switch (cand.choice) {
+      case AutoEngineChoice::Sparse:
+        st = build_sparse_mm_structure(n, s_rows, t_rows, vw);
+        actual = sparse_planned_rounds(net, st, gate ? best : kMax);
+        break;
+      case AutoEngineChoice::Semiring3D:
+        actual = net.prepare_schedule(steps3d.first);
+        if (!gate || actual <= best)
+          actual += net.prepare_schedule(steps3d.second);
+        else
+          actual = kMax;
+        break;
+      case AutoEngineChoice::Fast:
+        actual = 0;
+        for (const auto& step : stepsf) {
+          actual += net.prepare_schedule(step);
+          if (gate && actual > best) {
+            actual = kMax;
+            break;
+          }
+        }
+        break;
+      case AutoEngineChoice::Naive:
+        actual = naive_cost;
+        break;
+    }
+    if (actual < best || (actual == best && cand.pref < best_pref)) {
+      best = actual;
+      pick = cand.choice;
+      best_pref = cand.pref;
+    }
   }
   if (chosen != nullptr) *chosen = pick;
   if (ctx != nullptr) {
@@ -1614,39 +1802,108 @@ template <Semiring S, typename Codec>
   });
   net.deliver(clique::Router::Direct);
 
-  // Sparse plan: per-product structures, costed as the SHARED staged
-  // supersteps they will actually run (merged demand lists).
+  // Candidate costs, gated exactly as in mm_semiring_auto: build-free
+  // lower bounds first, then the actual plans in ascending-bound order
+  // with early abort, so under the exact policy the loser's Euler splits
+  // (and, when sparse loses on the bound alone, even its O(T) structure
+  // builds) are skipped. Under the Greedy policy both candidates are
+  // costed for real (bounds forced to 0, aborts off) — greedy scheduling
+  // is cheap and its looser rounds ARE the run's cost.
+  const bool gate =
+      net.schedule_policy() == clique::SchedulePolicy::ExactKoenig;
+  const auto vw = [&](std::size_t c) { return codec.words_for(c); };
   std::vector<SparseMmStructure> sts(batch);
-  std::int64_t sparse_total = kMax;
+  bool sparse_built = false;
   bool sparse_ok = true;
   for (std::size_t b = 0; b < batch; ++b)
     if (sparse_triple_count(n, s_rows[b], t_rows[b]) > sparse_plan_cap(n)) {
       sparse_ok = false;
       break;
     }
-  auto build_all = [&] {
-    for (std::size_t b = 0; b < batch; ++b)
-      sts[b] = build_sparse_mm_structure(
-          n, s_rows[b], t_rows[b],
-          [&](std::size_t c) { return codec.words_for(c); });
-    sparse_total = sparse_planned_rounds_batch(
-        net, std::span<const SparseMmStructure>(sts));
-  };
-  if (sparse_ok) build_all();
-  std::int64_t batch3d = kMax;
+  // Batch sparse bound: the merged phase demands move the per-pair SUM of
+  // the per-product volumes, so the volume bound on the accumulated
+  // SparsePhaseVolumes lower-bounds the merged schedules; each live
+  // (non-trivial) product additionally plans its one handshake round.
+  std::int64_t sparse_lb = kMax;
+  if (sparse_ok) {
+    sparse_lb = 0;
+    if (gate) {
+      SparsePhaseVolumes vols(n);
+      std::int64_t live = 0;
+      for (std::size_t b = 0; b < batch; ++b) {
+        std::int64_t rho_s = 0, rho_t = 0;
+        for (const auto& row : s_rows[b])
+          rho_s += static_cast<std::int64_t>(row.size());
+        for (const auto& row : t_rows[b])
+          rho_t += static_cast<std::int64_t>(row.size());
+        if (rho_s == 0 || rho_t == 0) continue;  // trivial: plans 0 rounds
+        ++live;
+        add_sparse_volume_lower_bound(n, s_rows[b], t_rows[b], vw, vols);
+      }
+      if (live > 0)
+        sparse_lb =
+            live +
+            relay_volume_lower_bound(n, vols.gather_out, vols.gather_in) +
+            relay_volume_lower_bound(n, vols.distribute_out,
+                                     vols.distribute_in) +
+            relay_volume_lower_bound(n, vols.contribute_out,
+                                     vols.contribute_in);
+    }
+  }
+  std::pair<std::vector<clique::Demand>, std::vector<clique::Demand>>
+      steps3d;
+  std::int64_t batch3d_lb = kMax;
   if (is_perfect_cube(n)) {
     const int c = static_cast<int>(icbrt(n));
-    const auto steps = semiring3d_superstep_demands(
+    steps3d = semiring3d_superstep_demands(
         n, codec.words_for(static_cast<std::size_t>(c) * c), batch);
-    if (relay_round_lower_bound(n, steps.first) +
-            relay_round_lower_bound(n, steps.second) <
-        sparse_total)
-      batch3d = net.prepare_schedule(steps.first) +
-                net.prepare_schedule(steps.second);
+    batch3d_lb = gate ? relay_round_lower_bound(n, steps3d.first) +
+                            relay_round_lower_bound(n, steps3d.second)
+                      : 0;
   }
+  auto build_all = [&] {
+    for (std::size_t b = 0; b < batch; ++b)
+      sts[b] = build_sparse_mm_structure(n, s_rows[b], t_rows[b], vw);
+    sparse_built = true;
+  };
   // No dense candidate at all (non-cube clique) and a hopeless triple
   // volume: correctness wins — build the sparse plan anyway.
-  if (!sparse_ok && batch3d == kMax) build_all();
+  if (!sparse_ok && batch3d_lb == kMax) {
+    build_all();
+    sparse_lb = 0;  // sole candidate: admissible after all
+  }
+
+  // Lower bound ascending, ties prefer sparse — same branch-and-bound
+  // heuristic as mm_semiring_auto: cost the likeliest winner first, then
+  // the other candidate either aborts against that concrete actual or (on
+  // the dense side) is skipped outright when its bound cannot win. A
+  // sparse-winning batch never pays the 3D n^2-demand Euler split on the
+  // host; a dense-winning batch never completes the sparse merge's
+  // scheduling. The pick is order-independent: a skipped candidate's
+  // actual >= its bound > best, and tied bounds still evaluate sparse (the
+  // <= gates), so tie-prefers-sparse is preserved.
+  std::int64_t sparse_total = kMax;
+  std::int64_t batch3d = kMax;
+  auto eval_sparse = [&](std::int64_t abort_above) {
+    if (!sparse_built) build_all();
+    sparse_total = sparse_planned_rounds_batch(
+        net, std::span<const SparseMmStructure>(sts), abort_above);
+  };
+  auto eval_3d = [&](std::int64_t best_so_far) {
+    batch3d = net.prepare_schedule(steps3d.first);
+    if (!gate || batch3d <= best_so_far)
+      batch3d += net.prepare_schedule(steps3d.second);
+    else
+      batch3d = kMax;
+  };
+  if (sparse_lb != kMax && sparse_lb <= batch3d_lb) {
+    eval_sparse(kMax);
+    if (batch3d_lb <= sparse_total) eval_3d(gate ? sparse_total : kMax);
+  } else if (batch3d_lb != kMax) {
+    eval_3d(kMax);
+    if (sparse_lb != kMax && sparse_lb <= batch3d)
+      eval_sparse(gate ? batch3d : kMax);
+  }
 
   if (sparse_total <= batch3d) {
     if (ctx != nullptr) ctx->trace.push_back(AutoEngineChoice::Sparse);

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <span>
+#include <tuple>
 #include <vector>
 
 #include "clique/network.hpp"
@@ -286,6 +287,73 @@ TEST(SparsePlanner, RelayLowerBoundNeverExceedsSchedule) {
       EXPECT_LE(core::relay_round_lower_bound(30, *phase),
                 net.prepare_schedule(*phase));
   }
+}
+
+TEST(SparsePlanner, BuildFreeLowerBoundNeverExceedsPlannedRounds) {
+  // The build-free sparse_round_lower_bound is what the Auto dispatcher
+  // uses to SKIP building and scheduling a sparse plan; its soundness
+  // (never above the rounds the real plan would charge) is exactly what
+  // makes the skip safe. The bound internally quantises and aligns its
+  // per-pair charges with the same sparse_count_bucket / sparse_msg_align
+  // the builder uses — alignment is monotone, so the aligned underestimate
+  // stays below the real (aligned) message sizes.
+  const I64Codec codec;
+  const auto vw = [&](std::size_t c) { return codec.words_for(c); };
+  int cases = 0;
+  for (const auto& [n, nnz_a, nnz_b, seed] :
+       {std::tuple{20, 60, 80, 101}, std::tuple{27, 200, 150, 102},
+        std::tuple{30, 400, 400, 103}, std::tuple{16, 16, 240, 104}}) {
+    const auto a = random_sparse_matrix(n, nnz_a, seed);
+    const auto b = random_sparse_matrix(n, nnz_b, seed + 1);
+    const auto sa = pattern_of(a);
+    const auto sb = pattern_of(b);
+    const auto lb = core::sparse_round_lower_bound(n, sa, sb, vw);
+    const auto st = core::build_sparse_mm_structure(n, sa, sb, vw);
+    clique::Network net(n);
+    const auto planned = core::sparse_planned_rounds(net, st);
+    EXPECT_LE(lb, planned) << "n=" << n << " seed=" << seed;
+    ++cases;
+  }
+  EXPECT_EQ(cases, 4);
+}
+
+TEST(SparsePlanner, QuantisedShapesRepeatAcrossInBucketDrift) {
+  // Demand-shape quantisation: distribute / contribute message sizes are
+  // functions of the BUCKETED per-row counts (sparse_count_bucket), so an
+  // iterate whose counts drift within their buckets stages byte-identical
+  // phase demand lists and the next iteration's schedules come from the
+  // ScheduleCache without a fresh Euler split. Here S's support is fixed
+  // (the gather phase is exact by design) while every T row grows from 9
+  // to 12 distinct columns — both in the (8, 16] bucket.
+  const int n = 12;
+  const I64Codec codec;
+  const auto vw = [&](std::size_t c) { return codec.words_for(c); };
+  const auto s = random_sparse_matrix(n, 40, 55);
+  Matrix<std::int64_t> t1(n, n, 0), t2(n, n, 0);
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < 12; ++j) {
+      t2(k, (k + j) % n) = 1 + j;
+      if (j < 9) t1(k, (k + j) % n) = 1 + j;
+    }
+  }
+  const auto st1 = core::build_sparse_mm_structure(n, pattern_of(s),
+                                                   pattern_of(t1), vw);
+  const auto st2 = core::build_sparse_mm_structure(n, pattern_of(s),
+                                                   pattern_of(t2), vw);
+  EXPECT_EQ(st1.group_size, st2.group_size);
+  EXPECT_EQ(st1.gather, st2.gather);
+  EXPECT_EQ(st1.distribute, st2.distribute);
+  EXPECT_EQ(st1.contribute, st2.contribute);
+
+  // End-to-end: the second product's supersteps all replay cached
+  // schedules (zero fresh misses), with results still exact.
+  clique::Network net(n);
+  (void)core::mm_semiring_sparse(net, IntRing{}, codec, s, t1);
+  const auto misses_after_first = net.stats().schedule_misses;
+  const auto got = core::mm_semiring_sparse(net, IntRing{}, codec, s, t2);
+  EXPECT_EQ(net.stats().schedule_misses, misses_after_first);
+  EXPECT_GT(net.stats().schedule_hits, 0);
+  EXPECT_EQ(got, multiply(IntRing{}, s, t2));
 }
 
 // ---------------------------------------------------------------------------

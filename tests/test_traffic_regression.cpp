@@ -108,9 +108,18 @@ TEST(TrafficRegression, ApspSemiring) {
   // no improvement — 4 squarings + 4 votes on the fixed dense path; (2)
   // the default Auto engine runs the FIRST squaring (mostly-infinite
   // iterate) on the sparse engine, then flips dense under hysteresis.
+  // The sparse first squaring charges the demand-shape quantisation
+  // padding (bucketed distribute/contribute frames, see
+  // build_sparse_mm_structure): 143/73/38725 -> 150/79/39094, within the
+  // documented < 2x phase bound and paid for real on the wire; the
+  // per-phase message alignment (sparse_msg_align: 4 words at this size,
+  // contribute widens to 8 only from n >= 200; <= align-1 extra words per
+  // pair) adds 150/39094 -> 152/39264 on top, buying the scheduler's
+  // identical-halves collapse on the first levels of the aligned phases'
+  // Euler splits.
   const auto g = random_weighted_graph(20, 0.3, 1, 50, 7);
   const auto auto_run = core::apsp_semiring(g);
-  expect_stats(auto_run.traffic, {143, 73, 9, 38725, 306, 306},
+  expect_stats(auto_run.traffic, {152, 79, 9, 39264, 306, 306},
                "apsp semiring auto n=20");
   // Auto plans every candidate through prepare_schedule (cache-warming,
   // counted as neither hit nor miss), so the staged supersteps all replay.

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "bench_common.hpp"
+#include "clique/fault.hpp"
 #include "core/apsp.hpp"
 #include "core/baseline.hpp"
 #include "graph/generators.hpp"
@@ -245,6 +246,59 @@ int main(int argc, char** argv) {
   }
   std::printf("(ratio must stay below (1+delta)^ceil(log2 n); smaller delta "
               "costs ~1/delta^2 more rounds — Lemma 20's trade-off)\n");
+
+  // --faults: the fault-tolerance overhead story. The SAME inputs as the
+  // apsp_semiring series run under a fixed seeded fault mix; the distances
+  // must come out bit-identical (recovery is exact, never approximate), so
+  // the only thing this series measures is the PRICE of integrity: checksum
+  // trailers, verification rounds, and charged retransmissions. The
+  // fault-free rows above are emitted before any plan is installed and stay
+  // bit-identical whether or not this flag is passed.
+  if (cca::bench::has_flag(argc, argv, "--faults")) {
+    cca::bench::print_header(
+        "Fault-tolerant data plane: exact APSP under drop 5% / corrupt 5% / "
+        "duplicate 2% (bit-identical distances, charged recovery)");
+    Series faulty{"APSP under fault mix", {}, {}};
+    clique::FaultPlan plan;
+    plan.seed = 0xfa17;
+    plan.drop_prob = 0.05;
+    plan.corrupt_prob = 0.05;
+    plan.duplicate_prob = 0.02;
+    const std::vector<int> fault_sizes =
+        smoke ? std::vector<int>{27} : std::vector<int>{27, 64, 125};
+    for (const int n : fault_sizes) {
+      const auto gf = random_weighted_graph(
+          n, 0.3, 1, 50, 3 + static_cast<std::uint64_t>(n), /*directed=*/true);
+      const auto clean = apsp_semiring(gf);
+      clique::FaultScope scope(plan);
+      const auto t0 = cca::bench::now_ns();
+      const auto r = apsp_semiring(gf);
+      const auto t1 = cca::bench::now_ns();
+      CCA_ASSERT(r.dist == clean.dist);  // never a silent wrong answer
+      json.add("apsp_fault_mix", n, r.traffic.rounds, t1 - t0);
+      faulty.add(n, static_cast<double>(r.traffic.rounds));
+      std::printf(
+          "  n=%3d  rounds=%6lld (clean %6lld, %.2fx)  faults=%4lld  "
+          "retrans=%5lld rounds / %7lld words  recovery=%6.2f ms\n", n,
+          static_cast<long long>(r.traffic.rounds),
+          static_cast<long long>(clean.traffic.rounds),
+          static_cast<double>(r.traffic.rounds) /
+              static_cast<double>(clean.traffic.rounds),
+          static_cast<long long>(r.traffic.faults_injected),
+          static_cast<long long>(r.traffic.retransmit_rounds),
+          static_cast<long long>(r.traffic.retransmit_words),
+          static_cast<double>(r.traffic.recovery_wall_ns) * 1e-6);
+    }
+    cca::bench::print_series_table({faulty});
+    json.note(
+        "fault series (PR 7): apsp_fault_mix reruns the apsp_semiring "
+        "inputs under a seeded FaultPlan (drop 5%, corrupt 2-of-coin 5%, "
+        "duplicate 2%) through the hardened data plane: SplitMix64 frame "
+        "checksums, one verification round per superstep, and bounded "
+        "retransmission charged into rounds/retransmit_rounds. Distances "
+        "are asserted bit-identical to the fault-free run — the row "
+        "measures the integrity overhead, not an approximation.");
+  }
   json.note(
       "per-iteration dispatch (PR 5): apsp_semiring defaults to MmKind::Auto "
       "— every squaring re-plans from the current iterate's finite-entry "

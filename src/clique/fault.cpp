@@ -1,0 +1,69 @@
+#include "clique/fault.hpp"
+
+#include <cmath>
+
+namespace cca::clique {
+
+std::string PeerFailure::format(Reason reason, NodeId node,
+                                std::int64_t fault_clock) {
+  std::string msg = reason == Reason::Crash
+                        ? "peer failure: node " + std::to_string(node) +
+                              " dead during superstep"
+                        : "peer failure: retransmission budget exhausted";
+  msg += " (fault clock " + std::to_string(fault_clock) + ")";
+  return msg;
+}
+
+std::uint64_t fault_hash(std::uint64_t seed, std::int64_t fault_clock,
+                         int attempt, NodeId src, NodeId dst,
+                         FaultKind kind) noexcept {
+  // Counter-mode SplitMix64 chain: each field is absorbed through one
+  // finalizer round, so the coin depends on the whole event identity and
+  // on nothing else — evaluation order cannot matter.
+  std::uint64_t h = splitmix64(seed ^ 0x9e3779b97f4a7c15ULL);
+  h = splitmix64(h ^ static_cast<std::uint64_t>(fault_clock));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(attempt));
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                          src))
+                      << 32 |
+                  static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst))));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(kind));
+  return h;
+}
+
+bool fault_coin(std::uint64_t hash, double prob) noexcept {
+  if (prob <= 0.0) return false;
+  if (prob >= 1.0) return true;
+  // Top 53 bits -> uniform double in [0, 1), same construction as
+  // Rng::next_double, reproducible on every IEEE-754 platform.
+  const double u =
+      static_cast<double>(hash >> 11) * 0x1.0p-53;
+  return u < prob;
+}
+
+Word frame_checksum(NodeId src, NodeId dst,
+                    std::span<const Word> payload) noexcept {
+  std::uint64_t h = splitmix64(
+      0xc4c5c6c7c8c9cacbULL ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32 |
+       static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst))));
+  for (const Word w : payload) h = splitmix64(h ^ w);
+  return h;
+}
+
+namespace {
+
+thread_local const FaultPlan* g_ambient_plan = nullptr;
+
+}  // namespace
+
+FaultScope::FaultScope(const FaultPlan& plan) noexcept
+    : plan_(plan), prev_(g_ambient_plan) {
+  g_ambient_plan = &plan_;
+}
+
+FaultScope::~FaultScope() { g_ambient_plan = prev_; }
+
+const FaultPlan* FaultScope::current() noexcept { return g_ambient_plan; }
+
+}  // namespace cca::clique

@@ -1,0 +1,185 @@
+// Deterministic fault injection and recovery for the congested clique.
+//
+// A FaultPlan installed on a Network turns every deliver() into a hardened
+// superstep: each nonempty off-diagonal (src, dst) payload is framed with a
+// trailing SplitMix64 checksum word, faults (drop / corrupt / duplicate /
+// straggle / crash) are injected from a seeded counter-mode coin stream,
+// the receiver verifies every frame, and detected loss or corruption
+// triggers bounded retransmission supersteps that are charged for real
+// (TrafficStats::retransmit_rounds / retransmit_words) — the accounting
+// discipline of the fault-free engine extended to failure paths.
+//
+// Determinism: every fault coin is a pure function of
+// (plan.seed, fault clock, attempt, src, dst, kind), so a run is exactly
+// reproducible from its seed regardless of host, thread count, or the
+// order the simulator happens to evaluate pairs in. The fault clock
+// advances once per hardened deliver() and once per liveness vote.
+//
+// Recovery: crashes surface as the typed PeerFailure exception, never UB
+// or a silent wrong answer. with_peer_recovery() wraps an idempotent
+// protocol step (a min-plus squaring, a matrix product): on a crash it
+// discards staged state, spends charged liveness votes waiting for the
+// peer, and re-runs the step from the caller's last iterate — sound
+// because min-plus squaring is idempotent (Censor-Hillel–Paz, arXiv
+// 1412.2667), so repeating a squaring can never overshoot the fixpoint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace cca::clique {
+
+using Word = std::uint64_t;
+using NodeId = int;
+
+/// A deterministic fault schedule for one Network. Probabilities are per
+/// (pair, attempt); the crash window is expressed in fault-clock ticks
+/// (hardened delivers + liveness votes since the plan was installed).
+struct FaultPlan {
+  std::uint64_t seed = 0xfa11;
+
+  double drop_prob = 0.0;       ///< whole frame lost in flight
+  double corrupt_prob = 0.0;    ///< one bit of the frame flipped
+  double duplicate_prob = 0.0;  ///< frame delivered twice (words charged)
+  double straggler_prob = 0.0;  ///< per-node: superstep straggles
+
+  /// Extra rounds a straggling superstep costs (the synchronous barrier
+  /// waits for the slowest node).
+  std::int64_t straggler_delay = 1;
+
+  /// Node that crashes at fault-clock tick `crash_superstep`, staying down
+  /// for `crash_down_for` ticks (-1 = permanently). -1 disables the crash.
+  NodeId crash_node = -1;
+  std::int64_t crash_superstep = 0;
+  std::int64_t crash_down_for = -1;
+
+  /// Retransmission attempts per superstep before the delivery is declared
+  /// failed (PeerFailure::Reason::RetransmitExhausted).
+  int max_retransmit = 8;
+
+  /// Charged liveness votes with_peer_recovery() may spend waiting for a
+  /// crashed peer before giving up and rethrowing.
+  int max_recovery_waits = 64;
+};
+
+/// Typed failure of a hardened superstep. Thrown by Network::deliver()
+/// (crash detected, or retransmission budget exhausted) and rethrown by
+/// with_peer_recovery() when the peer never comes back.
+class PeerFailure : public std::runtime_error {
+ public:
+  enum class Reason {
+    Crash,                ///< a peer was dead during the superstep
+    RetransmitExhausted,  ///< max_retransmit attempts all failed
+  };
+
+  PeerFailure(Reason reason, NodeId node, std::int64_t fault_clock)
+      : std::runtime_error(format(reason, node, fault_clock)),
+        reason_(reason),
+        node_(node),
+        fault_clock_(fault_clock) {}
+
+  [[nodiscard]] Reason reason() const noexcept { return reason_; }
+  /// The dead peer (Crash) or -1 (RetransmitExhausted).
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  /// Fault-clock tick of the failed superstep.
+  [[nodiscard]] std::int64_t fault_clock() const noexcept {
+    return fault_clock_;
+  }
+
+ private:
+  static std::string format(Reason reason, NodeId node,
+                            std::int64_t fault_clock);
+
+  Reason reason_;
+  NodeId node_;
+  std::int64_t fault_clock_;
+};
+
+/// Kinds of injected faults; each salts the coin stream differently so the
+/// decisions are independent.
+enum class FaultKind : std::uint64_t {
+  Drop = 1,
+  Corrupt = 2,
+  Duplicate = 3,
+  Straggle = 4,
+};
+
+/// The deterministic coin for one (tick, attempt, src, dst, kind) event: a
+/// SplitMix64 counter-mode hash, order-independent by construction.
+[[nodiscard]] std::uint64_t fault_hash(std::uint64_t seed,
+                                       std::int64_t fault_clock, int attempt,
+                                       NodeId src, NodeId dst,
+                                       FaultKind kind) noexcept;
+
+/// True with probability `prob` under the uniform interpretation of `hash`
+/// (53-bit mantissa path, exactly reproducible across platforms).
+[[nodiscard]] bool fault_coin(std::uint64_t hash, double prob) noexcept;
+
+/// Frame checksum: SplitMix64 absorbed over (src, dst, payload words). The
+/// pair identity is mixed in so a frame misrouted between pairs of equal
+/// content still fails verification.
+[[nodiscard]] Word frame_checksum(NodeId src, NodeId dst,
+                                  std::span<const Word> payload) noexcept;
+
+/// RAII ambient fault plan. Algorithms such as apsp_semiring construct
+/// their Network internally; a FaultScope installed around the call makes
+/// every Network constructed on this thread while the scope lives pick the
+/// plan up at construction. Scopes nest (innermost wins).
+class FaultScope {
+ public:
+  explicit FaultScope(const FaultPlan& plan) noexcept;
+  ~FaultScope();
+
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  /// The innermost live scope's plan on this thread, or nullptr.
+  [[nodiscard]] static const FaultPlan* current() noexcept;
+
+ private:
+  FaultPlan plan_;
+  const FaultPlan* prev_;
+};
+
+/// Run an idempotent protocol step with crash recovery. `net` must be the
+/// network the step delivers on (its staged state is discarded by the
+/// throwing deliver; its liveness votes are charged while waiting). `op`
+/// must be safely re-runnable from the caller's current iterate — true for
+/// min-plus squarings and plain matrix products, whose function-local
+/// state is rebuilt on every call.
+///
+/// On PeerFailure(Crash): spend up to plan.max_recovery_waits charged
+/// liveness votes; as soon as the peer reports alive, re-run op. On
+/// RetransmitExhausted, or if the votes run out, rethrow — the caller gets
+/// the typed error, never a wrong result.
+template <typename Net, typename Op>
+auto with_peer_recovery(Net& net, Op&& op) -> decltype(op()) {
+  const auto* plan = net.fault_plan();
+  if (plan == nullptr) return op();
+  int wait_budget = plan->max_recovery_waits;
+  for (;;) {
+    try {
+      return op();
+    } catch (const PeerFailure& pf) {
+      if (pf.reason() != PeerFailure::Reason::Crash) throw;
+      net.discard_staged();
+      bool revived = false;
+      while (wait_budget > 0) {
+        --wait_budget;
+        const auto alive = net.liveness_vote();
+        if (alive[static_cast<std::size_t>(pf.node())]) {
+          revived = true;
+          break;
+        }
+      }
+      if (!revived) throw;
+    }
+  }
+}
+
+}  // namespace cca::clique

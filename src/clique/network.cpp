@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstring>
 
 #include "clique/routing.hpp"
 #include "util/contracts.hpp"
@@ -18,92 +17,37 @@ std::int64_t wall_now_ns() {
       .count();
 }
 
-/// Under CCA_SANITIZE, move a buffer's contents to freshly allocated
-/// storage. Every staging call and every deliver() runs this on the buffers
-/// whose spans it invalidates, so a span held across its documented
-/// invalidation point points into freed memory and ASan reports the first
-/// use — even when the capacity would have sufficed and the relocation
-/// would otherwise silently not happen.
-[[maybe_unused]] void poison_relocate(std::vector<Word>& buf) {
-#ifdef CCA_SANITIZE
-  std::vector<Word> fresh;
-  fresh.reserve(buf.capacity());
-  fresh.assign(buf.begin(), buf.end());
-  buf.swap(fresh);
-#else
-  (void)buf;
-#endif
-}
-
 }  // namespace
 
 Network::Network(int n, Router default_router, std::uint64_t seed)
-    : n_(n),
+    : Network(std::make_unique<ArenaTransport>(n), default_router, seed) {}
+
+Network::Network(std::unique_ptr<Transport> transport, Router default_router,
+                 std::uint64_t seed)
+    : n_(transport ? transport->n() : 0),
       default_router_(default_router),
       rng_(seed),
-      out_data_(static_cast<std::size_t>(n)),
-      out_segs_(static_cast<std::size_t>(n)),
-      in_off_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0),
-      in_len_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0),
-      pair_words_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
-                  0),
-      stage_gen_(static_cast<std::size_t>(n), 0) {
-  CCA_EXPECTS(n >= 1);
+      transport_(std::move(transport)) {
+  CCA_VALIDATE(transport_ != nullptr, "transport must not be null");
+  CCA_VALIDATE(n_ >= 1, "clique size must be >= 1");
+  if (const FaultPlan* ambient = FaultScope::current())
+    install_faults(*ambient);
 }
 
-void Network::check_node(NodeId v) const { CCA_EXPECTS(v >= 0 && v < n_); }
-
 std::uint64_t Network::stage_generation(NodeId src) const {
-  check_node(src);
-  return stage_gen_[static_cast<std::size_t>(src)];
+  return transport_->stage_generation(src);
 }
 
 void Network::send(NodeId src, NodeId dst, Word w) {
-  check_node(src);
-  check_node(dst);
-  const auto s = static_cast<std::size_t>(src);
-  ++stage_gen_[s];
-  poison_relocate(out_data_[s]);
-  out_data_[s].push_back(w);
-  auto& segs = out_segs_[s];
-  if (!segs.empty() && segs.back().dst == dst)
-    ++segs.back().len;
-  else
-    segs.push_back({dst, 1});
+  transport_->send(src, dst, w);
 }
 
 void Network::send_words(NodeId src, NodeId dst, std::span<const Word> ws) {
-  check_node(src);
-  check_node(dst);
-  if (ws.empty()) return;
-  const auto s = static_cast<std::size_t>(src);
-  ++stage_gen_[s];
-  poison_relocate(out_data_[s]);
-  auto& data = out_data_[s];
-  data.insert(data.end(), ws.begin(), ws.end());
-  auto& segs = out_segs_[s];
-  if (!segs.empty() && segs.back().dst == dst)
-    segs.back().len += ws.size();
-  else
-    segs.push_back({dst, ws.size()});
+  transport_->send_words(src, dst, ws);
 }
 
 std::span<Word> Network::stage(NodeId src, NodeId dst, std::size_t nwords) {
-  check_node(src);
-  check_node(dst);
-  const auto s = static_cast<std::size_t>(src);
-  auto& data = out_data_[s];
-  const std::size_t base = data.size();
-  if (nwords == 0) return {};
-  ++stage_gen_[s];
-  poison_relocate(data);
-  data.resize(base + nwords, 0);
-  auto& segs = out_segs_[s];
-  if (!segs.empty() && segs.back().dst == dst)
-    segs.back().len += nwords;
-  else
-    segs.push_back({dst, nwords});
-  return {data.data() + base, nwords};
+  return transport_->stage(src, dst, nwords);
 }
 
 std::int64_t Network::prepare_schedule(const std::vector<Demand>& demands) {
@@ -114,164 +58,314 @@ std::int64_t Network::prepare_schedule(const std::vector<Demand>& demands) {
   return rounds;
 }
 
+std::int64_t Network::route_rounds(Router router,
+                                   const std::vector<Demand>& demands) {
+  switch (router) {
+    case Router::Direct:
+      return rounds_direct(n_, demands);
+    case Router::HashRelay:
+      return rounds_hash_relay(n_, demands);
+    case Router::RandomRelay:
+      // Seed-dependent: each invocation draws fresh intermediates from the
+      // network RNG, so its schedule is never cacheable.
+      return rounds_random_relay(n_, demands, rng_);
+    case Router::KoenigRelay: {
+      // The Euler-split is deterministic in the demand list, so iterated
+      // workloads with byte-identical traffic shapes (APSP squarings,
+      // Seidel levels, girth probes, batched products) pay the
+      // O(words * log maxdeg) class sequence once per shape.
+      if (demands.empty()) return 0;
+      bool hit = false;
+      const auto t0 = wall_now_ns();
+      const auto rounds =
+          schedule_cache_.get(n_, demands, schedule_policy_, &hit).rounds;
+      stats_.schedule_wall_ns += wall_now_ns() - t0;
+      if (hit)
+        ++stats_.schedule_hits;
+      else
+        ++stats_.schedule_misses;
+      return rounds;
+    }
+  }
+  return 0;
+}
+
+std::int64_t Network::volume_bound_rounds(
+    const std::vector<std::int64_t>& sent_by,
+    const std::vector<std::int64_t>& recv_by) const {
+  if (n_ <= 1) return 0;
+  std::int64_t need = 0;
+  for (int v = 0; v < n_; ++v) {
+    const auto vol = std::max(sent_by[static_cast<std::size_t>(v)],
+                              recv_by[static_cast<std::size_t>(v)]);
+    need = std::max(need, (vol + n_ - 2) / (n_ - 1));
+  }
+  return need;
+}
+
 void Network::deliver() { deliver(default_router_); }
 
 void Network::deliver(Router router) {
   // Staging is safe from parallel regions (one src per iteration); the
   // delivery phase change is not — it mutates every outbox and the arena.
   CCA_EXPECTS(!in_parallel_region());
-  // Pass 1: per-pair word counts from the staged segments.
-  std::fill(pair_words_.begin(), pair_words_.end(), 0);
-  for (int src = 0; src < n_; ++src) {
-    const auto base = static_cast<std::size_t>(src) *
-                      static_cast<std::size_t>(n_);
-    for (const auto& seg : out_segs_[static_cast<std::size_t>(src)])
-      pair_words_[base + static_cast<std::size_t>(seg.dst)] += seg.len;
+  if (fault_plan_) {
+    deliver_hardened(router);
+    return;
   }
 
-  // Demand list and per-node volumes (self-sends are local and free). The
-  // (src asc, dst asc) order matches the routing schedules' expectations.
-  std::vector<Demand> demands;
-  std::int64_t total = 0;
-  std::int64_t max_send = 0;
-  std::vector<std::int64_t> recv(static_cast<std::size_t>(n_));
-  std::vector<std::int64_t> sent_by(static_cast<std::size_t>(n_));
-  for (int src = 0; src < n_; ++src) {
-    std::int64_t sent = 0;
-    const auto base = static_cast<std::size_t>(src) *
-                      static_cast<std::size_t>(n_);
-    for (int dst = 0; dst < n_; ++dst) {
-      const auto words =
-          static_cast<std::int64_t>(pair_words_[base +
-                                                static_cast<std::size_t>(dst)]);
-      if (words == 0 || src == dst) continue;
-      demands.push_back({src, dst, words});
-      sent += words;
-      recv[static_cast<std::size_t>(dst)] += words;
-      total += words;
-    }
-    sent_by[static_cast<std::size_t>(src)] = sent;
-    max_send = std::max(max_send, sent);
-  }
+  // Fault-free path: exactly the pre-seam accounting, with the data plane
+  // behind the Transport interface.
+  const auto sum = transport_->deliver();
 
-  std::int64_t rounds = 0;
-  switch (router) {
-    case Router::Direct:
-      rounds = rounds_direct(n_, demands);
-      break;
-    case Router::HashRelay:
-      rounds = rounds_hash_relay(n_, demands);
-      break;
-    case Router::RandomRelay:
-      // Seed-dependent: each invocation draws fresh intermediates from the
-      // network RNG, so its schedule is never cacheable.
-      rounds = rounds_random_relay(n_, demands, rng_);
-      break;
-    case Router::KoenigRelay:
-      // The Euler-split is deterministic in the demand list, so iterated
-      // workloads with byte-identical traffic shapes (APSP squarings,
-      // Seidel levels, girth probes, batched products) pay the
-      // O(words * log maxdeg) class sequence once per shape.
-      if (!demands.empty()) {
-        bool hit = false;
-        const auto t0 = wall_now_ns();
-        rounds =
-            schedule_cache_.get(n_, demands, schedule_policy_, &hit).rounds;
-        stats_.schedule_wall_ns += wall_now_ns() - t0;
-        if (hit)
-          ++stats_.schedule_hits;
-        else
-          ++stats_.schedule_misses;
-      }
-      break;
-  }
-
-  // Pass 2: lay out the arena (receiver-major, senders ascending within a
-  // receiver) and scatter every source's staged runs into its slices. The
-  // delivered content is independent of the schedule.
-  std::size_t cursor = 0;
-  for (int dst = 0; dst < n_; ++dst)
-    for (int src = 0; src < n_; ++src) {
-      const auto idx = pair_index(dst, src);
-      const auto words = pair_words_[static_cast<std::size_t>(src) *
-                                         static_cast<std::size_t>(n_) +
-                                     static_cast<std::size_t>(dst)];
-      in_off_[idx] = cursor;
-      in_len_[idx] = words;
-      cursor += words;
-    }
-  // Every outstanding staged span and inbox view dies here.
-  ++inbox_gen_;
-  for (auto& g : stage_gen_) ++g;
-#ifdef CCA_SANITIZE
-  // Rebuild the arena in fresh storage so inbox views held across this
-  // deliver() fault under ASan even when the capacity would have sufficed.
-  {
-    std::vector<Word> fresh(cursor);
-    arena_.swap(fresh);
-  }
-#else
-  arena_.resize(cursor);
-#endif
-
-  // pair_words_ is consumed as the per-pair write cursor from here on.
-  std::fill(pair_words_.begin(), pair_words_.end(), 0);
-  for (int src = 0; src < n_; ++src) {
-    const auto s = static_cast<std::size_t>(src);
-    const auto base = s * static_cast<std::size_t>(n_);
-    const Word* read = out_data_[s].data();
-    for (const auto& seg : out_segs_[s]) {
-      auto& consumed = pair_words_[base + static_cast<std::size_t>(seg.dst)];
-      std::memcpy(arena_.data() + in_off_[pair_index(seg.dst, src)] + consumed,
-                  read, static_cast<std::size_t>(seg.len) * sizeof(Word));
-      consumed += seg.len;
-      read += seg.len;
-    }
-#ifdef CCA_SANITIZE
-    // Release (not just clear) the outbox so staged spans held across
-    // deliver() dangle deterministically.
-    std::vector<Word>().swap(out_data_[s]);
-#else
-    out_data_[s].clear();
-#endif
-    out_segs_[s].clear();
-  }
-
-  stats_.rounds += rounds;
+  stats_.rounds += route_rounds(router, sum.demands);
   stats_.supersteps += 1;
-  stats_.total_words += total;
+  stats_.total_words += sum.total_words;
+  const auto max_send =
+      *std::max_element(sum.sent_by.begin(), sum.sent_by.end());
+  const auto max_recv =
+      *std::max_element(sum.recv_by.begin(), sum.recv_by.end());
   stats_.max_node_send = std::max(stats_.max_node_send, max_send);
-  if (n_ > 0) {
-    const auto max_recv = *std::max_element(recv.begin(), recv.end());
-    stats_.max_node_recv = std::max(stats_.max_node_recv, max_recv);
-    // Schedule-independent lower bound for this superstep.
-    if (n_ > 1 && total > 0) {
-      std::int64_t need = 0;
-      for (int v = 0; v < n_; ++v) {
-        const auto vol = std::max(sent_by[static_cast<std::size_t>(v)],
-                                  recv[static_cast<std::size_t>(v)]);
-        need = std::max(need, (vol + n_ - 2) / (n_ - 1));
-      }
-      stats_.bound_rounds += need;
-    }
-  }
+  stats_.max_node_recv = std::max(stats_.max_node_recv, max_recv);
+  // Schedule-independent lower bound for this superstep.
+  if (n_ > 1 && sum.total_words > 0)
+    stats_.bound_rounds += volume_bound_rounds(sum.sent_by, sum.recv_by);
 }
 
+bool Network::node_dead_at(std::int64_t tick) const noexcept {
+  if (!fault_plan_) return false;
+  const auto& p = *fault_plan_;
+  if (p.crash_node < 0 || p.crash_node >= n_) return false;
+  if (tick < p.crash_superstep) return false;
+  return p.crash_down_for < 0 ||
+         tick < p.crash_superstep + p.crash_down_for;
+}
+
+void Network::deliver_hardened(Router router) {
+  const FaultPlan& plan = *fault_plan_;
+  const auto t0 = wall_now_ns();
+  const std::int64_t tick = fault_clock_++;
+  const auto snap = transport_->staged_snapshot();
+
+  // Per-superstep accumulators, committed in one place whether the
+  // superstep succeeds or aborts — failure paths are charged for real.
+  std::int64_t rounds = 0;
+  std::int64_t bound = 0;
+  std::int64_t total = 0;
+  std::int64_t injected = 0;
+  std::int64_t retrans_rounds = 0;
+  std::int64_t retrans_words = 0;
+  auto commit = [&] {
+    stats_.rounds += rounds;
+    stats_.bound_rounds += bound;
+    stats_.supersteps += 1;
+    stats_.total_words += total;
+    stats_.faults_injected += injected;
+    stats_.retransmit_rounds += retrans_rounds;
+    stats_.retransmit_words += retrans_words;
+    stats_.recovery_wall_ns += wall_now_ns() - t0;
+  };
+  auto update_peaks = [&](const std::vector<std::int64_t>& sent,
+                          const std::vector<std::int64_t>& recv) {
+    stats_.max_node_send = std::max(
+        stats_.max_node_send, *std::max_element(sent.begin(), sent.end()));
+    stats_.max_node_recv = std::max(
+        stats_.max_node_recv, *std::max_element(recv.begin(), recv.end()));
+  };
+
+  // Crash detection. Frames from live senders still travel (and are
+  // charged, checksum trailer included) before the verification round
+  // reveals the dead peer; frames FROM the dead node were never sent. The
+  // superstep then aborts with the typed error — partial inboxes are never
+  // exposed, so a silent wrong answer is impossible.
+  if (node_dead_at(tick)) {
+    const NodeId dead = plan.crash_node;
+    bool involved = false;
+    for (const auto& p : snap)
+      if (p.src == dead || p.dst == dead) {
+        involved = true;
+        break;
+      }
+    if (involved) {
+      std::vector<Demand> demands;
+      std::vector<std::int64_t> sent(static_cast<std::size_t>(n_), 0);
+      std::vector<std::int64_t> recv(static_cast<std::size_t>(n_), 0);
+      for (const auto& p : snap) {
+        if (p.src == dead) continue;
+        const auto w = static_cast<std::int64_t>(p.words.size()) + 1;
+        demands.push_back({p.src, p.dst, w});
+        sent[static_cast<std::size_t>(p.src)] += w;
+        recv[static_cast<std::size_t>(p.dst)] += w;
+        total += w;
+      }
+      rounds = route_rounds(router, demands) + 1;  // +1: the verify round
+      bound = volume_bound_rounds(sent, recv) + 1;
+      injected = 1;  // the crash
+      update_peaks(sent, recv);
+      transport_->discard_staged();
+      commit();
+      throw PeerFailure(PeerFailure::Reason::Crash, dead, tick);
+    }
+    // The dead node is idle this superstep; the survivors' traffic
+    // proceeds and the crash surfaces at its next involvement or vote.
+  }
+
+  // One delivery attempt of one frame: draw the deterministic coins, size
+  // the wire volume (payload + checksum trailer, doubled if duplicated),
+  // and report whether the receiver's verification accepts the frame. The
+  // duplicate copy rides the same links and is discarded by framing; a
+  // drop loses the frame for the whole attempt (both copies — it models
+  // the link, not a packet); a corruption flips one hashed bit of the wire
+  // frame and is detected with CERTAINTY: splitmix64 is a bijection, so
+  // the absorb chain maps any single-bit difference to a different final
+  // checksum — which is exactly what justifies handing the pristine staged
+  // bits to the transport once every frame verifies.
+  auto attempt_frame = [&](const StagedPair& p, int attempt,
+                           std::int64_t& wire_words) -> bool {
+    const auto len = p.words.size();
+    const auto w = static_cast<std::int64_t>(len) + 1;
+    wire_words = w;
+    if (fault_coin(fault_hash(plan.seed, tick, attempt, p.src, p.dst,
+                              FaultKind::Duplicate),
+                   plan.duplicate_prob)) {
+      wire_words += w;
+      ++injected;
+    }
+    if (fault_coin(fault_hash(plan.seed, tick, attempt, p.src, p.dst,
+                              FaultKind::Drop),
+                   plan.drop_prob)) {
+      ++injected;
+      return false;  // absence is detected by the expected-frame protocol
+    }
+    const auto corrupt_hash = fault_hash(plan.seed, tick, attempt, p.src,
+                                         p.dst, FaultKind::Corrupt);
+    if (!fault_coin(corrupt_hash, plan.corrupt_prob)) return true;
+    ++injected;
+    std::vector<Word> frame(p.words.begin(), p.words.end());
+    frame.push_back(frame_checksum(p.src, p.dst, p.words));
+    const auto bit = splitmix64(corrupt_hash) %
+                     (static_cast<std::uint64_t>(frame.size()) * 64);
+    frame[bit / 64] ^= Word{1} << (bit % 64);
+    const bool detected =
+        frame_checksum(p.src, p.dst,
+                       std::span<const Word>(frame.data(), len)) != frame[len];
+    CCA_ASSERT(detected);  // provable: the absorb chain is injective per bit
+    return false;
+  };
+
+  // Attempt 0: every staged frame.
+  std::vector<Demand> demands;
+  std::vector<std::int64_t> sent(static_cast<std::size_t>(n_), 0);
+  std::vector<std::int64_t> recv(static_cast<std::size_t>(n_), 0);
+  std::vector<std::size_t> failed;
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    std::int64_t w = 0;
+    const bool ok = attempt_frame(snap[i], 0, w);
+    demands.push_back({snap[i].src, snap[i].dst, w});
+    sent[static_cast<std::size_t>(snap[i].src)] += w;
+    recv[static_cast<std::size_t>(snap[i].dst)] += w;
+    total += w;
+    if (!ok) failed.push_back(i);
+  }
+  rounds = route_rounds(router, demands);
+  bound = volume_bound_rounds(sent, recv);
+  if (!snap.empty()) {
+    rounds += 1;  // verification/ack round (explicit protocol charge)
+    bound += 1;
+    // Straggler: the synchronous barrier waits for the slowest node, so
+    // any straggling node delays the whole superstep once. Charged to
+    // rounds only — slowness moves no words, so the volume bound is
+    // untouched.
+    bool straggled = false;
+    for (NodeId v = 0; v < n_; ++v)
+      if (fault_coin(fault_hash(plan.seed, tick, 0, v, -1,
+                                FaultKind::Straggle),
+                     plan.straggler_prob)) {
+        straggled = true;
+        ++injected;
+      }
+    if (straggled) rounds += plan.straggler_delay;
+  }
+  update_peaks(sent, recv);
+
+  // Bounded retransmission: each attempt re-sends exactly the failed
+  // frames (one NACK control round + the exact schedule of the re-sent
+  // demands), re-drawing the fault coins with the attempt salt. The
+  // charges land in rounds/total_words AND in the retransmit_* fields so
+  // the failure-path share stays visible.
+  for (int attempt = 1; !failed.empty(); ++attempt) {
+    if (attempt > plan.max_retransmit) {
+      transport_->discard_staged();
+      commit();
+      throw PeerFailure(PeerFailure::Reason::RetransmitExhausted, -1, tick);
+    }
+    std::vector<Demand> rdemands;
+    std::vector<std::int64_t> rsent(static_cast<std::size_t>(n_), 0);
+    std::vector<std::int64_t> rrecv(static_cast<std::size_t>(n_), 0);
+    std::int64_t rtotal = 0;
+    std::vector<std::size_t> still_failed;
+    for (const auto i : failed) {
+      std::int64_t w = 0;
+      const bool ok = attempt_frame(snap[i], attempt, w);
+      rdemands.push_back({snap[i].src, snap[i].dst, w});
+      rsent[static_cast<std::size_t>(snap[i].src)] += w;
+      rrecv[static_cast<std::size_t>(snap[i].dst)] += w;
+      rtotal += w;
+      if (!ok) still_failed.push_back(i);
+    }
+    const auto r = route_rounds(router, rdemands) + 1;  // +1: NACK round
+    rounds += r;
+    bound += volume_bound_rounds(rsent, rrecv) + 1;
+    total += rtotal;
+    retrans_rounds += r;
+    retrans_words += rtotal;
+    update_peaks(rsent, rrecv);
+    failed = std::move(still_failed);
+  }
+
+  // Every frame verified end-to-end: the transport hands the receivers the
+  // pristine staged bits (bit-identical to what verification accepted).
+  (void)transport_->deliver();
+  commit();
+}
+
+std::vector<std::uint8_t> Network::liveness_vote() {
+  // One word per link, exactly the convergence-vote charge: every node
+  // announces "alive" to every other node, so the flags below are common
+  // knowledge after one round.
+  if (n_ > 1) charge_rounds(1);
+  std::vector<std::uint8_t> alive(static_cast<std::size_t>(n_), 1);
+  if (fault_plan_) {
+    const auto tick = fault_clock_++;
+    if (node_dead_at(tick))
+      alive[static_cast<std::size_t>(fault_plan_->crash_node)] = 0;
+  }
+  return alive;
+}
+
+void Network::install_faults(const FaultPlan& plan) {
+  const auto prob_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
+  CCA_VALIDATE(prob_ok(plan.drop_prob) && prob_ok(plan.corrupt_prob) &&
+                   prob_ok(plan.duplicate_prob) &&
+                   prob_ok(plan.straggler_prob),
+               "fault probabilities must lie in [0, 1]");
+  CCA_VALIDATE(plan.straggler_delay >= 0, "straggler_delay must be >= 0");
+  CCA_VALIDATE(plan.crash_node < n_, "crash_node must be < n");
+  CCA_VALIDATE(plan.max_retransmit >= 1, "max_retransmit must be >= 1");
+  CCA_VALIDATE(plan.max_recovery_waits >= 0,
+               "max_recovery_waits must be >= 0");
+  fault_plan_ = plan;
+  fault_clock_ = 0;
+}
+
+void Network::discard_staged() { transport_->discard_staged(); }
+
 std::span<const Word> Network::inbox(NodeId dst, NodeId src) const {
-  check_node(dst);
-  check_node(src);
-  const auto idx = pair_index(dst, src);
-  return {arena_.data() + in_off_[idx], in_len_[idx]};
+  return transport_->inbox(dst, src);
 }
 
 std::vector<Word> Network::take_inbox(NodeId dst, NodeId src) {
-  check_node(dst);
-  check_node(src);
-  const auto idx = pair_index(dst, src);
-  std::vector<Word> out(arena_.data() + in_off_[idx],
-                        arena_.data() + in_off_[idx] + in_len_[idx]);
-  in_len_[idx] = 0;
-  return out;
+  return transport_->take_inbox(dst, src);
 }
 
 void Network::charge_rounds(std::int64_t rounds) {

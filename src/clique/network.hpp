@@ -12,19 +12,36 @@
 // clique rounds that a concrete delivery discipline needs (see routing.hpp).
 // Round counts are produced by evaluating the discipline's schedule, never by
 // plugging n into an asymptotic formula.
+//
+// Architecture: Network is the ACCOUNTING layer — demand scheduling, round
+// charging, TrafficStats, the schedule cache, and the fault/integrity
+// machinery. The data plane (staging buffers, delivery arena, inboxes) lives
+// behind the clique::Transport seam (transport.hpp); the in-process
+// ArenaTransport is the default backend, and a future multi-process backend
+// slots in without touching any round accounting.
+//
+// Fault model (fault.hpp): installing a FaultPlan hardens every deliver() —
+// payloads are framed with SplitMix64 checksums (one trailer word per
+// nonempty off-diagonal pair, charged for real), deterministic seeded faults
+// are injected, verification failures trigger bounded retransmission
+// supersteps charged into retransmit_rounds/retransmit_words, and crashes
+// surface as typed PeerFailure. With no plan installed the fault path is
+// completely bypassed: rounds, words, and schedules are bit-identical to the
+// pre-seam engine.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "clique/fault.hpp"
 #include "clique/routing.hpp"
+#include "clique/transport.hpp"
 #include "util/rng.hpp"
 
 namespace cca::clique {
-
-using Word = std::uint64_t;
-using NodeId = int;
 
 /// Delivery disciplines. See routing.hpp for the schedules.
 enum class Router {
@@ -68,8 +85,24 @@ struct TrafficStats {
   /// Host wall-clock nanoseconds spent INSIDE the relay scheduler (cache
   /// lookups included) by deliver() and prepare_schedule(). Pure telemetry —
   /// it measures the simulator's own planning cost, never the simulated
-  /// rounds — and the one TrafficStats field that is machine-dependent.
+  /// rounds — and machine-dependent like recovery_wall_ns.
   std::int64_t schedule_wall_ns = 0;
+  /// Fault events injected by the installed FaultPlan: drops, corruptions,
+  /// duplicates, straggling nodes, and crash detections, summed over every
+  /// delivery attempt.
+  std::int64_t faults_injected = 0;
+  /// Rounds spent on retransmission attempts (per attempt: one NACK control
+  /// round plus the exact schedule of the failed frames). Included in
+  /// `rounds` — this field isolates the failure-path share.
+  std::int64_t retransmit_rounds = 0;
+  /// Words re-sent by retransmission attempts (checksum trailers included).
+  /// Included in `total_words`.
+  std::int64_t retransmit_words = 0;
+  /// Host wall-clock nanoseconds spent inside hardened deliver() calls
+  /// (snapshot, checksums, fault coins, verification, retransmission
+  /// bookkeeping — scheduler and arena time included). Machine-dependent
+  /// telemetry for the fault-path overhead story; 0 when no plan installed.
+  std::int64_t recovery_wall_ns = 0;
 
   friend TrafficStats operator-(const TrafficStats& a, const TrafficStats& b) {
     return TrafficStats{a.rounds - b.rounds,
@@ -80,7 +113,11 @@ struct TrafficStats {
                         a.max_node_recv,
                         a.schedule_hits - b.schedule_hits,
                         a.schedule_misses - b.schedule_misses,
-                        a.schedule_wall_ns - b.schedule_wall_ns};
+                        a.schedule_wall_ns - b.schedule_wall_ns,
+                        a.faults_injected - b.faults_injected,
+                        a.retransmit_rounds - b.retransmit_rounds,
+                        a.retransmit_words - b.retransmit_words,
+                        a.recovery_wall_ns - b.recovery_wall_ns};
   }
 
   /// Accumulate another run's statistics (used by multi-phase algorithms
@@ -95,6 +132,10 @@ struct TrafficStats {
     schedule_hits += o.schedule_hits;
     schedule_misses += o.schedule_misses;
     schedule_wall_ns += o.schedule_wall_ns;
+    faults_injected += o.faults_injected;
+    retransmit_rounds += o.retransmit_rounds;
+    retransmit_words += o.retransmit_words;
+    recovery_wall_ns += o.recovery_wall_ns;
     return *this;
   }
 };
@@ -102,8 +143,16 @@ struct TrafficStats {
 /// A congested clique of n nodes with exact round accounting.
 class Network {
  public:
-  /// Create a clique of n >= 1 nodes. `seed` feeds the RandomRelay router.
+  /// Create a clique of n >= 1 nodes on the default in-process arena
+  /// backend. `seed` feeds the RandomRelay router. If a clique::FaultScope
+  /// is live on this thread, its plan is installed automatically.
   explicit Network(int n, Router default_router = Router::KoenigRelay,
+                   std::uint64_t seed = 0x5eed);
+
+  /// Create a clique over a caller-supplied data plane (the Transport
+  /// seam). The clique size is transport->n().
+  explicit Network(std::unique_ptr<Transport> transport,
+                   Router default_router = Router::KoenigRelay,
                    std::uint64_t seed = 0x5eed);
 
   [[nodiscard]] int n() const noexcept { return n_; }
@@ -145,6 +194,8 @@ class Network {
       const std::vector<Demand>& demands);
 
   /// Deliver every staged word using the default router; charges rounds.
+  /// With a FaultPlan installed this is the hardened superstep (see the
+  /// header comment); it may throw clique::PeerFailure.
   void deliver();
 
   /// Deliver using an explicit router.
@@ -191,53 +242,87 @@ class Network {
   /// Drop every cached schedule (subsequent supersteps recompute).
   void clear_schedule_cache() { schedule_cache_.clear(); }
 
+  // --- Fault injection & recovery (see fault.hpp) -----------------------
+
+  /// Install a deterministic fault plan; every subsequent deliver() runs
+  /// the hardened integrity protocol. Resets the fault clock. Throws
+  /// cca::InvalidArgument on malformed plans (probabilities outside [0,1],
+  /// crash_node out of range, non-positive retransmission budget).
+  void install_faults(const FaultPlan& plan);
+
+  /// Remove the plan; deliver() returns to the exact fault-free path.
+  void clear_faults() noexcept { fault_plan_.reset(); }
+
+  /// The installed plan, or nullptr.
+  [[nodiscard]] const FaultPlan* fault_plan() const noexcept {
+    return fault_plan_ ? &*fault_plan_ : nullptr;
+  }
+
+  /// Ticks of the fault clock consumed so far (hardened delivers +
+  /// liveness votes since install_faults).
+  [[nodiscard]] std::int64_t fault_clock() const noexcept {
+    return fault_clock_;
+  }
+
+  /// Charged liveness vote: every node announces "I am alive" on each of
+  /// its links (1 round, like a convergence vote), and the returned flags
+  /// are what the vote reveals under the installed plan. Advances the
+  /// fault clock, so waiting on a transiently crashed peer makes progress.
+  /// Never throws; with no plan every node is alive.
+  [[nodiscard]] std::vector<std::uint8_t> liveness_vote();
+
+  /// Drop all staged words without delivering (crash-unwind path; also
+  /// invoked by the hardened deliver before it throws).
+  void discard_staged();
+
+  /// The data plane behind the seam (exposed for tests/diagnostics).
+  [[nodiscard]] const Transport& transport() const noexcept {
+    return *transport_;
+  }
+
   /// Debug generation counters for the span-invalidation contract. The
   /// per-source staging generation increments on every send / send_words /
   /// stage call for that source and on deliver(); a span returned by
   /// stage(src, ...) is valid only while stage_generation(src) keeps the
   /// value it had when the span was handed out. The inbox generation
   /// increments on every deliver(): inbox() views are valid only while it
-  /// is unchanged. Under CCA_SANITIZE builds the Network additionally moves
-  /// the backing buffers to freshly allocated storage at every generation
-  /// bump, so code holding a span across its invalidation point faults as a
-  /// hard ASan heap-use-after-free at the offending read/write instead of
-  /// silently aliasing relocated-but-still-mapped memory.
+  /// is unchanged. Under CCA_SANITIZE builds the transport additionally
+  /// moves the backing buffers to freshly allocated storage at every
+  /// generation bump, so code holding a span across its invalidation point
+  /// faults as a hard ASan heap-use-after-free at the offending read/write
+  /// instead of silently aliasing relocated-but-still-mapped memory.
   [[nodiscard]] std::uint64_t stage_generation(NodeId src) const;
   [[nodiscard]] std::uint64_t inbox_generation() const noexcept {
-    return inbox_gen_;
+    return transport_->inbox_generation();
   }
 
  private:
-  void check_node(NodeId v) const;
+  /// Exact rounds the given router charges for this demand list (consults
+  /// and feeds the schedule cache for KoenigRelay; updates the hit/miss
+  /// telemetry and schedule_wall_ns).
+  [[nodiscard]] std::int64_t route_rounds(Router router,
+                                          const std::vector<Demand>& demands);
 
-  [[nodiscard]] std::size_t pair_index(NodeId dst, NodeId src) const noexcept {
-    return static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_) +
-           static_cast<std::size_t>(src);
-  }
+  /// The schedule-independent per-superstep lower bound for these volumes.
+  [[nodiscard]] std::int64_t volume_bound_rounds(
+      const std::vector<std::int64_t>& sent_by,
+      const std::vector<std::int64_t>& recv_by) const;
+
+  /// The hardened superstep (plan installed): checksum framing, fault
+  /// injection, verification, charged retransmission, crash detection.
+  void deliver_hardened(Router router);
+
+  /// True if the plan's crash_node is down at fault-clock `tick`.
+  [[nodiscard]] bool node_dead_at(std::int64_t tick) const noexcept;
 
   int n_;
   Router default_router_;
   SchedulePolicy schedule_policy_ = SchedulePolicy::ExactKoenig;
   Rng rng_;
 
-  // Staged words, one flat append-only buffer per source. A segment records
-  // a run of consecutive words bound for one destination; runs to the same
-  // destination concatenate in append order, so per-pair FIFO is preserved
-  // without n^2 queues.
-  struct Segment {
-    NodeId dst;
-    std::uint64_t len;
-  };
-  std::vector<std::vector<Word>> out_data_;      // [src] staged payload
-  std::vector<std::vector<Segment>> out_segs_;   // [src] destination runs
+  // The data plane (staging buffers, delivery arena, inboxes).
+  std::unique_ptr<Transport> transport_;
 
-  // Delivered words for the current superstep, in one contiguous arena.
-  // in_off_/in_len_ (indexed dst*n + src) describe each ordered pair's
-  // slice; deliver() rebuilds all three in a single pass over the outboxes.
-  std::vector<Word> arena_;
-  std::vector<std::size_t> in_off_;
-  std::vector<std::size_t> in_len_;
-  std::vector<std::size_t> pair_words_;          // scratch: src*n + dst
   TrafficStats stats_;
 
   // Koenig schedules cached by demand fingerprint (see routing.hpp). Only
@@ -245,11 +330,10 @@ class Network {
   // seed-dependent and bypasses it by construction.
   ScheduleCache schedule_cache_;
 
-  // Span-invalidation debug generations (see stage_generation above). The
-  // per-source counter is written only by the thread staging for that
-  // source, which the staging contract already makes exclusive.
-  std::vector<std::uint64_t> stage_gen_;
-  std::uint64_t inbox_gen_ = 0;
+  // Fault layer state: the installed plan (if any) and the deterministic
+  // clock its coins are keyed by.
+  std::optional<FaultPlan> fault_plan_;
+  std::int64_t fault_clock_ = 0;
 };
 
 /// Measures the rounds consumed by a scoped region of an algorithm.

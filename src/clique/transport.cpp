@@ -1,0 +1,244 @@
+#include "clique/transport.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/contracts.hpp"
+#include "util/parallel.hpp"
+
+namespace cca::clique {
+
+namespace {
+
+/// Under CCA_SANITIZE, move a buffer's contents to freshly allocated
+/// storage. Every staging call and every deliver() runs this on the buffers
+/// whose spans it invalidates, so a span held across its documented
+/// invalidation point points into freed memory and ASan reports the first
+/// use — even when the capacity would have sufficed and the relocation
+/// would otherwise silently not happen.
+[[maybe_unused]] void poison_relocate(std::vector<Word>& buf) {
+#ifdef CCA_SANITIZE
+  std::vector<Word> fresh;
+  fresh.reserve(buf.capacity());
+  fresh.assign(buf.begin(), buf.end());
+  buf.swap(fresh);
+#else
+  (void)buf;
+#endif
+}
+
+}  // namespace
+
+ArenaTransport::ArenaTransport(int n)
+    : n_((CCA_VALIDATE(n >= 1, "clique size n must be >= 1"), n)),
+      out_data_(static_cast<std::size_t>(n)),
+      out_segs_(static_cast<std::size_t>(n)),
+      in_off_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0),
+      in_len_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0),
+      pair_words_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                  0),
+      stage_gen_(static_cast<std::size_t>(n), 0) {}
+
+void ArenaTransport::check_node(NodeId v) const {
+  CCA_EXPECTS(v >= 0 && v < n_);
+}
+
+std::uint64_t ArenaTransport::stage_generation(NodeId src) const {
+  check_node(src);
+  return stage_gen_[static_cast<std::size_t>(src)];
+}
+
+void ArenaTransport::send(NodeId src, NodeId dst, Word w) {
+  check_node(src);
+  check_node(dst);
+  const auto s = static_cast<std::size_t>(src);
+  ++stage_gen_[s];
+  poison_relocate(out_data_[s]);
+  out_data_[s].push_back(w);
+  auto& segs = out_segs_[s];
+  if (!segs.empty() && segs.back().dst == dst)
+    ++segs.back().len;
+  else
+    segs.push_back({dst, 1});
+}
+
+void ArenaTransport::send_words(NodeId src, NodeId dst,
+                                std::span<const Word> ws) {
+  check_node(src);
+  check_node(dst);
+  if (ws.empty()) return;
+  const auto s = static_cast<std::size_t>(src);
+  ++stage_gen_[s];
+  poison_relocate(out_data_[s]);
+  auto& data = out_data_[s];
+  data.insert(data.end(), ws.begin(), ws.end());
+  auto& segs = out_segs_[s];
+  if (!segs.empty() && segs.back().dst == dst)
+    segs.back().len += ws.size();
+  else
+    segs.push_back({dst, ws.size()});
+}
+
+std::span<Word> ArenaTransport::stage(NodeId src, NodeId dst,
+                                      std::size_t nwords) {
+  check_node(src);
+  check_node(dst);
+  const auto s = static_cast<std::size_t>(src);
+  auto& data = out_data_[s];
+  const std::size_t base = data.size();
+  if (nwords == 0) return {};
+  ++stage_gen_[s];
+  poison_relocate(data);
+  data.resize(base + nwords, 0);
+  auto& segs = out_segs_[s];
+  if (!segs.empty() && segs.back().dst == dst)
+    segs.back().len += nwords;
+  else
+    segs.push_back({dst, nwords});
+  return {data.data() + base, nwords};
+}
+
+std::vector<StagedPair> ArenaTransport::staged_snapshot() const {
+  // Per-source pass: accumulate each destination's run-concatenated payload,
+  // then emit dst-ascending — sources ascend in the outer loop, giving the
+  // canonical order without a global sort.
+  std::vector<StagedPair> out;
+  std::vector<std::vector<Word>> by_dst(static_cast<std::size_t>(n_));
+  for (int src = 0; src < n_; ++src) {
+    const auto s = static_cast<std::size_t>(src);
+    const Word* read = out_data_[s].data();
+    for (const auto& seg : out_segs_[s]) {
+      auto& buf = by_dst[static_cast<std::size_t>(seg.dst)];
+      buf.insert(buf.end(), read, read + seg.len);
+      read += seg.len;
+    }
+    for (int dst = 0; dst < n_; ++dst) {
+      auto& buf = by_dst[static_cast<std::size_t>(dst)];
+      if (buf.empty()) continue;
+      if (dst != src) out.push_back({src, dst, std::move(buf)});
+      buf = {};
+    }
+  }
+  return out;
+}
+
+void ArenaTransport::discard_staged() {
+  CCA_EXPECTS(!in_parallel_region());
+  for (int src = 0; src < n_; ++src) {
+    const auto s = static_cast<std::size_t>(src);
+    ++stage_gen_[s];
+#ifdef CCA_SANITIZE
+    std::vector<Word>().swap(out_data_[s]);
+#else
+    out_data_[s].clear();
+#endif
+    out_segs_[s].clear();
+  }
+}
+
+DeliverySummary ArenaTransport::deliver() {
+  // Staging is safe from parallel regions (one src per iteration); the
+  // delivery phase change is not — it mutates every outbox and the arena.
+  CCA_EXPECTS(!in_parallel_region());
+  // Pass 1: per-pair word counts from the staged segments.
+  std::fill(pair_words_.begin(), pair_words_.end(), 0);
+  for (int src = 0; src < n_; ++src) {
+    const auto base = static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(n_);
+    for (const auto& seg : out_segs_[static_cast<std::size_t>(src)])
+      pair_words_[base + static_cast<std::size_t>(seg.dst)] += seg.len;
+  }
+
+  // Demand list and per-node volumes (self-sends are local and free). The
+  // (src asc, dst asc) order matches the routing schedules' expectations.
+  DeliverySummary sum;
+  sum.sent_by.assign(static_cast<std::size_t>(n_), 0);
+  sum.recv_by.assign(static_cast<std::size_t>(n_), 0);
+  for (int src = 0; src < n_; ++src) {
+    std::int64_t sent = 0;
+    const auto base = static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(n_);
+    for (int dst = 0; dst < n_; ++dst) {
+      const auto words =
+          static_cast<std::int64_t>(pair_words_[base +
+                                                static_cast<std::size_t>(dst)]);
+      if (words == 0 || src == dst) continue;
+      sum.demands.push_back({src, dst, words});
+      sent += words;
+      sum.recv_by[static_cast<std::size_t>(dst)] += words;
+      sum.total_words += words;
+    }
+    sum.sent_by[static_cast<std::size_t>(src)] = sent;
+  }
+
+  // Pass 2: lay out the arena (receiver-major, senders ascending within a
+  // receiver) and scatter every source's staged runs into its slices. The
+  // delivered content is independent of the schedule.
+  std::size_t cursor = 0;
+  for (int dst = 0; dst < n_; ++dst)
+    for (int src = 0; src < n_; ++src) {
+      const auto idx = pair_index(dst, src);
+      const auto words = pair_words_[static_cast<std::size_t>(src) *
+                                         static_cast<std::size_t>(n_) +
+                                     static_cast<std::size_t>(dst)];
+      in_off_[idx] = cursor;
+      in_len_[idx] = words;
+      cursor += words;
+    }
+  // Every outstanding staged span and inbox view dies here.
+  ++inbox_gen_;
+  for (auto& g : stage_gen_) ++g;
+#ifdef CCA_SANITIZE
+  // Rebuild the arena in fresh storage so inbox views held across this
+  // deliver() fault under ASan even when the capacity would have sufficed.
+  {
+    std::vector<Word> fresh(cursor);
+    arena_.swap(fresh);
+  }
+#else
+  arena_.resize(cursor);
+#endif
+
+  // pair_words_ is consumed as the per-pair write cursor from here on.
+  std::fill(pair_words_.begin(), pair_words_.end(), 0);
+  for (int src = 0; src < n_; ++src) {
+    const auto s = static_cast<std::size_t>(src);
+    const auto base = s * static_cast<std::size_t>(n_);
+    const Word* read = out_data_[s].data();
+    for (const auto& seg : out_segs_[s]) {
+      auto& consumed = pair_words_[base + static_cast<std::size_t>(seg.dst)];
+      std::memcpy(arena_.data() + in_off_[pair_index(seg.dst, src)] + consumed,
+                  read, static_cast<std::size_t>(seg.len) * sizeof(Word));
+      consumed += seg.len;
+      read += seg.len;
+    }
+#ifdef CCA_SANITIZE
+    // Release (not just clear) the outbox so staged spans held across
+    // deliver() dangle deterministically.
+    std::vector<Word>().swap(out_data_[s]);
+#else
+    out_data_[s].clear();
+#endif
+    out_segs_[s].clear();
+  }
+  return sum;
+}
+
+std::span<const Word> ArenaTransport::inbox(NodeId dst, NodeId src) const {
+  check_node(dst);
+  check_node(src);
+  const auto idx = pair_index(dst, src);
+  return {arena_.data() + in_off_[idx], in_len_[idx]};
+}
+
+std::vector<Word> ArenaTransport::take_inbox(NodeId dst, NodeId src) {
+  check_node(dst);
+  check_node(src);
+  const auto idx = pair_index(dst, src);
+  std::vector<Word> out(arena_.data() + in_off_[idx],
+                        arena_.data() + in_off_[idx] + in_len_[idx]);
+  in_len_[idx] = 0;
+  return out;
+}
+
+}  // namespace cca::clique

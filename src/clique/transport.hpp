@@ -1,0 +1,158 @@
+// The data-plane seam of the congested clique simulator.
+//
+// `Transport` is the narrow interface between the accounting layer
+// (clique::Network: demand scheduling, round charging, TrafficStats, the
+// fault/integrity machinery) and the mechanism that physically moves staged
+// words into receiver inboxes. The in-process arena simulator below is the
+// default backend; a future multi-process backend (ROADMAP open item 1)
+// implements the same six operations over real sockets while Network's
+// accounting — which only ever sees the canonical demand list — stays
+// byte-for-byte identical.
+//
+// Contract mirror of the former Network data plane:
+//  * staging is per-source exclusive and may run under cca::parallel_for
+//    (one src per iteration); deliver()/discard_staged() must not.
+//  * spans returned by stage() die at the next same-source staging call or
+//    at deliver(); inbox() views die at the next deliver(). The generation
+//    counters (and CCA_SANITIZE's poison relocation) make violations fault
+//    deterministically instead of silently aliasing relocated memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clique/routing.hpp"
+
+namespace cca::clique {
+
+using Word = std::uint64_t;
+using NodeId = int;
+
+/// One staged ordered pair captured before delivery, payload copied out in
+/// canonical (src asc, dst asc) order. The integrity layer checksums these
+/// and retains them as the retransmission source of truth.
+struct StagedPair {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::vector<Word> words;
+};
+
+/// What one delivery moved: the canonical demand list (src asc, dst asc,
+/// self-pairs and empty pairs excluded — exactly what the routing schedules
+/// expect) plus per-node volumes. Network turns this into rounds and stats;
+/// the transport never sees either.
+struct DeliverySummary {
+  std::vector<Demand> demands;
+  std::int64_t total_words = 0;
+  std::vector<std::int64_t> sent_by;  ///< words staged by node, this superstep
+  std::vector<std::int64_t> recv_by;  ///< words received by node, this superstep
+};
+
+/// Abstract data plane: staging, delivery, inboxes. Implementations move
+/// words; they never charge rounds (accounting is Network's job).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual int n() const noexcept = 0;
+
+  /// Stage a single word from src to dst for the current superstep.
+  virtual void send(NodeId src, NodeId dst, Word w) = 0;
+
+  /// Stage a block of words from src to dst (kept in order).
+  virtual void send_words(NodeId src, NodeId dst,
+                          std::span<const Word> ws) = 0;
+
+  /// Reserve `nwords` staged words from src to dst and return a writable
+  /// span over them (zero-copy staging; reads as zero until written).
+  [[nodiscard]] virtual std::span<Word> stage(NodeId src, NodeId dst,
+                                              std::size_t nwords) = 0;
+
+  /// Copy of every currently staged off-diagonal nonempty pair, canonical
+  /// (src asc, dst asc) order. Does not consume the staged state.
+  [[nodiscard]] virtual std::vector<StagedPair> staged_snapshot() const = 0;
+
+  /// Drop all staged words without delivering (crash-unwind path). Bumps
+  /// every per-source stage generation.
+  virtual void discard_staged() = 0;
+
+  /// Move every staged word to the receivers' inboxes and report what
+  /// moved. Invalidates all outstanding staged spans and inbox views.
+  virtual DeliverySummary deliver() = 0;
+
+  /// Words received by dst from src in the most recent superstep, FIFO.
+  [[nodiscard]] virtual std::span<const Word> inbox(NodeId dst,
+                                                    NodeId src) const = 0;
+
+  /// Copy the inbox out as an owning vector and mark the pair consumed.
+  [[nodiscard]] virtual std::vector<Word> take_inbox(NodeId dst,
+                                                     NodeId src) = 0;
+
+  /// Span-invalidation debug generations (see Network::stage_generation).
+  [[nodiscard]] virtual std::uint64_t stage_generation(NodeId src) const = 0;
+  [[nodiscard]] virtual std::uint64_t inbox_generation() const noexcept = 0;
+};
+
+/// The in-process arena backend: per-source flat staged buffers with
+/// run-length destination segments, delivered into one contiguous
+/// receiver-major arena per superstep. This is the former Network data
+/// plane, moved verbatim behind the seam.
+class ArenaTransport final : public Transport {
+ public:
+  explicit ArenaTransport(int n);
+
+  [[nodiscard]] int n() const noexcept override { return n_; }
+
+  void send(NodeId src, NodeId dst, Word w) override;
+  void send_words(NodeId src, NodeId dst, std::span<const Word> ws) override;
+  [[nodiscard]] std::span<Word> stage(NodeId src, NodeId dst,
+                                      std::size_t nwords) override;
+  [[nodiscard]] std::vector<StagedPair> staged_snapshot() const override;
+  void discard_staged() override;
+  DeliverySummary deliver() override;
+  [[nodiscard]] std::span<const Word> inbox(NodeId dst,
+                                            NodeId src) const override;
+  [[nodiscard]] std::vector<Word> take_inbox(NodeId dst, NodeId src) override;
+  [[nodiscard]] std::uint64_t stage_generation(NodeId src) const override;
+  [[nodiscard]] std::uint64_t inbox_generation() const noexcept override {
+    return inbox_gen_;
+  }
+
+ private:
+  void check_node(NodeId v) const;
+
+  [[nodiscard]] std::size_t pair_index(NodeId dst, NodeId src) const noexcept {
+    return static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(src);
+  }
+
+  int n_;
+
+  // Staged words, one flat append-only buffer per source. A segment records
+  // a run of consecutive words bound for one destination; runs to the same
+  // destination concatenate in append order, so per-pair FIFO is preserved
+  // without n^2 queues.
+  struct Segment {
+    NodeId dst;
+    std::uint64_t len;
+  };
+  std::vector<std::vector<Word>> out_data_;      // [src] staged payload
+  std::vector<std::vector<Segment>> out_segs_;   // [src] destination runs
+
+  // Delivered words for the current superstep, in one contiguous arena.
+  // in_off_/in_len_ (indexed dst*n + src) describe each ordered pair's
+  // slice; deliver() rebuilds all three in a single pass over the outboxes.
+  std::vector<Word> arena_;
+  std::vector<std::size_t> in_off_;
+  std::vector<std::size_t> in_len_;
+  std::vector<std::size_t> pair_words_;          // scratch: src*n + dst
+
+  // Span-invalidation debug generations. The per-source counter is written
+  // only by the thread staging for that source, which the staging contract
+  // already makes exclusive.
+  std::vector<std::uint64_t> stage_gen_;
+  std::uint64_t inbox_gen_ = 0;
+};
+
+}  // namespace cca::clique

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "clique/fault.hpp"
 #include "clique/primitives.hpp"
 #include "core/distance_product.hpp"
 #include "core/mm.hpp"
@@ -71,7 +72,8 @@ ApspOutcome make_trivial(const Graph& g) {
 }  // namespace
 
 ApspOutcome apsp_semiring(const Graph& g, MmKind kind) {
-  CCA_EXPECTS(kind == MmKind::Auto || kind == MmKind::Semiring3D);
+  CCA_VALIDATE(kind == MmKind::Auto || kind == MmKind::Semiring3D,
+               "apsp_semiring supports MmKind::Auto and MmKind::Semiring3D");
   const int n = g.n();
   if (n <= 1) return make_trivial(g);
 
@@ -93,9 +95,14 @@ ApspOutcome apsp_semiring(const Graph& g, MmKind kind) {
   const int iters = squaring_iterations(n);
   MmDispatchContext ctx;
   for (int it = 0; it < iters; ++it) {
-    auto [d2, q] = kind == MmKind::Auto
-                       ? dp_semiring_witness_auto(net, d, d, &ctx)
-                       : dp_semiring_witness(net, d, d);
+    // Crash recovery: a squaring that dies mid-protocol (typed PeerFailure
+    // out of a hardened deliver) restarts from the CURRENT iterate after
+    // charged liveness votes — sound because min-plus squaring is
+    // idempotent, so re-squaring an iterate never overshoots the fixpoint.
+    auto [d2, q] = clique::with_peer_recovery(net, [&] {
+      return kind == MmKind::Auto ? dp_semiring_witness_auto(net, d, d, &ctx)
+                                  : dp_semiring_witness(net, d, d);
+    });
     // Improvement flags feed the convergence vote; entries outside the
     // real n x n corner are inert (padded rows are all-infinite), so
     // scanning the real rows is exact.
@@ -135,9 +142,11 @@ ApspOutcome apsp_semiring(const Graph& g, MmKind kind) {
 
 ApspBatchOutcome apsp_semiring_batch(std::span<const Graph> gs,
                                      MmKind kind) {
-  CCA_EXPECTS(kind == MmKind::Auto || kind == MmKind::Semiring3D);
+  CCA_VALIDATE(kind == MmKind::Auto || kind == MmKind::Semiring3D,
+               "apsp_semiring_batch supports MmKind::Auto and "
+               "MmKind::Semiring3D");
   const std::size_t batch = gs.size();
-  CCA_EXPECTS(batch >= 1);
+  CCA_VALIDATE(batch >= 1, "batch must contain at least one graph");
   ApspBatchOutcome out;
   int max_n = 1;
   for (const auto& g : gs) max_n = std::max(max_n, g.n());
@@ -176,13 +185,17 @@ ApspBatchOutcome apsp_semiring_batch(std::span<const Graph> gs,
     // rides the same two supersteps (nnz-dispatched as a batch under
     // Auto), and the schedule cache replays the Koenig schedule across
     // iterations.
-    auto sq = kind == MmKind::Auto
-                  ? dp_semiring_witness_batch_auto(
-                        net, std::span<const Matrix<std::int64_t>>(d),
-                        std::span<const Matrix<std::int64_t>>(d), &ctx)
-                  : dp_semiring_witness_batch(
-                        net, std::span<const Matrix<std::int64_t>>(d),
-                        std::span<const Matrix<std::int64_t>>(d));
+    // Same idempotent-restart recovery as apsp_semiring: the whole batched
+    // squaring re-runs from the members' current iterates.
+    auto sq = clique::with_peer_recovery(net, [&] {
+      return kind == MmKind::Auto
+                 ? dp_semiring_witness_batch_auto(
+                       net, std::span<const Matrix<std::int64_t>>(d),
+                       std::span<const Matrix<std::int64_t>>(d), &ctx)
+                 : dp_semiring_witness_batch(
+                       net, std::span<const Matrix<std::int64_t>>(d),
+                       std::span<const Matrix<std::int64_t>>(d));
+    });
     std::vector<clique::Word> improved_row(static_cast<std::size_t>(big), 0);
     bool improved = false;
     for (std::size_t b = 0; b < batch; ++b) {
@@ -221,7 +234,7 @@ ApspBatchOutcome apsp_semiring_batch(std::span<const Graph> gs,
 }
 
 ApspOutcome apsp_seidel(const Graph& g, MmKind kind, int depth) {
-  CCA_EXPECTS(!g.is_directed());
+  CCA_VALIDATE(!g.is_directed(), "apsp_seidel requires an undirected graph");
   const int n = g.n();
   if (n <= 1) return make_trivial(g);
 
@@ -338,13 +351,13 @@ Matrix<std::int64_t> bounded_squaring(clique::Network& net,
 }  // namespace
 
 ApspOutcome apsp_bounded(const Graph& g, std::int64_t m_bound, int depth) {
-  CCA_EXPECTS(m_bound >= 0);
+  CCA_VALIDATE(m_bound >= 0, "distance bound M must be >= 0");
   const int n = g.n();
   if (n <= 1) return make_trivial(g);
   for (int u = 0; u < n; ++u)
     for (const auto& [v, w] : g.out_arcs(u)) {
       (void)v;
-      CCA_EXPECTS(w >= 0);
+      CCA_VALIDATE(w >= 0, "apsp_bounded requires non-negative weights");
     }
 
   const FastPlan plan =
@@ -369,7 +382,9 @@ ApspOutcome apsp_small_diameter(const Graph& g, int depth) {
   for (int u = 0; u < n; ++u)
     for (const auto& [v, w] : g.out_arcs(u)) {
       (void)v;
-      CCA_EXPECTS(w >= 1);  // Corollary 8: positive integer weights
+      // Corollary 8: positive integer weights.
+      CCA_VALIDATE(w >= 1,
+                   "apsp_small_diameter requires positive integer weights");
     }
 
   const FastPlan plan =
@@ -416,13 +431,13 @@ ApspOutcome apsp_small_diameter(const Graph& g, int depth) {
 }
 
 ApspOutcome apsp_approx(const Graph& g, double delta, int depth) {
-  CCA_EXPECTS(delta > 0);
+  CCA_VALIDATE(delta > 0, "approximation parameter delta must be > 0");
   const int n = g.n();
   if (n <= 1) return make_trivial(g);
   for (int u = 0; u < n; ++u)
     for (const auto& [v, w] : g.out_arcs(u)) {
       (void)v;
-      CCA_EXPECTS(w >= 0);
+      CCA_VALIDATE(w >= 0, "apsp_approx requires non-negative weights");
     }
 
   const FastPlan plan =
@@ -461,7 +476,8 @@ Matrix<int> routing_table_from_distances(const Graph& g,
                                          const Matrix<std::int64_t>& dist,
                                          clique::TrafficStats* traffic) {
   const int n = g.n();
-  CCA_EXPECTS(dist.rows() == n && dist.cols() == n);
+  CCA_VALIDATE(dist.rows() == n && dist.cols() == n,
+               "distance matrix dimensions must match the graph");
   Matrix<int> next(n, n, -1);
   if (n <= 1) return next;
 
@@ -474,7 +490,8 @@ Matrix<int> routing_table_from_distances(const Graph& g,
   for (int v = 0; v < n; ++v) w(v, v) = kInf;
   const auto d = pad_matrix(dist, big, kInf);
 
-  const auto [prod, wit] = dp_semiring_witness(net, w, d);
+  const auto [prod, wit] = clique::with_peer_recovery(
+      net, [&] { return dp_semiring_witness(net, w, d); });
   for (int u = 0; u < n; ++u)
     for (int v = 0; v < n; ++v) {
       if (u == v || dist(u, v) >= kInf) continue;

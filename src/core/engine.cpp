@@ -1,9 +1,11 @@
 #include "core/engine.hpp"
 
+#include "clique/fault.hpp"
+
 namespace cca::core {
 
 IntMmEngine::IntMmEngine(MmKind kind, int n, int depth) : kind_(kind) {
-  CCA_EXPECTS(n >= 1);
+  CCA_VALIDATE(n >= 1, "matrix dimension n must be >= 1");
   switch (kind_) {
     case MmKind::Fast: {
       const FastPlan plan =
@@ -52,21 +54,31 @@ Matrix<std::int64_t> IntMmEngine::multiply(clique::Network& net,
                                            const Matrix<std::int64_t>& b,
                                            MmDispatchContext* ctx) const {
   CCA_EXPECTS(net.n() == clique_n_);
+  CCA_VALIDATE(a.rows() == a.cols() && b.rows() == b.cols(),
+               "input matrices must be square");
+  CCA_VALIDATE(a.rows() == clique_n_ && b.rows() == clique_n_,
+               "matrix dimensions must match the engine's clique size");
   const IntRing ring;
   const I64Codec codec;
-  switch (kind_) {
-    case MmKind::Fast:
-      return mm_fast_bilinear(net, ring, codec, alg_, a, b);
-    case MmKind::Semiring3D:
-      return mm_semiring_3d(net, ring, codec, a, b);
-    case MmKind::Naive:
-      return mm_naive_broadcast(net, ring, 1, a, b);
-    case MmKind::Auto:
-      return mm_semiring_auto(net, ring, codec, a, b,
-                              fast_ok_ ? &alg_ : nullptr, nullptr, nullptr,
-                              ctx);
-  }
-  return {};
+  // A product is a pure protocol over the captured inputs, so a crash mid
+  // product (typed PeerFailure from a hardened deliver) simply re-runs it
+  // after charged liveness votes — this hardens every engine built on
+  // multiply: Seidel APSP, triangle/cycle counting, girth, color coding.
+  return clique::with_peer_recovery(net, [&] {
+    switch (kind_) {
+      case MmKind::Fast:
+        return mm_fast_bilinear(net, ring, codec, alg_, a, b);
+      case MmKind::Semiring3D:
+        return mm_semiring_3d(net, ring, codec, a, b);
+      case MmKind::Naive:
+        return mm_naive_broadcast(net, ring, 1, a, b);
+      case MmKind::Auto:
+        return mm_semiring_auto(net, ring, codec, a, b,
+                                fast_ok_ ? &alg_ : nullptr, nullptr, nullptr,
+                                ctx);
+    }
+    return Matrix<std::int64_t>{};
+  });
 }
 
 std::vector<Matrix<std::int64_t>> IntMmEngine::multiply_batch(
@@ -74,26 +86,38 @@ std::vector<Matrix<std::int64_t>> IntMmEngine::multiply_batch(
     std::span<const Matrix<std::int64_t>> bs,
     MmDispatchContext* ctx) const {
   CCA_EXPECTS(net.n() == clique_n_);
-  CCA_EXPECTS(!as.empty() && as.size() == bs.size());
+  CCA_VALIDATE(!as.empty() && as.size() == bs.size(),
+               "batch operands must be non-empty and of equal length");
+  for (std::size_t b = 0; b < as.size(); ++b) {
+    CCA_VALIDATE(as[b].rows() == as[b].cols() &&
+                     bs[b].rows() == bs[b].cols(),
+                 "batch matrices must be square");
+    CCA_VALIDATE(as[b].rows() == clique_n_ && bs[b].rows() == clique_n_,
+                 "batch matrix dimensions must match the engine's clique "
+                 "size");
+  }
   const IntRing ring;
   const I64Codec codec;
-  switch (kind_) {
-    case MmKind::Fast:
-      return mm_fast_bilinear_batch(net, ring, codec, alg_, as, bs);
-    case MmKind::Semiring3D:
-      return mm_semiring_3d_batch(net, ring, codec, as, bs);
-    case MmKind::Naive: {
-      std::vector<Matrix<std::int64_t>> out;
-      out.reserve(as.size());
-      for (std::size_t b = 0; b < as.size(); ++b)
-        out.push_back(mm_naive_broadcast(net, ring, 1, as[b], bs[b]));
-      return out;
+  // Same idempotent re-run recovery as multiply(), for the whole batch.
+  return clique::with_peer_recovery(net, [&] {
+    switch (kind_) {
+      case MmKind::Fast:
+        return mm_fast_bilinear_batch(net, ring, codec, alg_, as, bs);
+      case MmKind::Semiring3D:
+        return mm_semiring_3d_batch(net, ring, codec, as, bs);
+      case MmKind::Naive: {
+        std::vector<Matrix<std::int64_t>> out;
+        out.reserve(as.size());
+        for (std::size_t b = 0; b < as.size(); ++b)
+          out.push_back(mm_naive_broadcast(net, ring, 1, as[b], bs[b]));
+        return out;
+      }
+      case MmKind::Auto:
+        return mm_semiring_auto_batch(net, ring, codec, as, bs, ctx,
+                                      fast_ok_ ? &alg_ : nullptr);
     }
-    case MmKind::Auto:
-      return mm_semiring_auto_batch(net, ring, codec, as, bs, ctx,
-                                    fast_ok_ ? &alg_ : nullptr);
-  }
-  return {};
+    return std::vector<Matrix<std::int64_t>>{};
+  });
 }
 
 }  // namespace cca::core

@@ -10,7 +10,7 @@
 namespace cca {
 
 Graph gnp_random_graph(int n, double p, std::uint64_t seed, bool directed) {
-  CCA_EXPECTS(p >= 0.0 && p <= 1.0);
+  CCA_VALIDATE(p >= 0.0 && p <= 1.0, "edge probability p must lie in [0, 1]");
   Rng rng(seed);
   auto g = directed ? Graph::directed(n) : Graph::undirected(n);
   for (int u = 0; u < n; ++u)
@@ -24,8 +24,8 @@ Graph gnp_random_graph(int n, double p, std::uint64_t seed, bool directed) {
 Graph random_weighted_graph(int n, double p, std::int64_t min_w,
                             std::int64_t max_w, std::uint64_t seed,
                             bool directed) {
-  CCA_EXPECTS(p >= 0.0 && p <= 1.0);
-  CCA_EXPECTS(min_w <= max_w);
+  CCA_VALIDATE(p >= 0.0 && p <= 1.0, "edge probability p must lie in [0, 1]");
+  CCA_VALIDATE(min_w <= max_w, "weight range requires min_w <= max_w");
   Rng rng(seed);
   auto g = directed ? Graph::directed(n) : Graph::undirected(n);
   for (int u = 0; u < n; ++u)
@@ -38,8 +38,8 @@ Graph random_weighted_graph(int n, double p, std::int64_t min_w,
 
 Graph random_weighted_dag(int n, double p, std::int64_t min_w,
                           std::int64_t max_w, std::uint64_t seed) {
-  CCA_EXPECTS(p >= 0.0 && p <= 1.0);
-  CCA_EXPECTS(min_w <= max_w);
+  CCA_VALIDATE(p >= 0.0 && p <= 1.0, "edge probability p must lie in [0, 1]");
+  CCA_VALIDATE(min_w <= max_w, "weight range requires min_w <= max_w");
   Rng rng(seed);
   auto g = Graph::directed(n);
   for (int u = 0; u < n; ++u)
@@ -49,7 +49,8 @@ Graph random_weighted_dag(int n, double p, std::int64_t min_w,
 }
 
 Graph cycle_graph(int n, bool directed) {
-  CCA_EXPECTS(n >= (directed ? 2 : 3));
+  CCA_VALIDATE(n >= (directed ? 2 : 3),
+               "cycle needs >= 2 (directed) or >= 3 (undirected) nodes");
   auto g = directed ? Graph::directed(n) : Graph::undirected(n);
   for (int v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
   return g;
@@ -87,7 +88,7 @@ Graph petersen_graph() {
 }
 
 Graph grid_graph(int a, int b) {
-  CCA_EXPECTS(a >= 1 && b >= 1);
+  CCA_VALIDATE(a >= 1 && b >= 1, "grid dimensions must be >= 1");
   auto g = Graph::undirected(a * b);
   auto id = [b](int i, int j) { return i * b + j; };
   for (int i = 0; i < a; ++i)
@@ -99,9 +100,10 @@ Graph grid_graph(int a, int b) {
 }
 
 Graph random_sparse_graph(int n, std::int64_t m, std::uint64_t seed) {
-  CCA_EXPECTS(n >= 0);
+  CCA_VALIDATE(n >= 0, "graph size n must be >= 0");
   const std::int64_t max_m = static_cast<std::int64_t>(n) * (n - 1) / 2;
-  CCA_EXPECTS(m >= 0 && m <= max_m);
+  CCA_VALIDATE(m >= 0 && m <= max_m,
+               "edge count m must lie in [0, n*(n-1)/2]");
   Rng rng(seed);
   auto g = Graph::undirected(n);
   // Dense targets invert the sampling (pick the complement) so the loop
@@ -130,7 +132,8 @@ Graph random_sparse_graph(int n, std::int64_t m, std::uint64_t seed) {
 
 Graph power_law_graph(int n, std::int64_t m_target, double alpha,
                       std::uint64_t seed) {
-  CCA_EXPECTS(n >= 0 && m_target >= 0 && alpha > 2.0);
+  CCA_VALIDATE(n >= 0 && m_target >= 0, "n and m_target must be >= 0");
+  CCA_VALIDATE(alpha > 2.0, "power-law exponent alpha must be > 2");
   Rng rng(seed);
   auto g = Graph::undirected(n);
   if (n < 2 || m_target == 0) return g;
@@ -157,7 +160,8 @@ Graph power_law_graph(int n, std::int64_t m_target, double alpha,
 
 Graph planted_cycle_graph(int n, int k, double noise_p, std::uint64_t seed,
                           bool directed) {
-  CCA_EXPECTS(k >= (directed ? 2 : 3) && k <= n);
+  CCA_VALIDATE(k >= (directed ? 2 : 3) && k <= n,
+               "planted cycle length k must fit the graph");
   Rng rng(seed);
   auto g = gnp_random_graph(n, noise_p, rng.next(), directed);
   std::vector<int> nodes(static_cast<std::size_t>(n));

@@ -4,19 +4,21 @@
 
 namespace cca {
 
+// The validation must run before the vector members are sized: a negative n
+// cast to size_t would throw length_error ahead of the typed error.
 Graph::Graph(int n, bool directed)
-    : n_(n),
+    : n_((CCA_VALIDATE(n >= 0, "graph size n must be >= 0"), n)),
       directed_(directed),
       out_(static_cast<std::size_t>(n)),
       in_(static_cast<std::size_t>(n)),
-      weight_(n, n, kAbsent) {
-  CCA_EXPECTS(n >= 0);
-}
+      weight_(n, n, kAbsent) {}
 
 void Graph::add_edge(int u, int v, std::int64_t weight) {
-  CCA_EXPECTS(u >= 0 && u < n_ && v >= 0 && v < n_);
-  CCA_EXPECTS(u != v);
-  CCA_EXPECTS(weight != kAbsent);
+  CCA_VALIDATE(u >= 0 && u < n_ && v >= 0 && v < n_,
+               "edge endpoints must be existing nodes");
+  CCA_VALIDATE(u != v, "self-loops are not supported");
+  CCA_VALIDATE(weight != kAbsent,
+               "edge weight collides with the absent-arc sentinel");
   auto insert_arc = [this](int a, int b, std::int64_t w) {
     if (weight_(a, b) == kAbsent) {
       out_[static_cast<std::size_t>(a)].emplace_back(b, w);

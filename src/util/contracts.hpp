@@ -1,24 +1,93 @@
 // Lightweight contract checking in the spirit of the C++ Core Guidelines
 // (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
 //
-// Violations indicate programmer error, never user input error; they abort
-// with a diagnostic. Contracts stay enabled in all build types: the library
-// is a research artifact where silent corruption of round accounting would
-// invalidate results.
+// Contracts stay enabled in all build types: the library is a research
+// artifact where silent corruption of round accounting would invalidate
+// results. Two distinct failure families:
+//
+//  * CCA_EXPECTS / CCA_ENSURES / CCA_ASSERT — programmer-error contracts.
+//    Default behaviour aborts with a diagnostic. A long-running service
+//    embedding the engine can switch the process to
+//    ContractFailureMode::Throw, turning violations into catchable
+//    cca::ContractViolation exceptions so one poisoned request cannot take
+//    the whole service down. The mode is process-global and atomic.
+//
+//  * CCA_VALIDATE — rejection of bad USER input (n < 1, non-square or
+//    mismatched matrices, negative bounds) at engine entry points. Always
+//    throws cca::InvalidArgument regardless of the contract mode: user
+//    input errors are recoverable by the caller by construction and must
+//    never abort, nor silently corrupt state deep in a staging loop.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
-namespace cca::detail {
+namespace cca {
+
+/// A programmer-error contract (CCA_EXPECTS / CCA_ENSURES / CCA_ASSERT)
+/// failed while the process runs in ContractFailureMode::Throw.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Bad user input detected at an engine entry point (CCA_VALIDATE). Always
+/// thrown — argument errors are the caller's to handle, in every mode.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// What a failed CCA_EXPECTS / CCA_ENSURES / CCA_ASSERT does.
+enum class ContractFailureMode {
+  Abort,  ///< fprintf diagnostic + std::abort() (default; research runs)
+  Throw,  ///< throw cca::ContractViolation (service mode)
+};
+
+namespace detail {
+
+inline std::atomic<ContractFailureMode>& contract_mode() noexcept {
+  static std::atomic<ContractFailureMode> mode{ContractFailureMode::Abort};
+  return mode;
+}
+
+}  // namespace detail
+
+inline void set_contract_failure_mode(ContractFailureMode m) noexcept {
+  detail::contract_mode().store(m, std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline ContractFailureMode contract_failure_mode() noexcept {
+  return detail::contract_mode().load(std::memory_order_relaxed);
+}
+
+namespace detail {
 
 [[noreturn]] inline void contract_failure(const char* kind, const char* expr,
                                           const char* file, int line) {
-  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  char msg[512];
+  std::snprintf(msg, sizeof msg, "%s violation: (%s) at %s:%d", kind, expr,
+                file, line);
+  if (contract_failure_mode() == ContractFailureMode::Throw)
+    throw ContractViolation(msg);
+  std::fprintf(stderr, "%s\n", msg);
   std::abort();
 }
 
-}  // namespace cca::detail
+[[noreturn]] inline void invalid_argument_failure(const char* what,
+                                                  const char* expr,
+                                                  const char* file, int line) {
+  char msg[512];
+  std::snprintf(msg, sizeof msg, "invalid argument: %s [(%s) at %s:%d]", what,
+                expr, file, line);
+  throw InvalidArgument(msg);
+}
+
+}  // namespace detail
+
+}  // namespace cca
 
 #define CCA_EXPECTS(expr)                                                  \
   ((expr) ? static_cast<void>(0)                                           \
@@ -34,3 +103,10 @@ namespace cca::detail {
   ((expr) ? static_cast<void>(0)                                           \
           : ::cca::detail::contract_failure("invariant", #expr,            \
                                             __FILE__, __LINE__))
+
+/// Reject bad user input with a typed cca::InvalidArgument. `what` is a
+/// human-readable description of the requirement ("n must be >= 1").
+#define CCA_VALIDATE(expr, what)                                           \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::cca::detail::invalid_argument_failure(what, #expr,           \
+                                                    __FILE__, __LINE__))

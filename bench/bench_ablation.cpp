@@ -44,7 +44,7 @@ Matrix<std::int64_t> random_minplus(int n, std::uint64_t seed) {
 
 int main() {
   cca::bench::print_header("Ablation 1: router inside semiring MM (n = 216)");
-  for (const auto [router, name] :
+  for (const auto& [router, name] :
        std::initializer_list<std::pair<clique::Router, const char*>>{
            {clique::Router::KoenigRelay, "koenig (default)"},
            {clique::Router::HashRelay, "hash"},

@@ -30,6 +30,7 @@ Network::Network(std::unique_ptr<Transport> transport, Router default_router,
       transport_(std::move(transport)) {
   CCA_VALIDATE(transport_ != nullptr, "transport must not be null");
   CCA_VALIDATE(n_ >= 1, "clique size must be >= 1");
+  tracker_.resize(n_);
   if (const FaultPlan* ambient = FaultScope::current())
     install_faults(*ambient);
 }
@@ -39,14 +40,17 @@ std::uint64_t Network::stage_generation(NodeId src) const {
 }
 
 void Network::send(NodeId src, NodeId dst, Word w) {
+  tracker_.on_stage(src, stats_.supersteps);
   transport_->send(src, dst, w);
 }
 
 void Network::send_words(NodeId src, NodeId dst, std::span<const Word> ws) {
+  tracker_.on_stage(src, stats_.supersteps);
   transport_->send_words(src, dst, ws);
 }
 
 std::span<Word> Network::stage(NodeId src, NodeId dst, std::size_t nwords) {
+  tracker_.on_stage(src, stats_.supersteps);
   return transport_->stage(src, dst, nwords);
 }
 
@@ -108,6 +112,10 @@ void Network::deliver() { deliver(default_router_); }
 void Network::deliver(Router router) {
   // Staging is safe from parallel regions (one src per iteration); the
   // delivery phase change is not — it mutates every outbox and the arena.
+  // The tracker hook fires first so an enabled checker reports the typed
+  // violation with its superstep coordinate; the bare contract backstops
+  // unchecked builds.
+  tracker_.on_phase_change("deliver", stats_.supersteps);
   CCA_EXPECTS(!in_parallel_region());
   if (fault_plan_) {
     deliver_hardened(router);
@@ -358,7 +366,10 @@ void Network::install_faults(const FaultPlan& plan) {
   fault_clock_ = 0;
 }
 
-void Network::discard_staged() { transport_->discard_staged(); }
+void Network::discard_staged() {
+  tracker_.on_phase_change("discard_staged", stats_.supersteps);
+  transport_->discard_staged();
+}
 
 std::span<const Word> Network::inbox(NodeId dst, NodeId src) const {
   return transport_->inbox(dst, src);

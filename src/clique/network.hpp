@@ -39,6 +39,7 @@
 #include "clique/fault.hpp"
 #include "clique/routing.hpp"
 #include "clique/transport.hpp"
+#include "util/analysis.hpp"
 #include "util/rng.hpp"
 
 namespace cca::clique {
@@ -178,6 +179,12 @@ class Network {
   /// identical to the serial order because per-source append order is
   /// unchanged. Staging from the same src on two threads is a data race.
   /// deliver() itself must stay OUTSIDE parallel regions.
+  ///
+  /// Both halves of this contract are machine-checked when analysis
+  /// checking is on (util/analysis.hpp; default in CCA_CHECKED builds):
+  /// same-source staging from two threads of one parallel_for region and
+  /// deliver()/discard_staged() inside a region fault with a typed
+  /// cca::ContractViolation recorded in analysis::Report.
   [[nodiscard]] std::span<Word> stage(NodeId src, NodeId dst,
                                       std::size_t nwords);
 
@@ -334,6 +341,12 @@ class Network {
   // clock its coins are keyed by.
   std::optional<FaultPlan> fault_plan_;
   std::int64_t fault_clock_ = 0;
+
+  // Runtime contract instrumentation (analysis.hpp): per-source staging
+  // ownership + phase-change checking. Every hook is a single relaxed
+  // atomic load while checking is disabled (the default outside
+  // CCA_CHECKED builds); no accounting state ever depends on it.
+  analysis::StagingTracker tracker_;
 };
 
 /// Measures the rounds consumed by a scoped region of an algorithm.

@@ -3,12 +3,30 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/analysis.hpp"
 #include "util/contracts.hpp"
 #include "util/parallel.hpp"
 
 namespace cca::clique {
 
 namespace {
+
+/// Phase changes (deliver / discard_staged) mutate every outbox and the
+/// arena, so they must not run inside a cca::parallel_for region. With
+/// analysis checking on this faults through the typed ContractViolation
+/// path (recorded in analysis::Report); the bare contract backstops
+/// unchecked builds. The transport has no superstep counter — Network's
+/// tracker hook, which fires first on the Network-level paths, carries
+/// that coordinate.
+void check_phase_change_serial(const char* what) {
+  if (cca::analysis::checking_enabled() && in_parallel_region()) {
+    cca::analysis::fail(
+        {cca::analysis::ContractKind::DeliverInParallel, -1, -1, -1,
+         std::string("ArenaTransport::") + what +
+             " invoked inside a cca::parallel_for region"});
+  }
+  CCA_EXPECTS(!in_parallel_region());
+}
 
 /// Under CCA_SANITIZE, move a buffer's contents to freshly allocated
 /// storage. Every staging call and every deliver() runs this on the buffers
@@ -123,7 +141,7 @@ std::vector<StagedPair> ArenaTransport::staged_snapshot() const {
 }
 
 void ArenaTransport::discard_staged() {
-  CCA_EXPECTS(!in_parallel_region());
+  check_phase_change_serial("discard_staged");
   for (int src = 0; src < n_; ++src) {
     const auto s = static_cast<std::size_t>(src);
     ++stage_gen_[s];
@@ -139,7 +157,7 @@ void ArenaTransport::discard_staged() {
 DeliverySummary ArenaTransport::deliver() {
   // Staging is safe from parallel regions (one src per iteration); the
   // delivery phase change is not — it mutates every outbox and the arena.
-  CCA_EXPECTS(!in_parallel_region());
+  check_phase_change_serial("deliver");
   // Pass 1: per-pair word counts from the staged segments.
   std::fill(pair_words_.begin(), pair_words_.end(), 0);
   for (int src = 0; src < n_; ++src) {

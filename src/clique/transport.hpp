@@ -15,7 +15,11 @@
 //  * spans returned by stage() die at the next same-source staging call or
 //    at deliver(); inbox() views die at the next deliver(). The generation
 //    counters (and CCA_SANITIZE's poison relocation) make violations fault
-//    deterministically instead of silently aliasing relocated memory.
+//    deterministically instead of silently aliasing relocated memory, and
+//    the analysis layer (util/analysis.hpp; default-on in CCA_CHECKED
+//    builds) upgrades both contracts to typed, reported ContractViolations:
+//    span leases validate the generations at every use, and the staging
+//    tracker faults cross-source staging and in-parallel phase changes.
 #pragma once
 
 #include <cstdint>

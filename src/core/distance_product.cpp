@@ -25,6 +25,9 @@ struct WDist {
   friend bool operator==(const WDist&, const WDist&) = default;
 };
 
+/// Zero contract: {kInf, -1} annihilates mul even against {kInf, w} values
+/// carrying a planted witness (which compare UNEQUAL to zero) — audited by
+/// the WitnessMinPlusAudit mirror in tests/test_matrix.cpp ZeroSkipAudit.
 struct WitnessMinPlus {
   using Value = WDist;
   [[nodiscard]] Value zero() const noexcept { return {kInf, -1}; }

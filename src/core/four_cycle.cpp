@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "clique/primitives.hpp"
+#include "util/analysis.hpp"
 #include "util/contracts.hpp"
 #include "util/math.hpp"
 #include "util/parallel.hpp"
@@ -211,6 +212,10 @@ FourCycleOutcome detect_4cycle_const(const Graph& g) {
       const auto [lo, hi] =
           chunk_range(static_cast<std::int64_t>(nb.size()), t.size, i);
       if (lo == hi) continue;
+      // t.y is this tile's unique owner (tiles partition the y sources —
+      // see the Step 1 comment above), so per-iteration src disjointness
+      // holds without src == ti.
+      // lint:allow(parallel-staging-src): tiles partition the y sources
       const auto span = net.stage(t.y, t.row0 + i,
                                   static_cast<std::size_t>(hi - lo));
       for (int idx = lo; idx < hi; ++idx)
@@ -225,12 +230,14 @@ FourCycleOutcome detect_4cycle_const(const Graph& g) {
   // every link carries at most 8 words — delivered directly. The inbox
   // views stay valid while staging (only deliver() rebuilds the arena), so
   // a forwards zero-copy from its inbox span, in parallel over senders a.
+  // The lease revalidates that invariant at each use under analysis
+  // checking (and is a plain span read otherwise).
   parallel_for(0, n, [&](int a) {
     for (const auto& t : tiles) {
       if (a < t.row0 || a >= t.row0 + t.size) continue;
-      const auto words = net.inbox(a, t.y);
+      const analysis::InboxLease<clique::Network> words(net, a, t.y);
       for (int b = t.col0; b < t.col0 + t.size; ++b)
-        net.send_words(a, b, words);
+        net.send_words(a, b, words.span());
     }
   });
   net.deliver(clique::Router::Direct);

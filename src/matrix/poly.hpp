@@ -59,6 +59,8 @@ class CappedPoly {
 };
 
 /// The ring Z[X]/X^cap. All values flowing through it must share `cap`.
+/// Zero contract: the all-zero-coefficient polynomial annihilates the
+/// truncated convolution (tests/test_matrix.cpp ZeroSkipAudit).
 struct PolyRing {
   using Value = CappedPoly;
   int cap = 1;

@@ -45,7 +45,8 @@ concept Ring = Semiring<S> && requires(const S s, typename S::Value a,
   { s.sub(a, b) } -> std::same_as<typename S::Value>;
 };
 
-/// The ring (Z, +, *) on 64-bit integers.
+/// The ring (Z, +, *) on 64-bit integers. Zero contract: the literal 0
+/// annihilates products exactly (tests/test_matrix.cpp ZeroSkipAudit).
 struct IntRing {
   using Value = std::int64_t;
   [[nodiscard]] Value zero() const noexcept { return 0; }
@@ -56,7 +57,8 @@ struct IntRing {
 };
 
 /// The Boolean semiring ({0,1}, or, and). Value is a byte, not bool, to keep
-/// Matrix<Value> free of vector<bool> proxy issues.
+/// Matrix<Value> free of vector<bool> proxy issues. Zero contract:
+/// 0 & x == 0 for every byte (tests/test_matrix.cpp ZeroSkipAudit).
 struct BoolSemiring {
   using Value = std::uint8_t;
   [[nodiscard]] Value zero() const noexcept { return 0; }
@@ -71,6 +73,9 @@ struct BoolSemiring {
 
 /// The min-plus (tropical) semiring on 64-bit integers with +infinity.
 /// "zero" is +infinity (identity of min), "one" is 0 (identity of +).
+/// Zero contract: mul saturates at kInf for ANY operand — negative weights
+/// included, never the wrapped sum inf + w (tests/test_matrix.cpp
+/// ZeroSkipAudit pins the adversarial mixes).
 struct MinPlusSemiring {
   using Value = std::int64_t;
   /// Sentinel infinity; small enough that inf + inf does not overflow.

@@ -1,5 +1,6 @@
 #include "util/parallel.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <thread>
 #include <vector>
@@ -21,31 +22,73 @@ int parallel_workers() {
 namespace {
 
 thread_local bool t_in_parallel_region = false;
+thread_local std::uint64_t t_region_epoch = 0;
+
+std::uint64_t next_region_epoch() noexcept {
+  // Monotone nonzero epochs, one per parallel_for invocation. Relaxed is
+  // enough: the value is only compared for equality, and it reaches the
+  // workers through the std::thread constructor (which synchronizes-with
+  // the thread body).
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 /// RAII marker for the duration of one chunk execution. Saves and restores
-/// the prior value so a nested parallel_for (including the serial fallback)
-/// does not clear the flag for the remainder of the enclosing chunk.
+/// the prior values so a nested parallel_for (including the serial
+/// fallback) does not clear the flag/epoch for the remainder of the
+/// enclosing chunk.
 struct RegionMark {
-  RegionMark() noexcept : prior(t_in_parallel_region) {
+  explicit RegionMark(std::uint64_t epoch) noexcept
+      : prior_in(t_in_parallel_region), prior_epoch(t_region_epoch) {
     t_in_parallel_region = true;
+    t_region_epoch = epoch;
   }
-  ~RegionMark() noexcept { t_in_parallel_region = prior; }
-  bool prior;
+  ~RegionMark() noexcept {
+    t_in_parallel_region = prior_in;
+    t_region_epoch = prior_epoch;
+  }
+  bool prior_in;
+  std::uint64_t prior_epoch;
 };
 
 }  // namespace
 
 bool in_parallel_region() noexcept { return t_in_parallel_region; }
 
+std::uint64_t parallel_region_epoch() noexcept {
+  return t_in_parallel_region ? t_region_epoch : 0;
+}
+
+std::uint32_t thread_token() noexcept {
+  static std::atomic<std::uint32_t> counter{0};
+  thread_local const std::uint32_t token =
+      counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  return token;
+}
+
 namespace detail {
 
+// Happens-before audit (the TSan contract of the worker group):
+//  * chunk state flows into each worker through the std::thread
+//    constructor, which synchronizes-with the start of the thread body —
+//    every write the caller made before parallel_for is visible to every
+//    worker without further synchronization.
+//  * workers write only their own disjoint index blocks (the documented
+//    fn contract), so no two threads touch the same location while the
+//    region runs.
+//  * thread::join() at the end synchronizes-with each worker's
+//    completion, so all worker writes are visible to the caller before
+//    parallel_for returns. There are no other cross-thread channels: the
+//    region bookkeeping (t_in_parallel_region / t_region_epoch) is
+//    thread_local, and the epoch/token counters are atomics.
 void parallel_for_impl(int begin, int end,
                        const std::function<void(int, int)>& chunk) {
   const int count = end - begin;
   if (count <= 0) return;
   const int workers = std::min(parallel_workers(), count);
+  const std::uint64_t epoch = next_region_epoch();
   if (workers <= 1) {
-    const RegionMark mark;
+    const RegionMark mark(epoch);
     chunk(begin, end);
     return;
   }
@@ -63,15 +106,15 @@ void parallel_for_impl(int begin, int end,
     if (w == 0) {
       first_end = at + len;
     } else {
-      group.emplace_back([&chunk](int b, int e) {
-        const RegionMark mark;
+      group.emplace_back([&chunk, epoch](int b, int e) {
+        const RegionMark mark(epoch);
         chunk(b, e);
       }, at, at + len);
     }
     at += len;
   }
   {
-    const RegionMark mark;
+    const RegionMark mark(epoch);
     chunk(begin, first_end);
   }
   for (auto& t : group) t.join();

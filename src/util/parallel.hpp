@@ -10,6 +10,7 @@
 // inboxes are safe from any thread.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 namespace cca {
@@ -23,6 +24,23 @@ namespace cca {
 /// operations (Network::deliver) assert on this to catch network mutation
 /// from inside parallel regions.
 [[nodiscard]] bool in_parallel_region() noexcept;
+
+/// Identifier of the parallel_for region the calling thread is currently
+/// executing a chunk of, or 0 when it is not inside one. Every
+/// parallel_for invocation (including the serial fallback and nested
+/// calls) draws a fresh nonzero epoch, so two chunk executions share an
+/// epoch if and only if they belong to the SAME parallel_for call — the
+/// fact the analysis layer's staging-ownership checker keys on: one
+/// source staged from two distinct threads of one epoch is a violation of
+/// the per-source exclusivity contract, while successive regions may
+/// legally repartition sources over different workers.
+[[nodiscard]] std::uint64_t parallel_region_epoch() noexcept;
+
+/// Small dense identifier of the calling thread (assigned on first use
+/// from a global counter; stable for the thread's lifetime). Cheaper and
+/// more report-friendly than hashing std::thread::id, and usable as a
+/// token in the analysis layer's per-source ownership slots.
+[[nodiscard]] std::uint32_t thread_token() noexcept;
 
 namespace detail {
 

@@ -374,7 +374,9 @@ TEST(ApspApprox, UnweightedGraphStillSane) {
   const auto want = ref_bfs_apsp(g);
   for (int u = 0; u < 16; ++u)
     for (int v = 0; v < 16; ++v)
-      if (want(u, v) < kInf) EXPECT_GE(got.dist(u, v), want(u, v));
+      if (want(u, v) < kInf) {
+        EXPECT_GE(got.dist(u, v), want(u, v));
+      }
 }
 
 }  // namespace

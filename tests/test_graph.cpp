@@ -112,8 +112,9 @@ TEST(References, ApspHandlesNegativeWeightsOnDag) {
   for (int a = 0; a < 12; ++a)
     for (int b = 0; b < 12; ++b)
       for (int c = 0; c < 12; ++c)
-        if (d(a, b) < kInf && d(b, c) < kInf)
+        if (d(a, b) < kInf && d(b, c) < kInf) {
           EXPECT_LE(d(a, c), d(a, b) + d(b, c));
+        }
 }
 
 TEST(References, TriangleCountMatchesTraceFormula) {

@@ -158,6 +158,7 @@ TEST(I64BlockedKernel, LocalMultiplyDispatchesToBlockedKernel) {
 
 /// A semiring with no kernel specialization (xor as addition, and as
 /// multiplication over 64-bit masks) — exercises the generic fallback.
+/// Zero contract: 0 & x == 0 for every mask.
 struct XorAndSemiring {
   using Value = std::uint64_t;
   [[nodiscard]] Value zero() const noexcept { return 0; }

@@ -120,9 +120,10 @@ Matrix<typename S::Value> multiply_no_skip(const S& s,
 }
 
 /// Mirror of the witness-carrying min-plus semiring dp_semiring_witness
-/// multiplies under (distance, witness) with lexicographic min — audited
-/// here because its zero {inf, -1} must annihilate even against entries
-/// {inf, w} with a planted witness, which compare UNEQUAL to zero.
+/// multiplies under (distance, witness) with lexicographic min — its
+/// zero contract is audited here because zero {inf, -1} must annihilate
+/// even against entries {inf, w} with a planted witness, which compare
+/// UNEQUAL to zero.
 struct WitnessMinPlusAudit {
   struct Value {
     std::int64_t d = MinPlusSemiring::kInf;

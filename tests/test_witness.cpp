@@ -91,7 +91,9 @@ TEST(VerifyWitnesses, AcceptsValidRejectsInvalid) {
   const auto ok2 = verify_witnesses(net, s, t, p, bad);
   for (int u = 0; u < n; ++u)
     for (int v = 0; v < n; ++v)
-      if (bad(u, v) != good(u, v)) EXPECT_EQ(ok2(u, v), 0);
+      if (bad(u, v) != good(u, v)) {
+        EXPECT_EQ(ok2(u, v), 0);
+      }
 }
 
 TEST(VerifyWitnesses, CostsConstantRounds) {

@@ -26,6 +26,30 @@ the offending line or the line above):
                         header first (catches headers that only compile
                         because of include order).
 
+Multi-process rules (the sharded data plane, clique/socket_transport.hpp):
+
+  full-range-staging    a parallel_for in src/ that iterates the FULL node
+                        range (literal 0 lower bound) and stages from its
+                        induction variable. Under a sharded transport only
+                        OWNED sources may stage (Network asserts owns(src));
+                        engine loops must walk net.owned(), or the site must
+                        be owns_all()-guarded and carry an allow tag.
+  transport-deliver     deliver()/discard_staged() invoked directly on a
+                        Transport object outside clique/network.cpp and the
+                        transport implementations. Worker-rank code must go
+                        through Network::deliver() — that IS the exchange
+                        barrier; calling the backend directly would run the
+                        socket exchange without charging rounds.
+  inbox-span-exchange   a raw span variable bound to inbox() in src/ engine
+                        code where the same scope later delivers. Identical
+                        detection to stale-inbox-span, but reported even
+                        when the use precedes the deliver: under sockets
+                        the exchange rewrites the arena, so spans held
+                        across ANY exchange in scope should migrate to
+                        analysis::InboxLease (generation-checked on every
+                        access) rather than rely on use-before-deliver
+                        ordering.
+
 Exit status: 0 when clean, 1 when any unsuppressed finding remains.
 `--fix-list` prints one clickable `file:line: rule` per finding.
 """
@@ -248,6 +272,100 @@ def lint_semirings(path: Path, raw: str, code: str,
     return findings
 
 
+# Transport implementations and the accounting layer legitimately drive the
+# backend phase ops; everyone else must go through Network (the exchange
+# barrier, where rounds are charged).
+TRANSPORT_PHASE_EXEMPT = {
+    Path("src/clique/network.cpp"),
+    Path("src/clique/network.hpp"),
+    Path("src/clique/transport.cpp"),
+    Path("src/clique/transport.hpp"),
+    Path("src/clique/socket_transport.cpp"),
+    Path("src/clique/socket_transport.hpp"),
+}
+
+TRANSPORT_PHASE_RE = re.compile(
+    r"\b(\w*transport\w*)\s*(?:\.|->)\s*(deliver|discard_staged)\s*\(",
+    re.IGNORECASE,
+)
+
+
+def lint_multiproc(path: Path, code: str, lines: list[str]) -> list[Finding]:
+    findings = []
+    rel = path.relative_to(REPO)
+    if rel.parts[0] != "src":
+        return findings
+
+    # full-range-staging: a full-node-range parallel loop that stages from
+    # its induction variable stages from sources this rank may not own.
+    for m in re.finditer(r"\bparallel_for\s*\(\s*0\s*,", code):
+        lam = LAMBDA_RE.search(code, m.end(), m.end() + 200)
+        if not lam:
+            continue
+        body_open = code.find("{", lam.end())
+        if body_open < 0:
+            continue
+        body = code[body_open:match_brace(code, body_open)]
+        induction = lam.group(1)
+        for sm in STAGE_RE.finditer(body):
+            call_open = body.index("(", sm.end() - 1)
+            if first_argument(body, call_open) != induction:
+                continue  # parallel-staging-src owns the mismatched case
+            ln = line_of(code, body_open + sm.start())
+            if not allowed(lines, ln, "full-range-staging"):
+                findings.append(Finding(
+                    path, ln, "full-range-staging",
+                    f"{sm.group(1)}() from induction variable "
+                    f"'{induction}' of a FULL-range parallel_for; sharded "
+                    "transports reject non-owned sources — iterate "
+                    "net.owned(), or guard the call path with owns_all() "
+                    "and certify with lint:allow(full-range-staging)"))
+            break  # one finding per loop is enough
+
+    # transport-deliver: phase ops belong to Network, not call sites.
+    if rel not in TRANSPORT_PHASE_EXEMPT:
+        for m in TRANSPORT_PHASE_RE.finditer(code):
+            ln = line_of(code, m.start())
+            if not allowed(lines, ln, "transport-deliver"):
+                findings.append(Finding(
+                    path, ln, "transport-deliver",
+                    f"{m.group(2)}() called directly on '{m.group(1)}'; "
+                    "worker code must use Network::deliver() — the exchange "
+                    "barrier that also charges rounds"))
+
+    # inbox-span-exchange: a raw inbox span whose innermost scope later
+    # delivers should be an analysis::InboxLease (generation-checked), even
+    # if every current use happens before the exchange.
+    for m in INBOX_BIND_RE.finditer(code):
+        var = m.group(1)
+        decl_end = m.end()
+        depth, i, scope_end = 0, decl_end, len(code)
+        while i < len(code):
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+                if depth < 0:
+                    scope_end = i
+                    break
+            i += 1
+        scope = code[decl_end:scope_end]
+        dm = re.search(r"(?:\.|->)\s*deliver\s*\(", scope)
+        if not dm:
+            continue
+        if re.search(r"\b%s\b" % re.escape(var), scope[dm.end():]):
+            continue  # stale-inbox-span reports the use-after-deliver case
+        ln = line_of(code, m.start())
+        if not allowed(lines, ln, "inbox-span-exchange"):
+            findings.append(Finding(
+                path, ln, "inbox-span-exchange",
+                f"raw inbox span '{var}' held in a scope that later "
+                "delivers; under the socket backend the exchange rewrites "
+                "the arena — use analysis::InboxLease so every access is "
+                "generation-checked"))
+    return findings
+
+
 def lint_header_hygiene(path: Path, raw: str, code: str,
                         lines: list[str]) -> list[Finding]:
     findings = []
@@ -286,6 +404,7 @@ def lint_file(path: Path) -> list[Finding]:
     lines = raw.splitlines()
     findings = []
     findings += lint_parallel_regions(path, raw, code, lines)
+    findings += lint_multiproc(path, code, lines)
     findings += lint_stale_inbox(path, code, lines)
     findings += lint_semirings(path, raw, code, lines)
     findings += lint_header_hygiene(path, raw, code, lines)

@@ -19,8 +19,21 @@ std::int64_t wall_now_ns() {
 
 }  // namespace
 
+namespace {
+
+/// The default data plane: an ambient TransportScope's factory if one is
+/// live on this thread (multi-process runs shard internally-constructed
+/// Networks this way), else the in-process arena.
+std::unique_ptr<Transport> make_default_transport(int n) {
+  if (const TransportScope::Factory* f = TransportScope::current())
+    return (*f)(n);
+  return std::make_unique<ArenaTransport>(n);
+}
+
+}  // namespace
+
 Network::Network(int n, Router default_router, std::uint64_t seed)
-    : Network(std::make_unique<ArenaTransport>(n), default_router, seed) {}
+    : Network(make_default_transport(n), default_router, seed) {}
 
 Network::Network(std::unique_ptr<Transport> transport, Router default_router,
                  std::uint64_t seed)
@@ -30,6 +43,9 @@ Network::Network(std::unique_ptr<Transport> transport, Router default_router,
       transport_(std::move(transport)) {
   CCA_VALIDATE(transport_ != nullptr, "transport must not be null");
   CCA_VALIDATE(n_ >= 1, "clique size must be >= 1");
+  owned_ = transport_->owned();
+  CCA_EXPECTS(owned_.begin >= 0 && owned_.begin < owned_.end &&
+              owned_.end <= n_);
   tracker_.resize(n_);
   if (const FaultPlan* ambient = FaultScope::current())
     install_faults(*ambient);
@@ -40,18 +56,38 @@ std::uint64_t Network::stage_generation(NodeId src) const {
 }
 
 void Network::send(NodeId src, NodeId dst, Word w) {
+  CCA_EXPECTS(owns(src));  // only the owning rank may speak for a node
   tracker_.on_stage(src, stats_.supersteps);
   transport_->send(src, dst, w);
 }
 
 void Network::send_words(NodeId src, NodeId dst, std::span<const Word> ws) {
+  CCA_EXPECTS(owns(src));
   tracker_.on_stage(src, stats_.supersteps);
   transport_->send_words(src, dst, ws);
 }
 
 std::span<Word> Network::stage(NodeId src, NodeId dst, std::size_t nwords) {
+  CCA_EXPECTS(owns(src));
   tracker_.on_stage(src, stats_.supersteps);
   return transport_->stage(src, dst, nwords);
+}
+
+void Network::sync_node_words(std::span<Word> slots) {
+  CCA_EXPECTS(slots.size() == static_cast<std::size_t>(n_));
+  if (owns_all()) return;
+  // Reuse the variable-size path with unit blocks: offsets[v] = v.
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n_) + 1);
+  for (std::size_t v = 0; v < offsets.size(); ++v) offsets[v] = v;
+  transport_->allgather_blocks(slots, offsets);
+}
+
+void Network::allgather_node_blocks(std::span<Word> data,
+                                    std::span<const std::size_t> offsets) {
+  CCA_EXPECTS(offsets.size() == static_cast<std::size_t>(n_) + 1);
+  CCA_EXPECTS(offsets.back() <= data.size());
+  if (owns_all()) return;
+  transport_->allgather_blocks(data, offsets);
 }
 
 std::int64_t Network::prepare_schedule(const std::vector<Demand>& demands) {
@@ -352,6 +388,10 @@ std::vector<std::uint8_t> Network::liveness_vote() {
 }
 
 void Network::install_faults(const FaultPlan& plan) {
+  CCA_VALIDATE(owns_all(),
+               "fault plans require full node ownership: the hardened "
+               "deliver snapshots and replays GLOBAL staged state; fault "
+               "semantics under sharded transports are future work");
   const auto prob_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
   CCA_VALIDATE(prob_ok(plan.drop_prob) && prob_ok(plan.corrupt_prob) &&
                    prob_ok(plan.duplicate_prob) &&

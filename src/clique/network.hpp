@@ -145,8 +145,12 @@ struct TrafficStats {
 class Network {
  public:
   /// Create a clique of n >= 1 nodes on the default in-process arena
-  /// backend. `seed` feeds the RandomRelay router. If a clique::FaultScope
-  /// is live on this thread, its plan is installed automatically.
+  /// backend — unless a clique::TransportScope is live on this thread, in
+  /// which case its factory builds the data plane (the hook multi-process
+  /// runs use to shard internally-constructed Networks; see
+  /// socket_transport.hpp). `seed` feeds the RandomRelay router. If a
+  /// clique::FaultScope is live on this thread, its plan is installed
+  /// automatically.
   explicit Network(int n, Router default_router = Router::KoenigRelay,
                    std::uint64_t seed = 0x5eed);
 
@@ -158,8 +162,33 @@ class Network {
 
   [[nodiscard]] int n() const noexcept { return n_; }
 
+  /// The contiguous node shard this process owns (the transport's span,
+  /// cached). In-process backends own the full span; under a sharded
+  /// backend, staging is legal only from owned sources and only the owned
+  /// destinations' local state is authoritative after a superstep.
+  [[nodiscard]] NodeSpan owned() const noexcept { return owned_; }
+  [[nodiscard]] bool owns(NodeId v) const noexcept {
+    return owned_.contains(v);
+  }
+  [[nodiscard]] bool owns_all() const noexcept { return owned_.full(n_); }
+
+  /// Realize common knowledge of one word per node: on entry each rank has
+  /// written the slots of its OWNED nodes (slots.size() == n); on return
+  /// every rank holds every slot. Free in the clique model — the calling
+  /// primitive charges its documented rounds separately — and a no-op when
+  /// this process owns everything. Never touches staged state or inboxes.
+  void sync_node_words(std::span<Word> slots);
+
+  /// Variable-size variant: node v's block is data[offsets[v],
+  /// offsets[v+1]) (offsets has n+1 entries). Same contract as
+  /// sync_node_words.
+  void allgather_node_blocks(std::span<Word> data,
+                             std::span<const std::size_t> offsets);
+
   /// Stage a single word from src to dst for the current superstep.
   /// Self-sends (src == dst) are legal and free: they bypass the network.
+  /// Staging requires owns(src) — under a sharded transport only the
+  /// owning rank may speak for a node (asserted).
   void send(NodeId src, NodeId dst, Word w);
 
   /// Stage a block of words from src to dst (kept in order).
@@ -254,7 +283,9 @@ class Network {
   /// Install a deterministic fault plan; every subsequent deliver() runs
   /// the hardened integrity protocol. Resets the fault clock. Throws
   /// cca::InvalidArgument on malformed plans (probabilities outside [0,1],
-  /// crash_node out of range, non-positive retransmission budget).
+  /// crash_node out of range, non-positive retransmission budget) and on
+  /// sharded transports (the hardened path snapshots/replays GLOBAL staged
+  /// state — fault semantics under real sockets are future work).
   void install_faults(const FaultPlan& plan);
 
   /// Remove the plan; deliver() returns to the exact fault-free path.
@@ -323,6 +354,7 @@ class Network {
   [[nodiscard]] bool node_dead_at(std::int64_t tick) const noexcept;
 
   int n_;
+  NodeSpan owned_;  // transport_->owned(), cached at construction
   Router default_router_;
   SchedulePolicy schedule_policy_ = SchedulePolicy::ExactKoenig;
   Rng rng_;

@@ -9,6 +9,11 @@ namespace cca::clique {
 
 std::vector<Word> broadcast_all(Network& net, std::vector<Word> values) {
   CCA_EXPECTS(static_cast<int>(values.size()) == net.n());
+  // Under a sharded transport each rank authoritatively filled only its
+  // OWNED slots; realize the common knowledge the 1-round schedule below
+  // pays for (free side channel, see Network::sync_node_words). In-process
+  // this is a no-op and the returned vector is byte-identical.
+  net.sync_node_words(values);
   if (net.n() > 1) net.charge_rounds(1);
   return values;
 }
@@ -32,40 +37,47 @@ std::vector<Word> disseminate(Network& net,
                               const std::vector<std::vector<Word>>& per_node) {
   const int n = net.n();
   CCA_EXPECTS(static_cast<int>(per_node.size()) == n);
+  if (n == 1) return per_node[0];
 
-  std::vector<Word> all;
-  for (const auto& list : per_node)
-    all.insert(all.end(), list.begin(), list.end());
-  if (n == 1) return all;
+  // Sharded contract: only the OWNED lists of per_node need to be filled
+  // on each rank (non-owned lists are ignored); the returned concatenation
+  // is reconstructed for everyone. In-process owns everything and the
+  // phases below are byte-identical to the historical single-owner code.
+  const NodeSpan own = net.owned();
 
-  // (1) Announce counts so every node can compute all global offsets.
-  {
-    std::vector<Word> counts(static_cast<std::size_t>(n));
-    for (int v = 0; v < n; ++v)
-      counts[static_cast<std::size_t>(v)] = per_node[static_cast<std::size_t>(v)].size();
-    (void)broadcast_all(net, std::move(counts));
-  }
+  // (1) Announce counts so every node can compute all global offsets (the
+  // broadcast syncs the non-owned slots under sharding).
+  std::vector<Word> counts(static_cast<std::size_t>(n), 0);
+  for (int v = own.begin; v < own.end; ++v)
+    counts[static_cast<std::size_t>(v)] =
+        per_node[static_cast<std::size_t>(v)].size();
+  counts = broadcast_all(net, std::move(counts));
 
   // (2) Balance: word with global index g is routed to holder g mod n
   // (self-sends free — a contributor that is its own holder moves nothing).
-  // share/contrib track the phase-3 link loads exactly.
+  // share/contrib track the phase-3 link loads exactly; they are derived
+  // from the synced counts, so every rank charges identically while only
+  // owned sources actually stage.
   std::vector<std::int64_t> share(static_cast<std::size_t>(n), 0);
   std::vector<std::int64_t> contrib(
       static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
   std::int64_t offset = 0;
   for (int v = 0; v < n; ++v) {
-    const auto& list = per_node[static_cast<std::size_t>(v)];
-    for (std::size_t j = 0; j < list.size(); ++j) {
-      const auto holder =
-          static_cast<NodeId>((offset + static_cast<std::int64_t>(j)) %
-                              static_cast<std::int64_t>(n));
-      net.send(v, holder, list[j]);
+    const auto cnt =
+        static_cast<std::int64_t>(counts[static_cast<std::size_t>(v)]);
+    for (std::int64_t j = 0; j < cnt; ++j) {
+      const auto holder = static_cast<NodeId>((offset + j) %
+                                              static_cast<std::int64_t>(n));
+      if (own.contains(v))
+        net.send(v, holder,
+                 per_node[static_cast<std::size_t>(v)]
+                         [static_cast<std::size_t>(j)]);
       ++share[static_cast<std::size_t>(holder)];
       ++contrib[static_cast<std::size_t>(holder) *
                     static_cast<std::size_t>(n) +
                 static_cast<std::size_t>(v)];
     }
-    offset += static_cast<std::int64_t>(list.size());
+    offset += cnt;
   }
   net.deliver();
 
@@ -87,6 +99,23 @@ std::vector<Word> disseminate(Network& net,
       phase3 = std::max(phase3, load);
     }
   net.charge_rounds(phase3);
+
+  // Assemble the concatenation (contributor order). Each rank writes its
+  // owned contributors' blocks at their global offsets; the side channel
+  // fills in the rest (no-op in-process).
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v)
+    offsets[static_cast<std::size_t>(v) + 1] =
+        offsets[static_cast<std::size_t>(v)] +
+        static_cast<std::size_t>(counts[static_cast<std::size_t>(v)]);
+  std::vector<Word> all(offsets.back(), 0);
+  for (int v = own.begin; v < own.end; ++v)
+    std::copy(per_node[static_cast<std::size_t>(v)].begin(),
+              per_node[static_cast<std::size_t>(v)].end(),
+              all.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      offsets[static_cast<std::size_t>(v)]));
+  net.allgather_node_blocks(all, offsets);
   return all;
 }
 

@@ -17,6 +17,8 @@ namespace cca::clique {
 /// Every node announces one word; afterwards every node knows all n words.
 /// Schedule: node v sends its word to each other node directly; every link
 /// carries exactly one word, so the cost is 1 round (0 when n == 1).
+/// Sharded: each rank fills only its OWNED slots; the returned vector is
+/// fully populated on every rank (Network::sync_node_words).
 [[nodiscard]] std::vector<Word> broadcast_all(Network& net,
                                               std::vector<Word> values);
 
@@ -54,6 +56,8 @@ void broadcast_from(Network& net, NodeId src, std::int64_t num_words);
 /// overcharged ceil(W/2) for a phase with nothing left to move) it is
 /// strictly less. The staged-reference audit in
 /// test_traffic_regression.cpp pins charge == measured schedule.
+/// Sharded: only the OWNED contributors' lists are read on each rank; the
+/// returned concatenation is fully populated everywhere.
 [[nodiscard]] std::vector<Word> disseminate(
     Network& net, const std::vector<std::vector<Word>>& per_node);
 

@@ -1,0 +1,404 @@
+#include "clique/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "util/analysis.hpp"
+#include "util/contracts.hpp"
+#include "util/parallel.hpp"
+
+namespace cca::clique {
+
+namespace {
+
+constexpr std::uint64_t kFrameMagic = 0xccac11c4e5eed5ULL;
+
+struct FrameHeader {
+  std::uint64_t magic;
+  std::uint64_t seq;
+  std::uint64_t bytes;
+};
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("SocketMesh: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    sys_fail("fcntl(O_NONBLOCK)");
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best effort: socketpair()-backed meshes (tests) are not TCP.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Blocking write of the whole buffer (fd may be nonblocking: poll+retry).
+void write_all(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const std::byte*>(buf);
+  while (len > 0) {
+    const auto w = ::write(fd, p, len);
+    if (w > 0) {
+      p += w;
+      len -= static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) sys_fail("poll");
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    sys_fail("write");
+  }
+}
+
+/// Blocking read of exactly len bytes.
+void read_all(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<std::byte*>(buf);
+  while (len > 0) {
+    const auto r = ::read(fd, p, len);
+    if (r > 0) {
+      p += r;
+      len -= static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) throw std::runtime_error("SocketMesh: peer closed");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) sys_fail("poll");
+      continue;
+    }
+    if (errno == EINTR) continue;
+    sys_fail("read");
+  }
+}
+
+/// Mirror of ArenaTransport's serial phase-change check (transport.cpp):
+/// deliver() mutates every outbox and the arena and must not run inside a
+/// cca::parallel_for region.
+void check_phase_change_serial(const char* what) {
+  if (cca::analysis::checking_enabled() && in_parallel_region()) {
+    cca::analysis::fail(
+        {cca::analysis::ContractKind::DeliverInParallel, -1, -1, -1,
+         std::string("SocketTransport::") + what +
+             " invoked inside a cca::parallel_for region"});
+  }
+  CCA_EXPECTS(!in_parallel_region());
+}
+
+}  // namespace
+
+SocketMesh::SocketMesh(int rank, int nprocs, std::vector<int> peer_fds)
+    : rank_(rank),
+      nprocs_(nprocs),
+      fds_(std::move(peer_fds)),
+      seq_(static_cast<std::size_t>(nprocs), 0) {
+  CCA_VALIDATE(nprocs_ >= 1, "mesh needs at least one rank");
+  CCA_VALIDATE(rank_ >= 0 && rank_ < nprocs_, "rank out of range");
+  CCA_VALIDATE(static_cast<int>(fds_.size()) == nprocs_,
+               "peer_fds must have one entry per rank");
+  for (int q = 0; q < nprocs_; ++q) {
+    if (q == rank_) continue;
+    CCA_VALIDATE(fds_[static_cast<std::size_t>(q)] >= 0,
+                 "missing peer connection");
+    set_nonblocking(fds_[static_cast<std::size_t>(q)]);
+    set_nodelay(fds_[static_cast<std::size_t>(q)]);
+  }
+}
+
+SocketMesh::~SocketMesh() {
+  for (int q = 0; q < nprocs_; ++q)
+    if (q != rank_ && fds_[static_cast<std::size_t>(q)] >= 0)
+      ::close(fds_[static_cast<std::size_t>(q)]);
+}
+
+std::shared_ptr<SocketMesh> SocketMesh::connect_tcp(int rank, int nprocs,
+                                                    int port_base,
+                                                    int timeout_ms) {
+  CCA_VALIDATE(nprocs >= 1 && rank >= 0 && rank < nprocs,
+               "bad rank/nprocs");
+  CCA_VALIDATE(port_base > 0 && port_base + nprocs < 65536,
+               "port range out of bounds");
+  std::vector<int> fds(static_cast<std::size_t>(nprocs), -1);
+  if (nprocs == 1) return std::make_shared<SocketMesh>(rank, nprocs, fds);
+
+  auto loopback = [](int port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return addr;
+  };
+
+  // Bind the listener FIRST: lower-rank peers connect as soon as the
+  // kernel backlog exists, before this rank ever calls accept().
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) sys_fail("socket(listen)");
+  const int one = 1;
+  (void)::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  auto laddr = loopback(port_base + rank);
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&laddr), sizeof(laddr)) < 0) {
+    ::close(lfd);
+    sys_fail("bind(" + std::to_string(port_base + rank) + ")");
+  }
+  if (::listen(lfd, nprocs) < 0) {
+    ::close(lfd);
+    sys_fail("listen");
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  // Connect to every lower rank, retrying until its listener is bound.
+  for (int q = 0; q < rank; ++q) {
+    int fd = -1;
+    for (;;) {
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) sys_fail("socket(connect)");
+      auto addr = loopback(port_base + q);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0)
+        break;
+      ::close(fd);
+      fd = -1;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::close(lfd);
+        sys_fail("connect to rank " + std::to_string(q) + " timed out");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    const auto hello = static_cast<std::uint64_t>(rank);
+    write_all(fd, &hello, sizeof(hello));
+    fds[static_cast<std::size_t>(q)] = fd;
+  }
+  // Accept every higher rank; the hello word says who connected.
+  for (int got = 0; got < nprocs - 1 - rank; ++got) {
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      ::close(lfd);
+      sys_fail("accept");
+    }
+    std::uint64_t hello = 0;
+    read_all(fd, &hello, sizeof(hello));
+    const auto peer = static_cast<int>(hello);
+    if (peer <= rank || peer >= nprocs ||
+        fds[static_cast<std::size_t>(peer)] >= 0) {
+      ::close(lfd);
+      ::close(fd);
+      throw std::runtime_error("SocketMesh: bad hello from peer");
+    }
+    fds[static_cast<std::size_t>(peer)] = fd;
+  }
+  ::close(lfd);
+  return std::make_shared<SocketMesh>(rank, nprocs, std::move(fds));
+}
+
+void SocketMesh::exchange(int peer, std::span<const std::byte> out,
+                          std::span<std::byte> in) {
+  CCA_EXPECTS(peer >= 0 && peer < nprocs_ && peer != rank_);
+  const int fd = fds_[static_cast<std::size_t>(peer)];
+  const auto seq = seq_[static_cast<std::size_t>(peer)]++;
+
+  FrameHeader shdr{kFrameMagic, seq, out.size()};
+  FrameHeader rhdr{};
+  std::size_t sent = 0;                      // bytes of header+payload written
+  std::size_t rcvd = 0;                      // bytes of header+payload read
+  const std::size_t send_total = sizeof(shdr) + out.size();
+  const std::size_t recv_total = sizeof(rhdr) + in.size();
+
+  auto send_chunk = [&]() {
+    const void* p;
+    std::size_t len;
+    if (sent < sizeof(shdr)) {
+      p = reinterpret_cast<const std::byte*>(&shdr) + sent;
+      len = sizeof(shdr) - sent;
+    } else {
+      p = out.data() + (sent - sizeof(shdr));
+      len = out.size() - (sent - sizeof(shdr));
+    }
+    const auto w = ::write(fd, p, len);
+    if (w > 0)
+      sent += static_cast<std::size_t>(w);
+    else if (w < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+             errno != EINTR)
+      sys_fail("write");
+  };
+  auto recv_chunk = [&]() {
+    void* p;
+    std::size_t len;
+    if (rcvd < sizeof(rhdr)) {
+      p = reinterpret_cast<std::byte*>(&rhdr) + rcvd;
+      len = sizeof(rhdr) - rcvd;
+    } else {
+      p = in.data() + (rcvd - sizeof(rhdr));
+      len = in.size() - (rcvd - sizeof(rhdr));
+    }
+    const auto r = ::read(fd, p, len);
+    if (r > 0)
+      rcvd += static_cast<std::size_t>(r);
+    else if (r == 0)
+      throw std::runtime_error("SocketMesh: peer closed mid-exchange");
+    else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+      sys_fail("read");
+    if (rcvd >= sizeof(rhdr)) {
+      // Validate the header as soon as it is complete — a mismatched frame
+      // means the two ranks' deterministic programs diverged.
+      if (rhdr.magic != kFrameMagic || rhdr.seq != seq ||
+          rhdr.bytes != in.size())
+        throw std::runtime_error(
+            "SocketMesh: frame mismatch from rank " + std::to_string(peer) +
+            " (seq " + std::to_string(rhdr.seq) + " want " +
+            std::to_string(seq) + ", bytes " + std::to_string(rhdr.bytes) +
+            " want " + std::to_string(in.size()) + ")");
+    }
+  };
+
+  // Full-duplex pump: both directions progress under one poll loop, so the
+  // pairwise exchange can never deadlock on a full send buffer.
+  while (sent < send_total || rcvd < recv_total) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = 0;
+    pfd.revents = 0;
+    if (rcvd < recv_total) pfd.events |= POLLIN;
+    if (sent < send_total) pfd.events |= POLLOUT;
+    const int pr = ::poll(&pfd, 1, -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("poll");
+    }
+    if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+        (pfd.revents & POLLIN) == 0)
+      throw std::runtime_error("SocketMesh: connection error");
+    if ((pfd.revents & POLLOUT) != 0 && sent < send_total) send_chunk();
+    if ((pfd.revents & POLLIN) != 0 && rcvd < recv_total) recv_chunk();
+  }
+}
+
+SocketTransport::SocketTransport(int n, std::shared_ptr<SocketMesh> mesh)
+    : ArenaTransport(n), mesh_(std::move(mesh)) {
+  CCA_VALIDATE(mesh_ != nullptr, "mesh must not be null");
+  CCA_VALIDATE(mesh_->nprocs() <= n,
+               "P <= n required: every rank must own at least one node");
+  own_ = shard_span(n, mesh_->nprocs(), mesh_->rank());
+}
+
+TransportScope::Factory SocketTransport::factory(
+    std::shared_ptr<SocketMesh> mesh) {
+  return [mesh](int n) -> std::unique_ptr<Transport> {
+    return std::make_unique<SocketTransport>(n, mesh);
+  };
+}
+
+std::span<std::byte> SocketTransport::arena_range(NodeId dst, NodeId s_lo,
+                                                  NodeId s_hi) noexcept {
+  // Senders ascend contiguously within a receiver, so the (dst, [s_lo,
+  // s_hi)) slices are one contiguous arena run.
+  const auto lo = in_off_[pair_index(dst, s_lo)];
+  const auto hi = in_off_[pair_index(dst, s_hi - 1)] +
+                  in_len_[pair_index(dst, s_hi - 1)];
+  return {reinterpret_cast<std::byte*>(arena_.data() + lo),
+          (hi - lo) * sizeof(Word)};
+}
+
+DeliverySummary SocketTransport::deliver() {
+  check_phase_change_serial("deliver");
+  count_staged_words();
+
+  const int P = mesh_->nprocs();
+  const int me = mesh_->rank();
+  // Step 1: count all-gather. Each rank's owned source rows of the count
+  // matrix are one contiguous block (pair_words_ is src-major); after the
+  // ascending-peer exchange every rank holds the identical global counts
+  // and derives the identical canonical demand list below.
+  const auto nn = static_cast<std::size_t>(n());
+  for (int q = 0; q < P; ++q) {
+    if (q == me) continue;
+    const auto qs = shard_span(n(), P, q);
+    const auto mine = std::span<std::size_t>(
+        pair_words_.data() + static_cast<std::size_t>(own_.begin) * nn,
+        static_cast<std::size_t>(own_.size()) * nn);
+    const auto theirs = std::span<std::size_t>(
+        pair_words_.data() + static_cast<std::size_t>(qs.begin) * nn,
+        static_cast<std::size_t>(qs.size()) * nn);
+    mesh_->exchange(q, std::as_bytes(mine), std::as_writable_bytes(theirs));
+  }
+
+  auto sum = summarize_counts();
+  rebuild_arena();
+  scatter_and_clear_outboxes();
+
+  // Step 2: payload exchange. My frame for peer q concatenates, for each
+  // dst q owns, the contiguous (dst, my owned sources) arena run — which I
+  // just scattered my staged words into. The frame q sends concatenates
+  // the (my owned dst, q's sources) runs, received straight into the very
+  // arena offsets the layout assigns them (both sides computed the same
+  // layout from the same global counts).
+  std::vector<std::byte> sbuf;
+  std::vector<std::byte> rbuf;
+  for (int q = 0; q < P; ++q) {
+    if (q == me) continue;
+    const auto qs = shard_span(n(), P, q);
+    sbuf.clear();
+    std::size_t rbytes = 0;
+    for (NodeId dst = qs.begin; dst < qs.end; ++dst) {
+      const auto run = arena_range(dst, own_.begin, own_.end);
+      sbuf.insert(sbuf.end(), run.begin(), run.end());
+    }
+    for (NodeId dst = own_.begin; dst < own_.end; ++dst)
+      rbytes += arena_range(dst, qs.begin, qs.end).size();
+    rbuf.resize(rbytes);
+    mesh_->exchange(q, std::span<const std::byte>(sbuf),
+                    std::span<std::byte>(rbuf));
+    std::size_t at = 0;
+    for (NodeId dst = own_.begin; dst < own_.end; ++dst) {
+      const auto run = arena_range(dst, qs.begin, qs.end);
+      if (!run.empty())
+        std::memcpy(run.data(), rbuf.data() + at, run.size());
+      at += run.size();
+    }
+  }
+  return sum;
+}
+
+void SocketTransport::allgather_blocks(std::span<Word> data,
+                                       std::span<const std::size_t> offsets) {
+  CCA_EXPECTS(static_cast<int>(offsets.size()) == n() + 1);
+  CCA_EXPECTS(offsets[static_cast<std::size_t>(n())] <= data.size());
+  const int P = mesh_->nprocs();
+  const int me = mesh_->rank();
+  const auto block = [&](NodeSpan s) {
+    const auto lo = offsets[static_cast<std::size_t>(s.begin)];
+    const auto hi = offsets[static_cast<std::size_t>(s.end)];
+    return std::span<Word>(data.data() + lo, hi - lo);
+  };
+  for (int q = 0; q < P; ++q) {
+    if (q == me) continue;
+    const auto qs = shard_span(n(), P, q);
+    mesh_->exchange(q, std::as_bytes(block(own_)),
+                    std::as_writable_bytes(block(qs)));
+  }
+}
+
+}  // namespace cca::clique

@@ -1,0 +1,118 @@
+// The first real (multi-process) data-plane backend: localhost TCP.
+//
+// A clique of n nodes runs as P <= n OS processes ("ranks"); rank r owns
+// the contiguous node shard shard_span(n, P, r). Each rank stages words
+// only from its owned sources (asserted by Network), and deliver() runs a
+// deterministic two-step exchange over a full mesh of TCP connections:
+//
+//   1. COUNT ALL-GATHER — every rank sends the per-pair word counts of its
+//      owned source rows to every peer. Afterwards every rank holds the
+//      identical global count matrix, from which it reconstructs the
+//      identical canonical (src asc, dst asc) demand list and per-node
+//      volumes. Network then charges the identical rounds on every rank:
+//      the routing schedules are pure functions of the demand list, so
+//      rounds / total_words / schedule hits and misses are bit-identical
+//      to a single-process ArenaTransport oracle by construction.
+//   2. PAYLOAD EXCHANGE — every rank lays out the IDENTICAL receiver-major
+//      arena from the global counts, scatters its own staged runs into it,
+//      and swaps the (owned src -> peer-owned dst) slices pairwise. Because
+//      senders ascend contiguously within a receiver, each (receiver,
+//      sender-shard) region is one contiguous arena range — frames are
+//      simple slices at offsets both sides compute independently.
+//
+// Exchanges walk peers in ascending rank order and pump each pair's two
+// frames full-duplex (poll on read+write), so no send/recv ordering can
+// deadlock. Frames are length-prefixed ([magic][per-pair seq][byte count])
+// and the sequence numbers assert that both sides agree on which exchange
+// this is — ranks run the same deterministic program, so any divergence is
+// a bug, not a race.
+//
+// Scope: staged_snapshot() and discard_staged() act on LOCAL staged state
+// only, and FaultPlan installation requires full ownership (Network
+// validates) — fault semantics under real sockets are future work.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "clique/transport.hpp"
+
+namespace cca::clique {
+
+/// A full mesh of connected byte streams between P ranks. Construction is
+/// either over localhost TCP (connect_tcp: rank r listens on
+/// port_base + r, connects to lower ranks, accepts higher ranks) or by
+/// adopting pre-connected file descriptors (tests use socketpair()s).
+class SocketMesh {
+ public:
+  /// Adopt pre-connected stream sockets: peer_fds[q] is the fd connected
+  /// to rank q (ignored / -1 at q == rank). Takes ownership of the fds.
+  SocketMesh(int rank, int nprocs, std::vector<int> peer_fds);
+  ~SocketMesh();
+
+  SocketMesh(const SocketMesh&) = delete;
+  SocketMesh& operator=(const SocketMesh&) = delete;
+
+  /// Wire the localhost mesh: bind+listen on port_base + rank, connect to
+  /// every lower rank (retrying until its listener is up, bounded by
+  /// timeout_ms), then accept every higher rank; a one-word hello
+  /// identifies each accepted peer. Throws std::runtime_error on failure.
+  [[nodiscard]] static std::shared_ptr<SocketMesh> connect_tcp(
+      int rank, int nprocs, int port_base, int timeout_ms = 30000);
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
+
+  /// Blocking full-duplex exchange of one length-prefixed frame with
+  /// `peer`: sends `out`, receives exactly `in.size()` bytes into `in`.
+  /// Both directions pump under one poll loop, so neither side's send
+  /// order can deadlock the pair. Throws std::runtime_error on protocol
+  /// mismatch (bad magic, unexpected sequence number or frame size) or
+  /// peer disconnect.
+  void exchange(int peer, std::span<const std::byte> out,
+                std::span<std::byte> in);
+
+ private:
+  int rank_;
+  int nprocs_;
+  std::vector<int> fds_;        // [peer] connected stream, -1 for self
+  std::vector<std::uint64_t> seq_;  // [peer] frames exchanged so far
+};
+
+/// Localhost TCP Transport over a SocketMesh. Inherits ArenaTransport's
+/// staging machinery and arena layout verbatim; only delivery crosses
+/// process boundaries (see the header comment). The P=1 mesh degenerates
+/// to ArenaTransport plus nothing — every exchange loop is empty.
+class SocketTransport final : public ArenaTransport {
+ public:
+  /// A transport for an n-node clique sharded over mesh's P ranks.
+  /// Requires P <= n (every rank owns at least one node).
+  SocketTransport(int n, std::shared_ptr<SocketMesh> mesh);
+
+  [[nodiscard]] NodeSpan owned() const noexcept override { return own_; }
+
+  DeliverySummary deliver() override;
+
+  void allgather_blocks(std::span<Word> data,
+                        std::span<const std::size_t> offsets) override;
+
+  /// The ambient-scope factory for this mesh: every Network(int n)
+  /// constructed under TransportScope(SocketTransport::factory(mesh))
+  /// shards its clique over the mesh's ranks.
+  [[nodiscard]] static TransportScope::Factory factory(
+      std::shared_ptr<SocketMesh> mesh);
+
+ private:
+  /// Contiguous arena byte range holding the (dst, src in [s_lo, s_hi))
+  /// slices for one receiver — the unit of the payload exchange.
+  [[nodiscard]] std::span<std::byte> arena_range(NodeId dst, NodeId s_lo,
+                                                 NodeId s_hi) noexcept;
+
+  std::shared_ptr<SocketMesh> mesh_;
+  NodeSpan own_;
+};
+
+}  // namespace cca::clique

@@ -154,10 +154,7 @@ void ArenaTransport::discard_staged() {
   }
 }
 
-DeliverySummary ArenaTransport::deliver() {
-  // Staging is safe from parallel regions (one src per iteration); the
-  // delivery phase change is not — it mutates every outbox and the arena.
-  check_phase_change_serial("deliver");
+void ArenaTransport::count_staged_words() {
   // Pass 1: per-pair word counts from the staged segments.
   std::fill(pair_words_.begin(), pair_words_.end(), 0);
   for (int src = 0; src < n_; ++src) {
@@ -166,7 +163,9 @@ DeliverySummary ArenaTransport::deliver() {
     for (const auto& seg : out_segs_[static_cast<std::size_t>(src)])
       pair_words_[base + static_cast<std::size_t>(seg.dst)] += seg.len;
   }
+}
 
+DeliverySummary ArenaTransport::summarize_counts() const {
   // Demand list and per-node volumes (self-sends are local and free). The
   // (src asc, dst asc) order matches the routing schedules' expectations.
   DeliverySummary sum;
@@ -188,7 +187,10 @@ DeliverySummary ArenaTransport::deliver() {
     }
     sum.sent_by[static_cast<std::size_t>(src)] = sent;
   }
+  return sum;
+}
 
+void ArenaTransport::rebuild_arena() {
   // Pass 2: lay out the arena (receiver-major, senders ascending within a
   // receiver) and scatter every source's staged runs into its slices. The
   // delivered content is independent of the schedule.
@@ -216,7 +218,9 @@ DeliverySummary ArenaTransport::deliver() {
 #else
   arena_.resize(cursor);
 #endif
+}
 
+void ArenaTransport::scatter_and_clear_outboxes() {
   // pair_words_ is consumed as the per-pair write cursor from here on.
   std::fill(pair_words_.begin(), pair_words_.end(), 0);
   for (int src = 0; src < n_; ++src) {
@@ -239,6 +243,16 @@ DeliverySummary ArenaTransport::deliver() {
 #endif
     out_segs_[s].clear();
   }
+}
+
+DeliverySummary ArenaTransport::deliver() {
+  // Staging is safe from parallel regions (one src per iteration); the
+  // delivery phase change is not — it mutates every outbox and the arena.
+  check_phase_change_serial("deliver");
+  count_staged_words();
+  auto sum = summarize_counts();
+  rebuild_arena();
+  scatter_and_clear_outboxes();
   return sum;
 }
 
@@ -247,6 +261,21 @@ std::span<const Word> ArenaTransport::inbox(NodeId dst, NodeId src) const {
   check_node(src);
   const auto idx = pair_index(dst, src);
   return {arena_.data() + in_off_[idx], in_len_[idx]};
+}
+
+namespace {
+thread_local const TransportScope::Factory* g_ambient_factory = nullptr;
+}  // namespace
+
+TransportScope::TransportScope(Factory factory) noexcept
+    : factory_(std::move(factory)), prev_(g_ambient_factory) {
+  g_ambient_factory = &factory_;
+}
+
+TransportScope::~TransportScope() { g_ambient_factory = prev_; }
+
+const TransportScope::Factory* TransportScope::current() noexcept {
+  return g_ambient_factory;
 }
 
 std::vector<Word> ArenaTransport::take_inbox(NodeId dst, NodeId src) {

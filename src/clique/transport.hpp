@@ -23,6 +23,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -32,6 +34,37 @@ namespace cca::clique {
 
 using Word = std::uint64_t;
 using NodeId = int;
+
+/// A contiguous shard of the node set, [begin, end). Multi-process backends
+/// (socket_transport.hpp) partition the n nodes over P ranks as contiguous
+/// spans; the in-process backends own everything. Engines read the span off
+/// Network::owned() and stage/compute only their shard.
+struct NodeSpan {
+  NodeId begin = 0;
+  NodeId end = 0;
+
+  [[nodiscard]] int size() const noexcept { return end - begin; }
+  [[nodiscard]] bool contains(NodeId v) const noexcept {
+    return v >= begin && v < end;
+  }
+  [[nodiscard]] bool full(int n) const noexcept {
+    return begin == 0 && end == n;
+  }
+
+  friend bool operator==(const NodeSpan&, const NodeSpan&) = default;
+};
+
+/// The canonical contiguous ceil-split of n nodes over nprocs ranks:
+/// rank r owns [n*r/nprocs, n*(r+1)/nprocs). Sizes differ by at most one
+/// and every rank derives every other rank's span locally — the shard map
+/// is common knowledge by construction.
+[[nodiscard]] inline NodeSpan shard_span(int n, int nprocs, int rank) noexcept {
+  const auto lo = static_cast<NodeId>(
+      (static_cast<std::int64_t>(n) * rank) / nprocs);
+  const auto hi = static_cast<NodeId>(
+      (static_cast<std::int64_t>(n) * (rank + 1)) / nprocs);
+  return {lo, hi};
+}
 
 /// One staged ordered pair captured before delivery, payload copied out in
 /// canonical (src asc, dst asc) order. The integrity layer checksums these
@@ -96,13 +129,63 @@ class Transport {
   /// Span-invalidation debug generations (see Network::stage_generation).
   [[nodiscard]] virtual std::uint64_t stage_generation(NodeId src) const = 0;
   [[nodiscard]] virtual std::uint64_t inbox_generation() const noexcept = 0;
+
+  /// The contiguous node shard this process owns. Staging is legal only
+  /// from owned sources (asserted by Network); deliver() fills the owned
+  /// destinations' inboxes. In-process backends own the full span — the
+  /// zero-cost P=1 seam.
+  [[nodiscard]] virtual NodeSpan owned() const noexcept { return {0, n()}; }
+
+  /// Uncharged common-knowledge side channel. `offsets` has n()+1 entries;
+  /// node v's block is data[offsets[v], offsets[v+1]). On entry each rank
+  /// has filled the blocks of its OWNED nodes; on return every rank holds
+  /// every block. This realizes, across processes, what the in-process
+  /// simulator gets for free from its shared address space (the values a
+  /// primitive like broadcast_all returns after separately charging its
+  /// documented rounds) — it moves no accounted words and never touches
+  /// staged state, inboxes, or generations. Single-process backends
+  /// already hold every block: the default is a no-op.
+  virtual void allgather_blocks(std::span<Word> data,
+                                std::span<const std::size_t> offsets) {
+    (void)data;
+    (void)offsets;
+  }
+};
+
+/// RAII ambient transport factory, mirroring FaultScope: algorithms such
+/// as apsp_semiring construct their Network internally, so a multi-process
+/// run installs a TransportScope and every Network(int n) constructed on
+/// this thread while the scope lives builds its data plane through the
+/// factory (the socket backend binds its mesh and computes the shard for
+/// that n). Scopes nest (innermost wins).
+class TransportScope {
+ public:
+  using Factory = std::function<std::unique_ptr<Transport>(int n)>;
+
+  explicit TransportScope(Factory factory) noexcept;
+  ~TransportScope();
+
+  TransportScope(const TransportScope&) = delete;
+  TransportScope& operator=(const TransportScope&) = delete;
+
+  /// The innermost live scope's factory on this thread, or nullptr.
+  [[nodiscard]] static const Factory* current() noexcept;
+
+ private:
+  Factory factory_;
+  const Factory* prev_;
 };
 
 /// The in-process arena backend: per-source flat staged buffers with
 /// run-length destination segments, delivered into one contiguous
 /// receiver-major arena per superstep. This is the former Network data
 /// plane, moved verbatim behind the seam.
-class ArenaTransport final : public Transport {
+///
+/// The staging/arena machinery is deliberately reusable: SocketTransport
+/// derives from it, keeps the identical arena layout on every rank, and
+/// overrides only deliver() (count all-gather + remote payload exchange)
+/// and the ownership/side-channel hooks.
+class ArenaTransport : public Transport {
  public:
   explicit ArenaTransport(int n);
 
@@ -123,13 +206,36 @@ class ArenaTransport final : public Transport {
     return inbox_gen_;
   }
 
- private:
+ protected:
   void check_node(NodeId v) const;
 
   [[nodiscard]] std::size_t pair_index(NodeId dst, NodeId src) const noexcept {
     return static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_) +
            static_cast<std::size_t>(src);
   }
+
+  // deliver() split into its phases so a derived backend can interleave its
+  // exchange steps while keeping the canonical summary and arena layout
+  // bit-identical. deliver() == count_staged_words(); summarize_counts();
+  // rebuild_arena(); scatter_and_clear_outboxes().
+
+  /// Pass 1: fill pair_words_ (indexed src*n + dst) from the staged
+  /// segments of every LOCAL outbox.
+  void count_staged_words();
+
+  /// The canonical DeliverySummary — (src asc, dst asc) demand list with
+  /// self/empty pairs excluded, total and per-node volumes — computed from
+  /// the CURRENT pair_words_. Every rank that holds the same global counts
+  /// derives the bit-identical summary.
+  [[nodiscard]] DeliverySummary summarize_counts() const;
+
+  /// Pass 2a: lay out the receiver-major arena from pair_words_, bump every
+  /// generation (all staged spans and inbox views die), and size the arena.
+  void rebuild_arena();
+
+  /// Pass 2b: scatter every LOCAL outbox's runs into its arena slices and
+  /// release the outboxes. pair_words_ is consumed as the write cursor.
+  void scatter_and_clear_outboxes();
 
   int n_;
 

@@ -79,6 +79,15 @@ ApspOutcome apsp_semiring(const Graph& g, MmKind kind) {
 
   const int big = semiring_clique_size(n);
   clique::Network net(big);
+  // Sharded execution (an ambient TransportScope made the internal Network
+  // a proper shard): Auto dispatch is not available — its nnz census reads
+  // the full CURRENT iterate, whose non-owned rows are not authoritative
+  // on this rank after the first squaring. The fixed 3D engine reads and
+  // writes only owned rows, so the iteration is self-consistent; on return
+  // only the owned rows of dist/next_hop are authoritative.
+  const clique::NodeSpan own = net.owned();
+  CCA_VALIDATE(net.owns_all() || kind == MmKind::Semiring3D,
+               "sharded apsp_semiring requires MmKind::Semiring3D");
 
   auto d = pad_matrix(g.weight_matrix(), big, kInf);
   Matrix<int> next(n, n, -1);
@@ -105,13 +114,13 @@ ApspOutcome apsp_semiring(const Graph& g, MmKind kind) {
     });
     // Improvement flags feed the convergence vote; entries outside the
     // real n x n corner are inert (padded rows are all-infinite), so
-    // scanning the real rows is exact.
+    // scanning the real rows is exact. Each rank scans only its OWNED
+    // rows (the only authoritative ones under sharding; everything
+    // in-process) — the vote broadcast below syncs the rest.
     std::vector<clique::Word> improved_row(static_cast<std::size_t>(big), 0);
-    bool improved = false;
-    for (int u = 0; u < n; ++u)
+    for (int u = own.begin; u < std::min(own.end, n); ++u)
       for (int v = 0; v < n; ++v) {
         if (d2(u, v) >= d(u, v)) continue;
-        improved = true;
         improved_row[static_cast<std::size_t>(u)] = 1;
         const int w = q(u, v);
         CCA_ASSERT(w >= 0 && w < n && w != u);
@@ -124,10 +133,15 @@ ApspOutcome apsp_semiring(const Graph& g, MmKind kind) {
     // Convergence vote, charged for real like agree_on_seed: every node
     // announces "did any entry of my row improve" (one word per link, 1
     // round) and everyone exits together when nobody improved — min-plus
-    // squaring is monotone, so a fixed point stays fixed. The seed ran
-    // all squaring_iterations(n) squarings regardless, paying full dense
+    // squaring is monotone, so a fixed point stays fixed. Deriving the
+    // exit decision from the BROADCAST flags makes it identical on every
+    // rank of a sharded run (and unchanged in-process). The seed ran all
+    // squaring_iterations(n) squarings regardless, paying full dense
     // supersteps to square an already-idempotent matrix.
-    (void)clique::broadcast_all(net, std::move(improved_row));
+    improved_row = clique::broadcast_all(net, std::move(improved_row));
+    const bool improved =
+        std::any_of(improved_row.begin(), improved_row.end(),
+                    [](clique::Word f) { return f != 0; });
     if (!improved) break;
   }
 
@@ -161,6 +175,10 @@ ApspBatchOutcome apsp_semiring_batch(std::span<const Graph> gs,
 
   const int big = semiring_clique_size(max_n);
   clique::Network net(big);
+  // Not yet sharded: the batched scan folds every graph's full iterate.
+  CCA_VALIDATE(net.owns_all(),
+               "apsp_semiring_batch requires full node ownership; run "
+               "apsp_semiring per graph for sharded runs");
 
   // Padded per-graph state; graphs smaller than max_n simply carry inert
   // infinite rows. Extra squarings past a small graph's own log n are
@@ -241,6 +259,8 @@ ApspOutcome apsp_seidel(const Graph& g, MmKind kind, int depth) {
   const IntMmEngine engine(kind, n, depth);
   const int big = engine.clique_n();
   clique::Network net(big);
+  // Not yet sharded: the recursion reads full iterates at every level.
+  CCA_VALIDATE(net.owns_all(), "apsp_seidel requires full node ownership");
 
   // Recursive Seidel over 0/1 adjacency matrices (padded nodes isolated).
   // Distances use kInf for disconnected pairs; squared-graph stabilisation
@@ -364,6 +384,8 @@ ApspOutcome apsp_bounded(const Graph& g, std::int64_t m_bound, int depth) {
       depth >= 0 ? plan_fast_mm(n, depth) : plan_fast_mm_auto(n);
   const auto alg = tensor_power(strassen_algorithm(), plan.depth);
   clique::Network net(plan.clique_n);
+  // Rides the bilinear engine, which is full-ownership only.
+  CCA_VALIDATE(net.owns_all(), "apsp_bounded requires full node ownership");
 
   const auto w0 = pad_matrix(g.weight_matrix(), plan.clique_n, kInf);
   MmDispatchContext ctx;
@@ -392,6 +414,9 @@ ApspOutcome apsp_small_diameter(const Graph& g, int depth) {
   const auto alg = tensor_power(strassen_algorithm(), plan.depth);
   const int big = plan.clique_n;
   clique::Network net(big);
+  // Rides the bilinear engine, which is full-ownership only.
+  CCA_VALIDATE(net.owns_all(),
+               "apsp_small_diameter requires full node ownership");
 
   // (1) Reachability closure by Boolean squaring (entries clamped to 0/1).
   const IntRing ring;
@@ -444,6 +469,8 @@ ApspOutcome apsp_approx(const Graph& g, double delta, int depth) {
       depth >= 0 ? plan_fast_mm(n, depth) : plan_fast_mm_auto(n);
   const auto alg = tensor_power(strassen_algorithm(), plan.depth);
   clique::Network net(plan.clique_n);
+  // Rides the bilinear engine, which is full-ownership only.
+  CCA_VALIDATE(net.owns_all(), "apsp_approx requires full node ownership");
 
   auto d = pad_matrix(g.weight_matrix(), plan.clique_n, kInf);
   const int iters = squaring_iterations(n);
@@ -483,6 +510,9 @@ Matrix<int> routing_table_from_distances(const Graph& g,
 
   const int big = semiring_clique_size(n);
   clique::Network net(big);
+  // Not yet sharded: the verification scan reads the full product.
+  CCA_VALIDATE(net.owns_all(),
+               "routing_table_from_distances requires full node ownership");
 
   // W with an infinite diagonal: the witness of min_w W(u,w) + D(w,v) is
   // then a genuine outgoing arc, i.e. a valid first hop.

@@ -1,5 +1,7 @@
 #include "core/counting.hpp"
 
+#include <algorithm>
+
 #include "clique/primitives.hpp"
 #include "util/contracts.hpp"
 #include "util/parallel.hpp"
@@ -18,15 +20,19 @@ Matrix<std::int64_t> transpose_distributed(clique::Network& net, int n,
     return out;
   }
   // Parallel staged encode over senders (each v owns its outbox); the
-  // receive side reads distinct output rows per node.
-  parallel_for(0, n, [&](int v) {
+  // receive side reads distinct output rows per node. Both walks cover
+  // only the OWNED shard (everything in-process): only owned source rows
+  // of m are authoritative, and only owned destinations' inboxes are
+  // filled — the returned transpose is authoritative on owned rows.
+  const clique::NodeSpan own = net.owned();
+  parallel_for(own.begin, std::min(own.end, n), [&](int v) {
     for (int u = 0; u < n; ++u) {
       const auto span = net.stage(v, u, 1);
       span[0] = static_cast<clique::Word>(m(v, u));
     }
   });
   net.deliver();
-  parallel_for(0, n, [&](int u) {
+  parallel_for(own.begin, std::min(own.end, n), [&](int u) {
     for (int v = 0; v < n; ++v) {
       const auto in = net.inbox(u, v);
       CCA_ASSERT(in.size() == 1);
@@ -66,6 +72,7 @@ std::vector<std::int64_t> broadcast_and_sum_batch(
   parallel_for(0, n, [&](int v) {
     for (int u = 0; u < n; ++u) {
       if (u == v) continue;
+      // lint:allow(full-range-staging): sole caller validates owns_all().
       const auto msg = net.stage(v, u, batch);
       for (std::size_t b = 0; b < batch; ++b)
         msg[b] = static_cast<clique::Word>(
@@ -108,8 +115,11 @@ CountOutcome count_triangles_cc(const Graph& g, MmKind kind, int depth) {
   } else {
     at = g.adjacency();
   }
+  // Owned rows only: under sharding they are the authoritative slice of
+  // A^2, and broadcast_and_sum's underlying broadcast syncs the partials.
   std::vector<std::int64_t> partial(static_cast<std::size_t>(big), 0);
-  parallel_for(0, n, [&](int u) {
+  const clique::NodeSpan own = net.owned();
+  parallel_for(own.begin, std::min(own.end, n), [&](int u) {
     std::int64_t acc = 0;
     for (int v = 0; v < n; ++v) acc += a2(u, v) * at(u, v);
     partial[static_cast<std::size_t>(u)] = acc;
@@ -132,6 +142,10 @@ BatchCountOutcome count_triangles_cc_batch(std::span<const Graph> gs,
   const IntMmEngine engine(kind, max_n, depth);
   const int big = engine.clique_n();
   clique::Network net(big);
+  // Not yet sharded: the batched partial-sum fold reads node 0's inboxes.
+  CCA_VALIDATE(net.owns_all(),
+               "count_triangles_cc_batch requires full node ownership; run "
+               "count_triangles_cc per graph for sharded runs");
 
   // All B squarings A_b^2 through shared supersteps on the one padded
   // clique (smaller graphs ride along with inert zero rows).
@@ -183,7 +197,8 @@ CountOutcome count_4cycles_cc(const Graph& g, MmKind kind, int depth) {
   const auto a2t = transpose_distributed(net, big, a2).block(0, 0, n, n);
 
   std::vector<std::int64_t> partial(static_cast<std::size_t>(big), 0);
-  parallel_for(0, n, [&](int u) {
+  const clique::NodeSpan own = net.owned();
+  parallel_for(own.begin, std::min(own.end, n), [&](int u) {
     std::int64_t acc = 0;
     for (int v = 0; v < n; ++v) acc += a2(u, v) * a2t(u, v);
     partial[static_cast<std::size_t>(u)] = acc;
@@ -234,7 +249,8 @@ CountOutcome count_5cycles_cc(const Graph& g, MmKind kind, int depth) {
   std::vector<std::int64_t> tr5_part(static_cast<std::size_t>(big), 0);
   std::vector<std::int64_t> tr3_part(static_cast<std::size_t>(big), 0);
   std::vector<std::int64_t> corr_part(static_cast<std::size_t>(big), 0);
-  parallel_for(0, n, [&](int u) {
+  const clique::NodeSpan own = net.owned();
+  parallel_for(own.begin, std::min(own.end, n), [&](int u) {
     std::int64_t acc = 0;
     for (int v = 0; v < n; ++v) acc += a2(u, v) * a3(u, v);
     tr5_part[static_cast<std::size_t>(u)] = acc;

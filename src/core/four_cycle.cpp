@@ -149,6 +149,10 @@ FourCycleOutcome detect_4cycle_const(const Graph& g) {
   if (n < 32) return detect_small(g);
 
   clique::Network net(n);
+  // Not yet sharded: the Lemma-12 tile relay stages from tile-local
+  // sources and reads every node's inbox.
+  CCA_VALIDATE(net.owns_all(),
+               "detect_4cycle_const requires full node ownership");
 
   // Round 1: every node broadcasts its degree.
   std::vector<clique::Word> deg_words(static_cast<std::size_t>(n));
@@ -237,6 +241,7 @@ FourCycleOutcome detect_4cycle_const(const Graph& g) {
       if (a < t.row0 || a >= t.row0 + t.size) continue;
       const analysis::InboxLease<clique::Network> words(net, a, t.y);
       for (int b = t.col0; b < t.col0 + t.size; ++b)
+        // lint:allow(full-range-staging): owns_all() validated at entry.
         net.send_words(a, b, words.span());
     }
   });
@@ -263,6 +268,7 @@ FourCycleOutcome detect_4cycle_const(const Graph& g) {
       for (int zi = lo; zi < hi; ++zi) {
         const int z = ny[static_cast<std::size_t>(zi)];
         for (const int x : ny)
+          // lint:allow(full-range-staging): owns_all() validated at entry.
           net.send(b, x, pack_pair(t.y, z));
       }
     }

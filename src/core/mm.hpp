@@ -233,6 +233,13 @@ void scaled_accumulate_flat(const R& ring, Matrix<typename R::Value>& dst,
 /// FIRST digit v2, as Step 2 requires) the recipients must be w in *v1*.
 /// We implement the *v1* version; the totals (2 n^{4/3} words per node per
 /// product) are unchanged.
+///
+/// Sharded execution (net.owned() a proper subspan): inputs must be
+/// REPLICATED (every rank passes bit-identical as/bs — the SPMD contract),
+/// each rank stages and computes only for its owned nodes, and on return
+/// only the OWNED rows of each product are authoritative (non-owned rows
+/// stay sr.zero()). Traffic accounting is bit-identical to a
+/// single-process run by the transport's construction.
 template <Semiring S, typename Codec>
 [[nodiscard]] std::vector<Matrix<typename S::Value>> mm_semiring_3d_batch(
     clique::Network& net, const S& sr, const Codec& codec,
@@ -274,13 +281,16 @@ template <Semiring S, typename Codec>
   auto d1 = [c2](int v) { return v / c2; };
   auto d2 = [c, c2](int v) { return (v / c) % c; };
   auto d3 = [c](int v) { return v % c; };
+  // This rank's node shard: every stage/compute loop below walks only the
+  // owned span. In-process this is [0, n) and the loops are unchanged.
+  const clique::NodeSpan own = net.owned();
   detail::StepClock clock(profile);
 
   // Step 1: node v scatters pieces of its rows S_b[v,*] and T_b[v,*] for
   // every product b, encoding the contiguous row slices straight into one
   // staged group per destination. Senders are independent (one src per
   // iteration), so the loop runs parallel.
-  parallel_for(0, n, [&](int v) {
+  parallel_for(own.begin, own.end, [&](int v) {
     // S_b[v, u2**] to each u in v1** (same first digit as v).
     for (int tail = 0; tail < c2; ++tail) {
       const int u = d1(v) * c2 + tail;
@@ -311,7 +321,7 @@ template <Semiring S, typename Codec>
   // the worker group; blocks are decoded directly into the assembled
   // matrix rows (sb/tb are reused across b — every row is overwritten).
   std::vector<Matrix<V>> prod(static_cast<std::size_t>(n) * batch);
-  parallel_for(0, n, [&](int v) {
+  parallel_for(own.begin, own.end, [&](int v) {
     Matrix<V> sb(c2, c2, sr.zero());
     Matrix<V> tb(c2, c2, sr.zero());
     for (std::size_t b = 0; b < batch; ++b) {
@@ -338,7 +348,7 @@ template <Semiring S, typename Codec>
 
   // Step 3: node v sends P_b^(v2)[u, v3**] to each u in v1** — one
   // contiguous product row per message block, encoded in place.
-  parallel_for(0, n, [&](int v) {
+  parallel_for(own.begin, own.end, [&](int v) {
     for (int tail = 0; tail < c2; ++tail) {
       const int u = d1(v) * c2 + tail;
       const auto msg = net.stage(v, u, group_words);
@@ -357,14 +367,16 @@ template <Semiring S, typename Codec>
   // (distinct output rows, so the nodes run concurrently).
   for (std::size_t b = 0; b < batch; ++b)
     out.emplace_back(n, n, sr.zero());
-  parallel_for(0, n, [&](int v) {
+  parallel_for(own.begin, own.end, [&](int v) {
     std::vector<V> piece(block_entries, sr.zero());
     for (int tail = 0; tail < c2; ++tail) {
       const int u = d1(v) * c2 + tail;  // sent P_b^(u2)[v, u3**]
-      const auto in = net.inbox(v, u);
+      // Leased: the view is decoded b times across the batch loop, so the
+      // generation check pins the no-deliver-in-between contract.
+      const analysis::InboxLease<clique::Network> in(net, v, u);
       for (std::size_t b = 0; b < batch; ++b) {
-        detail::decode_entries_at(codec, in, b * block_words, block_entries,
-                                  piece.data());
+        detail::decode_entries_at(codec, in.span(), b * block_words,
+                                  block_entries, piece.data());
         auto* orow = out[b].row(v) + d3(u) * c2;
         for (int j = 0; j < c2; ++j)
           orow[j] = sr.add(orow[j], piece[static_cast<std::size_t>(j)]);
@@ -434,6 +446,11 @@ template <Ring R, typename Codec>
     MmStepProfile* profile = nullptr) {
   using V = typename R::Value;
   const int n = net.n();
+  // Not yet sharded: the bilinear scheme's coefficient combination reads
+  // every node's received blocks. Run it on a full-ownership network.
+  CCA_VALIDATE(net.owns_all(),
+               "mm_fast_bilinear requires full node ownership; use the 3D "
+               "or sparse engine for sharded runs");
   const std::size_t batch = as.size();
   CCA_EXPECTS(batch >= 1 && bs_in.size() == batch);
   for (std::size_t b = 0; b < batch; ++b) {
@@ -485,6 +502,7 @@ template <Ring R, typename Codec>
     std::vector<V> tmp(row_entries, ring.zero());
     for (int x2 = 0; x2 < sq; ++x2) {
       const int u = label_of(v2, x2);
+      // lint:allow(full-range-staging): owns_all() validated at entry.
       const auto msg = net.stage(v, u, 2 * batch * row_words);
       for (std::size_t b = 0; b < batch; ++b) {
         int lj = 0;
@@ -541,6 +559,7 @@ template <Ring R, typename Codec>
     std::vector<V> shat(blk_entries, ring.zero());
     std::vector<V> that(blk_entries, ring.zero());
     for (int w = 0; w < m; ++w) {
+      // lint:allow(full-range-staging): owns_all() validated at entry.
       const auto msg = net.stage(u, w, 2 * batch * blk_words);
       for (std::size_t b = 0; b < batch; ++b) {
         const auto& sl = sloc[static_cast<std::size_t>(u) * batch + b];
@@ -605,6 +624,7 @@ template <Ring R, typename Codec>
     std::vector<V> tmp(blk_entries, ring.zero());
     for (int x1 = 0; x1 < sq; ++x1)
       for (int x2 = 0; x2 < sq; ++x2) {
+        // lint:allow(full-range-staging): owns_all() validated at entry.
         const auto msg = net.stage(w, label_of(x1, x2), batch * blk_words);
         for (std::size_t b = 0; b < batch; ++b) {
           const auto& pw = phat[static_cast<std::size_t>(w) * batch + b];
@@ -658,6 +678,7 @@ template <Ring R, typename Codec>
     for (int r1 = 0; r1 < d; ++r1)
       for (int r3 = 0; r3 < bs; ++r3) {
         const int r = r1 * big + x1 * bs + r3;
+        // lint:allow(full-range-staging): owns_all() validated at entry.
         const auto msg = net.stage(u, r, batch * row_words);
         for (std::size_t b = 0; b < batch; ++b) {
           const auto& pl = ploc[static_cast<std::size_t>(u) * batch + b];
@@ -726,6 +747,10 @@ template <Semiring S>
   CCA_EXPECTS(s.rows() == n && s.cols() == n);
   CCA_EXPECTS(t.rows() == n && t.cols() == n);
   CCA_EXPECTS(words_per_entry >= 1);
+  // The broadcast is charged but never materialised, so a sharded rank
+  // cannot actually learn the non-owned rows — full ownership only.
+  CCA_VALIDATE(net.owns_all(),
+               "mm_naive_broadcast requires full node ownership");
   if (n > 1)
     net.charge_rounds(2 * static_cast<std::int64_t>(n) * words_per_entry);
   return multiply(sr, s, t);
@@ -1042,6 +1067,11 @@ mm_semiring_sparse_staged_batch(
     if (!st.trivial) ++live;
   if (live == 0) return out;
   const auto vw1 = codec.words_for(1);
+  // This rank's shard: staging and inbox-reading loops walk only owned
+  // nodes (in-process that is [0, n)); loops over REPLICATED inputs stay
+  // full-range. Under sharding only the owned output rows are
+  // authoritative — see mm_semiring_3d_batch's sharded-execution note.
+  const clique::NodeSpan own = net.owned();
   detail::StepClock clock(profile);
 
   // Gather: every off-diagonal nonzero S_b[i,k] travels to column holder k
@@ -1063,7 +1093,7 @@ mm_semiring_sparse_staged_batch(
         }
     }
   });
-  parallel_for(0, n, [&](int i) {
+  parallel_for(own.begin, own.end, [&](int i) {
     for (std::size_t b = 0; b < batch; ++b) {
       if (sts[b].trivial) continue;
       for (int k = 0; k < n; ++k) {
@@ -1085,7 +1115,7 @@ mm_semiring_sparse_staged_batch(
   // them.
   std::vector<std::vector<std::vector<V>>> colvals(
       batch, std::vector<std::vector<V>>(static_cast<std::size_t>(n)));
-  parallel_for(0, n, [&](int k) {
+  parallel_for(own.begin, own.end, [&](int k) {
     const auto ks = static_cast<std::size_t>(k);
     std::vector<std::size_t> off(static_cast<std::size_t>(n), 0);
     for (std::size_t b = 0; b < batch; ++b) {
@@ -1127,7 +1157,8 @@ mm_semiring_sparse_staged_batch(
       batch, std::vector<std::vector<Index>>(static_cast<std::size_t>(n)));
   std::vector<std::vector<std::vector<V>>> trow_val(
       batch, std::vector<std::vector<V>>(static_cast<std::size_t>(n)));
-  parallel_for(0, n, [&](int k) {
+  // Only the holder (owned k) stages or locally multiplies its T row.
+  parallel_for(own.begin, own.end, [&](int k) {
     const auto ks = static_cast<std::size_t>(k);
     for (std::size_t b = 0; b < batch; ++b) {
       if (sts[b].trivial) continue;
@@ -1162,7 +1193,7 @@ mm_semiring_sparse_staged_batch(
     return static_cast<std::size_t>(sparse_msg_align(
         static_cast<std::int64_t>(w), sparse_contribute_align(n)));
   };
-  parallel_for(0, n, [&](int k) {
+  parallel_for(own.begin, own.end, [&](int k) {
     const auto ks = static_cast<std::size_t>(k);
     std::vector<Index> aidx;
     for (std::size_t b = 0; b < batch; ++b) {
@@ -1177,19 +1208,22 @@ mm_semiring_sparse_staged_batch(
         const auto a_cnt = static_cast<std::size_t>(hi - lo);
         const auto b_cnt = trow_idx[b][ks].size();
         const auto a_frame = frame_words(a_cnt);
-        const auto msg =
-            net.stage(k, w, dist_align(2 + a_frame + frame_words(b_cnt)));
-        msg[0] = a_cnt;
-        msg[1] = b_cnt;
+        // Leased: the span is written by three encode steps with index
+        // building in between — the generation check pins that no
+        // same-source staging sneaks between them.
+        const analysis::StagedLease<clique::Network> msg(
+            net, k, w, dist_align(2 + a_frame + frame_words(b_cnt)));
+        msg.span()[0] = a_cnt;
+        msg.span()[1] = b_cnt;
         aidx.clear();
         for (int x = lo; x < hi; ++x)
           aidx.push_back(
               static_cast<Index>(rows[static_cast<std::size_t>(x)]));
         scodec.encode_into(
             aidx, std::span<const V>(colvals[b][ks].data() + lo, a_cnt),
-            msg.data() + 2);
+            msg.span().data() + 2);
         scodec.encode_into(trow_idx[b][ks], trow_val[b][ks],
-                           msg.data() + 2 + a_frame);
+                           msg.span().data() + 2 + a_frame);
       }
     }
   });
@@ -1203,7 +1237,7 @@ mm_semiring_sparse_staged_batch(
   // the message sizes are exactly the structures' value-independent
   // counts). The worker's own row folds locally; every other row ships as
   // [cnt] + SparseCodec block, product b's blocks after product b-1's.
-  parallel_for(0, n, [&](int w) {
+  parallel_for(own.begin, own.end, [&](int w) {
     const auto ws = static_cast<std::size_t>(w);
     std::vector<std::size_t> doff(static_cast<std::size_t>(n), 0);
     // Work items: (a-row id, a-value, intermediate k) triples from the
@@ -1255,11 +1289,14 @@ mm_semiring_sparse_staged_batch(
       std::vector<std::vector<V>> dec_aval(ext.size()), dec_bval(ext.size());
       for (std::size_t e = 0; e < ext.size(); ++e) {
         const int k = ext[e].first;
-        const auto in = net.inbox(w, k);
+        // Leased: the view feeds two offset decodes with resizes in
+        // between, and the surrounding loop stages contributions — the
+        // generation check pins that stage() never invalidates inboxes.
+        const analysis::InboxLease<clique::Network> in(net, w, k);
         auto& at = doff[static_cast<std::size_t>(k)];
-        CCA_ASSERT(at + 2 <= in.size());
-        const auto a_cnt = static_cast<std::size_t>(in[at]);
-        const auto b_cnt = static_cast<std::size_t>(in[at + 1]);
+        CCA_ASSERT(at + 2 <= in.span().size());
+        const auto a_cnt = static_cast<std::size_t>(in.span()[at]);
+        const auto b_cnt = static_cast<std::size_t>(in.span()[at + 1]);
         dec_aidx[e].resize(a_cnt);
         dec_aval[e].resize(a_cnt, sr.zero());
         dec_bidx[e].resize(b_cnt);
@@ -1267,9 +1304,9 @@ mm_semiring_sparse_staged_batch(
         // Blocks sit at quantised-frame offsets (see the distribute
         // staging); the real header counts bound what is decoded.
         const auto a_frame = frame_words(a_cnt);
-        scodec.decode_into(in.data() + at + 2, a_cnt, dec_aidx[e].data(),
-                           dec_aval[e].data());
-        scodec.decode_into(in.data() + at + 2 + a_frame, b_cnt,
+        scodec.decode_into(in.span().data() + at + 2, a_cnt,
+                           dec_aidx[e].data(), dec_aval[e].data());
+        scodec.decode_into(in.span().data() + at + 2 + a_frame, b_cnt,
                            dec_bidx[e].data(), dec_bval[e].data());
         at += dist_align(2 + a_frame + frame_words(b_cnt));
         items.push_back({k, &dec_bidx[e], &dec_bval[e]});
@@ -1334,13 +1371,15 @@ mm_semiring_sparse_staged_batch(
   // Fold the delivered contributions into the output rows (distinct row per
   // iteration); each sender's message parses product by product, block
   // membership coming from the structures' sorted contrib lists.
-  parallel_for(0, n, [&](int i) {
+  parallel_for(own.begin, own.end, [&](int i) {
     std::vector<Index> jbuf;
     std::vector<V> vbuf;
     for (int w = 0; w < n; ++w) {
       if (w == i) continue;
-      const auto in = net.inbox(i, w);
-      if (in.empty()) continue;
+      // Leased: the view is parsed product by product across the batch
+      // loop (resizes and folds in between).
+      const analysis::InboxLease<clique::Network> in(net, i, w);
+      if (in.span().empty()) continue;
       std::size_t at = 0;
       for (std::size_t b = 0; b < batch; ++b) {
         if (sts[b].trivial) continue;
@@ -1349,19 +1388,20 @@ mm_semiring_sparse_staged_batch(
             cl.begin(), cl.end(), i,
             [](const std::pair<int, int>& p, int x) { return p.first < x; });
         if (it == cl.end() || it->first != i) continue;
-        const auto cnt = static_cast<std::size_t>(in[at]);
+        const auto cnt = static_cast<std::size_t>(in.span()[at]);
         CCA_ASSERT(cnt == static_cast<std::size_t>(it->second));
-        CCA_ASSERT(at + contrib_align(1 + frame_words(cnt)) <= in.size());
+        CCA_ASSERT(at + contrib_align(1 + frame_words(cnt)) <=
+                   in.span().size());
         jbuf.resize(cnt);
         vbuf.assign(cnt, sr.zero());
-        scodec.decode_into(in.data() + at + 1, cnt, jbuf.data(),
+        scodec.decode_into(in.span().data() + at + 1, cnt, jbuf.data(),
                            vbuf.data());
         auto* orow = out[b].row(i);
         for (std::size_t x = 0; x < cnt; ++x)
           orow[jbuf[x]] = sr.add(orow[jbuf[x]], vbuf[x]);
         at += contrib_align(1 + frame_words(cnt));
       }
-      CCA_ASSERT(at == in.size());
+      CCA_ASSERT(at == in.span().size());
     }
   });
   clock.lap("contribute fold");
@@ -1786,6 +1826,11 @@ template <Semiring S, typename Codec>
   std::vector<SparsePattern> s_rows, t_rows;
   s_rows.reserve(batch);
   t_rows.reserve(batch);
+  // Not yet sharded: the batched nnz announcement reads every inbox for
+  // the census. Sharded batch callers fix the 3D engine instead.
+  CCA_VALIDATE(net.owns_all(),
+               "mm_semiring_auto_batch requires full node ownership; use "
+               "the batched 3D engine for sharded runs");
   for (std::size_t b = 0; b < batch; ++b) {
     s_rows.push_back(sparse_pattern(sr, as[b]));
     t_rows.push_back(sparse_pattern(sr, bs[b]));
@@ -1794,6 +1839,7 @@ template <Semiring S, typename Codec>
     const auto vs = static_cast<std::size_t>(v);
     for (int u = 0; u < n; ++u) {
       if (u == v) continue;
+      // lint:allow(full-range-staging): owns_all() validated at entry.
       const auto msg = net.stage(v, u, batch);
       for (std::size_t b = 0; b < batch; ++b)
         msg[b] = detail::pack_nnz_pair(s_rows[b][vs].size(),

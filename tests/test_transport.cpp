@@ -1,0 +1,285 @@
+// Transport-contract conformance suite, parametrized over backends.
+//
+// Every backend must satisfy the six-op contract of clique/transport.hpp:
+// staged_snapshot in canonical (src asc, dst asc) order without consuming,
+// generation bumps on deliver() AND discard_staged(), DeliverySummary with
+// the canonical demand list and exact per-node volumes, and FIFO inboxes.
+// Covered backends:
+//   * ArenaTransport (the in-process reference),
+//   * SocketTransport at P=1 (a mesh with no peers — must degenerate to
+//     the arena behaviour exactly),
+//   * SocketTransport at P=2 inside one process: two ranks connected by a
+//     socketpair(), each driven on its own thread. This pins the
+//     distributed claims — identical DeliverySummary on every rank, owned
+//     inboxes filled across the rank boundary, and the uncharged allgather
+//     side channel.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clique/socket_transport.hpp"
+#include "clique/transport.hpp"
+
+namespace cca::clique {
+namespace {
+
+std::vector<Word> to_vector(std::span<const Word> s) {
+  return {s.begin(), s.end()};
+}
+
+// ---------------------------------------------------------------------------
+// Single-process backends (full ownership): Arena and Socket P=1.
+// ---------------------------------------------------------------------------
+
+struct BackendCase {
+  std::string name;
+  std::function<std::unique_ptr<Transport>(int)> make;
+};
+
+std::shared_ptr<SocketMesh> lone_mesh() {
+  return std::make_shared<SocketMesh>(0, 1, std::vector<int>{-1});
+}
+
+class TransportConformance : public ::testing::TestWithParam<BackendCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, TransportConformance,
+    ::testing::Values(
+        BackendCase{"arena",
+                    [](int n) { return std::make_unique<ArenaTransport>(n); }},
+        BackendCase{"socket_p1",
+                    [](int n) {
+                      return std::make_unique<SocketTransport>(n, lone_mesh());
+                    }}),
+    [](const auto& info) { return info.param.name; });
+
+TEST_P(TransportConformance, OwnsFullSpanSingleProcess) {
+  const auto t = GetParam().make(5);
+  EXPECT_EQ(t->owned().begin, 0);
+  EXPECT_EQ(t->owned().end, 5);
+  EXPECT_TRUE(t->owned().full(5));
+}
+
+TEST_P(TransportConformance, StagedSnapshotCanonicalOrderWithoutConsuming) {
+  const auto t = GetParam().make(4);
+  // Stage deliberately out of canonical order, mixing all three staging ops.
+  t->send(2, 0, 20);
+  t->send_words(0, 3, std::vector<Word>{3, 4});
+  auto span = t->stage(0, 1, 2);
+  span[0] = 1;
+  span[1] = 2;
+  t->send(2, 0, 21);  // appends to the existing (2, 0) run
+
+  const auto snap = t->staged_snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].src, 0);
+  EXPECT_EQ(snap[0].dst, 1);
+  EXPECT_EQ(snap[0].words, (std::vector<Word>{1, 2}));
+  EXPECT_EQ(snap[1].src, 0);
+  EXPECT_EQ(snap[1].dst, 3);
+  EXPECT_EQ(snap[1].words, (std::vector<Word>{3, 4}));
+  EXPECT_EQ(snap[2].src, 2);
+  EXPECT_EQ(snap[2].dst, 0);
+  EXPECT_EQ(snap[2].words, (std::vector<Word>{20, 21}));
+
+  // The snapshot must not consume: delivery still moves everything.
+  const auto sum = t->deliver();
+  EXPECT_EQ(sum.total_words, 6);
+  EXPECT_EQ(to_vector(t->inbox(0, 2)), (std::vector<Word>{20, 21}));
+}
+
+TEST_P(TransportConformance, DeliverySummaryCanonicalDemandsAndVolumes) {
+  const auto t = GetParam().make(4);
+  t->send(3, 1, 7);
+  t->send(1, 2, 8);
+  t->send(1, 0, 9);
+  t->send(3, 1, 10);
+
+  const auto sum = t->deliver();
+  const std::vector<Demand> want{{1, 0, 1}, {1, 2, 1}, {3, 1, 2}};
+  EXPECT_EQ(sum.demands, want);
+  EXPECT_EQ(sum.total_words, 4);
+  EXPECT_EQ(sum.sent_by, (std::vector<std::int64_t>{0, 2, 0, 2}));
+  EXPECT_EQ(sum.recv_by, (std::vector<std::int64_t>{1, 2, 1, 0}));
+}
+
+TEST_P(TransportConformance, GenerationsBumpOnDeliver) {
+  const auto t = GetParam().make(3);
+  const auto stage0 = t->stage_generation(0);
+  const auto inbox0 = t->inbox_generation();
+  t->send(0, 1, 1);
+  (void)t->deliver();
+  EXPECT_GT(t->stage_generation(0), stage0);
+  EXPECT_GT(t->inbox_generation(), inbox0);
+}
+
+TEST_P(TransportConformance, GenerationsBumpOnDiscard) {
+  const auto t = GetParam().make(3);
+  t->send(0, 1, 1);
+  t->send(2, 1, 2);
+  const auto stage0 = t->stage_generation(0);
+  const auto stage2 = t->stage_generation(2);
+  t->discard_staged();
+  EXPECT_GT(t->stage_generation(0), stage0);
+  EXPECT_GT(t->stage_generation(2), stage2);
+  // Nothing moves after a discard.
+  const auto sum = t->deliver();
+  EXPECT_TRUE(sum.demands.empty());
+  EXPECT_EQ(sum.total_words, 0);
+  EXPECT_TRUE(t->inbox(1, 0).empty());
+}
+
+TEST_P(TransportConformance, TakeInboxConsumesThePair) {
+  const auto t = GetParam().make(3);
+  t->send(0, 2, 5);
+  t->send(0, 2, 6);
+  (void)t->deliver();
+  EXPECT_EQ(t->take_inbox(2, 0), (std::vector<Word>{5, 6}));
+  EXPECT_TRUE(t->inbox(2, 0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Two ranks in one process over a socketpair, one thread per rank.
+// ---------------------------------------------------------------------------
+
+/// Build the P=2 meshes from one socketpair (each side adopted by a rank).
+std::pair<std::shared_ptr<SocketMesh>, std::shared_ptr<SocketMesh>>
+paired_meshes() {
+  int sv[2];
+  EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  auto m0 = std::make_shared<SocketMesh>(0, 2, std::vector<int>{-1, sv[0]});
+  auto m1 = std::make_shared<SocketMesh>(1, 2, std::vector<int>{sv[1], -1});
+  return {std::move(m0), std::move(m1)};
+}
+
+/// Run one SPMD body per rank concurrently (deliver() blocks on the peer).
+void run_ranks(const std::function<void(int)>& body) {
+  std::thread t1([&] { body(1); });
+  body(0);
+  t1.join();
+}
+
+TEST(SocketTransportP2, OwnedShardsPartitionTheClique) {
+  auto [m0, m1] = paired_meshes();
+  SocketTransport t0(5, m0), t1(5, m1);
+  EXPECT_EQ(t0.owned(), (NodeSpan{0, 2}));
+  EXPECT_EQ(t1.owned(), (NodeSpan{2, 5}));
+  EXPECT_EQ(t0.owned(), shard_span(5, 2, 0));
+  EXPECT_EQ(t1.owned(), shard_span(5, 2, 1));
+}
+
+TEST(SocketTransportP2, DeliverMovesWordsAcrossRanksWithIdenticalSummary) {
+  auto [m0, m1] = paired_meshes();
+  SocketTransport t0(4, m0), t1(4, m1);  // rank 0 owns {0,1}, rank 1 {2,3}
+  Transport* ts[2] = {&t0, &t1};
+  DeliverySummary sums[2];
+
+  run_ranks([&](int r) {
+    Transport& t = *ts[r];
+    if (r == 0) {
+      t.send(0, 2, 100);  // crosses to rank 1
+      t.send(1, 0, 7);    // stays on rank 0
+      t.send_words(0, 3, std::vector<Word>{8, 9});
+    } else {
+      auto span = t.stage(2, 1, 3);  // crosses to rank 0
+      span[0] = 40;
+      span[1] = 41;
+      span[2] = 42;
+      t.send(3, 2, 55);  // stays on rank 1
+    }
+    sums[r] = t.deliver();
+  });
+
+  // Both ranks reconstruct the identical canonical summary.
+  const std::vector<Demand> want{
+      {0, 2, 1}, {0, 3, 2}, {1, 0, 1}, {2, 1, 3}, {3, 2, 1}};
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(sums[r].demands, want) << "rank " << r;
+    EXPECT_EQ(sums[r].total_words, 8) << "rank " << r;
+    EXPECT_EQ(sums[r].sent_by, (std::vector<std::int64_t>{3, 1, 3, 1}));
+    EXPECT_EQ(sums[r].recv_by, (std::vector<std::int64_t>{1, 3, 2, 2}));
+  }
+
+  // Owned destinations' inboxes hold the payloads, local and remote alike.
+  EXPECT_EQ(to_vector(t0.inbox(0, 1)), (std::vector<Word>{7}));
+  EXPECT_EQ(to_vector(t0.inbox(1, 2)), (std::vector<Word>{40, 41, 42}));
+  EXPECT_EQ(to_vector(t1.inbox(2, 0)), (std::vector<Word>{100}));
+  EXPECT_EQ(to_vector(t1.inbox(3, 0)), (std::vector<Word>{8, 9}));
+  EXPECT_EQ(to_vector(t1.inbox(2, 3)), (std::vector<Word>{55}));
+}
+
+TEST(SocketTransportP2, RepeatedSuperstepsBumpGenerationsInLockstep) {
+  auto [m0, m1] = paired_meshes();
+  SocketTransport t0(4, m0), t1(4, m1);
+  Transport* ts[2] = {&t0, &t1};
+
+  const auto inbox0 = t0.inbox_generation();
+  run_ranks([&](int r) {
+    Transport& t = *ts[r];
+    for (int step = 0; step < 3; ++step) {
+      const NodeSpan own = t.owned();
+      for (NodeId src = own.begin; src < own.end; ++src)
+        t.send(src, (src + 1) % 4, static_cast<Word>(10 * step + src));
+      (void)t.deliver();
+    }
+  });
+  EXPECT_EQ(t0.inbox_generation(), inbox0 + 3);
+  // Last superstep's words (step == 2) are what the inboxes hold now.
+  EXPECT_EQ(to_vector(t0.inbox(0, 3)), (std::vector<Word>{23}));
+  EXPECT_EQ(to_vector(t1.inbox(2, 1)), (std::vector<Word>{21}));
+}
+
+TEST(SocketTransportP2, AllgatherBlocksFillsNonOwnedSlots) {
+  auto [m0, m1] = paired_meshes();
+  SocketTransport t0(4, m0), t1(4, m1);
+  Transport* ts[2] = {&t0, &t1};
+
+  // One word per node: offsets[v] = v (the broadcast_all sync layout).
+  const std::vector<std::size_t> offsets{0, 1, 2, 3, 4};
+  std::vector<Word> data[2] = {{0, 0, 0, 0}, {0, 0, 0, 0}};
+  run_ranks([&](int r) {
+    Transport& t = *ts[r];
+    const NodeSpan own = t.owned();
+    for (NodeId v = own.begin; v < own.end; ++v)
+      data[r][static_cast<std::size_t>(v)] = static_cast<Word>(100 + v);
+    t.allgather_blocks(data[r], offsets);
+  });
+  for (int r = 0; r < 2; ++r)
+    EXPECT_EQ(data[r], (std::vector<Word>{100, 101, 102, 103})) << "rank " << r;
+}
+
+TEST(SocketTransportP2, DiscardIsLocalAndKeepsRanksConsistent) {
+  auto [m0, m1] = paired_meshes();
+  SocketTransport t0(4, m0), t1(4, m1);
+  Transport* ts[2] = {&t0, &t1};
+  DeliverySummary sums[2];
+
+  run_ranks([&](int r) {
+    Transport& t = *ts[r];
+    if (r == 0) {
+      // Rank 0 stages a doomed superstep and unwinds it locally...
+      t.send(0, 3, 999);
+      t.discard_staged();
+    }
+    // ...then both ranks run a clean superstep.
+    const NodeSpan own = t.owned();
+    t.send(own.begin, (own.begin + 2) % 4, static_cast<Word>(own.begin));
+    sums[r] = t.deliver();
+  });
+
+  const std::vector<Demand> want{{0, 2, 1}, {2, 0, 1}};
+  EXPECT_EQ(sums[0].demands, want);
+  EXPECT_EQ(sums[1].demands, want);
+  EXPECT_EQ(to_vector(t1.inbox(2, 0)), (std::vector<Word>{0}));
+  EXPECT_EQ(to_vector(t0.inbox(0, 2)), (std::vector<Word>{2}));
+}
+
+}  // namespace
+}  // namespace cca::clique

@@ -1,0 +1,249 @@
+// Rank worker for multi-process clique runs (see scripts/run_cluster.py).
+//
+// Each of the P ranks runs this binary with the SAME workload arguments
+// (the SPMD contract: inputs are regenerated identically from --seed on
+// every rank). The run is self-checking: the rank first executes the
+// workload on a single-process in-process arena — the oracle — and then
+// again over the socket mesh with an ambient TransportScope, and exits
+// nonzero unless
+//   * every result entry this rank OWNS is bit-identical to the oracle, and
+//   * every deterministic TrafficStats field (rounds, bound_rounds,
+//     supersteps, total_words, max_node_send/recv, schedule hits/misses)
+//     is bit-identical to the oracle's.
+// The second property is the refactor's core claim: Network's accounting
+// only ever sees the canonical demand list, which the socket backend
+// reconstructs identically on every rank (socket_transport.hpp).
+//
+// Usage:
+//   cca_node --rank R --nprocs P --port-base B
+//            --workload {mm,mm_sparse,apsp,triangles} --n N [--seed S]
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "clique/network.hpp"
+#include "clique/socket_transport.hpp"
+#include "clique/transport.hpp"
+#include "core/apsp.hpp"
+#include "core/counting.hpp"
+#include "core/engine.hpp"
+#include "core/mm.hpp"
+#include "graph/generators.hpp"
+#include "matrix/codec.hpp"
+#include "matrix/semiring.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cca;
+using namespace cca::core;
+
+struct Options {
+  int rank = -1;
+  int nprocs = -1;
+  int port_base = -1;
+  std::string workload;
+  int n = 0;
+  std::uint64_t seed = 1;
+};
+
+[[noreturn]] void usage_fail(const char* msg) {
+  std::fprintf(stderr,
+               "cca_node: %s\n"
+               "usage: cca_node --rank R --nprocs P --port-base B "
+               "--workload {mm,mm_sparse,apsp,triangles} --n N [--seed S]\n",
+               msg);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) usage_fail(flag);
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--rank") == 0)
+      o.rank = std::atoi(need("--rank needs a value"));
+    else if (std::strcmp(argv[i], "--nprocs") == 0)
+      o.nprocs = std::atoi(need("--nprocs needs a value"));
+    else if (std::strcmp(argv[i], "--port-base") == 0)
+      o.port_base = std::atoi(need("--port-base needs a value"));
+    else if (std::strcmp(argv[i], "--workload") == 0)
+      o.workload = need("--workload needs a value");
+    else if (std::strcmp(argv[i], "--n") == 0)
+      o.n = std::atoi(need("--n needs a value"));
+    else if (std::strcmp(argv[i], "--seed") == 0)
+      o.seed = static_cast<std::uint64_t>(
+          std::strtoull(need("--seed needs a value"), nullptr, 10));
+    else
+      usage_fail("unknown flag");
+  }
+  if (o.rank < 0 || o.nprocs < 1 || o.rank >= o.nprocs)
+    usage_fail("--rank/--nprocs out of range");
+  if (o.port_base <= 0) usage_fail("--port-base required");
+  if (o.workload.empty()) usage_fail("--workload required");
+  if (o.n < 1) usage_fail("--n must be >= 1");
+  return o;
+}
+
+Matrix<std::int64_t> random_matrix(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<std::int64_t> m(n, n, 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m(i, j) = rng.next_in(0, 1000);
+  return m;
+}
+
+Matrix<std::int64_t> random_sparse_matrix(int n, std::int64_t nnz,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<std::int64_t> m(n, n, 0);
+  std::int64_t placed = 0;
+  while (placed < nnz) {
+    const int i =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const int j =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (m(i, j) != 0) continue;
+    m(i, j) = rng.next_in(1, 1000);
+    ++placed;
+  }
+  return m;
+}
+
+int g_failures = 0;
+
+void check_i64(std::int64_t got, std::int64_t want, const char* what,
+               int rank) {
+  if (got == want) return;
+  std::fprintf(stderr,
+               "cca_node[rank %d]: MISMATCH: %s: sharded %lld vs oracle "
+               "%lld\n",
+               rank, what, static_cast<long long>(got),
+               static_cast<long long>(want));
+  ++g_failures;
+}
+
+/// The deterministic TrafficStats fields (wall-clock telemetry excluded).
+void check_stats(const clique::TrafficStats& got,
+                 const clique::TrafficStats& want, int rank) {
+  check_i64(got.rounds, want.rounds, "rounds", rank);
+  check_i64(got.bound_rounds, want.bound_rounds, "bound_rounds", rank);
+  check_i64(got.supersteps, want.supersteps, "supersteps", rank);
+  check_i64(got.total_words, want.total_words, "total_words", rank);
+  check_i64(got.max_node_send, want.max_node_send, "max_node_send", rank);
+  check_i64(got.max_node_recv, want.max_node_recv, "max_node_recv", rank);
+  check_i64(got.schedule_hits, want.schedule_hits, "schedule_hits", rank);
+  check_i64(got.schedule_misses, want.schedule_misses, "schedule_misses",
+            rank);
+}
+
+void check_owned_rows(const Matrix<std::int64_t>& got,
+                      const Matrix<std::int64_t>& want,
+                      clique::NodeSpan own, int rank, const char* what) {
+  const int rows = std::min(own.end, got.rows());
+  for (int u = own.begin; u < rows; ++u)
+    for (int v = 0; v < got.cols(); ++v)
+      if (got(u, v) != want(u, v)) {
+        std::fprintf(stderr,
+                     "cca_node[rank %d]: MISMATCH: %s(%d,%d): sharded %lld "
+                     "vs oracle %lld\n",
+                     rank, what, u, v, static_cast<long long>(got(u, v)),
+                     static_cast<long long>(want(u, v)));
+        ++g_failures;
+        return;
+      }
+}
+
+/// mm / mm_sparse: explicit Network at clique size n.
+void run_mm(const Options& o, bool sparse,
+            const std::shared_ptr<clique::SocketMesh>& mesh) {
+  const IntRing ring;
+  const I64Codec codec;
+  const auto a = sparse ? random_sparse_matrix(o.n, 2 * o.n, o.seed)
+                        : random_matrix(o.n, o.seed);
+  const auto b = sparse ? random_sparse_matrix(o.n, 2 * o.n, o.seed + 1)
+                        : random_matrix(o.n, o.seed + 1);
+
+  // Oracle: single-process arena, no ambient scope.
+  clique::Network oracle_net(o.n);
+  const auto oracle = sparse
+                          ? mm_semiring_sparse(oracle_net, ring, codec, a, b)
+                          : mm_semiring_3d(oracle_net, ring, codec, a, b);
+
+  // Sharded run over the mesh.
+  clique::TransportScope scope(clique::SocketTransport::factory(mesh));
+  clique::Network net(o.n);
+  const auto got = sparse ? mm_semiring_sparse(net, ring, codec, a, b)
+                          : mm_semiring_3d(net, ring, codec, a, b);
+
+  check_owned_rows(got, oracle, net.owned(), o.rank, "product");
+  check_stats(net.stats(), oracle_net.stats(), o.rank);
+}
+
+/// apsp: the Network is constructed INSIDE apsp_semiring — exactly the
+/// path TransportScope exists for. Sharded runs must fix the 3D engine.
+void run_apsp(const Options& o,
+              const std::shared_ptr<clique::SocketMesh>& mesh) {
+  const auto g = random_weighted_graph(o.n, 0.35, 1, 50, o.seed);
+  const auto oracle = apsp_semiring(g, MmKind::Semiring3D);
+
+  clique::TransportScope scope(clique::SocketTransport::factory(mesh));
+  const auto got = apsp_semiring(g, MmKind::Semiring3D);
+
+  const auto own = clique::shard_span(semiring_clique_size(o.n), o.nprocs,
+                                      o.rank);
+  check_owned_rows(got.dist, oracle.dist, own, o.rank, "dist");
+  check_stats(got.traffic, oracle.traffic, o.rank);
+}
+
+/// triangles: single-count workload; the count is derived from a synced
+/// broadcast, so every rank must hold the oracle's exact value.
+void run_triangles(const Options& o,
+                   const std::shared_ptr<clique::SocketMesh>& mesh) {
+  const auto g = gnp_random_graph(o.n, 0.4, o.seed);
+  const auto oracle = count_triangles_cc(g, MmKind::Semiring3D);
+
+  clique::TransportScope scope(clique::SocketTransport::factory(mesh));
+  const auto got = count_triangles_cc(g, MmKind::Semiring3D);
+
+  check_i64(got.count, oracle.count, "triangle count", o.rank);
+  check_stats(got.traffic, oracle.traffic, o.rank);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  try {
+    const auto mesh =
+        clique::SocketMesh::connect_tcp(o.rank, o.nprocs, o.port_base);
+    if (o.workload == "mm")
+      run_mm(o, /*sparse=*/false, mesh);
+    else if (o.workload == "mm_sparse")
+      run_mm(o, /*sparse=*/true, mesh);
+    else if (o.workload == "apsp")
+      run_apsp(o, mesh);
+    else if (o.workload == "triangles")
+      run_triangles(o, mesh);
+    else
+      usage_fail("unknown --workload");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cca_node[rank %d]: FATAL: %s\n", o.rank, e.what());
+    return 3;
+  }
+  if (g_failures > 0) {
+    std::fprintf(stderr, "cca_node[rank %d]: FAILED (%d mismatches)\n",
+                 o.rank, g_failures);
+    return 1;
+  }
+  std::printf("cca_node[rank %d]: OK (%s n=%d P=%d)\n", o.rank,
+              o.workload.c_str(), o.n, o.nprocs);
+  return 0;
+}

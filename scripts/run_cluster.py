@@ -73,7 +73,17 @@ def main():
     ap.add_argument(
         "--workload",
         required=True,
-        choices=["mm", "mm_sparse", "apsp", "triangles"],
+        choices=[
+            "mm",
+            "mm_sparse",
+            "apsp",
+            "apsp_auto",
+            "apsp_batch",
+            "seidel",
+            "witness",
+            "triangles",
+            "fault_mix",
+        ],
     )
     ap.add_argument("--n", type=int, required=True, help="clique size n")
     ap.add_argument("--seed", type=int, default=1)
@@ -107,21 +117,46 @@ def main():
             "--n", str(args.n),
             "--seed", str(args.seed),
         ]
-        procs.append(subprocess.Popen(cmd))
+        # Capture stderr so a failing rank's diagnostics (mismatch reports,
+        # typed ownership errors) can be surfaced with its exit status
+        # instead of interleaving silently with the other ranks.
+        procs.append(subprocess.Popen(cmd, stderr=subprocess.PIPE, text=True))
+
+    def reap_all():
+        for p in procs:
+            if p.poll() is None:
+                p.kill()
+        for p in procs:
+            try:
+                p.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                pass
 
     failed = []
     try:
         for rank, p in enumerate(procs):
-            rc = p.wait(timeout=args.timeout)
-            if rc != 0:
-                failed.append((rank, rc))
-    except subprocess.TimeoutExpired:
-        for p in procs:
-            if p.poll() is None:
-                p.kill()
+            try:
+                _, err = p.communicate(timeout=args.timeout)
+            except subprocess.TimeoutExpired:
+                reap_all()
+                sys.exit(
+                    f"run_cluster: TIMEOUT after {args.timeout:.0f}s "
+                    f"(workload={args.workload} n={args.n} P={args.nprocs})"
+                )
+            if p.returncode != 0:
+                failed.append((rank, p.returncode))
+                if err:
+                    sys.stderr.write(
+                        f"--- rank {rank} stderr (exit {p.returncode}) ---\n"
+                    )
+                    sys.stderr.write(err)
+    except KeyboardInterrupt:
+        # ^C mid-run: kill and reap every straggler child so no rank is
+        # left holding its listen port or spinning in the mesh handshake.
+        reap_all()
         sys.exit(
-            f"run_cluster: TIMEOUT after {args.timeout:.0f}s "
-            f"(workload={args.workload} n={args.n} P={args.nprocs})"
+            f"run_cluster: interrupted (workload={args.workload} "
+            f"n={args.n} P={args.nprocs}); all ranks reaped"
         )
 
     if failed:

@@ -189,7 +189,22 @@ void Network::deliver_hardened(Router router) {
   const FaultPlan& plan = *fault_plan_;
   const auto t0 = wall_now_ns();
   const std::int64_t tick = fault_clock_++;
+  // All fault accounting is planned from the GLOBAL staged metadata: coin
+  // verdicts and wire volumes are pure functions of (src, dst, words) and
+  // the plan's counters, so every rank of a sharded transport draws the
+  // identical verdicts and charges the identical rounds — bit-identical to
+  // the single-process oracle. Payloads enter only through the corruption
+  // detection proof below, which needs the staged bits and therefore runs
+  // on the frame's owning rank alone.
+  const auto meta = transport_->staged_meta();
   const auto snap = transport_->staged_snapshot();
+  // snap is the (owned-source) subsequence of meta in the same canonical
+  // order; match them up so each frame's payload — where locally present —
+  // is at hand for the corruption check.
+  std::vector<const StagedPair*> payload_of(meta.size(), nullptr);
+  for (std::size_t i = 0, j = 0; i < meta.size() && j < snap.size(); ++i)
+    if (snap[j].src == meta[i].src && snap[j].dst == meta[i].dst)
+      payload_of[i] = &snap[j++];
 
   // Per-superstep accumulators, committed in one place whether the
   // superstep succeeds or aborts — failure paths are charged for real.
@@ -225,8 +240,8 @@ void Network::deliver_hardened(Router router) {
   if (node_dead_at(tick)) {
     const NodeId dead = plan.crash_node;
     bool involved = false;
-    for (const auto& p : snap)
-      if (p.src == dead || p.dst == dead) {
+    for (const auto& d : meta)
+      if (d.src == dead || d.dst == dead) {
         involved = true;
         break;
       }
@@ -234,12 +249,12 @@ void Network::deliver_hardened(Router router) {
       std::vector<Demand> demands;
       std::vector<std::int64_t> sent(static_cast<std::size_t>(n_), 0);
       std::vector<std::int64_t> recv(static_cast<std::size_t>(n_), 0);
-      for (const auto& p : snap) {
-        if (p.src == dead) continue;
-        const auto w = static_cast<std::int64_t>(p.words.size()) + 1;
-        demands.push_back({p.src, p.dst, w});
-        sent[static_cast<std::size_t>(p.src)] += w;
-        recv[static_cast<std::size_t>(p.dst)] += w;
+      for (const auto& d : meta) {
+        if (d.src == dead) continue;
+        const auto w = d.words + 1;
+        demands.push_back({d.src, d.dst, w});
+        sent[static_cast<std::size_t>(d.src)] += w;
+        recv[static_cast<std::size_t>(d.dst)] += w;
         total += w;
       }
       rounds = route_rounds(router, demands) + 1;  // +1: the verify round
@@ -263,37 +278,42 @@ void Network::deliver_hardened(Router router) {
   // frame and is detected with CERTAINTY: splitmix64 is a bijection, so
   // the absorb chain maps any single-bit difference to a different final
   // checksum — which is exactly what justifies handing the pristine staged
-  // bits to the transport once every frame verifies.
-  auto attempt_frame = [&](const StagedPair& p, int attempt,
-                           std::int64_t& wire_words) -> bool {
-    const auto len = p.words.size();
-    const auto w = static_cast<std::int64_t>(len) + 1;
+  // bits to the transport once every frame verifies. The verdict itself is
+  // payload-independent; the detection proof runs only where the payload
+  // is locally staged (every rank on arena, the owning rank under sockets).
+  auto attempt_frame = [&](const Demand& d, const StagedPair* payload,
+                           int attempt, std::int64_t& wire_words) -> bool {
+    const auto len = static_cast<std::size_t>(d.words);
+    const auto w = d.words + 1;
     wire_words = w;
-    if (fault_coin(fault_hash(plan.seed, tick, attempt, p.src, p.dst,
+    if (fault_coin(fault_hash(plan.seed, tick, attempt, d.src, d.dst,
                               FaultKind::Duplicate),
                    plan.duplicate_prob)) {
       wire_words += w;
       ++injected;
     }
-    if (fault_coin(fault_hash(plan.seed, tick, attempt, p.src, p.dst,
+    if (fault_coin(fault_hash(plan.seed, tick, attempt, d.src, d.dst,
                               FaultKind::Drop),
                    plan.drop_prob)) {
       ++injected;
       return false;  // absence is detected by the expected-frame protocol
     }
-    const auto corrupt_hash = fault_hash(plan.seed, tick, attempt, p.src,
-                                         p.dst, FaultKind::Corrupt);
+    const auto corrupt_hash = fault_hash(plan.seed, tick, attempt, d.src,
+                                         d.dst, FaultKind::Corrupt);
     if (!fault_coin(corrupt_hash, plan.corrupt_prob)) return true;
     ++injected;
-    std::vector<Word> frame(p.words.begin(), p.words.end());
-    frame.push_back(frame_checksum(p.src, p.dst, p.words));
-    const auto bit = splitmix64(corrupt_hash) %
-                     (static_cast<std::uint64_t>(frame.size()) * 64);
-    frame[bit / 64] ^= Word{1} << (bit % 64);
-    const bool detected =
-        frame_checksum(p.src, p.dst,
-                       std::span<const Word>(frame.data(), len)) != frame[len];
-    CCA_ASSERT(detected);  // provable: the absorb chain is injective per bit
+    if (payload != nullptr) {
+      std::vector<Word> frame(payload->words.begin(), payload->words.end());
+      frame.push_back(frame_checksum(d.src, d.dst, payload->words));
+      const auto bit = splitmix64(corrupt_hash) %
+                       (static_cast<std::uint64_t>(frame.size()) * 64);
+      frame[bit / 64] ^= Word{1} << (bit % 64);
+      const bool detected =
+          frame_checksum(d.src, d.dst,
+                         std::span<const Word>(frame.data(), len)) !=
+          frame[len];
+      CCA_ASSERT(detected);  // provable: the absorb chain is injective per bit
+    }
     return false;
   };
 
@@ -302,18 +322,18 @@ void Network::deliver_hardened(Router router) {
   std::vector<std::int64_t> sent(static_cast<std::size_t>(n_), 0);
   std::vector<std::int64_t> recv(static_cast<std::size_t>(n_), 0);
   std::vector<std::size_t> failed;
-  for (std::size_t i = 0; i < snap.size(); ++i) {
+  for (std::size_t i = 0; i < meta.size(); ++i) {
     std::int64_t w = 0;
-    const bool ok = attempt_frame(snap[i], 0, w);
-    demands.push_back({snap[i].src, snap[i].dst, w});
-    sent[static_cast<std::size_t>(snap[i].src)] += w;
-    recv[static_cast<std::size_t>(snap[i].dst)] += w;
+    const bool ok = attempt_frame(meta[i], payload_of[i], 0, w);
+    demands.push_back({meta[i].src, meta[i].dst, w});
+    sent[static_cast<std::size_t>(meta[i].src)] += w;
+    recv[static_cast<std::size_t>(meta[i].dst)] += w;
     total += w;
     if (!ok) failed.push_back(i);
   }
   rounds = route_rounds(router, demands);
   bound = volume_bound_rounds(sent, recv);
-  if (!snap.empty()) {
+  if (!meta.empty()) {
     rounds += 1;  // verification/ack round (explicit protocol charge)
     bound += 1;
     // Straggler: the synchronous barrier waits for the slowest node, so
@@ -350,10 +370,10 @@ void Network::deliver_hardened(Router router) {
     std::vector<std::size_t> still_failed;
     for (const auto i : failed) {
       std::int64_t w = 0;
-      const bool ok = attempt_frame(snap[i], attempt, w);
-      rdemands.push_back({snap[i].src, snap[i].dst, w});
-      rsent[static_cast<std::size_t>(snap[i].src)] += w;
-      rrecv[static_cast<std::size_t>(snap[i].dst)] += w;
+      const bool ok = attempt_frame(meta[i], payload_of[i], attempt, w);
+      rdemands.push_back({meta[i].src, meta[i].dst, w});
+      rsent[static_cast<std::size_t>(meta[i].src)] += w;
+      rrecv[static_cast<std::size_t>(meta[i].dst)] += w;
       rtotal += w;
       if (!ok) still_failed.push_back(i);
     }
@@ -388,10 +408,13 @@ std::vector<std::uint8_t> Network::liveness_vote() {
 }
 
 void Network::install_faults(const FaultPlan& plan) {
-  CCA_VALIDATE(owns_all(),
-               "fault plans require full node ownership: the hardened "
-               "deliver snapshots and replays GLOBAL staged state; fault "
-               "semantics under sharded transports are future work");
+  CCA_VALIDATE(plan.crash_node < 0 || owns_all(),
+               "crash faults require full node ownership: recovering a "
+               "crashed superstep replays the GLOBAL staged payloads, which "
+               "a sharded transport holds only on their owning ranks. "
+               "Drop/corrupt/duplicate/straggler plans compose with sharded "
+               "transports — their verdicts and charges are planned from "
+               "staged_meta(), which is common knowledge on every rank");
   const auto prob_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
   CCA_VALIDATE(prob_ok(plan.drop_prob) && prob_ok(plan.corrupt_prob) &&
                    prob_ok(plan.duplicate_prob) &&

@@ -40,6 +40,7 @@
 #include "clique/routing.hpp"
 #include "clique/transport.hpp"
 #include "util/analysis.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace cca::clique {
@@ -283,9 +284,13 @@ class Network {
   /// Install a deterministic fault plan; every subsequent deliver() runs
   /// the hardened integrity protocol. Resets the fault clock. Throws
   /// cca::InvalidArgument on malformed plans (probabilities outside [0,1],
-  /// crash_node out of range, non-positive retransmission budget) and on
-  /// sharded transports (the hardened path snapshots/replays GLOBAL staged
-  /// state — fault semantics under real sockets are future work).
+  /// crash_node out of range, non-positive retransmission budget).
+  /// Drop/corrupt/duplicate/straggler plans compose with sharded
+  /// transports: the hardened path plans from Transport::staged_meta(),
+  /// which is common knowledge on every rank, so verdicts and charges stay
+  /// bit-identical to the single-process oracle. Crash plans
+  /// (crash_node >= 0) still require full ownership — recovering a crashed
+  /// superstep replays the GLOBAL staged payloads.
   void install_faults(const FaultPlan& plan);
 
   /// Remove the plan; deliver() returns to the exact fault-free path.
@@ -380,6 +385,25 @@ class Network {
   // CCA_CHECKED builds); no accounting state ever depends on it.
   analysis::StagingTracker tracker_;
 };
+
+/// Typed guard for the few engines whose CENSUS genuinely reads non-owned
+/// rows (the bilinear fast path's global demand shape, the naive
+/// broadcast's all-to-all gather) and which therefore cannot run under a
+/// sharded transport. Everything else in the engine layer is
+/// ownership-generic — keep this helper only at those surviving sites
+/// (each tagged lint:allow for the contract linter), never as a blanket
+/// entry guard. `alternative` names the sharded route the caller should
+/// take instead.
+inline void require_full_ownership(const Network& net, const char* engine,
+                                   const char* alternative) {
+  if (net.owns_all()) return;
+  char msg[256];
+  std::snprintf(msg, sizeof msg,
+                "%s requires full node ownership (its census reads non-owned "
+                "rows); %s",
+                engine, alternative);
+  throw InvalidArgument(msg);
+}
 
 /// Measures the rounds consumed by a scoped region of an algorithm.
 class RoundMeter {

@@ -382,6 +382,48 @@ DeliverySummary SocketTransport::deliver() {
   return sum;
 }
 
+std::vector<Demand> SocketTransport::staged_meta() {
+  // Non-destructive mirror of deliver()'s step-1 count all-gather: the same
+  // owned-source-row exchange, but into local scratch — staged state,
+  // pair_words_, and all generations stay untouched. Every rank derives the
+  // bit-identical canonical demand list from the identical global counts.
+  // Callers (the hardened fault path) invoke this in SPMD lockstep, so the
+  // extra per-peer frame pair consumes sequence numbers identically on all
+  // ranks.
+  check_phase_change_serial("staged_meta");
+  const int P = mesh_->nprocs();
+  const int me = mesh_->rank();
+  const auto nn = static_cast<std::size_t>(n());
+  std::vector<std::size_t> counts(nn * nn, 0);
+  for (NodeId src = own_.begin; src < own_.end; ++src) {
+    const auto base = static_cast<std::size_t>(src) * nn;
+    for (const auto& seg : out_segs_[static_cast<std::size_t>(src)])
+      counts[base + static_cast<std::size_t>(seg.dst)] += seg.len;
+  }
+  for (int q = 0; q < P; ++q) {
+    if (q == me) continue;
+    const auto qs = shard_span(n(), P, q);
+    const auto mine = std::span<std::size_t>(
+        counts.data() + static_cast<std::size_t>(own_.begin) * nn,
+        static_cast<std::size_t>(own_.size()) * nn);
+    const auto theirs = std::span<std::size_t>(
+        counts.data() + static_cast<std::size_t>(qs.begin) * nn,
+        static_cast<std::size_t>(qs.size()) * nn);
+    mesh_->exchange(q, std::as_bytes(mine), std::as_writable_bytes(theirs));
+  }
+  std::vector<Demand> out;
+  for (int src = 0; src < n(); ++src) {
+    const auto base = static_cast<std::size_t>(src) * nn;
+    for (int dst = 0; dst < n(); ++dst) {
+      const auto words = static_cast<std::int64_t>(
+          counts[base + static_cast<std::size_t>(dst)]);
+      if (words == 0 || src == dst) continue;
+      out.push_back({src, dst, words});
+    }
+  }
+  return out;
+}
+
 void SocketTransport::allgather_blocks(std::span<Word> data,
                                        std::span<const std::size_t> offsets) {
   CCA_EXPECTS(static_cast<int>(offsets.size()) == n() + 1);

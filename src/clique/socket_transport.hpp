@@ -28,8 +28,14 @@
 // a bug, not a race.
 //
 // Scope: staged_snapshot() and discard_staged() act on LOCAL staged state
-// only, and FaultPlan installation requires full ownership (Network
-// validates) — fault semantics under real sockets are future work.
+// only; staged_meta() is the globally consistent view (a non-destructive
+// count all-gather mirroring deliver()'s step 1). The hardened fault path
+// plans entirely from staged_meta(), so FaultPlan drop/corrupt/duplicate/
+// straggler semantics compose with this backend — every rank draws the
+// identical coins and charges the identical retransmissions. Crash
+// recovery still requires full ownership (Network validates): replaying a
+// crashed superstep needs the GLOBAL staged payloads, which live on their
+// owning ranks.
 #pragma once
 
 #include <cstddef>
@@ -95,6 +101,8 @@ class SocketTransport final : public ArenaTransport {
   [[nodiscard]] NodeSpan owned() const noexcept override { return own_; }
 
   DeliverySummary deliver() override;
+
+  [[nodiscard]] std::vector<Demand> staged_meta() override;
 
   void allgather_blocks(std::span<Word> data,
                         std::span<const std::size_t> offsets) override;

@@ -140,6 +140,26 @@ std::vector<StagedPair> ArenaTransport::staged_snapshot() const {
   return out;
 }
 
+std::vector<Demand> ArenaTransport::staged_meta() {
+  // Lengths-only mirror of staged_snapshot(): aggregate each source's
+  // destination runs, emit dst-ascending under the ascending source loop.
+  // All staged state is local here, so this is the global list already.
+  std::vector<Demand> out;
+  std::vector<std::int64_t> by_dst(static_cast<std::size_t>(n_), 0);
+  for (int src = 0; src < n_; ++src) {
+    for (const auto& seg : out_segs_[static_cast<std::size_t>(src)])
+      by_dst[static_cast<std::size_t>(seg.dst)] +=
+          static_cast<std::int64_t>(seg.len);
+    for (int dst = 0; dst < n_; ++dst) {
+      auto& words = by_dst[static_cast<std::size_t>(dst)];
+      if (words == 0) continue;
+      if (dst != src) out.push_back({src, dst, words});
+      words = 0;
+    }
+  }
+  return out;
+}
+
 void ArenaTransport::discard_staged() {
   check_phase_change_serial("discard_staged");
   for (int src = 0; src < n_; ++src) {

@@ -107,8 +107,26 @@ class Transport {
                                               std::size_t nwords) = 0;
 
   /// Copy of every currently staged off-diagonal nonempty pair, canonical
-  /// (src asc, dst asc) order. Does not consume the staged state.
+  /// (src asc, dst asc) order. Does not consume the staged state. Sharded
+  /// backends see LOCAL staged state only (payloads of non-owned sources
+  /// live on their ranks) — globally consistent metadata comes from
+  /// staged_meta().
   [[nodiscard]] virtual std::vector<StagedPair> staged_snapshot() const = 0;
+
+  /// The GLOBAL staged metadata: one {src, dst, words} demand per nonempty
+  /// off-diagonal staged pair across all ranks, canonical (src asc, dst
+  /// asc) order — the skeleton of staged_snapshot() without payloads, and
+  /// non-destructive. Sharded backends gather peer counts so every rank
+  /// returns the bit-identical list. The hardened (fault-injecting) deliver
+  /// path plans from this: fault coins and retransmission charges are pure
+  /// functions of (src, dst, words) and the plan's counters, so every rank
+  /// draws identical verdicts without ever seeing non-owned payloads.
+  [[nodiscard]] virtual std::vector<Demand> staged_meta() {
+    std::vector<Demand> out;
+    for (const auto& p : staged_snapshot())
+      out.push_back({p.src, p.dst, static_cast<std::int64_t>(p.words.size())});
+    return out;
+  }
 
   /// Drop all staged words without delivering (crash-unwind path). Bumps
   /// every per-source stage generation.
@@ -196,6 +214,7 @@ class ArenaTransport : public Transport {
   [[nodiscard]] std::span<Word> stage(NodeId src, NodeId dst,
                                       std::size_t nwords) override;
   [[nodiscard]] std::vector<StagedPair> staged_snapshot() const override;
+  [[nodiscard]] std::vector<Demand> staged_meta() override;
   void discard_staged() override;
   DeliverySummary deliver() override;
   [[nodiscard]] std::span<const Word> inbox(NodeId dst,

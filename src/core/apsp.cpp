@@ -43,8 +43,13 @@ int squaring_iterations(int n) {
 /// (regression in test_apsp.cpp).
 std::int64_t broadcast_max_finite(clique::Network& net,
                                   const Matrix<std::int64_t>& d, int n) {
+  // Each rank contributes only its OWNED rows' maxima (the only
+  // authoritative ones under sharding; non-owned slots stay 0, inert in
+  // the fold) — the broadcast then makes the global maximum common
+  // knowledge on every rank.
+  const clique::NodeSpan own = net.owned();
   std::vector<clique::Word> words(static_cast<std::size_t>(net.n()), 0);
-  for (int u = 0; u < n; ++u) {
+  for (int u = own.begin; u < std::min(own.end, n); ++u) {
     std::int64_t row_max = 0;
     for (int v = 0; v < d.cols(); ++v)
       if (d(u, v) < kInf) {
@@ -58,6 +63,37 @@ std::int64_t broadcast_max_finite(clique::Network& net,
   for (const auto w : all)
     best = std::max(best, static_cast<std::int64_t>(w));
   return best;
+}
+
+/// Re-replicates a row-distributed big x big iterate: each rank packs its
+/// OWNED rows and the allgather rebuilds the non-owned ones, after which
+/// every rank holds the identical matrix (no-op in-process). Seidel's
+/// recursion reads full iterates at every level — stability scans, the
+/// degree column sums, and the Lemma 17 parity test — so its products'
+/// outputs are repaired to common knowledge right after each multiply
+/// instead of rewriting every scan to owned ranges.
+void replicate_rows(clique::Network& net, Matrix<std::int64_t>& m) {
+  if (net.owns_all()) return;
+  const int big = net.n();
+  CCA_EXPECTS(m.rows() == big && m.cols() == big);
+  const clique::NodeSpan own = net.owned();
+  const auto cols = static_cast<std::size_t>(big);
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(big) + 1, 0);
+  for (int v = 0; v < big; ++v)
+    offsets[static_cast<std::size_t>(v) + 1] =
+        offsets[static_cast<std::size_t>(v)] + cols;
+  std::vector<clique::Word> data(offsets[static_cast<std::size_t>(big)], 0);
+  for (int v = own.begin; v < own.end; ++v)
+    for (std::size_t j = 0; j < cols; ++j)
+      data[offsets[static_cast<std::size_t>(v)] + j] =
+          static_cast<clique::Word>(m(v, static_cast<int>(j)));
+  net.allgather_node_blocks(data, offsets);
+  for (int v = 0; v < big; ++v) {
+    if (own.contains(v)) continue;
+    for (std::size_t j = 0; j < cols; ++j)
+      m(v, static_cast<int>(j)) = static_cast<std::int64_t>(
+          data[offsets[static_cast<std::size_t>(v)] + j]);
+  }
 }
 
 ApspOutcome make_trivial(const Graph& g) {
@@ -80,14 +116,14 @@ ApspOutcome apsp_semiring(const Graph& g, MmKind kind) {
   const int big = semiring_clique_size(n);
   clique::Network net(big);
   // Sharded execution (an ambient TransportScope made the internal Network
-  // a proper shard): Auto dispatch is not available — its nnz census reads
-  // the full CURRENT iterate, whose non-owned rows are not authoritative
-  // on this rank after the first squaring. The fixed 3D engine reads and
-  // writes only owned rows, so the iteration is self-consistent; on return
-  // only the owned rows of dist/next_hop are authoritative.
+  // a proper shard): both engines read and write only owned rows, so the
+  // iteration is self-consistent — Auto's nnz census announces owned rows
+  // and rebuilds the non-owned pattern rows as common knowledge, so every
+  // rank reaches the identical dispatch (non-owned iterate rows are the
+  // semiring zero after the first squaring, exactly what the census
+  // repairs). On return only the owned rows of dist/next_hop are
+  // authoritative.
   const clique::NodeSpan own = net.owned();
-  CCA_VALIDATE(net.owns_all() || kind == MmKind::Semiring3D,
-               "sharded apsp_semiring requires MmKind::Semiring3D");
 
   auto d = pad_matrix(g.weight_matrix(), big, kInf);
   Matrix<int> next(n, n, -1);
@@ -175,10 +211,12 @@ ApspBatchOutcome apsp_semiring_batch(std::span<const Graph> gs,
 
   const int big = semiring_clique_size(max_n);
   clique::Network net(big);
-  // Not yet sharded: the batched scan folds every graph's full iterate.
-  CCA_VALIDATE(net.owns_all(),
-               "apsp_semiring_batch requires full node ownership; run "
-               "apsp_semiring per graph for sharded runs");
+  // Sharded execution mirrors apsp_semiring: each rank scans only its
+  // owned rows of every member's iterate, and the convergence vote below
+  // derives its exit from the BROADCAST flags, so every rank exits the
+  // same iteration. On return only the owned rows of each dist/next_hop
+  // are authoritative.
+  const clique::NodeSpan own = net.owned();
 
   // Padded per-graph state; graphs smaller than max_n simply carry inert
   // infinite rows. Extra squarings past a small graph's own log n are
@@ -215,14 +253,12 @@ ApspBatchOutcome apsp_semiring_batch(std::span<const Graph> gs,
                        std::span<const Matrix<std::int64_t>>(d));
     });
     std::vector<clique::Word> improved_row(static_cast<std::size_t>(big), 0);
-    bool improved = false;
     for (std::size_t b = 0; b < batch; ++b) {
       const int n = gs[b].n();
       const auto& [d2, q] = sq[b];
-      for (int u = 0; u < n; ++u)
+      for (int u = own.begin; u < std::min(own.end, n); ++u)
         for (int v = 0; v < n; ++v) {
           if (d2(u, v) >= d[b](u, v)) continue;
-          improved = true;
           improved_row[static_cast<std::size_t>(u)] = 1;
           const int w = q(u, v);
           CCA_ASSERT(w >= 0 && w < n && w != u);
@@ -236,7 +272,12 @@ ApspBatchOutcome apsp_semiring_batch(std::span<const Graph> gs,
     // unchanged (min-plus squaring is idempotent past convergence), which
     // is the same shared-iteration-count argument as the padding above —
     // so one vote word per node stays correct for early-exiting members.
-    (void)clique::broadcast_all(net, std::move(improved_row));
+    // The exit derives from the BROADCAST flags (not the local scan), so
+    // every rank of a sharded run exits the same iteration.
+    improved_row = clique::broadcast_all(net, std::move(improved_row));
+    const bool improved =
+        std::any_of(improved_row.begin(), improved_row.end(),
+                    [](clique::Word f) { return f != 0; });
     if (!improved) break;
   }
 
@@ -259,8 +300,11 @@ ApspOutcome apsp_seidel(const Graph& g, MmKind kind, int depth) {
   const IntMmEngine engine(kind, n, depth);
   const int big = engine.clique_n();
   clique::Network net(big);
-  // Not yet sharded: the recursion reads full iterates at every level.
-  CCA_VALIDATE(net.owns_all(), "apsp_seidel requires full node ownership");
+  // Sharded execution: every level's product output is re-replicated via
+  // replicate_rows (see above), so the recursion's full-iterate scans stay
+  // valid on every rank and the stability / parity decisions are common
+  // knowledge. In-process the replication is a no-op and the level
+  // structure is byte-identical to the historical run.
 
   // Recursive Seidel over 0/1 adjacency matrices (padded nodes isolated).
   // Distances use kInf for disconnected pairs; squared-graph stabilisation
@@ -275,6 +319,7 @@ ApspOutcome apsp_seidel(const Graph& g, MmKind kind, int depth) {
 
     // Adjacency of G^2: A2 = A*A over Z, then boolean OR with A (local).
     auto a2 = engine.multiply(net, a, a, &ctx);
+    replicate_rows(net, a2);
     Matrix<std::int64_t> c(big, big, 0);
     bool stable = true;
     for (int i = 0; i < big; ++i)
@@ -306,7 +351,8 @@ ApspOutcome apsp_seidel(const Graph& g, MmKind kind, int depth) {
     for (int i = 0; i < big; ++i)
       for (int j = 0; j < big; ++j)
         if (d2(i, j) < kInf) d2z(i, j) = d2(i, j);
-    const auto s = engine.multiply(net, d2z, a, &ctx);
+    auto s = engine.multiply(net, d2z, a, &ctx);
+    replicate_rows(net, s);
 
     // One broadcast round teaches every node all degrees of this level.
     net.charge_rounds(1);
@@ -384,8 +430,11 @@ ApspOutcome apsp_bounded(const Graph& g, std::int64_t m_bound, int depth) {
       depth >= 0 ? plan_fast_mm(n, depth) : plan_fast_mm_auto(n);
   const auto alg = tensor_power(strassen_algorithm(), plan.depth);
   clique::Network net(plan.clique_n);
-  // Rides the bilinear engine, which is full-ownership only.
-  CCA_VALIDATE(net.owns_all(), "apsp_bounded requires full node ownership");
+  // Sharded execution rides the nnz-adaptive dispatcher inside
+  // dp_ring_embedded (the ctx below routes every embedded product through
+  // it), which drops the full-ownership bilinear candidate when sharded;
+  // on return only the owned rows of dist are authoritative (the clamp is
+  // elementwise, so garbage non-owned rows stay inert).
 
   const auto w0 = pad_matrix(g.weight_matrix(), plan.clique_n, kInf);
   MmDispatchContext ctx;
@@ -414,9 +463,12 @@ ApspOutcome apsp_small_diameter(const Graph& g, int depth) {
   const auto alg = tensor_power(strassen_algorithm(), plan.depth);
   const int big = plan.clique_n;
   clique::Network net(big);
-  // Rides the bilinear engine, which is full-ownership only.
-  CCA_VALIDATE(net.owns_all(),
-               "apsp_small_diameter requires full node ownership");
+  // Genuinely full-ownership: both the reachability closure and the
+  // ctx-less bounded squarings run the fixed bilinear engine directly,
+  // and the completeness check scans the full distance iterate.
+  clique::require_full_ownership(
+      net, "apsp_small_diameter",
+      "use apsp_bounded or apsp_semiring for sharded runs");
 
   // (1) Reachability closure by Boolean squaring (entries clamped to 0/1).
   const IntRing ring;
@@ -469,8 +521,12 @@ ApspOutcome apsp_approx(const Graph& g, double delta, int depth) {
       depth >= 0 ? plan_fast_mm(n, depth) : plan_fast_mm_auto(n);
   const auto alg = tensor_power(strassen_algorithm(), plan.depth);
   clique::Network net(plan.clique_n);
-  // Rides the bilinear engine, which is full-ownership only.
-  CCA_VALIDATE(net.owns_all(), "apsp_approx requires full node ownership");
+  // Sharded execution mirrors apsp_bounded: the ctx routes every level's
+  // embedded product through the nnz-adaptive dispatcher (bilinear
+  // candidate dropped when sharded), broadcast_max_finite folds only owned
+  // rows, and dp_approx's admission scans skip infinite entries — so the
+  // garbage non-owned rows of the iterate never feed a decision. On return
+  // only the owned rows of dist are authoritative.
 
   auto d = pad_matrix(g.weight_matrix(), plan.clique_n, kInf);
   const int iters = squaring_iterations(n);
@@ -510,9 +566,12 @@ Matrix<int> routing_table_from_distances(const Graph& g,
 
   const int big = semiring_clique_size(n);
   clique::Network net(big);
-  // Not yet sharded: the verification scan reads the full product.
-  CCA_VALIDATE(net.owns_all(),
-               "routing_table_from_distances requires full node ownership");
+  // Sharded execution: `dist` must be replicated on every rank (it is an
+  // INPUT, exactly like the graph); the witness product then fills only
+  // owned rows, so the verification scan and the table below cover the
+  // owned range — on return only the owned rows of `next` are
+  // authoritative.
+  const clique::NodeSpan own = net.owned();
 
   // W with an infinite diagonal: the witness of min_w W(u,w) + D(w,v) is
   // then a genuine outgoing arc, i.e. a valid first hop.
@@ -522,7 +581,7 @@ Matrix<int> routing_table_from_distances(const Graph& g,
 
   const auto [prod, wit] = clique::with_peer_recovery(
       net, [&] { return dp_semiring_witness(net, w, d); });
-  for (int u = 0; u < n; ++u)
+  for (int u = own.begin; u < std::min(own.end, n); ++u)
     for (int v = 0; v < n; ++v) {
       if (u == v || dist(u, v) >= kInf) continue;
       // A true distance matrix satisfies prod == dist off the diagonal.

@@ -142,10 +142,11 @@ BatchCountOutcome count_triangles_cc_batch(std::span<const Graph> gs,
   const IntMmEngine engine(kind, max_n, depth);
   const int big = engine.clique_n();
   clique::Network net(big);
-  // Not yet sharded: the batched partial-sum fold reads node 0's inboxes.
-  CCA_VALIDATE(net.owns_all(),
-               "count_triangles_cc_batch requires full node ownership; run "
-               "count_triangles_cc per graph for sharded runs");
+  // Genuinely full-ownership: the batched partial-sum fold reads node 0's
+  // inboxes.
+  clique::require_full_ownership(
+      net, "count_triangles_cc_batch",
+      "run count_triangles_cc per graph for sharded runs");
 
   // All B squarings A_b^2 through shared supersteps on the one padded
   // clique (smaller graphs ride along with inert zero rows).

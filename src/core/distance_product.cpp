@@ -251,13 +251,16 @@ Matrix<std::int64_t> dp_ring_embedded(clique::Network& net,
   // ctx routes the embedded product through the nnz-adaptive dispatcher
   // (zero polynomials — infinite distances — are the ring zeros, so a
   // mostly-infinite iterate pays sparse rounds); ctx == nullptr keeps the
-  // historical fixed bilinear engine bit-identical.
+  // historical fixed bilinear engine bit-identical. The bilinear candidate
+  // is full-ownership-only, so a sharded dispatch drops it from the
+  // candidate set — every rank plans over the same candidates either way.
   const auto es = embed(s);
   const auto et = embed(t);
   const auto prod =
       ctx != nullptr
-          ? mm_semiring_auto(net, ring, codec, es, et, &alg, nullptr, nullptr,
-                             ctx)
+          ? mm_semiring_auto(net, ring, codec, es, et,
+                             net.owns_all() ? &alg : nullptr, nullptr,
+                             nullptr, ctx)
           : mm_fast_bilinear(net, ring, codec, alg, es, et);
 
   Matrix<std::int64_t> out(n, n, kInf);

@@ -73,9 +73,12 @@ Matrix<std::int64_t> IntMmEngine::multiply(clique::Network& net,
       case MmKind::Naive:
         return mm_naive_broadcast(net, ring, 1, a, b);
       case MmKind::Auto:
+        // The bilinear candidate is full-ownership-only (its coefficient
+        // combination reads every node's blocks), so a sharded dispatch
+        // drops it — every rank plans the same candidate set either way.
         return mm_semiring_auto(net, ring, codec, a, b,
-                                fast_ok_ ? &alg_ : nullptr, nullptr, nullptr,
-                                ctx);
+                                fast_ok_ && net.owns_all() ? &alg_ : nullptr,
+                                nullptr, nullptr, ctx);
     }
     return Matrix<std::int64_t>{};
   });
@@ -113,8 +116,10 @@ std::vector<Matrix<std::int64_t>> IntMmEngine::multiply_batch(
         return out;
       }
       case MmKind::Auto:
-        return mm_semiring_auto_batch(net, ring, codec, as, bs, ctx,
-                                      fast_ok_ ? &alg_ : nullptr);
+        // Same full-ownership gate on the bilinear candidate as multiply().
+        return mm_semiring_auto_batch(
+            net, ring, codec, as, bs, ctx,
+            fast_ok_ && net.owns_all() ? &alg_ : nullptr);
     }
     return std::vector<Matrix<std::int64_t>>{};
   });

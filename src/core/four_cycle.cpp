@@ -149,10 +149,10 @@ FourCycleOutcome detect_4cycle_const(const Graph& g) {
   if (n < 32) return detect_small(g);
 
   clique::Network net(n);
-  // Not yet sharded: the Lemma-12 tile relay stages from tile-local
-  // sources and reads every node's inbox.
-  CCA_VALIDATE(net.owns_all(),
-               "detect_4cycle_const requires full node ownership");
+  // Genuinely full-ownership: the Lemma-12 tile relay stages from
+  // tile-local sources and reads every node's inbox.
+  clique::require_full_ownership(net, "detect_4cycle_const",
+                                 "no sharded equivalent exists");
 
   // Round 1: every node broadcasts its degree.
   std::vector<clique::Word> deg_words(static_cast<std::size_t>(n));

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -446,11 +447,11 @@ template <Ring R, typename Codec>
     MmStepProfile* profile = nullptr) {
   using V = typename R::Value;
   const int n = net.n();
-  // Not yet sharded: the bilinear scheme's coefficient combination reads
-  // every node's received blocks. Run it on a full-ownership network.
-  CCA_VALIDATE(net.owns_all(),
-               "mm_fast_bilinear requires full node ownership; use the 3D "
-               "or sparse engine for sharded runs");
+  // Genuinely full-ownership: the bilinear scheme's coefficient
+  // combination reads every node's received blocks.
+  clique::require_full_ownership(
+      net, "mm_fast_bilinear",
+      "use the 3D or sparse engine for sharded runs");
   const std::size_t batch = as.size();
   CCA_EXPECTS(batch >= 1 && bs_in.size() == batch);
   for (std::size_t b = 0; b < batch; ++b) {
@@ -747,10 +748,12 @@ template <Semiring S>
   CCA_EXPECTS(s.rows() == n && s.cols() == n);
   CCA_EXPECTS(t.rows() == n && t.cols() == n);
   CCA_EXPECTS(words_per_entry >= 1);
-  // The broadcast is charged but never materialised, so a sharded rank
-  // cannot actually learn the non-owned rows — full ownership only.
-  CCA_VALIDATE(net.owns_all(),
-               "mm_naive_broadcast requires full node ownership");
+  // Genuinely full-ownership: the broadcast is charged but never
+  // materialised, so a sharded rank cannot learn the non-owned rows.
+  clique::require_full_ownership(
+      net, "mm_naive_broadcast",
+      "its broadcast is charged but never materialised; use a sharded "
+      "engine");
   if (n > 1)
     net.charge_rounds(2 * static_cast<std::int64_t>(n) * words_per_entry);
   return multiply(sr, s, t);
@@ -1076,28 +1079,22 @@ mm_semiring_sparse_staged_batch(
 
   // Gather: every off-diagonal nonzero S_b[i,k] travels to column holder k
   // as a bare value (the row index is the sender id) — except entries of
-  // columns whose T_b row is empty: the step-0 announcement already told
-  // every node those intermediates form no triple, so their values stay
-  // put (matching the plans' gather demands). Senders own distinct
+  // columns whose intermediate forms no triple: the step-0 announcement
+  // already told every node those values stay put (matching the plans'
+  // gather demands). The "k forms a triple" verdict comes from the PLAN
+  // (group_size[k] > 0 exactly when colS(k) and rowT(k) are both
+  // nonempty), which every rank derived from the announced census — never
+  // from a value scan of T rows a sharded rank does not hold. For a staged
+  // nonzero S_b[i,k], colS(k) contains i, so the plan verdict coincides
+  // with the historical "T row k alive" test. Senders own distinct
   // outboxes, so the staging loop is parallel-over-senders; a pair's
   // per-product values concatenate in product order.
-  std::vector<std::vector<std::uint8_t>> t_row_alive(
-      batch, std::vector<std::uint8_t>(static_cast<std::size_t>(n), 0));
-  parallel_for(0, n, [&](int k) {
-    for (std::size_t b = 0; b < batch; ++b) {
-      if (sts[b].trivial) continue;
-      for (int j = 0; j < n; ++j)
-        if (!(ts[b](k, j) == sr.zero())) {
-          t_row_alive[b][static_cast<std::size_t>(k)] = 1;
-          break;
-        }
-    }
-  });
   parallel_for(own.begin, own.end, [&](int i) {
     for (std::size_t b = 0; b < batch; ++b) {
       if (sts[b].trivial) continue;
       for (int k = 0; k < n; ++k) {
-        if (k == i || t_row_alive[b][static_cast<std::size_t>(k)] == 0 ||
+        if (k == i ||
+            sts[b].group_size[static_cast<std::size_t>(k)] == 0 ||
             ss[b](i, k) == sr.zero())
           continue;
         const auto msg = net.stage(i, k, vw1);
@@ -1431,18 +1428,86 @@ template <Semiring S, typename Codec>
   return (static_cast<clique::Word>(a) << 32) | static_cast<clique::Word>(b);
 }
 
+/// Under sharding: rebuild the non-owned rows of every (S, T) pattern pair
+/// from the announced per-row counts via the uncharged common-knowledge
+/// side channel (allgather_node_blocks), so every rank leaves holding the
+/// identical GLOBAL patterns — the plan, the hysteresis verdicts, and the
+/// gather conditions all derive from announced data, never from a value
+/// scan of rows this rank does not hold. `counts[b][v]` is product b's
+/// packed (nnzS, nnzT) announcement word for node v. No-op under full
+/// ownership (every rank already holds every row).
+inline void allgather_sparse_patterns(
+    clique::Network& net, std::span<SparsePattern> s_rows,
+    std::span<SparsePattern> t_rows,
+    std::span<const std::vector<clique::Word>> counts) {
+  if (net.owns_all()) return;
+  const int n = net.n();
+  const clique::NodeSpan own = net.owned();
+  const std::size_t batch = s_rows.size();
+  CCA_EXPECTS(t_rows.size() == batch && counts.size() == batch);
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    const auto vs = static_cast<std::size_t>(v);
+    std::size_t sz = 0;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto w = counts[b][vs];
+      sz += static_cast<std::size_t>(w >> 32) +
+            static_cast<std::size_t>(w & 0xffffffffULL);
+    }
+    offsets[vs + 1] = offsets[vs] + sz;
+  }
+  std::vector<clique::Word> data(offsets[static_cast<std::size_t>(n)], 0);
+  for (int v = own.begin; v < own.end; ++v) {
+    auto at = offsets[static_cast<std::size_t>(v)];
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (const int j : s_rows[b][static_cast<std::size_t>(v)])
+        data[at++] = static_cast<clique::Word>(j);
+      for (const int j : t_rows[b][static_cast<std::size_t>(v)])
+        data[at++] = static_cast<clique::Word>(j);
+    }
+    CCA_ASSERT(at == offsets[static_cast<std::size_t>(v) + 1]);
+  }
+  net.allgather_node_blocks(data, offsets);
+  for (int v = 0; v < n; ++v) {
+    if (own.contains(v)) continue;
+    const auto vs = static_cast<std::size_t>(v);
+    auto at = offsets[vs];
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto w = counts[b][vs];
+      auto& srow = s_rows[b][vs];
+      auto& trow = t_rows[b][vs];
+      srow.clear();
+      trow.clear();
+      for (std::size_t x = 0; x < static_cast<std::size_t>(w >> 32); ++x)
+        srow.push_back(static_cast<int>(data[at++]));
+      for (std::size_t x = 0;
+           x < static_cast<std::size_t>(w & 0xffffffffULL); ++x)
+        trow.push_back(static_cast<int>(data[at++]));
+    }
+  }
+}
+
 /// The 1-round per-row nnz announcement shared by mm_semiring_sparse and
 /// the Auto dispatcher: node v broadcasts (nnzS(row v), nnzT(row v)).
-inline void sparse_nnz_announce(clique::Network& net,
-                                const SparsePattern& s_rows,
-                                const SparsePattern& t_rows) {
+/// Under sharding each rank announces its OWNED rows' counts and then
+/// repairs the patterns' non-owned rows from the census
+/// (allgather_sparse_patterns), so the call returns with bit-identical
+/// global patterns on every rank. P=1 stages and charges byte-identical
+/// traffic to the historical full-ownership path.
+inline void sparse_nnz_announce(clique::Network& net, SparsePattern& s_rows,
+                                SparsePattern& t_rows) {
   const int n = net.n();
-  std::vector<clique::Word> packed(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v)
+  const clique::NodeSpan own = net.owned();
+  std::vector<clique::Word> packed(static_cast<std::size_t>(n), 0);
+  for (int v = own.begin; v < own.end; ++v)
     packed[static_cast<std::size_t>(v)] =
         pack_nnz_pair(s_rows[static_cast<std::size_t>(v)].size(),
                       t_rows[static_cast<std::size_t>(v)].size());
-  (void)clique::broadcast_all(net, std::move(packed));
+  const auto counts = clique::broadcast_all(net, std::move(packed));
+  allgather_sparse_patterns(net, std::span<SparsePattern>(&s_rows, 1),
+                            std::span<SparsePattern>(&t_rows, 1),
+                            std::span<const std::vector<clique::Word>>(
+                                &counts, 1));
 }
 
 }  // namespace detail
@@ -1465,8 +1530,8 @@ template <Semiring S, typename Codec>
     o(0, 0) = sr.mul(s(0, 0), t(0, 0));
     return o;
   }
-  const auto s_rows = sparse_pattern(sr, s);
-  const auto t_rows = sparse_pattern(sr, t);
+  auto s_rows = sparse_pattern(sr, s);
+  auto t_rows = sparse_pattern(sr, t);
   detail::sparse_nnz_announce(net, s_rows, t_rows);
   const auto st = build_sparse_mm_structure(
       n, s_rows, t_rows,
@@ -1547,6 +1612,48 @@ struct MmDispatchContext {
   std::vector<AutoEngineChoice> trace;  ///< per-call engine choices
 };
 
+namespace detail {
+/// Per-engine EWMA of the HOST wall time mm_semiring_auto spent costing
+/// that candidate (indexed by preference rank: Sparse, Semiring3D, Fast,
+/// Naive). 0 means "no history yet". Only maintained while the wall
+/// tiebreak is enabled; purely a host-side heuristic signal, never part of
+/// the round accounting.
+struct AutoWallEwma {
+  std::atomic<std::int64_t> ns[4];
+};
+inline AutoWallEwma& auto_wall_ewma() {
+  static AutoWallEwma e;
+  return e;
+}
+inline std::atomic<bool>& auto_wall_tiebreak_flag() {
+  static std::atomic<bool> on{false};
+  return on;
+}
+}  // namespace detail
+
+/// Opt-in (default OFF) wall-aware tiebreak for tiny-n ONE-SHOT multiplies
+/// (no MmDispatchContext). The round model cannot separate engines whose
+/// plans land within one round of each other at small n, but their host
+/// planning cost can differ by orders of magnitude (the Euler split on an
+/// n^2 demand list vs. a sparse merge). When enabled, mm_semiring_auto
+/// times each candidate it actually costs, keeps a per-engine EWMA, and —
+/// among candidates whose PLANNED rounds land within 1 of the winner —
+/// prefers the engine with the lower measured planning wall.
+///
+/// Strictly wall-only and rounds-gated: the tiebreak never overrides a
+/// strict rounds winner (a candidate more than one round worse is never
+/// picked), never runs under an MmDispatchContext (iterated workloads keep
+/// the deterministic hysteresis trace), and never runs on a sharded
+/// network (wall times are rank-local; ranks must reach identical picks).
+/// With the toggle off — the default — dispatch is byte-identical to the
+/// historical rounds-then-preference policy.
+inline void set_auto_wall_tiebreak(bool on) {
+  detail::auto_wall_tiebreak_flag().store(on, std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool auto_wall_tiebreak() {
+  return detail::auto_wall_tiebreak_flag().load(std::memory_order_relaxed);
+}
+
 /// nnz-adaptive dispatch: one real announcement round, then the engine with
 /// the fewest PLANNED rounds runs (plans are exact — they schedule the very
 /// demand lists the engines stage, through the net's schedule cache, so a
@@ -1612,8 +1719,8 @@ template <Semiring S, typename Codec>
     if (chosen != nullptr) *chosen = pick;
     return run_dense(pick);
   }
-  const auto s_rows = sparse_pattern(sr, s);
-  const auto t_rows = sparse_pattern(sr, t);
+  auto s_rows = sparse_pattern(sr, s);
+  auto t_rows = sparse_pattern(sr, t);
   detail::sparse_nnz_announce(net, s_rows, t_rows);
 
   // Candidate costs AFTER the shared announcement. Planning is free in the
@@ -1702,11 +1809,19 @@ template <Semiring S, typename Codec>
             [](const Cand& a, const Cand& b) {
               return a.lb != b.lb ? a.lb < b.lb : a.pref < b.pref;
             });
+  // Wall tiebreak bookkeeping (see set_auto_wall_tiebreak): only armed for
+  // one-shot full-ownership dispatch with the toggle on, so the default
+  // path pays no clock reads and stays byte-identical.
+  const bool wall_tb = auto_wall_tiebreak() && ctx == nullptr &&
+                       net.owns_all();
+  std::int64_t actual_of[4] = {kMax, kMax, kMax, kMax};
   for (const auto& cand : cands) {
     if (cand.lb == kMax) continue;  // inadmissible
     if (cand.lb > best || (cand.lb == best && cand.pref > best_pref))
       continue;  // cannot win: actual >= bound, and ties keep preference
     std::int64_t actual = kMax;
+    const auto cost_t0 = wall_tb ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
     switch (cand.choice) {
       case AutoEngineChoice::Sparse:
         st = build_sparse_mm_structure(n, s_rows, t_rows, vw);
@@ -1733,10 +1848,47 @@ template <Semiring S, typename Codec>
         actual = naive_cost;
         break;
     }
+    if (wall_tb) {
+      actual_of[cand.pref] = actual;
+      const auto sample = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - cost_t0)
+                              .count();
+      auto& slot = detail::auto_wall_ewma().ns[cand.pref];
+      const auto old = slot.load(std::memory_order_relaxed);
+      slot.store(old <= 0 ? sample : (3 * old + sample) / 4,
+                 std::memory_order_relaxed);
+    }
     if (actual < best || (actual == best && cand.pref < best_pref)) {
       best = actual;
       pick = cand.choice;
       best_pref = cand.pref;
+    }
+  }
+  if (wall_tb && best != kMax) {
+    // Among actually-costed candidates whose planned rounds land within 1
+    // of the winner, defer to the engine with the lower planning-wall
+    // history. Candidates with no history (EWMA 0) never displace the
+    // rounds winner, so the first few calls behave exactly as before.
+    static constexpr AutoEngineChoice kByPref[4] = {
+        AutoEngineChoice::Sparse, AutoEngineChoice::Semiring3D,
+        AutoEngineChoice::Fast, AutoEngineChoice::Naive};
+    std::int64_t best_wall = kMax;
+    int wall_pref = -1;
+    for (int p = 0; p < 4; ++p) {
+      if (actual_of[p] == kMax || actual_of[p] > best + 1) continue;
+      const auto w =
+          detail::auto_wall_ewma().ns[p].load(std::memory_order_relaxed);
+      if (w > 0 && w < best_wall) {
+        best_wall = w;
+        wall_pref = p;
+      }
+    }
+    if (wall_pref >= 0 && wall_pref != best_pref &&
+        detail::auto_wall_ewma().ns[best_pref].load(
+            std::memory_order_relaxed) > best_wall) {
+      best = actual_of[wall_pref];
+      best_pref = wall_pref;
+      pick = kByPref[wall_pref];
     }
   }
   if (chosen != nullptr) *chosen = pick;
@@ -1822,24 +1974,21 @@ template <Semiring S, typename Codec>
 
   // Shared announcement superstep: every node ships the B packed per-row
   // nnz pairs over every link (direct schedule, B rounds) so the whole
-  // batch dispatches at once.
+  // batch dispatches at once. Each rank stages only its owned sources'
+  // words; the delivery reconstructs the identical global demand list on
+  // every rank, so the B-round charge matches the single-process path.
   std::vector<SparsePattern> s_rows, t_rows;
   s_rows.reserve(batch);
   t_rows.reserve(batch);
-  // Not yet sharded: the batched nnz announcement reads every inbox for
-  // the census. Sharded batch callers fix the 3D engine instead.
-  CCA_VALIDATE(net.owns_all(),
-               "mm_semiring_auto_batch requires full node ownership; use "
-               "the batched 3D engine for sharded runs");
   for (std::size_t b = 0; b < batch; ++b) {
     s_rows.push_back(sparse_pattern(sr, as[b]));
     t_rows.push_back(sparse_pattern(sr, bs[b]));
   }
-  parallel_for(0, n, [&](int v) {
+  const clique::NodeSpan own = net.owned();
+  parallel_for(own.begin, own.end, [&](int v) {
     const auto vs = static_cast<std::size_t>(v);
     for (int u = 0; u < n; ++u) {
       if (u == v) continue;
-      // lint:allow(full-range-staging): owns_all() validated at entry.
       const auto msg = net.stage(v, u, batch);
       for (std::size_t b = 0; b < batch; ++b)
         msg[b] = detail::pack_nnz_pair(s_rows[b][vs].size(),
@@ -1847,6 +1996,35 @@ template <Semiring S, typename Codec>
     }
   });
   net.deliver(clique::Router::Direct);
+  if (!net.owns_all()) {
+    // Census decode: owned rows' counts come from the local patterns
+    // (authoritative by the SPMD contract); every other node's packed
+    // words are read from one owned destination's inboxes — every
+    // destination received every announcement, so own.begin serves. The
+    // patterns' non-owned rows (scanned from rows this rank does not
+    // hold) are then rebuilt from the census, after which every rank
+    // holds bit-identical global patterns and the dispatch below is
+    // rank-deterministic.
+    std::vector<std::vector<clique::Word>> counts(
+        batch, std::vector<clique::Word>(static_cast<std::size_t>(n), 0));
+    for (int v = own.begin; v < own.end; ++v)
+      for (std::size_t b = 0; b < batch; ++b)
+        counts[b][static_cast<std::size_t>(v)] = detail::pack_nnz_pair(
+            s_rows[b][static_cast<std::size_t>(v)].size(),
+            t_rows[b][static_cast<std::size_t>(v)].size());
+    const int d = own.begin;
+    for (int v = 0; v < n; ++v) {
+      if (own.contains(v)) continue;
+      const auto in = net.inbox(d, v);
+      CCA_ASSERT(in.size() == batch);
+      for (std::size_t b = 0; b < batch; ++b)
+        counts[b][static_cast<std::size_t>(v)] = in[b];
+    }
+    detail::allgather_sparse_patterns(
+        net, std::span<SparsePattern>(s_rows),
+        std::span<SparsePattern>(t_rows),
+        std::span<const std::vector<clique::Word>>(counts));
+  }
 
   // Candidate costs, gated exactly as in mm_semiring_auto: build-free
   // lower bounds first, then the actual plans in ascending-bound order

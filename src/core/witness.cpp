@@ -72,9 +72,10 @@ Matrix<std::uint8_t> verify_witnesses(clique::Network& net,
                                       const Matrix<std::int64_t>& p,
                                       const Matrix<int>& q) {
   const int n = net.n();
-  // Not yet sharded: the transpose/probe supersteps read every inbox.
-  CCA_VALIDATE(net.owns_all(),
-               "verify_witnesses requires full node ownership");
+  // Genuinely full-ownership: the transpose/probe supersteps read every
+  // inbox.
+  clique::require_full_ownership(net, "verify_witnesses",
+                                 "no sharded equivalent exists");
   CCA_EXPECTS(s.rows() == n && s.cols() == n);
   CCA_EXPECTS(t.rows() == n && t.cols() == n);
   CCA_EXPECTS(p.rows() == n && p.cols() == n);
@@ -152,9 +153,9 @@ Matrix<int> dp_witnesses(clique::Network& net, const Matrix<std::int64_t>& s,
                          const DpOracle& oracle, std::uint64_t seed,
                          int trial_factor) {
   const int n = net.n();
-  // Not yet sharded: rides verify_witnesses (full-ownership only).
-  CCA_VALIDATE(net.owns_all(),
-               "dp_witnesses requires full node ownership");
+  // Rides verify_witnesses, which is genuinely full-ownership only.
+  clique::require_full_ownership(
+      net, "dp_witnesses", "use dp_semiring_witness for sharded runs");
   CCA_EXPECTS(trial_factor >= 1);
   // One round to agree on the shared random seed — a real broadcast
   // superstep (node 0 sends the seed on each link), not a bare charge, so

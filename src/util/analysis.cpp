@@ -3,6 +3,34 @@
 #include <cstdio>
 #include <cstdlib>
 
+// StagingTracker's slot bookkeeping deliberately uses relaxed atomics: the
+// tracker only ever compares tokens within ONE parallel_for region, whose
+// fork/join already orders every slot access, so stronger orders would buy
+// nothing. Under ThreadSanitizer the relaxed pair still carries no
+// happens-before edge, so TSan would (correctly, per its model) not link a
+// worker's token store to the next reader's load. The explicit
+// __tsan_release / __tsan_acquire annotations publish that fork/join edge
+// on the slot address, keeping instrumented runs quiet without upgrading
+// the memory order the production build pays for.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CCA_TSAN 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define CCA_TSAN 1
+#endif
+#ifdef CCA_TSAN
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+#define CCA_TSAN_ACQUIRE(addr) __tsan_acquire(addr)
+#define CCA_TSAN_RELEASE(addr) __tsan_release(addr)
+#else
+#define CCA_TSAN_ACQUIRE(addr) (void)(addr)
+#define CCA_TSAN_RELEASE(addr) (void)(addr)
+#endif
+
 namespace cca::analysis {
 
 namespace {
@@ -103,6 +131,7 @@ void StagingTracker::check_stage(int src, std::int64_t superstep) {
   }
   const std::uint64_t token = (epoch << 20) | thread_token();
   auto& slot = slots_[static_cast<std::size_t>(src)].owner;
+  CCA_TSAN_ACQUIRE(&slot);
   const std::uint64_t cur = slot.load(std::memory_order_relaxed);
   if (cur != 0 && (cur >> 20) == epoch && cur != token) {
     fail({ContractKind::CrossSourceStaging, src, -1, superstep,
@@ -112,6 +141,7 @@ void StagingTracker::check_stage(int src, std::int64_t superstep) {
               std::to_string(epoch) + ")"});
   }
   slot.store(token, std::memory_order_relaxed);
+  CCA_TSAN_RELEASE(&slot);
 }
 
 void StagingTracker::check_phase_change(const char* what,

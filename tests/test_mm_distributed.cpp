@@ -1,12 +1,26 @@
 // Integration tests: distributed matrix multiplication (Sections 2.1/2.2)
-// against local reference products, across semirings, sizes, and engines.
+// against local reference products, across semirings, sizes, and engines —
+// plus socketpair'd P=2 runs pinning the ownership-generic engine layer
+// (sharded Auto dispatch, batched APSP, and fault injection under the
+// socket backend) bit-identical to the single-process arena oracle.
 #include <gtest/gtest.h>
 
-#include <cmath>
+#include <sys/socket.h>
 
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "clique/fault.hpp"
 #include "clique/network.hpp"
+#include "clique/socket_transport.hpp"
+#include "clique/transport.hpp"
+#include "core/apsp.hpp"
 #include "core/engine.hpp"
 #include "core/mm.hpp"
+#include "graph/generators.hpp"
 #include "matrix/codec.hpp"
 #include "matrix/ops.hpp"
 #include "matrix/semiring.hpp"
@@ -291,6 +305,145 @@ TEST(Plans, AutoPlanPicksFittingDepth) {
     const auto p = plan_fast_mm_auto(n);
     EXPECT_LE(p.m, std::max(p.clique_n, 1));
     EXPECT_GE(p.clique_n, n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Two ranks in one process over a socketpair: the ownership-generic engine
+// layer against the single-process arena oracle (cf. tools/cca_node.cpp,
+// which runs the same checks across real processes).
+// ---------------------------------------------------------------------------
+
+/// Build the P=2 meshes from one socketpair (each side adopted by a rank).
+std::pair<std::shared_ptr<clique::SocketMesh>,
+          std::shared_ptr<clique::SocketMesh>>
+paired_meshes() {
+  int sv[2];
+  EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  auto m0 = std::make_shared<clique::SocketMesh>(0, 2,
+                                                 std::vector<int>{-1, sv[0]});
+  auto m1 = std::make_shared<clique::SocketMesh>(1, 2,
+                                                 std::vector<int>{sv[1], -1});
+  return {std::move(m0), std::move(m1)};
+}
+
+/// Run one SPMD body per rank concurrently (deliver() blocks on the peer).
+void run_ranks(const std::function<void(int)>& body) {
+  std::thread t1([&] { body(1); });
+  body(0);
+  t1.join();
+}
+
+/// The deterministic TrafficStats fields (wall-clock telemetry excluded).
+void expect_stats_eq(const clique::TrafficStats& got,
+                     const clique::TrafficStats& want, int rank) {
+  EXPECT_EQ(got.rounds, want.rounds) << "rank " << rank;
+  EXPECT_EQ(got.bound_rounds, want.bound_rounds) << "rank " << rank;
+  EXPECT_EQ(got.supersteps, want.supersteps) << "rank " << rank;
+  EXPECT_EQ(got.total_words, want.total_words) << "rank " << rank;
+  EXPECT_EQ(got.max_node_send, want.max_node_send) << "rank " << rank;
+  EXPECT_EQ(got.max_node_recv, want.max_node_recv) << "rank " << rank;
+  EXPECT_EQ(got.schedule_hits, want.schedule_hits) << "rank " << rank;
+  EXPECT_EQ(got.schedule_misses, want.schedule_misses) << "rank " << rank;
+  EXPECT_EQ(got.faults_injected, want.faults_injected) << "rank " << rank;
+  EXPECT_EQ(got.retransmit_rounds, want.retransmit_rounds) << "rank " << rank;
+  EXPECT_EQ(got.retransmit_words, want.retransmit_words) << "rank " << rank;
+}
+
+template <typename V>
+void expect_owned_rows_eq(const Matrix<V>& got, const Matrix<V>& want,
+                          clique::NodeSpan own, int rank) {
+  for (int u = own.begin; u < std::min(own.end, got.rows()); ++u)
+    for (int v = 0; v < got.cols(); ++v)
+      ASSERT_EQ(got(u, v), want(u, v))
+          << "rank " << rank << " entry (" << u << "," << v << ")";
+}
+
+TEST(SocketP2Engines, AutoBatchMatchesArenaOracleBitIdentically) {
+  const int n = 8;
+  const MinPlusSemiring sr;
+  const I64Codec codec;
+  std::vector<Matrix<std::int64_t>> as, bs;
+  for (int b = 0; b < 3; ++b) {
+    as.push_back(random_minplus_matrix(n, 600 + static_cast<std::uint64_t>(b)));
+    bs.push_back(random_minplus_matrix(n, 700 + static_cast<std::uint64_t>(b)));
+  }
+
+  clique::Network oracle_net(n);
+  MmDispatchContext oracle_ctx;
+  const auto oracle = mm_semiring_auto_batch(
+      oracle_net, sr, codec, std::span<const Matrix<std::int64_t>>(as),
+      std::span<const Matrix<std::int64_t>>(bs), &oracle_ctx);
+
+  auto [m0, m1] = paired_meshes();
+  std::shared_ptr<clique::SocketMesh> meshes[2] = {m0, m1};
+  run_ranks([&](int r) {
+    clique::TransportScope scope(clique::SocketTransport::factory(meshes[r]));
+    clique::Network net(n);
+    MmDispatchContext ctx;
+    const auto got = mm_semiring_auto_batch(
+        net, sr, codec, std::span<const Matrix<std::int64_t>>(as),
+        std::span<const Matrix<std::int64_t>>(bs), &ctx);
+    ASSERT_EQ(got.size(), oracle.size());
+    for (std::size_t b = 0; b < got.size(); ++b)
+      expect_owned_rows_eq(got[b], oracle[b], net.owned(), r);
+    EXPECT_EQ(ctx.trace, oracle_ctx.trace) << "rank " << r;
+    expect_stats_eq(net.stats(), oracle_net.stats(), r);
+  });
+}
+
+TEST(SocketP2Engines, ApspBatchMatchesArenaOracleBitIdentically) {
+  const int n = 8;
+  std::vector<Graph> gs;
+  for (int b = 0; b < 3; ++b)
+    gs.push_back(random_weighted_graph(n, 0.35, 1, 50,
+                                       900 + static_cast<std::uint64_t>(b)));
+  const auto oracle = apsp_semiring_batch(gs, MmKind::Auto);
+
+  auto [m0, m1] = paired_meshes();
+  std::shared_ptr<clique::SocketMesh> meshes[2] = {m0, m1};
+  run_ranks([&](int r) {
+    clique::TransportScope scope(clique::SocketTransport::factory(meshes[r]));
+    const auto got = apsp_semiring_batch(gs, MmKind::Auto);
+    const auto own = clique::shard_span(semiring_clique_size(n), 2, r);
+    for (std::size_t b = 0; b < gs.size(); ++b)
+      expect_owned_rows_eq(got.dist[b], oracle.dist[b], own, r);
+    EXPECT_EQ(got.engine_trace, oracle.engine_trace) << "rank " << r;
+    expect_stats_eq(got.traffic, oracle.traffic, r);
+  });
+}
+
+TEST(SocketP2Engines, FaultMixChargesBitIdenticallyAcrossFourSeeds) {
+  const int n = 8;
+  const IntRing ring;
+  const I64Codec codec;
+  const auto a = random_int_matrix(n, 61);
+  const auto b = random_int_matrix(n, 62);
+
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    clique::FaultPlan plan;
+    plan.seed = 0xfa11u ^ seed;
+    plan.drop_prob = 0.05;
+    plan.corrupt_prob = 0.05;
+    plan.duplicate_prob = 0.02;
+
+    clique::Network oracle_net(n);
+    oracle_net.install_faults(plan);
+    const auto oracle = mm_semiring_3d(oracle_net, ring, codec, a, b);
+    ASSERT_GT(oracle_net.stats().faults_injected, 0)
+        << "seed " << seed << " drew no faults — weaken the mix";
+
+    auto [m0, m1] = paired_meshes();
+    std::shared_ptr<clique::SocketMesh> meshes[2] = {m0, m1};
+    run_ranks([&](int r) {
+      clique::TransportScope scope(
+          clique::SocketTransport::factory(meshes[r]));
+      clique::Network net(n);
+      net.install_faults(plan);
+      const auto got = mm_semiring_3d(net, ring, codec, a, b);
+      expect_owned_rows_eq(got, oracle, net.owned(), r);
+      expect_stats_eq(net.stats(), oracle_net.stats(), r);
+    });
   }
 }
 

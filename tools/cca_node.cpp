@@ -8,15 +8,19 @@
 // nonzero unless
 //   * every result entry this rank OWNS is bit-identical to the oracle, and
 //   * every deterministic TrafficStats field (rounds, bound_rounds,
-//     supersteps, total_words, max_node_send/recv, schedule hits/misses)
-//     is bit-identical to the oracle's.
+//     supersteps, total_words, max_node_send/recv, schedule hits/misses,
+//     faults_injected, retransmit rounds/words) is bit-identical to the
+//     oracle's.
 // The second property is the refactor's core claim: Network's accounting
 // only ever sees the canonical demand list, which the socket backend
-// reconstructs identically on every rank (socket_transport.hpp).
+// reconstructs identically on every rank (socket_transport.hpp) — and the
+// hardened fault path plans from the same common-knowledge metadata, so
+// even injected faults charge identically.
 //
 // Usage:
 //   cca_node --rank R --nprocs P --port-base B
-//            --workload {mm,mm_sparse,apsp,triangles} --n N [--seed S]
+//            --workload {mm,mm_sparse,apsp,apsp_auto,apsp_batch,seidel,
+//                        witness,triangles,fault_mix} --n N [--seed S]
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -25,7 +29,9 @@
 #include <exception>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "clique/fault.hpp"
 #include "clique/network.hpp"
 #include "clique/socket_transport.hpp"
 #include "clique/transport.hpp"
@@ -56,7 +62,8 @@ struct Options {
   std::fprintf(stderr,
                "cca_node: %s\n"
                "usage: cca_node --rank R --nprocs P --port-base B "
-               "--workload {mm,mm_sparse,apsp,triangles} --n N [--seed S]\n",
+               "--workload {mm,mm_sparse,apsp,apsp_auto,apsp_batch,seidel,"
+               "witness,triangles,fault_mix} --n N [--seed S]\n",
                msg);
   std::exit(2);
 }
@@ -142,10 +149,16 @@ void check_stats(const clique::TrafficStats& got,
   check_i64(got.schedule_hits, want.schedule_hits, "schedule_hits", rank);
   check_i64(got.schedule_misses, want.schedule_misses, "schedule_misses",
             rank);
+  check_i64(got.faults_injected, want.faults_injected, "faults_injected",
+            rank);
+  check_i64(got.retransmit_rounds, want.retransmit_rounds,
+            "retransmit_rounds", rank);
+  check_i64(got.retransmit_words, want.retransmit_words, "retransmit_words",
+            rank);
 }
 
-void check_owned_rows(const Matrix<std::int64_t>& got,
-                      const Matrix<std::int64_t>& want,
+template <typename V>
+void check_owned_rows(const Matrix<V>& got, const Matrix<V>& want,
                       clique::NodeSpan own, int rank, const char* what) {
   const int rows = std::min(own.end, got.rows());
   for (int u = own.begin; u < rows; ++u)
@@ -187,20 +200,116 @@ void run_mm(const Options& o, bool sparse,
   check_stats(net.stats(), oracle_net.stats(), o.rank);
 }
 
-/// apsp: the Network is constructed INSIDE apsp_semiring — exactly the
-/// path TransportScope exists for. Sharded runs must fix the 3D engine.
-void run_apsp(const Options& o,
+/// apsp / apsp_auto: the Network is constructed INSIDE apsp_semiring —
+/// exactly the path TransportScope exists for. The Auto kind additionally
+/// exercises the sharded nnz census and dispatch hysteresis: the engine
+/// trace must match the oracle call for call.
+void run_apsp(const Options& o, MmKind kind,
               const std::shared_ptr<clique::SocketMesh>& mesh) {
   const auto g = random_weighted_graph(o.n, 0.35, 1, 50, o.seed);
-  const auto oracle = apsp_semiring(g, MmKind::Semiring3D);
+  const auto oracle = apsp_semiring(g, kind);
 
   clique::TransportScope scope(clique::SocketTransport::factory(mesh));
-  const auto got = apsp_semiring(g, MmKind::Semiring3D);
+  const auto got = apsp_semiring(g, kind);
 
   const auto own = clique::shard_span(semiring_clique_size(o.n), o.nprocs,
                                       o.rank);
   check_owned_rows(got.dist, oracle.dist, own, o.rank, "dist");
+  check_i64(static_cast<std::int64_t>(got.engine_trace.size()),
+            static_cast<std::int64_t>(oracle.engine_trace.size()),
+            "engine trace length", o.rank);
   check_stats(got.traffic, oracle.traffic, o.rank);
+}
+
+/// apsp_batch: three graphs' APSP through the batched Auto dispatcher —
+/// the sharded batch announcement and census must reproduce the oracle's
+/// per-member results and the shared dispatch trace.
+void run_apsp_batch(const Options& o,
+                    const std::shared_ptr<clique::SocketMesh>& mesh) {
+  std::vector<Graph> gs;
+  for (int b = 0; b < 3; ++b)
+    gs.push_back(random_weighted_graph(o.n, 0.35, 1, 50, o.seed +
+                                       static_cast<std::uint64_t>(b)));
+  const auto oracle = apsp_semiring_batch(gs, MmKind::Auto);
+
+  clique::TransportScope scope(clique::SocketTransport::factory(mesh));
+  const auto got = apsp_semiring_batch(gs, MmKind::Auto);
+
+  const auto own = clique::shard_span(semiring_clique_size(o.n), o.nprocs,
+                                      o.rank);
+  for (std::size_t b = 0; b < gs.size(); ++b)
+    check_owned_rows(got.dist[b], oracle.dist[b], own, o.rank, "dist");
+  check_i64(static_cast<std::int64_t>(got.engine_trace.size()),
+            static_cast<std::int64_t>(oracle.engine_trace.size()),
+            "engine trace length", o.rank);
+  check_stats(got.traffic, oracle.traffic, o.rank);
+}
+
+/// seidel: recursive unweighted APSP whose per-level products are
+/// re-replicated to every rank, so the FULL distance matrix must match.
+void run_seidel(const Options& o,
+                const std::shared_ptr<clique::SocketMesh>& mesh) {
+  const auto g = gnp_random_graph(o.n, 0.4, o.seed);
+  const auto oracle = apsp_seidel(g);
+
+  clique::TransportScope scope(clique::SocketTransport::factory(mesh));
+  const auto got = apsp_seidel(g);
+
+  check_owned_rows(got.dist, oracle.dist, clique::NodeSpan{0, o.n}, o.rank,
+                   "dist");
+  check_stats(got.traffic, oracle.traffic, o.rank);
+}
+
+/// witness: a replicated exact distance matrix (computed in-process, like
+/// any other replicated INPUT) feeds the witnessed product that derives
+/// next hops; owned rows of the table must match the oracle.
+void run_witness(const Options& o,
+                 const std::shared_ptr<clique::SocketMesh>& mesh) {
+  const auto g = random_weighted_graph(o.n, 0.35, 1, 50, o.seed);
+  const auto base = apsp_semiring(g, MmKind::Semiring3D);
+
+  clique::TrafficStats oracle_traffic;
+  const auto oracle =
+      routing_table_from_distances(g, base.dist, &oracle_traffic);
+
+  clique::TransportScope scope(clique::SocketTransport::factory(mesh));
+  clique::TrafficStats got_traffic;
+  const auto got = routing_table_from_distances(g, base.dist, &got_traffic);
+
+  const auto own = clique::shard_span(semiring_clique_size(o.n), o.nprocs,
+                                      o.rank);
+  check_owned_rows(got, oracle, own, o.rank, "next_hop");
+  check_stats(got_traffic, oracle_traffic, o.rank);
+}
+
+/// fault_mix: drop + corrupt + duplicate faults under the socket backend.
+/// Every rank draws the identical counter-mode coins from the plan seed,
+/// so the injected faults, the retransmission charges, and the repaired
+/// product must all be bit-identical to the single-process oracle.
+void run_fault_mix(const Options& o,
+                   const std::shared_ptr<clique::SocketMesh>& mesh) {
+  const IntRing ring;
+  const I64Codec codec;
+  const auto a = random_matrix(o.n, o.seed);
+  const auto b = random_matrix(o.n, o.seed + 1);
+
+  clique::FaultPlan plan;
+  plan.seed = 0xfa11u ^ o.seed;
+  plan.drop_prob = 0.05;
+  plan.corrupt_prob = 0.05;
+  plan.duplicate_prob = 0.02;
+
+  clique::Network oracle_net(o.n);
+  oracle_net.install_faults(plan);
+  const auto oracle = mm_semiring_3d(oracle_net, ring, codec, a, b);
+
+  clique::TransportScope scope(clique::SocketTransport::factory(mesh));
+  clique::Network net(o.n);
+  net.install_faults(plan);
+  const auto got = mm_semiring_3d(net, ring, codec, a, b);
+
+  check_owned_rows(got, oracle, net.owned(), o.rank, "product");
+  check_stats(net.stats(), oracle_net.stats(), o.rank);
 }
 
 /// triangles: single-count workload; the count is derived from a synced
@@ -229,7 +338,17 @@ int main(int argc, char** argv) {
     else if (o.workload == "mm_sparse")
       run_mm(o, /*sparse=*/true, mesh);
     else if (o.workload == "apsp")
-      run_apsp(o, mesh);
+      run_apsp(o, MmKind::Semiring3D, mesh);
+    else if (o.workload == "apsp_auto")
+      run_apsp(o, MmKind::Auto, mesh);
+    else if (o.workload == "apsp_batch")
+      run_apsp_batch(o, mesh);
+    else if (o.workload == "seidel")
+      run_seidel(o, mesh);
+    else if (o.workload == "witness")
+      run_witness(o, mesh);
+    else if (o.workload == "fault_mix")
+      run_fault_mix(o, mesh);
     else if (o.workload == "triangles")
       run_triangles(o, mesh);
     else
